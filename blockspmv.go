@@ -1,0 +1,334 @@
+// Package blockspmv is a library of blocked sparse matrix-vector
+// multiplication (SpMV) kernels and of performance models that select the
+// best storage format and block shape for a given matrix, reproducing
+//
+//	V. Karakasis, G. Goumas, N. Koziris:
+//	"Performance Models for Blocked Sparse Matrix-Vector Multiplication
+//	Kernels", ICPP 2009.
+//
+// # Storage formats
+//
+// The library implements the paper's five blocked storage formats next to
+// the CSR baseline: BCSR (aligned fixed-size r x c blocks with zero
+// padding), BCSR-DEC (full blocks + CSR remainder), BCSD (aligned diagonal
+// blocks with padding), BCSD-DEC, and 1D-VBL (variable-length horizontal
+// blocks); VBR is included for completeness of the format survey. Every
+// fixed block shape with at most eight elements has a dedicated unrolled
+// kernel in a scalar and a lane-structured "simd" variant, in both single
+// and double precision via generics.
+//
+// # Performance models
+//
+// Three models predict SpMV execution time and drive format selection: MEM
+// (pure streaming, ws/BW), MEMCOMP (adds the profiled computational cost
+// of each block) and OVERLAP (scales the computational part by a profiled
+// non-overlapping factor that accounts for hardware prefetching). Use
+// DetectMachine and CollectProfile once per host, then Autotune per
+// matrix.
+//
+// # Quick start
+//
+//	m := blockspmv.NewMatrix[float64](rows, cols)
+//	m.Add(i, j, v) // ... assemble
+//	m.Finalize()
+//
+//	mach := blockspmv.DetectMachine()
+//	prof := blockspmv.CollectProfile[float64](mach)
+//	format, pred := blockspmv.Autotune(m, mach, prof)
+//	format.Mul(x, y) // y = A*x with the selected format
+//
+// The experiment harness reproducing the paper's tables and figures lives
+// in cmd/spmvbench; see DESIGN.md and EXPERIMENTS.md.
+package blockspmv
+
+import (
+	"io"
+
+	"blockspmv/internal/bcsd"
+	"blockspmv/internal/bcsr"
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/core"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/dcsr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/machine"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/multidec"
+	"blockspmv/internal/parallel"
+	"blockspmv/internal/profile"
+	"blockspmv/internal/reorder"
+	"blockspmv/internal/solver"
+	"blockspmv/internal/ubcsr"
+	"blockspmv/internal/vbl"
+	"blockspmv/internal/vbr"
+)
+
+// Float constrains the element types: float32 ("sp") or float64 ("dp").
+type Float = floats.Float
+
+// Matrix is a sparse matrix under assembly, in coordinate (triplet) form.
+// Add entries, then Finalize before converting to a multiply-ready format.
+type Matrix[T Float] = mat.COO[T]
+
+// Entry is a single coordinate-form element.
+type Entry[T Float] = mat.Entry[T]
+
+// Format is a multiply-ready sparse matrix in some storage format. Mul
+// computes y = A*x; see the formats package documentation for the full
+// contract (row-range multiplies, working-set accounting, decomposition
+// components).
+type Format[T Float] = formats.Instance[T]
+
+// Shape identifies a fixed block geometry: r x c rectangles for the BCSR
+// family, length-b diagonals for the BCSD family.
+type Shape = blocks.Shape
+
+// Impl selects the kernel implementation class: Scalar or Vector ("simd").
+type Impl = blocks.Impl
+
+// Implementation classes.
+const (
+	Scalar = blocks.Scalar
+	Vector = blocks.Vector
+)
+
+// RectShape returns the r x c rectangular block shape. Valid shapes have
+// at most MaxBlockElems elements.
+func RectShape(r, c int) Shape { return blocks.RectShape(r, c) }
+
+// DiagShape returns the diagonal block shape of length b (2..8).
+func DiagShape(b int) Shape { return blocks.DiagShape(b) }
+
+// MaxBlockElems is the largest supported block, 8 elements, following the
+// paper's finding that larger blocks never beat CSR.
+const MaxBlockElems = blocks.MaxBlockElems
+
+// NewMatrix returns an empty rows x cols matrix for assembly.
+func NewMatrix[T Float](rows, cols int) *Matrix[T] { return mat.New[T](rows, cols) }
+
+// ReadMatrixMarket parses a matrix in Matrix Market exchange format
+// (coordinate or array; real, integer or pattern; general, symmetric or
+// skew-symmetric).
+func ReadMatrixMarket[T Float](r io.Reader) (*Matrix[T], error) {
+	return mat.ReadMatrixMarket[T](r)
+}
+
+// WriteMatrixMarket writes a finalized matrix in Matrix Market coordinate
+// real general format.
+func WriteMatrixMarket[T Float](w io.Writer, m *Matrix[T]) error {
+	return mat.WriteMatrixMarket(w, m)
+}
+
+// NewCSR converts a finalized matrix to the CSR baseline format.
+func NewCSR[T Float](m *Matrix[T], impl Impl) Format[T] { return csr.FromCOO(m, impl) }
+
+// NewBCSR converts a finalized matrix to BCSR with aligned, zero-padded
+// r x c blocks (r*c <= MaxBlockElems).
+func NewBCSR[T Float](m *Matrix[T], r, c int, impl Impl) Format[T] {
+	return bcsr.New(m, r, c, impl)
+}
+
+// NewBCSRDec converts a finalized matrix to BCSR-DEC: completely dense
+// aligned r x c blocks without padding plus a CSR remainder.
+func NewBCSRDec[T Float](m *Matrix[T], r, c int, impl Impl) Format[T] {
+	return bcsr.NewDecomposed(m, r, c, impl)
+}
+
+// NewUBCSR converts a finalized matrix to column-unaligned BCSR (Vuduc &
+// Moon): r x c blocks anchored greedily at arbitrary columns, trading
+// BCSR's alignment (and its vectorization friendliness) for less padding.
+func NewUBCSR[T Float](m *Matrix[T], r, c int, impl Impl) Format[T] {
+	return ubcsr.New(m, r, c, impl)
+}
+
+// NewBCSD converts a finalized matrix to BCSD with aligned, zero-padded
+// diagonal blocks of length b (2..MaxBlockElems).
+func NewBCSD[T Float](m *Matrix[T], b int, impl Impl) Format[T] {
+	return bcsd.New(m, b, impl)
+}
+
+// NewBCSDDec converts a finalized matrix to BCSD-DEC: completely dense
+// aligned diagonal blocks without padding plus a CSR remainder.
+func NewBCSDDec[T Float](m *Matrix[T], b int, impl Impl) Format[T] {
+	return bcsd.NewDecomposed(m, b, impl)
+}
+
+// NewVBL converts a finalized matrix to 1D-VBL (variable-length
+// horizontal blocks, Pinar & Heath).
+func NewVBL[T Float](m *Matrix[T], impl Impl) Format[T] { return vbl.New(m, impl) }
+
+// NewVBR converts a finalized matrix to VBR (two-dimensional variable
+// blocks over a pattern-consistent row/column partition, SPARSKIT).
+func NewVBR[T Float](m *Matrix[T], impl Impl) Format[T] { return vbr.New(m, impl) }
+
+// NewMultiDec converts a finalized matrix to the k=3 multi-pattern
+// decomposition of Agarwal et al.: completely dense aligned r x c blocks,
+// completely dense aligned length-b diagonal blocks extracted from the
+// remainder, and a CSR tail — never any padding.
+func NewMultiDec[T Float](m *Matrix[T], r, c, b int, impl Impl) Format[T] {
+	return multidec.New(m, r, c, b, impl)
+}
+
+// NewDCSR converts a finalized matrix to delta-compressed CSR: column
+// indices stored as per-row variable-length deltas (1 byte for gaps under
+// 255), the index-compression branch of the working-set-reduction
+// optimizations (Willcock & Lumsdaine; Kourtis et al.).
+func NewDCSR[T Float](m *Matrix[T]) Format[T] { return dcsr.New(m) }
+
+// Machine describes the host parameters the models consume: cache sizes
+// and the effective streaming bandwidth.
+type Machine = machine.Machine
+
+// DetectMachine characterises the current host: cache sizes from sysfs
+// (with Core 2 defaults as fallback) and a STREAM-triad bandwidth
+// measurement. It takes on the order of a second.
+func DetectMachine() Machine { return machine.Detect() }
+
+// Profile is a per-kernel profile table: the single-block time t_b and
+// non-overlapping factor nof_b for every block shape and implementation.
+type Profile = profile.Table
+
+// CollectProfile profiles every kernel for precision T on the machine:
+// t_b on an L1-resident dense matrix, nof_b on a cache-exceeding one. It
+// takes tens of seconds; persist the result with Profile.Save and reload
+// it with LoadProfile.
+func CollectProfile[T Float](m Machine) *Profile {
+	return profile.Collect[T](m, profile.Options{})
+}
+
+// ProfileOptions tunes the profiling working sets; the zero value selects
+// machine-derived defaults.
+type ProfileOptions = profile.Options
+
+// CollectProfileWith is CollectProfile with explicit profiling options.
+func CollectProfileWith[T Float](m Machine, opts ProfileOptions) *Profile {
+	return profile.Collect[T](m, opts)
+}
+
+// LoadProfile reads a profile previously written by Profile.Save.
+func LoadProfile(r io.Reader) (*Profile, error) { return profile.Load(r) }
+
+// Model predicts SpMV execution time for candidate formats. The three
+// implementations are the paper's MEM, MEMCOMP and OVERLAP.
+type Model = core.Model
+
+// Candidate is one point of the selection space: method, block shape and
+// implementation class.
+type Candidate = core.Candidate
+
+// Prediction pairs a candidate with its predicted seconds per multiply.
+type Prediction = core.Prediction
+
+// Models returns the three performance models in the paper's order:
+// MEM, MEMCOMP, OVERLAP.
+func Models() []Model { return core.Models() }
+
+// ModelByName returns the model named "MEM", "MEMCOMP" or "OVERLAP".
+func ModelByName(name string) (Model, error) { return core.ModelByName(name) }
+
+// Rank prices every candidate format for the matrix under the model and
+// returns the predictions sorted fastest-first.
+func Rank[T Float](m *Matrix[T], model Model, mach Machine, prof *Profile) []Prediction {
+	stats := core.EnumerateStats(mat.PatternOf(m), floats.SizeOf[T]())
+	return core.Rank(model, stats, mach, prof)
+}
+
+// Autotune selects the best storage format for the matrix with the
+// OVERLAP model (the paper's most accurate) and returns the constructed
+// format together with the winning prediction.
+func Autotune[T Float](m *Matrix[T], mach Machine, prof *Profile) (Format[T], Prediction) {
+	return AutotuneWith(m, core.Overlap{}, mach, prof)
+}
+
+// AutotuneWith is Autotune under a caller-chosen model.
+func AutotuneWith[T Float](m *Matrix[T], model Model, mach Machine, prof *Profile) (Format[T], Prediction) {
+	stats := core.EnumerateStats(mat.PatternOf(m), floats.SizeOf[T]())
+	best := core.Select(model, stats, mach, prof)
+	return core.Instantiate(m, best.Cand), best
+}
+
+// Instantiate constructs the storage format a candidate describes, e.g.
+// one returned by Rank or Autotune.
+func Instantiate[T Float](m *Matrix[T], c Candidate) Format[T] {
+	return core.Instantiate(m, c)
+}
+
+// ParallelMul is a multithreaded y = A*x executor over a fixed row
+// partition balanced by stored scalars (including padding), the paper's
+// static load-balancing scheme.
+type ParallelMul[T Float] = parallel.Mul[T]
+
+// NewParallelMul prepares a multithreaded multiply with the given number
+// of workers.
+func NewParallelMul[T Float](f Format[T], workers int) *ParallelMul[T] {
+	return parallel.NewMul(f, workers, parallel.BalanceWeights)
+}
+
+// WorkingSetBytes returns the full streaming working set of a format:
+// matrix structures plus input and output vectors.
+func WorkingSetBytes[T Float](f Format[T]) int64 { return formats.WorkingSetBytes(f) }
+
+// SolverOptions controls the iterative solvers; the zero value selects a
+// precision-appropriate tolerance and a 10n iteration cap.
+type SolverOptions = solver.Options
+
+// SolverStats reports the work a solve performed: iterations, SpMV count
+// and the final relative residual.
+type SolverStats = solver.Stats
+
+// SolveCG solves A x = b with conjugate gradients for symmetric
+// positive-definite A in any storage format, overwriting x (initial
+// guess). SpMV dominates its runtime, so format selection carries through
+// to end-to-end solve time; see examples/solver.
+func SolveCG[T Float](a Format[T], b, x []T, opts SolverOptions) (SolverStats, error) {
+	return solver.CG(a, b, x, opts)
+}
+
+// SolveBiCGSTAB solves A x = b with stabilised bi-conjugate gradients for
+// general square A, overwriting x.
+func SolveBiCGSTAB[T Float](a Format[T], b, x []T, opts SolverOptions) (SolverStats, error) {
+	return solver.BiCGSTAB(a, b, x, opts)
+}
+
+// JacobiPreconditioner is the diagonal preconditioner M = diag(A).
+type JacobiPreconditioner[T Float] = solver.JacobiPreconditioner[T]
+
+// NewJacobi extracts the inverse diagonal of a finalized square matrix
+// for use with SolvePCG.
+func NewJacobi[T Float](m *Matrix[T]) *JacobiPreconditioner[T] {
+	return solver.NewJacobi(m)
+}
+
+// SolvePCG solves A x = b with Jacobi-preconditioned conjugate gradients
+// for symmetric positive-definite A, overwriting x.
+func SolvePCG[T Float](a Format[T], pre *JacobiPreconditioner[T], b, x []T, opts SolverOptions) (SolverStats, error) {
+	return solver.PCG(a, pre, b, x, opts)
+}
+
+// Permutation maps new indices to old: perm[new] = old.
+type Permutation = reorder.Permutation
+
+// RCM computes the Reverse Cuthill-McKee ordering of a square matrix's
+// symmetrised pattern. Reordering regularises input-vector accesses (the
+// complement of blocking among SpMV optimizations) and often makes
+// blocking itself denser; apply with Reorder.
+func RCM[T Float](m *Matrix[T]) (Permutation, error) {
+	return reorder.RCM(mat.PatternOf(m))
+}
+
+// Reorder returns the symmetrically permuted matrix P A Pᵀ. Multiply it
+// against PermuteVec(x, perm) and map the result back with UnpermuteVec.
+func Reorder[T Float](m *Matrix[T], perm Permutation) (*Matrix[T], error) {
+	return reorder.Apply(m, perm)
+}
+
+// PermuteVec gathers x into the permuted index space: out[i] = x[perm[i]].
+func PermuteVec[T Float](x []T, perm Permutation) []T {
+	return reorder.PermuteVec(x, perm)
+}
+
+// UnpermuteVec scatters a permuted vector back: out[perm[i]] = y[i].
+func UnpermuteVec[T Float](y []T, perm Permutation) []T {
+	return reorder.UnpermuteVec(y, perm)
+}

@@ -1,0 +1,113 @@
+// Command kernelprof profiles every block kernel on this host and prints
+// the t_b / nof table the MEMCOMP and OVERLAP models consume — the
+// machine-characterisation step of Section IV made inspectable.
+//
+// Usage:
+//
+//	kernelprof [-precision dp] [-profile-dir DIR]
+//
+// With -profile-dir, the table is also written as JSON for cmd/spmvbench
+// to reuse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/machine"
+	"blockspmv/internal/profile"
+	"blockspmv/internal/textplot"
+)
+
+func main() {
+	var (
+		precision  = flag.String("precision", "dp", "element precision: sp or dp")
+		profileDir = flag.String("profile-dir", "", "also save the profile as JSON here")
+	)
+	flag.Parse()
+
+	fmt.Println("characterising machine...")
+	mach := machine.Detect()
+	fmt.Printf("machine: %s\n", mach)
+	fmt.Printf("load latency: %.1f ns\n\n", mach.LoadLatencySeconds*1e9)
+
+	var tab *profile.Table
+	switch *precision {
+	case "dp":
+		fmt.Println("profiling dp kernels...")
+		tab = profile.Collect[float64](mach, profile.Options{})
+	case "sp":
+		fmt.Println("profiling sp kernels...")
+		tab = profile.Collect[float32](mach, profile.Options{})
+	default:
+		fmt.Fprintln(os.Stderr, "kernelprof: -precision must be sp or dp")
+		os.Exit(2)
+	}
+
+	type row struct {
+		key profile.Key
+		e   profile.Entry
+	}
+	var rows []row
+	for k, e := range tab.Entries {
+		rows = append(rows, row{k, e})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].key, rows[j].key
+		if a.Shape.Kind != b.Shape.Kind {
+			return a.Shape.Kind < b.Shape.Kind
+		}
+		if a.Shape.R != b.Shape.R {
+			return a.Shape.R < b.Shape.R
+		}
+		if a.Shape.C != b.Shape.C {
+			return a.Shape.C < b.Shape.C
+		}
+		return a.Impl < b.Impl
+	})
+
+	var cells [][]string
+	for _, r := range rows {
+		perElem := r.e.Tb / float64(r.key.Shape.Elems())
+		cells = append(cells, []string{
+			r.key.Shape.String(),
+			r.key.Impl.String(),
+			fmt.Sprintf("%.2f", r.e.Tb*1e9),
+			fmt.Sprintf("%.2f", perElem*1e9),
+			textplot.F(r.e.Nof, 2),
+		})
+	}
+	textplot.Table(os.Stdout,
+		[]string{"Shape", "Impl", "t_b (ns/block)", "ns/element", "nof"}, cells)
+
+	// The amortisation story in one line: 1x1 vs the largest block.
+	if e1, ok := tab.Lookup(blocks.RectShape(1, 1), blocks.Scalar); ok {
+		if e8, ok := tab.Lookup(blocks.RectShape(1, 8), blocks.Scalar); ok {
+			fmt.Printf("\nper-element cost amortisation: 1x1 %.2f ns -> 1x8 %.2f ns (%.1fx)\n",
+				e1.Tb*1e9, e8.Tb/8*1e9, e1.Tb/(e8.Tb/8))
+		}
+	}
+
+	if *profileDir != "" {
+		if err := os.MkdirAll(*profileDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "kernelprof:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*profileDir, "profile-"+*precision+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kernelprof:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tab.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "kernelprof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %s\n", path)
+	}
+}

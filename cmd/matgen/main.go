@@ -1,0 +1,123 @@
+// Command matgen generates and inspects the synthetic matrix suite.
+//
+// Usage:
+//
+//	matgen -list                          # list the 30 suite matrices
+//	matgen -matrix rajat31 -stats         # structure statistics
+//	matgen -matrix 23.fdiff -o fdiff.mtx  # export as Matrix Market
+//	matgen -matrix 5 -scale tiny -hist    # row-length histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/suite"
+	"blockspmv/internal/textplot"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list the suite matrices")
+		name      = flag.String("matrix", "", "matrix id (1-30) or name (e.g. rajat31)")
+		scaleName = flag.String("scale", "small", "suite scale: tiny, small or paper")
+		stats     = flag.Bool("stats", false, "print structure statistics")
+		hist      = flag.Bool("hist", false, "print the row-length histogram")
+		blockinfo = flag.Bool("blocks", false, "print block/padding counts for every shape")
+		out       = flag.String("o", "", "write the matrix in MatrixMarket format to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		var rows [][]string
+		for _, in := range suite.Infos() {
+			geo := "no"
+			if in.Geometry {
+				geo = "yes"
+			}
+			rows = append(rows, []string{in.Name, in.Domain, geo, in.Archetype})
+		}
+		textplot.Table(os.Stdout, []string{"Matrix", "Domain", "2D/3D", "Archetype"}, rows)
+		return
+	}
+	if *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	scale, err := suite.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	info, err := lookup(*name)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (%s): %s\n", info.Name, info.Domain, info.Archetype)
+	m := suite.MustBuild[float64](info.ID, scale)
+	fmt.Printf("generated at %s scale: %dx%d, %d nonzeros, %.2f MiB in CSR (dp)\n",
+		scale, m.Rows(), m.Cols(), m.NNZ(),
+		float64(mat.CSRWorkingSetBytes(m.Rows(), m.NNZ(), 8))/(1<<20))
+
+	if *stats {
+		fmt.Printf("\nstructure: %s\n", mat.ComputeStats(m))
+	}
+	if *hist {
+		bounds, counts := mat.RowLengthHistogram(m)
+		fmt.Println("\nrow-length histogram (bucket upper bounds):")
+		labels := make([]string, len(bounds))
+		values := make([]float64, len(counts))
+		for i := range bounds {
+			labels[i] = "<=" + strconv.Itoa(bounds[i])
+			values[i] = float64(counts[i])
+		}
+		textplot.Bars(os.Stdout, "", labels, values, 50)
+	}
+	if *blockinfo {
+		fmt.Println("\nblock counts per shape (blocks / padding / full blocks):")
+		p := mat.PatternOf(m)
+		var rows [][]string
+		for _, s := range blocks.AllShapes() {
+			if s.IsUnit() {
+				continue
+			}
+			cnt := blocks.CountForShape(p, s)
+			padPct := 100 * float64(cnt.Padding) / float64(cnt.Blocks*int64(s.Elems()))
+			rows = append(rows, []string{
+				s.String(),
+				strconv.FormatInt(cnt.Blocks, 10),
+				fmt.Sprintf("%.1f%%", padPct),
+				strconv.FormatInt(cnt.FullBlocks, 10),
+				strconv.FormatInt(cnt.RemainderNNZ, 10),
+			})
+		}
+		textplot.Table(os.Stdout, []string{"Shape", "Blocks", "Padding", "Full blocks", "DEC remainder"}, rows)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := mat.WriteMatrixMarket(f, m); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+func lookup(nameOrID string) (suite.Info, error) {
+	if id, err := strconv.Atoi(nameOrID); err == nil {
+		return suite.InfoByID(id)
+	}
+	return suite.InfoByName(nameOrID)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "matgen:", err)
+	os.Exit(1)
+}

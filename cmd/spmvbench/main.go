@@ -1,0 +1,248 @@
+// Command spmvbench regenerates the tables and figures of the paper's
+// evaluation (Section V) on the current host.
+//
+// Usage:
+//
+//	spmvbench [flags]
+//
+// Examples:
+//
+//	spmvbench -experiment table2,table3 -scale small
+//	spmvbench -experiment all -scale tiny -iterations 5
+//	spmvbench -experiment fig4 -profile-dir /tmp/prof   # caches kernel profiles
+//	spmvbench -experiment all -session run.json         # measure once, re-analyse later
+//
+// Experiments: table1, table2, table3, fig2, fig3, fig4 (includes
+// table4), latency, fig3x (the OVERLAP+LAT extension), rank (Kendall-tau
+// ordering fidelity), all.
+//
+// The model experiments need a kernel profile, which takes a minute or
+// two to collect; pass -profile-dir to cache profiles across runs. Pass
+// -session to persist the per-candidate measurements: a subsequent run
+// with the same -session file skips all re-measurement and only re-runs
+// the analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"blockspmv/internal/bench"
+	"blockspmv/internal/machine"
+	"blockspmv/internal/profile"
+	"blockspmv/internal/suite"
+)
+
+func main() {
+	var (
+		experiments = flag.String("experiment", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,latency,all")
+		scaleName   = flag.String("scale", "small", "suite scale: tiny, small or paper")
+		matrices    = flag.String("matrices", "", "comma-separated matrix ids (default: all 30)")
+		iterations  = flag.Int("iterations", 20, "timed SpMV operations per instance")
+		cores       = flag.String("cores", "1,2,4", "comma-separated worker counts for fig2")
+		profileDir  = flag.String("profile-dir", "", "directory to cache kernel profiles in")
+		winners     = flag.Bool("winners", false, "with table2: also print the per-matrix winner drill-down")
+		sessionFile = flag.String("session", "", "measurement session JSON: loaded if present (skipping re-measurement), written after the run")
+		verbose     = flag.Bool("v", false, "log progress")
+	)
+	flag.Parse()
+
+	scale, err := suite.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	ids, err := parseInts(*matrices)
+	if err != nil {
+		fatal(fmt.Errorf("bad -matrices: %w", err))
+	}
+	coreList, err := parseInts(*cores)
+	if err != nil {
+		fatal(fmt.Errorf("bad -cores: %w", err))
+	}
+
+	known := map[string]bool{
+		"all": true, "table1": true, "table2": true, "table3": true, "table4": true,
+		"fig2": true, "fig3": true, "fig4": true, "latency": true, "fig3x": true, "rank": true,
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiments, ",") {
+		name := strings.TrimSpace(e)
+		if !known[name] {
+			fatal(fmt.Errorf("unknown experiment %q (known: table1 table2 table3 table4 fig2 fig3 fig4 latency fig3x rank all)", name))
+		}
+		want[name] = true
+	}
+	if want["all"] {
+		for _, e := range []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "latency", "fig3x", "rank"} {
+			want[e] = true
+		}
+	}
+	// table4 is produced by fig4.
+	if want["table4"] {
+		want["fig4"] = true
+	}
+	needModels := want["fig3"] || want["fig4"] || want["fig3x"] || want["rank"]
+
+	fmt.Println("characterising machine (STREAM triad)...")
+	mach := machine.Detect()
+	fmt.Printf("machine: %s\n\n", mach)
+
+	cfg := bench.Config{
+		Scale:      scale,
+		MatrixIDs:  ids,
+		Iterations: *iterations,
+		Machine:    mach,
+		Cores:      coreList,
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	if needModels {
+		cfg.Profiles = map[string]*profile.Table{
+			"dp": obtainProfile[float64](mach, *profileDir, "dp"),
+			"sp": obtainProfile[float32](mach, *profileDir, "sp"),
+		}
+		// A cached profile's nof values are calibrated against the
+		// bandwidth measured when it was collected; feeding the models a
+		// freshly measured (and, on noisy VMs, different) bandwidth would
+		// silently skew every prediction. Adopt the profile's machine.
+		if prof := cfg.Profiles["dp"]; prof.Machine.BandwidthBytesPerSec > 0 {
+			drift := mach.BandwidthBytesPerSec / prof.Machine.BandwidthBytesPerSec
+			if drift < 0.8 || drift > 1.25 {
+				fmt.Printf("note: measured bandwidth differs %.1fx from the cached profile's; "+
+					"using the profile's machine for model consistency "+
+					"(delete the profile cache to recalibrate)\n", drift)
+			}
+			cfg.Machine = prof.Machine
+		}
+	}
+
+	session := bench.NewSession(cfg)
+	if *sessionFile != "" {
+		if f, err := os.Open(*sessionFile); err == nil {
+			loaded, err := bench.LoadSession(f, cfg)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("loading session %s: %w", *sessionFile, err))
+			}
+			session = loaded
+			fmt.Printf("loaded measurement session from %s\n", *sessionFile)
+		}
+	}
+	out := os.Stdout
+
+	if want["table1"] {
+		bench.PrintTable1(out, bench.Table1(cfg), scale)
+		fmt.Fprintln(out)
+	}
+	if want["table2"] {
+		res := bench.Table2(session)
+		bench.PrintTable2(out, res)
+		fmt.Fprintln(out)
+		if *winners {
+			for _, cfgName := range bench.WinsConfigs {
+				bench.PrintWinners(out, session, res, cfgName)
+				fmt.Fprintln(out)
+			}
+		}
+	}
+	if want["table3"] {
+		bench.PrintTable3(out, bench.Table3(session))
+		fmt.Fprintln(out)
+	}
+	if want["fig2"] {
+		bench.PrintFig2(out, bench.Fig2(session))
+		fmt.Fprintln(out)
+	}
+	if want["fig3"] {
+		for _, prec := range []string{"sp", "dp"} {
+			bench.PrintFig3(out, bench.Fig3(session, prec))
+			fmt.Fprintln(out)
+		}
+	}
+	if want["fig4"] {
+		for _, prec := range []string{"sp", "dp"} {
+			bench.PrintFig4(out, bench.Fig4(session, prec))
+			fmt.Fprintln(out)
+		}
+	}
+	if want["latency"] {
+		bench.PrintLatency(out, bench.Latency(cfg, nil))
+		fmt.Fprintln(out)
+	}
+	if want["fig3x"] {
+		bench.PrintFig3Ext(out, bench.Fig3Ext(session))
+		fmt.Fprintln(out)
+	}
+	if want["rank"] {
+		for _, prec := range []string{"sp", "dp"} {
+			bench.PrintRankQuality(out, bench.RankQuality(session, prec), prec)
+			fmt.Fprintln(out)
+		}
+	}
+
+	if *sessionFile != "" {
+		f, err := os.Create(*sessionFile)
+		if err != nil {
+			fatal(fmt.Errorf("saving session: %w", err))
+		}
+		defer f.Close()
+		if err := session.Save(f); err != nil {
+			fatal(fmt.Errorf("saving session: %w", err))
+		}
+		fmt.Printf("saved measurement session to %s\n", *sessionFile)
+	}
+}
+
+// obtainProfile loads a cached kernel profile or collects and caches one.
+func obtainProfile[T interface{ ~float32 | ~float64 }](mach machine.Machine, dir, prec string) *profile.Table {
+	if dir != "" {
+		path := filepath.Join(dir, "profile-"+prec+".json")
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			if t, err := profile.Load(f); err == nil {
+				fmt.Printf("loaded %s kernel profile from %s\n", prec, path)
+				return t
+			}
+		}
+	}
+	fmt.Printf("profiling %s kernels (t_b on L1-resident dense, nof on cache-exceeding dense)...\n", prec)
+	t := profile.Collect[T](mach, profile.Options{})
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			path := filepath.Join(dir, "profile-"+prec+".json")
+			if f, err := os.Create(path); err == nil {
+				defer f.Close()
+				if err := t.Save(f); err == nil {
+					fmt.Printf("cached %s kernel profile at %s\n", prec, path)
+				}
+			}
+		}
+	}
+	return t
+}
+
+func parseInts(csv string) ([]int, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spmvbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2,30 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 30 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	got, err = parseInts("")
+	if err != nil || got != nil {
+		t.Errorf("parseInts(empty) = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("parseInts accepted garbage")
+	}
+}

@@ -1,0 +1,34 @@
+// Command stream measures the host's effective streaming memory bandwidth
+// with a STREAM-style triad, the BW input of the performance models, and
+// reports the detected cache hierarchy.
+//
+// Usage:
+//
+//	stream [-ws-mib 64] [-reps 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"blockspmv/internal/machine"
+)
+
+func main() {
+	var (
+		wsMiB = flag.Int64("ws-mib", 0, "triad working set in MiB (0 = machine-derived default)")
+		reps  = flag.Int("reps", 5, "repetitions (best is reported)")
+	)
+	flag.Parse()
+
+	l1, l2, llc := machine.DetectCaches()
+	fmt.Printf("caches: L1d=%d KiB, L2=%d KiB, LLC=%d KiB\n", l1>>10, l2>>10, llc>>10)
+
+	ws := *wsMiB << 20
+	if ws == 0 {
+		ws = machine.DefaultTriadBytes(l2)
+	}
+	fmt.Printf("running triad a[i] = b[i] + s*c[i] over %d MiB, %d reps...\n", ws>>20, *reps)
+	bw := machine.MeasureTriadBandwidth(ws, *reps)
+	fmt.Printf("sustained bandwidth: %.2f GiB/s (%.3g bytes/s)\n", bw/(1<<30), bw)
+}

@@ -1,0 +1,77 @@
+// Autotune: use the OVERLAP performance model to pick the best storage
+// format and block shape for a FEM-style matrix, then confirm the choice
+// by timing the top candidates.
+//
+// Run with: go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"blockspmv"
+)
+
+func main() {
+	m := femMatrix(6000, 3, 8) // 3 dof per node -> dense 3x3 node blocks
+	fmt.Printf("FEM-style matrix: %dx%d, %d nonzeros\n", m.Rows(), m.Cols(), m.NNZ())
+
+	fmt.Println("characterising machine and profiling kernels (one-time, ~a minute)...")
+	mach := blockspmv.DetectMachine()
+	fmt.Printf("  %s\n", mach)
+	prof := blockspmv.CollectProfileWith[float64](mach,
+		blockspmv.ProfileOptions{NofBytes: 32 << 20})
+
+	format, pred := blockspmv.Autotune(m, mach, prof)
+	fmt.Printf("\nOVERLAP model selected: %s (predicted %.3g ms per SpMV)\n",
+		format.Name(), pred.Seconds*1e3)
+
+	// Show the model's top five and time them for a reality check.
+	overlap, _ := blockspmv.ModelByName("OVERLAP")
+	preds := blockspmv.Rank(m, overlap, mach, prof)
+	x := make([]float64, m.Cols())
+	for i := range x {
+		x[i] = rand.New(rand.NewSource(1)).Float64()
+	}
+	y := make([]float64, m.Rows())
+	fmt.Println("\nrank  candidate            predicted    measured")
+	for i := 0; i < 5 && i < len(preds); i++ {
+		inst := blockspmv.Instantiate(m, preds[i].Cand)
+		inst.Mul(x, y) // warm up
+		start := time.Now()
+		const reps = 20
+		for r := 0; r < reps; r++ {
+			inst.Mul(x, y)
+		}
+		measured := time.Since(start).Seconds() / reps
+		fmt.Printf("%4d  %-20s %8.3g ms %8.3g ms\n",
+			i+1, preds[i].Cand, preds[i].Seconds*1e3, measured*1e3)
+	}
+}
+
+// femMatrix builds a mesh of nodes with dof unknowns each; every node
+// adjacency becomes a dense dof x dof block.
+func femMatrix(nodes, dof, neighbours int) *blockspmv.Matrix[float64] {
+	rng := rand.New(rand.NewSource(7))
+	n := nodes * dof
+	m := blockspmv.NewMatrix[float64](n, n)
+	addBlock := func(a, b int) {
+		for i := 0; i < dof; i++ {
+			for j := 0; j < dof; j++ {
+				m.Add(int32(a*dof+i), int32(b*dof+j), rng.Float64()+0.1)
+			}
+		}
+	}
+	for u := 0; u < nodes; u++ {
+		addBlock(u, u)
+		for d := 1; d <= neighbours/2; d++ {
+			if v := u + d; v < nodes {
+				addBlock(u, v)
+				addBlock(v, u)
+			}
+		}
+	}
+	m.Finalize()
+	return m
+}

@@ -1,0 +1,3 @@
+module blockspmv
+
+go 1.24

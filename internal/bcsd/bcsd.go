@@ -1,0 +1,324 @@
+// Package bcsd implements the Blocked Compressed Sparse Diagonal format
+// and its decomposed variant BCSD-DEC.
+//
+// BCSD is analogous to BCSR but exploits small dense diagonal sub-blocks: a
+// block of size b holds the elements (i+k, j+k), k in [0,b), and must start
+// at a row i with i%b == 0. The alignment splits the matrix into row
+// segments of height b; brow_ptr points to the first block of each segment,
+// bcol stores each block's starting column and bval the block values.
+// Missing elements are padded with zeros (Section II.A).
+//
+// Diagonal blocks may start left of column 0 or end right of the last
+// column (an element (i, j) with j < i%b lies on such a diagonal). These
+// boundary blocks are stored in a clipped side structure, like the
+// right-edge blocks of package bcsr.
+package bcsd
+
+import (
+	"fmt"
+	"sort"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/kernels"
+	"blockspmv/internal/mat"
+)
+
+// Matrix is a sparse matrix in BCSD format with diagonal blocks of size b.
+type Matrix[T floats.Float] struct {
+	rows, cols int
+	b          int
+	impl       blocks.Impl
+	kernel     kernels.BlockRowKernel[T]
+
+	browPtr []int32 // len nSegments+1; indexes bcol/bval-block
+	bcol    []int32 // starting column of each interior block
+	bval    []T     // len(bcol) * b
+
+	// Boundary blocks (start < 0 or start+b > cols), multiplied clipped.
+	edgeSeg []int32
+	edgeCol []int32 // may be negative
+	edgeVal []T
+
+	nnz int64
+}
+
+// New converts a finalized coordinate matrix to BCSD with diagonal blocks
+// of size b.
+func New[T floats.Float](m *mat.COO[T], b int, impl blocks.Impl) *Matrix[T] {
+	if !blocks.DiagShape(b).Valid() {
+		panic(fmt.Sprintf("bcsd: unsupported diagonal size %d", b))
+	}
+	if !m.Finalized() {
+		panic("bcsd: matrix must be finalized")
+	}
+	a := &Matrix[T]{
+		rows: m.Rows(), cols: m.Cols(), b: b, impl: impl,
+		kernel: kernels.Diag[T](b, impl),
+		nnz:    int64(m.NNZ()),
+	}
+	if a.kernel == nil {
+		a.kernel = kernels.DiagGeneric[T](b)
+	}
+	a.build(m.Entries())
+	return a
+}
+
+func (a *Matrix[T]) build(entries []mat.Entry[T]) {
+	b := a.b
+	nSegments := (a.rows + b - 1) / b
+	a.browPtr = make([]int32, nSegments+1)
+
+	var starts []int32
+	for lo := 0; lo < len(entries); {
+		seg := int(entries[lo].Row) / b
+		hi := lo
+		for hi < len(entries) && int(entries[hi].Row)/b == seg {
+			hi++
+		}
+
+		starts = starts[:0]
+		for i := lo; i < hi; i++ {
+			e := entries[i]
+			starts = append(starts, e.Col-(e.Row-int32(seg*b)))
+		}
+		sortUnique(&starts)
+
+		// Interior blocks form the sorted middle: start >= 0 and
+		// start+b <= cols. Leading negatives and trailing overhangs go to
+		// the edge structure.
+		first := 0
+		for first < len(starts) && starts[first] < 0 {
+			first++
+		}
+		last := len(starts)
+		for last > first && int(starts[last-1])+b > a.cols {
+			last--
+		}
+		interior := starts[first:last]
+
+		base := len(a.bcol)
+		a.bcol = append(a.bcol, interior...)
+		a.bval = append(a.bval, make([]T, len(interior)*b)...)
+		edgeBase := len(a.edgeCol)
+		for _, s := range starts[:first] {
+			a.edgeSeg = append(a.edgeSeg, int32(seg))
+			a.edgeCol = append(a.edgeCol, s)
+			a.edgeVal = append(a.edgeVal, make([]T, b)...)
+		}
+		for _, s := range starts[last:] {
+			a.edgeSeg = append(a.edgeSeg, int32(seg))
+			a.edgeCol = append(a.edgeCol, s)
+			a.edgeVal = append(a.edgeVal, make([]T, b)...)
+		}
+		a.browPtr[seg+1] = int32(len(a.bcol))
+
+		for i := lo; i < hi; i++ {
+			e := entries[i]
+			k := int(e.Row) - seg*b
+			start := e.Col - int32(k)
+			if start >= 0 && int(start)+b <= a.cols {
+				bi, ok := search(interior, start)
+				if !ok {
+					panic("bcsd: interior block lookup failed")
+				}
+				a.bval[(base+bi)*b+k] = e.Val
+			} else {
+				found := false
+				for ei := edgeBase; ei < len(a.edgeCol); ei++ {
+					if a.edgeCol[ei] == start {
+						a.edgeVal[ei*b+k] = e.Val
+						found = true
+						break
+					}
+				}
+				if !found {
+					panic("bcsd: edge block lookup failed")
+				}
+			}
+		}
+		lo = hi
+	}
+	for seg := 0; seg < nSegments; seg++ {
+		if a.browPtr[seg+1] < a.browPtr[seg] {
+			a.browPtr[seg+1] = a.browPtr[seg]
+		}
+	}
+}
+
+// Shape returns the diagonal block shape.
+func (a *Matrix[T]) Shape() blocks.Shape { return blocks.DiagShape(a.b) }
+
+// Blocks returns the total number of stored blocks including boundary
+// blocks.
+func (a *Matrix[T]) Blocks() int64 { return int64(len(a.bcol) + len(a.edgeSeg)) }
+
+// Padding returns the number of explicit zeros stored.
+func (a *Matrix[T]) Padding() int64 { return a.StoredScalars() - a.nnz }
+
+// Name implements formats.Instance.
+func (a *Matrix[T]) Name() string {
+	n := fmt.Sprintf("BCSD(d%d)", a.b)
+	if a.impl == blocks.Vector {
+		n += "/simd"
+	}
+	return n
+}
+
+// Rows implements formats.Instance.
+func (a *Matrix[T]) Rows() int { return a.rows }
+
+// Cols implements formats.Instance.
+func (a *Matrix[T]) Cols() int { return a.cols }
+
+// NNZ implements formats.Instance.
+func (a *Matrix[T]) NNZ() int64 { return a.nnz }
+
+// StoredScalars implements formats.Instance.
+func (a *Matrix[T]) StoredScalars() int64 { return int64(len(a.bval) + len(a.edgeVal)) }
+
+// MatrixBytes implements formats.Instance.
+func (a *Matrix[T]) MatrixBytes() int64 {
+	s := int64(floats.SizeOf[T]())
+	return a.StoredScalars()*s +
+		int64(len(a.bcol)+len(a.edgeCol)+len(a.edgeSeg)+len(a.browPtr))*4
+}
+
+// Components implements formats.Instance.
+func (a *Matrix[T]) Components() []formats.Component {
+	return []formats.Component{{
+		Shape:   a.Shape(),
+		Impl:    a.impl,
+		Blocks:  a.Blocks(),
+		WSBytes: a.MatrixBytes(),
+	}}
+}
+
+// RowAlign implements formats.Instance.
+func (a *Matrix[T]) RowAlign() int { return a.b }
+
+// RowWeights implements formats.Instance: each diagonal block stores one
+// scalar in every row of its segment. A bottom-edge segment's ghost rows
+// have their scalars redistributed over its real rows so that the weights
+// sum exactly to StoredScalars.
+func (a *Matrix[T]) RowWeights() []int64 {
+	w := make([]int64, a.rows)
+	nSegments := (a.rows + a.b - 1) / a.b
+	nBlocks := make([]int64, nSegments)
+	for seg := 0; seg < nSegments; seg++ {
+		nBlocks[seg] = int64(a.browPtr[seg+1] - a.browPtr[seg])
+	}
+	for _, seg := range a.edgeSeg {
+		nBlocks[seg]++
+	}
+	for seg := 0; seg < nSegments; seg++ {
+		rowStart := seg * a.b
+		nReal := min(a.b, a.rows-rowStart)
+		total := nBlocks[seg] * int64(a.b)
+		per, extra := total/int64(nReal), total%int64(nReal)
+		for i := 0; i < nReal; i++ {
+			w[rowStart+i] = per
+			if int64(i) < extra {
+				w[rowStart+i]++
+			}
+		}
+	}
+	return w
+}
+
+// Mul implements formats.Instance.
+func (a *Matrix[T]) Mul(x, y []T) {
+	formats.CheckDims[T](a, x, y)
+	floats.Fill(y, 0)
+	a.MulRange(x, y, 0, a.rows)
+}
+
+// MulRange implements formats.Instance.
+func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
+	b := a.b
+	if r0%b != 0 || (r1%b != 0 && r1 != a.rows) {
+		panic(fmt.Sprintf("bcsd: MulRange [%d,%d) not aligned to segment size %d", r0, r1, b))
+	}
+	seg0, seg1 := r0/b, (r1+b-1)/b
+	var scratch [blocks.MaxBlockElems]T
+	for seg := seg0; seg < seg1; seg++ {
+		lo, hi := int(a.browPtr[seg]), int(a.browPtr[seg+1])
+		if lo == hi {
+			continue
+		}
+		bvals := a.bval[lo*b : hi*b]
+		bcols := a.bcol[lo:hi]
+		rowStart := seg * b
+		if rowStart+b <= a.rows {
+			a.kernel(bvals, bcols, x, y[rowStart:rowStart+b])
+		} else {
+			sc := scratch[:b]
+			floats.Fill(sc, 0)
+			a.kernel(bvals, bcols, x, sc)
+			for k := 0; rowStart+k < a.rows; k++ {
+				y[rowStart+k] += sc[k]
+			}
+		}
+	}
+	for ei, seg := range a.edgeSeg {
+		if int(seg) < seg0 || int(seg) >= seg1 {
+			continue
+		}
+		start := int(a.edgeCol[ei])
+		v := a.edgeVal[ei*b : (ei+1)*b]
+		rowStart := int(seg) * b
+		for k := 0; k < b && rowStart+k < a.rows; k++ {
+			col := start + k
+			if col < 0 || col >= a.cols {
+				continue
+			}
+			y[rowStart+k] += v[k] * x[col]
+		}
+	}
+}
+
+var _ formats.Instance[float64] = (*Matrix[float64])(nil)
+
+func sortUnique(a *[]int32) {
+	s := *a
+	if len(s) < 2 {
+		return
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	*a = out
+}
+
+func search(s []int32, v int32) (int, bool) {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == v {
+		return lo, true
+	}
+	return 0, false
+}
+
+// WithImpl implements formats.Instance: a view over the same arrays with
+// a different kernel implementation class.
+func (a *Matrix[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+	b := *a
+	b.impl = impl
+	b.kernel = kernels.Diag[T](b.b, impl)
+	if b.kernel == nil {
+		b.kernel = kernels.DiagGeneric[T](b.b)
+	}
+	return &b
+}

@@ -1,0 +1,66 @@
+package bcsd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"blockspmv/internal/bcsd"
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/mat"
+)
+
+// stencilMatrix is a 7-diagonal matrix (3D finite-difference archetype),
+// the friendly case for BCSD.
+func stencilMatrix(n int) *mat.COO[float64] {
+	m := mat.New[float64](n, n)
+	for _, off := range []int{0, 1, -1, 40, -40, 1600, -1600} {
+		for r := 0; r < n; r++ {
+			c := r + off
+			if c >= 0 && c < n {
+				m.Add(int32(r), int32(c), float64(off%7)+1.5)
+			}
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// BenchmarkMulSizes times the BCSD multiply across diagonal lengths.
+func BenchmarkMulSizes(b *testing.B) {
+	m := stencilMatrix(40000)
+	x := floats.RandVector[float64](40000, 1)
+	y := make([]float64, 40000)
+	for _, size := range []int{2, 4, 8} {
+		for _, impl := range blocks.Impls() {
+			a := bcsd.New(m, size, impl)
+			b.Run(fmt.Sprintf("d%d/%s", size, impl), func(b *testing.B) {
+				b.SetBytes(a.MatrixBytes())
+				b.ReportMetric(float64(a.Padding())/float64(a.NNZ()), "padding-ratio")
+				for i := 0; i < b.N; i++ {
+					a.Mul(x, y)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDecomposed compares padded BCSD with its decomposition on the
+// stencil matrix.
+func BenchmarkDecomposed(b *testing.B) {
+	m := stencilMatrix(40000)
+	x := floats.RandVector[float64](40000, 2)
+	y := make([]float64, 40000)
+	padded := bcsd.New(m, 4, blocks.Scalar)
+	dec := bcsd.NewDecomposed(m, 4, blocks.Scalar)
+	b.Run("padded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			padded.Mul(x, y)
+		}
+	})
+	b.Run("decomposed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dec.Mul(x, y)
+		}
+	})
+}

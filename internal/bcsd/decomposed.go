@@ -1,0 +1,157 @@
+package bcsd
+
+import (
+	"fmt"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+)
+
+// Decomposed is the BCSD-DEC format: the input matrix split into a blocked
+// submatrix holding only completely dense (unpadded) aligned diagonal
+// blocks and a CSR submatrix holding the remainder elements.
+type Decomposed[T floats.Float] struct {
+	blocked *Matrix[T]
+	rem     *csr.Matrix[T]
+}
+
+// NewDecomposed converts a finalized coordinate matrix to BCSD-DEC with
+// diagonal blocks of size b.
+func NewDecomposed[T floats.Float](m *mat.COO[T], b int, impl blocks.Impl) *Decomposed[T] {
+	if !m.Finalized() {
+		panic("bcsd: matrix must be finalized")
+	}
+	full, rem := SplitFullBlocks(m, b)
+	d := &Decomposed[T]{
+		blocked: New(full, b, impl),
+		rem:     csr.FromCOO(rem, impl),
+	}
+	if p := d.blocked.Padding(); p != 0 {
+		panic(fmt.Sprintf("bcsd: decomposed blocked part has %d padding zeros", p))
+	}
+	return d
+}
+
+// SplitFullBlocks partitions the entries of m into a matrix containing
+// exactly the completely dense aligned diagonal blocks of size b and a
+// matrix with everything else. Both results are finalized. It is the
+// extraction step of BCSD-DEC, exported for the multi-pattern
+// decomposition.
+func SplitFullBlocks[T floats.Float](m *mat.COO[T], b int) (full, rem *mat.COO[T]) {
+	entries := m.Entries()
+	rows, cols := m.Rows(), m.Cols()
+
+	fullM := mat.New[T](rows, cols)
+	remM := mat.New[T](rows, cols)
+
+	counts := make(map[int32]int)
+	for lo := 0; lo < len(entries); {
+		seg := int(entries[lo].Row) / b
+		hi := lo
+		for hi < len(entries) && int(entries[hi].Row)/b == seg {
+			hi++
+		}
+		interiorRows := (seg+1)*b <= rows
+		clear(counts)
+		for i := lo; i < hi; i++ {
+			e := entries[i]
+			counts[e.Col-(e.Row-int32(seg*b))]++
+		}
+		for i := lo; i < hi; i++ {
+			e := entries[i]
+			start := e.Col - (e.Row - int32(seg*b))
+			isFull := interiorRows && counts[start] == b &&
+				start >= 0 && int(start)+b <= cols
+			if isFull {
+				fullM.Add(e.Row, e.Col, e.Val)
+			} else {
+				remM.Add(e.Row, e.Col, e.Val)
+			}
+		}
+		lo = hi
+	}
+	fullM.Finalize()
+	remM.Finalize()
+	return fullM, remM
+}
+
+// Blocked returns the blocked component.
+func (d *Decomposed[T]) Blocked() *Matrix[T] { return d.blocked }
+
+// Remainder returns the CSR remainder component.
+func (d *Decomposed[T]) Remainder() *csr.Matrix[T] { return d.rem }
+
+// Shape returns the diagonal block shape of the blocked component.
+func (d *Decomposed[T]) Shape() blocks.Shape { return d.blocked.Shape() }
+
+// Name implements formats.Instance.
+func (d *Decomposed[T]) Name() string {
+	n := fmt.Sprintf("BCSD-DEC(d%d)", d.blocked.b)
+	if d.blocked.impl == blocks.Vector {
+		n += "/simd"
+	}
+	return n
+}
+
+// Rows implements formats.Instance.
+func (d *Decomposed[T]) Rows() int { return d.blocked.Rows() }
+
+// Cols implements formats.Instance.
+func (d *Decomposed[T]) Cols() int { return d.blocked.Cols() }
+
+// NNZ implements formats.Instance.
+func (d *Decomposed[T]) NNZ() int64 { return d.blocked.NNZ() + d.rem.NNZ() }
+
+// StoredScalars implements formats.Instance; a decomposition stores no
+// padding, so this equals NNZ.
+func (d *Decomposed[T]) StoredScalars() int64 {
+	return d.blocked.StoredScalars() + d.rem.StoredScalars()
+}
+
+// MatrixBytes implements formats.Instance.
+func (d *Decomposed[T]) MatrixBytes() int64 {
+	return d.blocked.MatrixBytes() + d.rem.MatrixBytes()
+}
+
+// Components implements formats.Instance.
+func (d *Decomposed[T]) Components() []formats.Component {
+	return append(d.blocked.Components(), d.rem.Components()...)
+}
+
+// RowAlign implements formats.Instance.
+func (d *Decomposed[T]) RowAlign() int { return d.blocked.b }
+
+// RowWeights implements formats.Instance.
+func (d *Decomposed[T]) RowWeights() []int64 {
+	w := d.blocked.RowWeights()
+	for r, rw := range d.rem.RowWeights() {
+		w[r] += rw
+	}
+	return w
+}
+
+// Mul implements formats.Instance.
+func (d *Decomposed[T]) Mul(x, y []T) {
+	formats.CheckDims[T](d, x, y)
+	floats.Fill(y, 0)
+	d.MulRange(x, y, 0, d.Rows())
+}
+
+// MulRange implements formats.Instance.
+func (d *Decomposed[T]) MulRange(x, y []T, r0, r1 int) {
+	d.blocked.MulRange(x, y, r0, r1)
+	d.rem.MulRange(x, y, r0, r1)
+}
+
+var _ formats.Instance[float32] = (*Decomposed[float32])(nil)
+
+// WithImpl implements formats.Instance.
+func (d *Decomposed[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+	return &Decomposed[T]{
+		blocked: d.blocked.WithImpl(impl).(*Matrix[T]),
+		rem:     d.rem.WithImpl(impl).(*csr.Matrix[T]),
+	}
+}

@@ -1,0 +1,341 @@
+// Package bcsr implements the Blocked Compressed Sparse Row format (Im &
+// Yelick [8]) and its decomposed variant BCSR-DEC.
+//
+// BCSR stores fixed r x c blocks aligned at r row- and c column-boundaries:
+// a block always starts at (i, j) with i%r == 0 and j%c == 0. Every aligned
+// block position holding at least one nonzero is stored in full, with zero
+// padding for the missing positions. Three arrays hold the matrix: bval
+// (block values, row-major within each block), bcol (4-byte starting column
+// of each block) and browPtr (4-byte pointers to the first block of each
+// block row).
+//
+// Blocks whose column span overhangs the right matrix edge cannot use the
+// unrolled kernels (they would read x out of bounds); they are kept in a
+// small side structure and multiplied by a clipped path. Block rows at the
+// bottom edge shorter than r rows are handled with an on-stack scratch
+// output.
+package bcsr
+
+import (
+	"fmt"
+	"sort"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/kernels"
+	"blockspmv/internal/mat"
+)
+
+// Matrix is a sparse matrix in BCSR format with fixed r x c blocks.
+type Matrix[T floats.Float] struct {
+	rows, cols int
+	r, c       int
+	impl       blocks.Impl
+	kernel     kernels.BlockRowKernel[T]
+
+	browPtr []int32 // len nBlockRows+1; indexes bcol/bval-block
+	bcol    []int32 // absolute starting column of each interior block
+	bval    []T     // len(bcol) * r * c
+
+	// Right-edge blocks (start column + c > cols), multiplied clipped.
+	edgeBRow []int32
+	edgeCol  []int32
+	edgeVal  []T
+
+	nnz int64
+}
+
+// New converts a finalized coordinate matrix to BCSR with r x c blocks and
+// the given kernel implementation class. It panics if the shape has more
+// than blocks.MaxBlockElems elements (no kernel exists) or the matrix is
+// not finalized.
+func New[T floats.Float](m *mat.COO[T], r, c int, impl blocks.Impl) *Matrix[T] {
+	shape := blocks.RectShape(r, c)
+	if !shape.Valid() && !shape.IsUnit() {
+		panic(fmt.Sprintf("bcsr: unsupported shape %dx%d", r, c))
+	}
+	if !m.Finalized() {
+		panic("bcsr: matrix must be finalized")
+	}
+	a := &Matrix[T]{
+		rows: m.Rows(), cols: m.Cols(), r: r, c: c, impl: impl,
+		kernel: kernels.Rect[T](r, c, impl),
+		nnz:    int64(m.NNZ()),
+	}
+	if a.kernel == nil {
+		a.kernel = kernels.RectGeneric[T](r, c)
+	}
+	a.build(m.Entries())
+	return a
+}
+
+func (a *Matrix[T]) build(entries []mat.Entry[T]) {
+	r, c := a.r, a.c
+	elems := r * c
+	nBlockRows := (a.rows + r - 1) / r
+	a.browPtr = make([]int32, nBlockRows+1)
+
+	// Entries are row-major sorted; process one block row at a time.
+	type span struct{ lo, hi int }
+	brSpan := func(start int) (int, span) {
+		br := int(entries[start].Row) / r
+		hi := start
+		for hi < len(entries) && int(entries[hi].Row)/r == br {
+			hi++
+		}
+		return br, span{start, hi}
+	}
+
+	var cols []int32 // distinct block start columns of the current block row
+	for start := 0; start < len(entries); {
+		br, sp := brSpan(start)
+		start = sp.hi
+
+		cols = cols[:0]
+		for i := sp.lo; i < sp.hi; i++ {
+			cols = append(cols, entries[i].Col/int32(c)*int32(c))
+		}
+		sortUniqueInt32(&cols)
+
+		// Split into interior and edge blocks; cols is sorted, so any edge
+		// block (there can be at most one: the last aligned position) is
+		// at the tail.
+		nInterior := len(cols)
+		for nInterior > 0 && int(cols[nInterior-1])+c > a.cols {
+			nInterior--
+		}
+		interior := cols[:nInterior]
+
+		base := len(a.bcol)
+		a.bcol = append(a.bcol, interior...)
+		a.bval = append(a.bval, make([]T, len(interior)*elems)...)
+		for _, ec := range cols[nInterior:] {
+			a.edgeBRow = append(a.edgeBRow, int32(br))
+			a.edgeCol = append(a.edgeCol, ec)
+			a.edgeVal = append(a.edgeVal, make([]T, elems)...)
+		}
+		a.browPtr[br+1] = int32(len(a.bcol))
+
+		// Fill values.
+		for i := sp.lo; i < sp.hi; i++ {
+			e := entries[i]
+			startCol := e.Col / int32(c) * int32(c)
+			pos := (int(e.Row)%r)*c + int(e.Col-startCol)
+			if int(startCol)+c <= a.cols {
+				bi, ok := searchInt32(interior, startCol)
+				if !ok {
+					panic("bcsr: interior block lookup failed")
+				}
+				a.bval[(base+bi)*elems+pos] = e.Val
+			} else {
+				ei, ok := searchInt32From(a.edgeCol, a.edgeBRow, int32(br), startCol)
+				if !ok {
+					panic("bcsr: edge block lookup failed")
+				}
+				a.edgeVal[ei*elems+pos] = e.Val
+			}
+		}
+	}
+	// browPtr entries for empty block rows: carry forward.
+	for br := 0; br < nBlockRows; br++ {
+		if a.browPtr[br+1] < a.browPtr[br] {
+			a.browPtr[br+1] = a.browPtr[br]
+		}
+	}
+}
+
+// Shape returns the block shape.
+func (a *Matrix[T]) Shape() blocks.Shape { return blocks.RectShape(a.r, a.c) }
+
+// Blocks returns the total number of stored blocks including edge blocks.
+func (a *Matrix[T]) Blocks() int64 { return int64(len(a.bcol) + len(a.edgeBRow)) }
+
+// Padding returns the number of explicit zeros stored.
+func (a *Matrix[T]) Padding() int64 { return a.StoredScalars() - a.nnz }
+
+// Name implements formats.Instance.
+func (a *Matrix[T]) Name() string {
+	n := fmt.Sprintf("BCSR(%dx%d)", a.r, a.c)
+	if a.impl == blocks.Vector {
+		n += "/simd"
+	}
+	return n
+}
+
+// Rows implements formats.Instance.
+func (a *Matrix[T]) Rows() int { return a.rows }
+
+// Cols implements formats.Instance.
+func (a *Matrix[T]) Cols() int { return a.cols }
+
+// NNZ implements formats.Instance.
+func (a *Matrix[T]) NNZ() int64 { return a.nnz }
+
+// StoredScalars implements formats.Instance.
+func (a *Matrix[T]) StoredScalars() int64 {
+	return int64(len(a.bval) + len(a.edgeVal))
+}
+
+// MatrixBytes implements formats.Instance.
+func (a *Matrix[T]) MatrixBytes() int64 {
+	s := int64(floats.SizeOf[T]())
+	return a.StoredScalars()*s +
+		int64(len(a.bcol)+len(a.edgeCol)+len(a.edgeBRow)+len(a.browPtr))*4
+}
+
+// Components implements formats.Instance.
+func (a *Matrix[T]) Components() []formats.Component {
+	return []formats.Component{{
+		Shape:   a.Shape(),
+		Impl:    a.impl,
+		Blocks:  a.Blocks(),
+		WSBytes: a.MatrixBytes(),
+	}}
+}
+
+// RowAlign implements formats.Instance.
+func (a *Matrix[T]) RowAlign() int { return a.r }
+
+// RowWeights implements formats.Instance: every block contributes c stored
+// scalars to each of the r rows it covers. A bottom-edge block row's ghost
+// rows have their scalars redistributed over its real rows so that the
+// weights sum exactly to StoredScalars.
+func (a *Matrix[T]) RowWeights() []int64 {
+	w := make([]int64, a.rows)
+	nBlockRows := (a.rows + a.r - 1) / a.r
+	nBlocks := make([]int64, nBlockRows)
+	for br := 0; br < nBlockRows; br++ {
+		nBlocks[br] = int64(a.browPtr[br+1] - a.browPtr[br])
+	}
+	for _, br := range a.edgeBRow {
+		nBlocks[br]++
+	}
+	for br := 0; br < nBlockRows; br++ {
+		rowStart := br * a.r
+		nReal := min(a.r, a.rows-rowStart)
+		total := nBlocks[br] * int64(a.r*a.c)
+		per, extra := total/int64(nReal), total%int64(nReal)
+		for i := 0; i < nReal; i++ {
+			w[rowStart+i] = per
+			if int64(i) < extra {
+				w[rowStart+i]++
+			}
+		}
+	}
+	return w
+}
+
+// Mul implements formats.Instance.
+func (a *Matrix[T]) Mul(x, y []T) {
+	formats.CheckDims[T](a, x, y)
+	floats.Fill(y, 0)
+	a.MulRange(x, y, 0, a.rows)
+}
+
+// MulRange implements formats.Instance.
+func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
+	r, c := a.r, a.c
+	if r0%r != 0 || (r1%r != 0 && r1 != a.rows) {
+		panic(fmt.Sprintf("bcsr: MulRange [%d,%d) not aligned to block height %d", r0, r1, r))
+	}
+	elems := r * c
+	br0, br1 := r0/r, (r1+r-1)/r
+	var scratch [blocks.MaxBlockElems]T
+	for br := br0; br < br1; br++ {
+		lo, hi := int(a.browPtr[br]), int(a.browPtr[br+1])
+		if lo == hi {
+			continue
+		}
+		bvals := a.bval[lo*elems : hi*elems]
+		bcols := a.bcol[lo:hi]
+		rowStart := br * r
+		if rowStart+r <= a.rows {
+			a.kernel(bvals, bcols, x, y[rowStart:rowStart+r])
+		} else {
+			// Bottom-edge block row: run the kernel into a scratch output
+			// and copy back only the rows that exist.
+			sc := scratch[:r]
+			floats.Fill(sc, 0)
+			a.kernel(bvals, bcols, x, sc)
+			for bi := 0; rowStart+bi < a.rows; bi++ {
+				y[rowStart+bi] += sc[bi]
+			}
+		}
+	}
+	// Clipped path for right-edge blocks in range.
+	for ei, br := range a.edgeBRow {
+		if int(br) < br0 || int(br) >= br1 {
+			continue
+		}
+		col := int(a.edgeCol[ei])
+		v := a.edgeVal[ei*elems : (ei+1)*elems]
+		rowStart := int(br) * r
+		for bi := 0; bi < r && rowStart+bi < a.rows; bi++ {
+			var acc T
+			for bj := 0; bj < c && col+bj < a.cols; bj++ {
+				acc += v[bi*c+bj] * x[col+bj]
+			}
+			y[rowStart+bi] += acc
+		}
+	}
+}
+
+var _ formats.Instance[float32] = (*Matrix[float32])(nil)
+
+// sortUniqueInt32 sorts *a and removes duplicates in place.
+func sortUniqueInt32(a *[]int32) {
+	s := *a
+	if len(s) < 2 {
+		return
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	*a = out
+}
+
+// searchInt32 binary-searches v in sorted s.
+func searchInt32(s []int32, v int32) (int, bool) {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == v {
+		return lo, true
+	}
+	return 0, false
+}
+
+// searchInt32From finds the edge block with block row br and start column
+// col by scanning backwards (edge blocks of the current block row are
+// always at the tail during construction).
+func searchInt32From(cols, brows []int32, br, col int32) (int, bool) {
+	for i := len(cols) - 1; i >= 0 && brows[i] == br; i-- {
+		if cols[i] == col {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// WithImpl implements formats.Instance: a view over the same arrays with
+// a different kernel implementation class.
+func (a *Matrix[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+	b := *a
+	b.impl = impl
+	b.kernel = kernels.Rect[T](b.r, b.c, impl)
+	if b.kernel == nil {
+		b.kernel = kernels.RectGeneric[T](b.r, b.c)
+	}
+	return &b
+}

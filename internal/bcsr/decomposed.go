@@ -1,0 +1,160 @@
+package bcsr
+
+import (
+	"fmt"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+)
+
+// Decomposed is the BCSR-DEC format: the input matrix split into a blocked
+// submatrix holding only completely dense (unpadded) r x c aligned blocks
+// and a CSR submatrix holding the remainder elements (Section II.B, k = 2).
+type Decomposed[T floats.Float] struct {
+	blocked *Matrix[T]
+	rem     *csr.Matrix[T]
+}
+
+// NewDecomposed converts a finalized coordinate matrix to BCSR-DEC.
+func NewDecomposed[T floats.Float](m *mat.COO[T], r, c int, impl blocks.Impl) *Decomposed[T] {
+	if !m.Finalized() {
+		panic("bcsr: matrix must be finalized")
+	}
+	full, rem := SplitFullBlocks(m, r, c)
+	d := &Decomposed[T]{
+		blocked: New(full, r, c, impl),
+		rem:     csr.FromCOO(rem, impl),
+	}
+	if p := d.blocked.Padding(); p != 0 {
+		panic(fmt.Sprintf("bcsr: decomposed blocked part has %d padding zeros", p))
+	}
+	return d
+}
+
+// SplitFullBlocks partitions the entries of m into a matrix containing
+// exactly the completely dense aligned r x c blocks and a matrix with
+// everything else. Both results are finalized. It is the extraction step
+// of BCSR-DEC, exported for the multi-pattern decomposition.
+func SplitFullBlocks[T floats.Float](m *mat.COO[T], r, c int) (full, rem *mat.COO[T]) {
+	entries := m.Entries()
+	rows, cols := m.Rows(), m.Cols()
+	elems := r * c
+
+	fullM := mat.New[T](rows, cols)
+	remM := mat.New[T](rows, cols)
+
+	// Process one block row at a time: count entries per aligned block,
+	// then route each entry by whether its block is full.
+	counts := make(map[int32]int)
+	for start := 0; start < len(entries); {
+		br := int(entries[start].Row) / r
+		end := start
+		for end < len(entries) && int(entries[end].Row)/r == br {
+			end++
+		}
+		interiorRows := (br+1)*r <= rows
+		clear(counts)
+		for i := start; i < end; i++ {
+			counts[entries[i].Col/int32(c)]++
+		}
+		for i := start; i < end; i++ {
+			e := entries[i]
+			bc := e.Col / int32(c)
+			isFull := interiorRows && counts[bc] == elems && int(bc+1)*c <= cols
+			if isFull {
+				fullM.Add(e.Row, e.Col, e.Val)
+			} else {
+				remM.Add(e.Row, e.Col, e.Val)
+			}
+		}
+		start = end
+	}
+	fullM.Finalize()
+	remM.Finalize()
+	return fullM, remM
+}
+
+// Blocked returns the blocked component.
+func (d *Decomposed[T]) Blocked() *Matrix[T] { return d.blocked }
+
+// Remainder returns the CSR remainder component.
+func (d *Decomposed[T]) Remainder() *csr.Matrix[T] { return d.rem }
+
+// Shape returns the block shape of the blocked component.
+func (d *Decomposed[T]) Shape() blocks.Shape { return d.blocked.Shape() }
+
+// Name implements formats.Instance.
+func (d *Decomposed[T]) Name() string {
+	n := fmt.Sprintf("BCSR-DEC(%dx%d)", d.blocked.r, d.blocked.c)
+	if d.blocked.impl == blocks.Vector {
+		n += "/simd"
+	}
+	return n
+}
+
+// Rows implements formats.Instance.
+func (d *Decomposed[T]) Rows() int { return d.blocked.Rows() }
+
+// Cols implements formats.Instance.
+func (d *Decomposed[T]) Cols() int { return d.blocked.Cols() }
+
+// NNZ implements formats.Instance.
+func (d *Decomposed[T]) NNZ() int64 { return d.blocked.NNZ() + d.rem.NNZ() }
+
+// StoredScalars implements formats.Instance; a decomposition stores no
+// padding, so this equals NNZ.
+func (d *Decomposed[T]) StoredScalars() int64 {
+	return d.blocked.StoredScalars() + d.rem.StoredScalars()
+}
+
+// MatrixBytes implements formats.Instance.
+func (d *Decomposed[T]) MatrixBytes() int64 {
+	return d.blocked.MatrixBytes() + d.rem.MatrixBytes()
+}
+
+// Components implements formats.Instance: one component per submatrix, in
+// multiplication order (blocked first, CSR remainder second), matching the
+// k-term sums of equations (2) and (3).
+func (d *Decomposed[T]) Components() []formats.Component {
+	return append(d.blocked.Components(), d.rem.Components()...)
+}
+
+// RowAlign implements formats.Instance.
+func (d *Decomposed[T]) RowAlign() int { return d.blocked.r }
+
+// RowWeights implements formats.Instance.
+func (d *Decomposed[T]) RowWeights() []int64 {
+	w := d.blocked.RowWeights()
+	for r, rw := range d.rem.RowWeights() {
+		w[r] += rw
+	}
+	return w
+}
+
+// Mul implements formats.Instance.
+func (d *Decomposed[T]) Mul(x, y []T) {
+	formats.CheckDims[T](d, x, y)
+	floats.Fill(y, 0)
+	d.MulRange(x, y, 0, d.Rows())
+}
+
+// MulRange implements formats.Instance: both components accumulate into
+// the same output range, performing the partial-result accumulation of the
+// decomposed method.
+func (d *Decomposed[T]) MulRange(x, y []T, r0, r1 int) {
+	d.blocked.MulRange(x, y, r0, r1)
+	d.rem.MulRange(x, y, r0, r1)
+}
+
+var _ formats.Instance[float64] = (*Decomposed[float64])(nil)
+
+// WithImpl implements formats.Instance.
+func (d *Decomposed[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+	return &Decomposed[T]{
+		blocked: d.blocked.WithImpl(impl).(*Matrix[T]),
+		rem:     d.rem.WithImpl(impl).(*csr.Matrix[T]),
+	}
+}

@@ -1,0 +1,280 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section V) from the synthetic matrix
+// suite, the storage formats, the kernel profile and the performance
+// models. Each experiment returns a typed result that both the spmvbench
+// command and the benchmark suite render or assert on.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/core"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/machine"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/profile"
+	"blockspmv/internal/suite"
+	"blockspmv/internal/vbl"
+)
+
+// timeAvg measures f under the session's timing policy.
+func timeAvg(cfg Config, f func()) float64 {
+	return machine.TimeAvg(cfg.Warmup, cfg.Iterations, f)
+}
+
+// Config controls an experiment session.
+type Config struct {
+	// Scale selects the suite size (default suite.Small).
+	Scale suite.Scale
+	// MatrixIDs restricts the suite (default: all 30 matrices).
+	MatrixIDs []int
+	// Iterations is the number of timed SpMV operations per instance,
+	// averaged (the paper runs 100 consecutive operations). Default 20.
+	Iterations int
+	// Warmup runs precede timing. Default 2.
+	Warmup int
+	// Machine must carry a measured bandwidth for the model experiments.
+	Machine machine.Machine
+	// Profiles maps precision name ("sp"/"dp") to a kernel profile; only
+	// the model experiments (Fig. 3, Fig. 4, Table IV) need it.
+	Profiles map[string]*profile.Table
+	// Cores lists the thread counts of the multicore experiment
+	// (default 1, 2, 4, as in Figure 2).
+	Cores []int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.MatrixIDs) == 0 {
+		for id := 1; id <= suite.Count; id++ {
+			c.MatrixIDs = append(c.MatrixIDs, id)
+		}
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2
+	}
+	if len(c.Cores) == 0 {
+		c.Cores = []int{1, 2, 4}
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Timing is the measured single-thread execution time of one candidate on
+// one matrix, together with the model-facing statistics.
+type Timing struct {
+	Cand    core.Candidate
+	Stats   core.CandidateStats
+	Seconds float64
+}
+
+// MatrixRun holds everything measured on one matrix at one precision.
+type MatrixRun struct {
+	Info       suite.Info
+	Precision  string
+	Rows, Cols int
+	NNZ        int64
+	// CSRWorkingSetMiB is the Table I "ws" column: the matrix in CSR form.
+	CSRWorkingSetMiB float64
+	// Timings covers every modelled candidate (see core.Candidates).
+	Timings []Timing
+	// VBLSeconds is the 1D-VBL measurement (not modelled, but evaluated).
+	VBLSeconds float64
+}
+
+// RunMatrix times every candidate and 1D-VBL on the matrix.
+func RunMatrix[T floats.Float](m *mat.COO[T], info suite.Info, cfg Config) MatrixRun {
+	cfg = cfg.withDefaults()
+	p := mat.PatternOf(m)
+	stats := core.EnumerateStats(p, floats.SizeOf[T]())
+
+	x := floats.RandVector[T](m.Cols(), 101)
+	y := make([]T, m.Rows())
+
+	run := MatrixRun{
+		Info:      info,
+		Precision: floats.PrecisionName[T](),
+		Rows:      m.Rows(), Cols: m.Cols(), NNZ: int64(m.NNZ()),
+		CSRWorkingSetMiB: float64(mat.CSRWorkingSetBytes(m.Rows(), m.NNZ(), floats.SizeOf[T]())) / (1 << 20),
+	}
+	// Scalar and simd variants of a candidate share their storage; build
+	// once and retarget the kernels with WithImpl, halving conversion work.
+	byCand := make(map[core.Candidate]core.CandidateStats, len(stats))
+	for _, cs := range stats {
+		byCand[cs.Cand] = cs
+	}
+	for _, cs := range stats {
+		if cs.Cand.Impl != blocks.Scalar {
+			continue
+		}
+		inst := core.Instantiate(m, cs.Cand)
+		secs := machine.TimeAvg(cfg.Warmup, cfg.Iterations, func() { inst.Mul(x, y) })
+		run.Timings = append(run.Timings, Timing{Cand: cs.Cand, Stats: cs, Seconds: secs})
+
+		vecCand := cs.Cand
+		vecCand.Impl = blocks.Vector
+		if vecStats, ok := byCand[vecCand]; ok {
+			vecInst := inst.WithImpl(blocks.Vector)
+			vecSecs := machine.TimeAvg(cfg.Warmup, cfg.Iterations, func() { vecInst.Mul(x, y) })
+			run.Timings = append(run.Timings, Timing{Cand: vecCand, Stats: vecStats, Seconds: vecSecs})
+		}
+	}
+	v := vbl.New(m, blocks.Scalar)
+	run.VBLSeconds = machine.TimeAvg(cfg.Warmup, cfg.Iterations, func() { v.Mul(x, y) })
+	cfg.logf("  %s [%s]: %d candidates timed", info.Name, run.Precision, len(run.Timings))
+	return run
+}
+
+// Find returns the timing for an exact candidate.
+func (r MatrixRun) Find(c core.Candidate) (Timing, bool) {
+	for _, t := range r.Timings {
+		if t.Cand == c {
+			return t, true
+		}
+	}
+	return Timing{}, false
+}
+
+// CSRSeconds returns the scalar CSR reference time.
+func (r MatrixRun) CSRSeconds() float64 {
+	for _, t := range r.Timings {
+		if t.Cand.Method == core.CSR && t.Cand.Impl == blocks.Scalar {
+			return t.Seconds
+		}
+	}
+	panic("bench: run has no CSR timing")
+}
+
+// Best returns the fastest timing, optionally restricted to scalar
+// implementations.
+func (r MatrixRun) Best(allowSIMD bool) Timing {
+	var best Timing
+	found := false
+	for _, t := range r.Timings {
+		if !allowSIMD && t.Cand.Impl != blocks.Scalar {
+			continue
+		}
+		if !found || t.Seconds < best.Seconds {
+			best, found = t, true
+		}
+	}
+	if !found {
+		panic("bench: run has no timings")
+	}
+	return best
+}
+
+// BestPerMethod returns, for each modelled method, its fastest timing
+// under the impl restriction.
+func (r MatrixRun) BestPerMethod(allowSIMD bool) map[core.Method]Timing {
+	out := make(map[core.Method]Timing)
+	for _, t := range r.Timings {
+		if !allowSIMD && t.Cand.Impl != blocks.Scalar {
+			continue
+		}
+		if cur, ok := out[t.Cand.Method]; !ok || t.Seconds < cur.Seconds {
+			out[t.Cand.Method] = t
+		}
+	}
+	return out
+}
+
+// Winner returns the name of the overall winning method in a
+// configuration: one of the modelled method names or "1D-VBL". VBL
+// participates only when includeVBL is set (the paper evaluates it only
+// in the non-simd configurations).
+func (r MatrixRun) Winner(allowSIMD, includeVBL bool) string {
+	best := r.Best(allowSIMD)
+	if includeVBL && r.VBLSeconds > 0 && r.VBLSeconds < best.Seconds {
+		return "1D-VBL"
+	}
+	return best.Cand.Method.String()
+}
+
+// Session caches per-matrix runs across experiments so that e.g. Table II
+// and Figure 3 share their measurements, as they do in the paper.
+type Session struct {
+	Cfg Config
+	dp  map[int]MatrixRun
+	sp  map[int]MatrixRun
+}
+
+// NewSession prepares a measurement session.
+func NewSession(cfg Config) *Session {
+	return &Session{Cfg: cfg.withDefaults(), dp: map[int]MatrixRun{}, sp: map[int]MatrixRun{}}
+}
+
+// DP returns the (cached) double-precision run for matrix id.
+func (s *Session) DP(id int) MatrixRun {
+	if r, ok := s.dp[id]; ok {
+		return r
+	}
+	info, err := suite.InfoByID(id)
+	if err != nil {
+		panic(err)
+	}
+	s.Cfg.logf("building %s at %s scale [dp]", info.Name, s.Cfg.Scale)
+	r := RunMatrix(suite.MustBuild[float64](id, s.Cfg.Scale), info, s.Cfg)
+	s.dp[id] = r
+	return r
+}
+
+// SP returns the (cached) single-precision run for matrix id.
+func (s *Session) SP(id int) MatrixRun {
+	if r, ok := s.sp[id]; ok {
+		return r
+	}
+	info, err := suite.InfoByID(id)
+	if err != nil {
+		panic(err)
+	}
+	s.Cfg.logf("building %s at %s scale [sp]", info.Name, s.Cfg.Scale)
+	r := RunMatrix(suite.MustBuild[float32](id, s.Cfg.Scale), info, s.Cfg)
+	s.sp[id] = r
+	return r
+}
+
+// Run returns the cached run for a precision name ("sp" or "dp").
+func (s *Session) Run(prec string, id int) MatrixRun {
+	if prec == "sp" {
+		return s.SP(id)
+	}
+	return s.DP(id)
+}
+
+// NonSpecialIDs returns the configured matrix ids excluding the special
+// dense/random pair, which the paper ignores in the wins statistics.
+func (s *Session) NonSpecialIDs() []int {
+	var out []int
+	for _, id := range s.Cfg.MatrixIDs {
+		if info, err := suite.InfoByID(id); err == nil && !info.Special {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// zeroColIndSeconds times the Section V.B probe on the matrix: a CSR
+// clone with zeroed column indices.
+func zeroColIndSeconds[T floats.Float](m *mat.COO[T], cfg Config) (normal, zeroed float64) {
+	cfg = cfg.withDefaults()
+	a := csr.FromCOO(m, 0)
+	z := a.ZeroColInd()
+	x := floats.RandVector[T](m.Cols(), 103)
+	y := make([]T, m.Rows())
+	normal = machine.TimeAvg(cfg.Warmup, cfg.Iterations, func() { a.Mul(x, y) })
+	zeroed = machine.TimeAvg(cfg.Warmup, cfg.Iterations, func() { z.Mul(x, y) })
+	return normal, zeroed
+}

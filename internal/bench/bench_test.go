@@ -1,0 +1,462 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"blockspmv/internal/core"
+	"blockspmv/internal/machine"
+	"blockspmv/internal/profile"
+	"blockspmv/internal/suite"
+)
+
+// Shared expensive fixtures: one machine measurement and one kernel
+// profile per precision for the whole test binary.
+var (
+	fixturesOnce sync.Once
+	testMach     machine.Machine
+	testProfiles map[string]*profile.Table
+)
+
+func fixtures() (machine.Machine, map[string]*profile.Table) {
+	fixturesOnce.Do(func() {
+		testMach = machine.Machine{
+			Cores: 1, L1DataBytes: 32 << 10, L2Bytes: 1 << 20, LLCBytes: 1 << 20,
+			BandwidthBytesPerSec: machine.MeasureTriadBandwidth(4<<20, 1),
+			TriadBytes:           4 << 20,
+			LoadLatencySeconds:   machine.MeasureLoadLatency(4<<20, 200_000),
+		}
+		opts := profile.Options{TbBytes: 8 << 10, NofBytes: 1 << 20}
+		testProfiles = map[string]*profile.Table{
+			"dp": profile.Collect[float64](testMach, opts),
+			"sp": profile.Collect[float32](testMach, opts),
+		}
+	})
+	return testMach, testProfiles
+}
+
+// testSession builds a fast session over a handful of tiny matrices with
+// synthetic machine parameters and real (tiny) kernel profiles.
+func testSession(t *testing.T, ids ...int) *Session {
+	t.Helper()
+	mach, profs := fixtures()
+	cfg := Config{
+		Scale:      suite.Tiny,
+		MatrixIDs:  ids,
+		Iterations: 2,
+		Warmup:     1,
+		Machine:    mach,
+		Profiles:   profs,
+		Cores:      []int{1, 2},
+	}
+	return NewSession(cfg)
+}
+
+func TestRunMatrixStructure(t *testing.T) {
+	s := testSession(t, 4, 18)
+	run := s.DP(18)
+	if run.Precision != "dp" {
+		t.Errorf("precision = %q", run.Precision)
+	}
+	if len(run.Timings) != len(core.Candidates()) {
+		t.Fatalf("timed %d candidates, want %d", len(run.Timings), len(core.Candidates()))
+	}
+	for _, tm := range run.Timings {
+		if tm.Seconds <= 0 {
+			t.Fatalf("%s: non-positive time", tm.Cand)
+		}
+		if tm.Stats.Cand != tm.Cand {
+			t.Fatalf("%s: stats attached to wrong candidate", tm.Cand)
+		}
+	}
+	if run.VBLSeconds <= 0 {
+		t.Error("VBL not timed")
+	}
+	if run.CSRSeconds() <= 0 {
+		t.Error("no CSR reference time")
+	}
+	// Session caching: the same run object comes back.
+	again := s.DP(18)
+	if &again.Timings[0] != &run.Timings[0] {
+		t.Error("session did not cache the run")
+	}
+}
+
+func TestBestAndWinner(t *testing.T) {
+	s := testSession(t, 18)
+	run := s.DP(18)
+	best := run.Best(true)
+	for _, tm := range run.Timings {
+		if tm.Seconds < best.Seconds {
+			t.Fatalf("Best missed %s", tm.Cand)
+		}
+	}
+	bestScalar := run.Best(false)
+	if bestScalar.Cand.Impl != 0 {
+		t.Errorf("Best(false) returned simd candidate %s", bestScalar.Cand)
+	}
+	if bestScalar.Seconds < best.Seconds {
+		t.Error("scalar best beats overall best")
+	}
+	w := run.Winner(true, false)
+	if w != best.Cand.Method.String() {
+		t.Errorf("winner %q, want %q", w, best.Cand.Method)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	cfg := Config{Scale: suite.Tiny, MatrixIDs: []int{1, 2, 23}}
+	rows := Table1(cfg)
+	if len(rows) != 3 {
+		t.Fatalf("Table1 returned %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rows <= 0 || r.NNZ <= 0 || r.WSMiB <= 0 {
+			t.Errorf("%s: empty row %+v", r.Info.Name, r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows, suite.Tiny)
+	out := buf.String()
+	if !strings.Contains(out, "01.dense") || !strings.Contains(out, "ws (MiB)") {
+		t.Errorf("Table1 output malformed:\n%s", out)
+	}
+}
+
+func TestTable2WinsAccounting(t *testing.T) {
+	s := testSession(t, 4, 18, 23)
+	res := Table2(s)
+	if res.Matrices != 3 {
+		t.Fatalf("evaluated %d matrices, want 3", res.Matrices)
+	}
+	for _, cfgName := range WinsConfigs {
+		var total int
+		for _, n := range res.Counts[cfgName] {
+			total += n
+		}
+		if total != res.Matrices {
+			t.Errorf("%s: wins sum to %d, want %d", cfgName, total, res.Matrices)
+		}
+		if len(res.Winners[cfgName]) != res.Matrices {
+			t.Errorf("%s: %d winners recorded", cfgName, len(res.Winners[cfgName]))
+		}
+		// No 1D-VBL wins possible in simd configs.
+		if strings.HasSuffix(cfgName, "-simd") && res.Counts[cfgName]["1D-VBL"] != 0 {
+			t.Errorf("%s: 1D-VBL won a simd configuration", cfgName)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, res)
+	if !strings.Contains(buf.String(), "BCSR-DEC") {
+		t.Error("Table2 output missing methods")
+	}
+}
+
+func TestTable3Speedups(t *testing.T) {
+	s := testSession(t, 18, 23)
+	res := Table3(s)
+	if len(res.Rows) != 2 {
+		t.Fatalf("Table3 has %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		for m, mam := range r.Methods {
+			if !(mam.Min <= mam.Avg && mam.Avg <= mam.Max) {
+				t.Errorf("%s %s: min/avg/max out of order: %+v", r.Name, m, mam)
+			}
+			if mam.Min <= 0 {
+				t.Errorf("%s %s: non-positive speedup", r.Name, m)
+			}
+		}
+		if r.VBL <= 0 {
+			t.Errorf("%s: VBL speedup %g", r.Name, r.VBL)
+		}
+	}
+	for m, mam := range res.Average {
+		if mam.Avg <= 0 {
+			t.Errorf("average for %s: %+v", m, mam)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, res)
+	if !strings.Contains(buf.String(), "Average") {
+		t.Error("Table3 output missing average row")
+	}
+}
+
+func TestFig2Multicore(t *testing.T) {
+	s := testSession(t, 18, 23)
+	res := Fig2(s)
+	if len(res.Configs) != 4 { // 2 precisions x 2 core counts
+		t.Fatalf("Fig2 has %d configs: %v", len(res.Configs), res.Configs)
+	}
+	for _, key := range res.Configs {
+		var total int
+		for _, n := range res.Counts[key] {
+			total += n
+		}
+		if total != res.Matrices {
+			t.Errorf("%s: wins sum to %d, want %d", key, total, res.Matrices)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig2(&buf, res)
+	if !strings.Contains(buf.String(), "sp/1c") {
+		t.Error("Fig2 output missing configs")
+	}
+}
+
+func TestFig3Prediction(t *testing.T) {
+	s := testSession(t, 18, 23)
+	for _, prec := range []string{"sp", "dp"} {
+		res := Fig3(s, prec)
+		for _, model := range core.Models() {
+			pts := res.PerModel[model.Name()]
+			if len(pts) != 2 {
+				t.Fatalf("%s/%s: %d points", prec, model.Name(), len(pts))
+			}
+			for _, pt := range pts {
+				if pt.NormalizedAvg <= 0 {
+					t.Errorf("%s/%s #%d: normalized avg %g", prec, model.Name(), pt.ID, pt.NormalizedAvg)
+				}
+			}
+			if res.AvgAbsErr[model.Name()] < 0 {
+				t.Errorf("%s/%s: negative abs err", prec, model.Name())
+			}
+		}
+		var buf bytes.Buffer
+		PrintFig3(&buf, res)
+		if !strings.Contains(buf.String(), "t_real") {
+			t.Error("Fig3 output missing reference series")
+		}
+	}
+}
+
+func TestFig4Selection(t *testing.T) {
+	s := testSession(t, 18, 23)
+	res := Fig4(s, "dp")
+	for _, model := range core.Models() {
+		pts := res.PerModel[model.Name()]
+		if len(pts) != res.Matrices {
+			t.Fatalf("%s: %d points for %d matrices", model.Name(), len(pts), res.Matrices)
+		}
+		for _, pt := range pts {
+			// Selections can beat the nominal "best" only through timing
+			// noise at tiny scale; they can never be better than ~0.
+			if pt.Normalized <= 0 {
+				t.Errorf("%s #%d: normalized %g", model.Name(), pt.ID, pt.Normalized)
+			}
+		}
+		if res.Correct[model.Name()] > res.Matrices {
+			t.Errorf("%s: %d correct of %d", model.Name(), res.Correct[model.Name()], res.Matrices)
+		}
+		// MEM must select scalar implementations only.
+		if model.Name() == "MEM" {
+			for _, pt := range pts {
+				if pt.Selected.Impl != 0 {
+					t.Errorf("MEM selected simd candidate %s", pt.Selected)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig4(&buf, res)
+	if !strings.Contains(buf.String(), "#correct") {
+		t.Error("Fig4 output missing Table IV")
+	}
+}
+
+func TestLatencyProbe(t *testing.T) {
+	cfg := Config{Scale: suite.Tiny, MatrixIDs: []int{12}, Iterations: 2, Warmup: 1}
+	rows := Latency(cfg, []int{12, 23})
+	if len(rows) != 2 {
+		t.Fatalf("latency probe returned %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Normal <= 0 || r.Zeroed <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s: %+v", r.Name, r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintLatency(&buf, rows)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Error("latency output malformed")
+	}
+}
+
+func TestFindAndNonSpecial(t *testing.T) {
+	s := testSession(t, 1, 2, 18)
+	ids := s.NonSpecialIDs()
+	if len(ids) != 1 || ids[0] != 18 {
+		t.Errorf("NonSpecialIDs = %v, want [18]", ids)
+	}
+	run := s.DP(18)
+	for _, tm := range run.Timings[:5] {
+		got, ok := run.Find(tm.Cand)
+		if !ok || got.Seconds != tm.Seconds {
+			t.Errorf("Find(%s) = %+v, %v", tm.Cand, got, ok)
+		}
+	}
+	if _, ok := run.Find(core.Candidate{Method: core.BCSR}); ok {
+		t.Error("Find matched a never-timed candidate")
+	}
+}
+
+func TestTable2SpecialMatricesExcluded(t *testing.T) {
+	s := testSession(t, 1, 18)
+	res := Table2(s)
+	if res.Matrices != 1 {
+		t.Errorf("Table2 evaluated %d matrices, want 1 (special excluded)", res.Matrices)
+	}
+}
+
+func TestFig3ExtLatencyModel(t *testing.T) {
+	s := testSession(t, 12, 23) // wikipedia (irregular) and fdiff (regular)
+	rows := Fig3Ext(s)
+	if len(rows) != 2 {
+		t.Fatalf("Fig3Ext returned %d rows", len(rows))
+	}
+	byID := map[int]LatModelRow{}
+	for _, r := range rows {
+		if r.OverlapErr < 0 || r.OverlapLatErr < 0 {
+			t.Fatalf("%s: negative error", r.Name)
+		}
+		if r.IrregularFraction <= 0 || r.IrregularFraction > 1 {
+			t.Fatalf("%s: irregular fraction %g", r.Name, r.IrregularFraction)
+		}
+		byID[r.ID] = r
+	}
+	// The graph archetype must be far more irregular than the stencil.
+	if byID[12].IrregularFraction <= byID[23].IrregularFraction {
+		t.Errorf("wikipedia irregular %.2f <= fdiff %.2f",
+			byID[12].IrregularFraction, byID[23].IrregularFraction)
+	}
+	var buf bytes.Buffer
+	PrintFig3Ext(&buf, rows)
+	if !strings.Contains(buf.String(), "OVERLAP+LAT") {
+		t.Error("Fig3Ext output malformed")
+	}
+}
+
+func TestPrintWinners(t *testing.T) {
+	s := testSession(t, 18, 23)
+	res := Table2(s)
+	var buf bytes.Buffer
+	PrintWinners(&buf, s, res, "dp")
+	out := buf.String()
+	for _, want := range []string{"18.largebasis", "23.fdiff", "speedup vs CSR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("winners output missing %q:\n%s", want, out)
+		}
+	}
+	PrintWinners(&buf, s, res, "sp-simd")
+	if !strings.Contains(buf.String(), "Winners per matrix (sp-simd)") {
+		t.Error("simd drill-down missing")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	if got := KendallTau([]float64{1, 2, 3}, []float64{10, 20, 30}); got != 1 {
+		t.Errorf("identical order tau = %g, want 1", got)
+	}
+	if got := KendallTau([]float64{1, 2, 3}, []float64{30, 20, 10}); got != -1 {
+		t.Errorf("reversed order tau = %g, want -1", got)
+	}
+	if got := KendallTau([]float64{5}, []float64{9}); got != 1 {
+		t.Errorf("single element tau = %g, want 1", got)
+	}
+	// Half concordant: {1,2} vs {2,1} among three elements where the
+	// third agrees with both.
+	got := KendallTau([]float64{1, 2, 3}, []float64{2, 1, 3})
+	if got < 0.3 || got > 0.34 {
+		t.Errorf("one swapped pair tau = %g, want 1/3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	KendallTau([]float64{1}, []float64{1, 2})
+}
+
+func TestRankQuality(t *testing.T) {
+	s := testSession(t, 18, 23)
+	rows := RankQuality(s, "dp")
+	if len(rows) != 2 {
+		t.Fatalf("RankQuality returned %d rows", len(rows))
+	}
+	for _, r := range rows {
+		for model, tau := range r.Tau {
+			if tau < -1 || tau > 1 {
+				t.Errorf("%s %s: tau %g out of range", r.Name, model, tau)
+			}
+		}
+		if len(r.Tau) != 4 {
+			t.Errorf("%s: %d models, want 4 (incl OVERLAP+LAT)", r.Name, len(r.Tau))
+		}
+	}
+	var buf bytes.Buffer
+	PrintRankQuality(&buf, rows, "dp")
+	if !strings.Contains(buf.String(), "Kendall tau") {
+		t.Error("rank quality output malformed")
+	}
+}
+
+func TestSessionSaveLoadRoundTrip(t *testing.T) {
+	s := testSession(t, 18)
+	_ = s.DP(18)
+	_ = s.SP(18)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mach, profs := fixtures()
+	loaded, err := LoadSession(&buf, Config{
+		MatrixIDs: []int{18}, Iterations: 2, Warmup: 1,
+		Machine: mach, Profiles: profs, Cores: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := s.DP(18)
+	back := loaded.DP(18)
+	if len(back.Timings) != len(orig.Timings) {
+		t.Fatalf("round trip: %d timings, want %d", len(back.Timings), len(orig.Timings))
+	}
+	for i, want := range orig.Timings {
+		got := back.Timings[i]
+		if got.Cand != want.Cand || got.Seconds != want.Seconds {
+			t.Fatalf("timing %d: %s %g, want %s %g", i, got.Cand, got.Seconds, want.Cand, want.Seconds)
+		}
+		// Stats must be recomputed faithfully.
+		if got.Stats.MatrixBytes() != want.Stats.MatrixBytes() {
+			t.Fatalf("timing %d: stats not reproduced", i)
+		}
+	}
+	if back.VBLSeconds != orig.VBLSeconds {
+		t.Error("VBL timing lost")
+	}
+	// A loaded session supports the analysis experiments directly.
+	res := Fig4ForTest(loaded)
+	if res.Matrices != 1 {
+		t.Errorf("analysis on loaded session covered %d matrices", res.Matrices)
+	}
+}
+
+// Fig4ForTest runs the selection experiment; indirection keeps the test
+// readable.
+func Fig4ForTest(s *Session) SelectionResult { return Fig4(s, "dp") }
+
+func TestLoadSessionRejectsGarbage(t *testing.T) {
+	if _, err := LoadSession(strings.NewReader("junk"), Config{}); err == nil {
+		t.Error("garbage session accepted")
+	}
+	if _, err := LoadSession(strings.NewReader(`{"scale":"nope","runs":[]}`), Config{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if _, err := LoadSession(strings.NewReader(
+		`{"scale":"tiny","runs":[{"id":1,"precision":"qp"}]}`), Config{}); err == nil {
+		t.Error("bad precision accepted")
+	}
+}

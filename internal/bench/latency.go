@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"blockspmv/internal/suite"
+	"blockspmv/internal/textplot"
+)
+
+// LatencyRow is one matrix's result of the Section V.B probe: the CSR
+// time with the real column indices versus with col_ind zeroed out. A
+// large speedup means the matrix is latency-bound on irregular
+// input-vector accesses rather than bandwidth-bound.
+type LatencyRow struct {
+	ID      int
+	Name    string
+	Normal  float64 // seconds per SpMV, real col_ind
+	Zeroed  float64 // seconds per SpMV, col_ind zeroed
+	Speedup float64 // Normal / Zeroed
+}
+
+// DefaultLatencyIDs are the matrices the paper singles out as
+// latency-bound (#12, #14, #15, #28) plus two bandwidth-bound references
+// (#23, #26) for contrast.
+var DefaultLatencyIDs = []int{12, 14, 15, 28, 23, 26}
+
+// Latency runs the col_ind-zeroing probe on the given matrices in double
+// precision (ids defaulting to DefaultLatencyIDs).
+func Latency(cfg Config, ids []int) []LatencyRow {
+	cfg = cfg.withDefaults()
+	if len(ids) == 0 {
+		ids = DefaultLatencyIDs
+	}
+	var out []LatencyRow
+	for _, id := range ids {
+		info, err := suite.InfoByID(id)
+		if err != nil {
+			panic(err)
+		}
+		cfg.logf("latency probe: %s", info.Name)
+		m := suite.MustBuild[float64](id, cfg.Scale)
+		normal, zeroed := zeroColIndSeconds(m, cfg)
+		out = append(out, LatencyRow{
+			ID: id, Name: info.Name,
+			Normal: normal, Zeroed: zeroed, Speedup: normal / zeroed,
+		})
+	}
+	return out
+}
+
+// PrintLatency renders the probe results.
+func PrintLatency(w io.Writer, rows []LatencyRow) {
+	fmt.Fprintf(w, "Section V.B probe: CSR with col_ind zeroed (speedup >> 1 = latency-bound)\n\n")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name,
+			fmt.Sprintf("%.3g ms", r.Normal*1e3),
+			fmt.Sprintf("%.3g ms", r.Zeroed*1e3),
+			textplot.F(r.Speedup, 2) + "x",
+		})
+	}
+	textplot.Table(w, []string{"Matrix", "t(real col_ind)", "t(zeroed)", "speedup"}, cells)
+}

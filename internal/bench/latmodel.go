@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"blockspmv/internal/core"
+	"blockspmv/internal/textplot"
+)
+
+// LatModelRow compares OVERLAP and OVERLAP+LAT prediction accuracy on one
+// matrix.
+type LatModelRow struct {
+	ID   int
+	Name string
+	// Irregular is the fraction of nonzeros with likely-missing
+	// input-vector accesses.
+	IrregularFraction float64
+	// OverlapErr and OverlapLatErr are mean |predicted-real|/real over all
+	// candidates for the two models.
+	OverlapErr    float64
+	OverlapLatErr float64
+}
+
+// Fig3Ext evaluates the OVERLAP+LAT extension model (the paper's stated
+// future work: models that also account for memory latency) against plain
+// OVERLAP on every configured matrix in double precision. The expectation
+// is a substantial accuracy gain on the latency-bound matrices (#12, #14,
+// #15, #28) and no regression on the bandwidth-bound ones.
+func Fig3Ext(s *Session) []LatModelRow {
+	prof := s.Cfg.Profiles["dp"]
+	if prof == nil {
+		panic("bench: Fig3Ext requires a dp kernel profile")
+	}
+	if s.Cfg.Machine.LoadLatencySeconds <= 0 {
+		panic("bench: Fig3Ext requires a measured load latency (machine.Detect)")
+	}
+	var out []LatModelRow
+	overlap, overlapLat := core.Overlap{}, core.OverlapLat{}
+	for _, id := range s.NonSpecialIDs() {
+		run := s.DP(id)
+		row := LatModelRow{ID: id, Name: run.Info.Name}
+		var n float64
+		for _, t := range run.Timings {
+			po := overlap.Predict(t.Stats, s.Cfg.Machine, prof)
+			pl := overlapLat.Predict(t.Stats, s.Cfg.Machine, prof)
+			row.OverlapErr += math.Abs(po-t.Seconds) / t.Seconds
+			row.OverlapLatErr += math.Abs(pl-t.Seconds) / t.Seconds
+			n++
+		}
+		row.OverlapErr /= n
+		row.OverlapLatErr /= n
+		if len(run.Timings) > 0 {
+			st := run.Timings[0].Stats
+			row.IrregularFraction = float64(st.IrregularAccesses) / float64(st.NNZ)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// PrintFig3Ext renders the extension-model comparison.
+func PrintFig3Ext(w io.Writer, rows []LatModelRow) {
+	fmt.Fprintf(w, "Extension: OVERLAP+LAT (latency-aware, the paper's future work) vs OVERLAP, dp\n")
+	fmt.Fprintf(w, "prediction error = mean |predicted-real|/real over all candidates\n\n")
+	var cells [][]string
+	var sumO, sumL float64
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name,
+			fmt.Sprintf("%.0f%%", 100*r.IrregularFraction),
+			fmt.Sprintf("%.1f%%", 100*r.OverlapErr),
+			fmt.Sprintf("%.1f%%", 100*r.OverlapLatErr),
+		})
+		sumO += r.OverlapErr
+		sumL += r.OverlapLatErr
+	}
+	if n := float64(len(rows)); n > 0 {
+		cells = append(cells, []string{
+			"Average", "",
+			fmt.Sprintf("%.1f%%", 100*sumO/n),
+			fmt.Sprintf("%.1f%%", 100*sumL/n),
+		})
+	}
+	textplot.Table(w, []string{"Matrix", "irregular", "OVERLAP err", "OVERLAP+LAT err"}, cells)
+}

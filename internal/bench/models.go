@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/core"
+	"blockspmv/internal/textplot"
+)
+
+// PredictionPoint is one matrix's entry in Figure 3: the model's predicted
+// execution time averaged over every (method, block, impl) combination,
+// normalized by the corresponding real execution times.
+type PredictionPoint struct {
+	ID int
+	// NormalizedAvg is mean(predicted/real) over all candidates.
+	NormalizedAvg float64
+	// AbsErr is mean(|predicted-real|/real) over all candidates.
+	AbsErr float64
+}
+
+// PredictionResult is Figure 3 for one precision.
+type PredictionResult struct {
+	Precision string
+	// PerModel maps model name to its per-matrix points (in MatrixIDs
+	// order).
+	PerModel map[string][]PredictionPoint
+	// AvgAbsErr maps model name to the average |predicted-real|/real over
+	// all matrices and candidates — the legend numbers of Figure 3.
+	AvgAbsErr map[string]float64
+}
+
+// Fig3 evaluates the prediction accuracy of the three models on every
+// configured matrix: predicted execution time vs measured, averaged over
+// all candidates (the paper omits the two special matrices).
+func Fig3(s *Session, prec string) PredictionResult {
+	prof := s.Cfg.Profiles[prec]
+	if prof == nil {
+		panic("bench: Fig3 requires a kernel profile for " + prec)
+	}
+	res := PredictionResult{
+		Precision: prec,
+		PerModel:  make(map[string][]PredictionPoint),
+		AvgAbsErr: make(map[string]float64),
+	}
+	ids := s.NonSpecialIDs()
+	totals := make(map[string]float64)
+	var totalN int
+	for _, id := range ids {
+		run := s.Run(prec, id)
+		for _, model := range core.Models() {
+			var ratioSum, errSum float64
+			for _, t := range run.Timings {
+				pred := model.Predict(t.Stats, s.Cfg.Machine, prof)
+				ratioSum += pred / t.Seconds
+				errSum += math.Abs(pred-t.Seconds) / t.Seconds
+			}
+			n := float64(len(run.Timings))
+			pt := PredictionPoint{ID: id, NormalizedAvg: ratioSum / n, AbsErr: errSum / n}
+			res.PerModel[model.Name()] = append(res.PerModel[model.Name()], pt)
+			totals[model.Name()] += errSum
+		}
+		totalN += len(run.Timings)
+	}
+	for name, sum := range totals {
+		res.AvgAbsErr[name] = sum / float64(totalN)
+	}
+	return res
+}
+
+// PrintFig3 renders the prediction-accuracy figure: the legend with the
+// average distances and a scatter of normalized predictions per matrix.
+func PrintFig3(w io.Writer, res PredictionResult) {
+	fmt.Fprintf(w, "Figure 3 (%s): predicted execution time normalized over real (avg over all candidates)\n\n", res.Precision)
+	for _, model := range core.Models() {
+		fmt.Fprintf(w, "  abs(t_%s - t_real) ~ %.1f%%\n",
+			model.Name(), 100*res.AvgAbsErr[model.Name()])
+	}
+	fmt.Fprintln(w)
+
+	var xs []int
+	symbols := map[string]byte{"MEM": '+', "MEMCOMP": 'o', "OVERLAP": 'x'}
+	var series []textplot.Series
+	for _, model := range core.Models() {
+		pts := res.PerModel[model.Name()]
+		ys := make([]float64, len(pts))
+		for i, pt := range pts {
+			ys[i] = pt.NormalizedAvg
+			if model.Name() == "MEM" {
+				xs = append(xs, pt.ID)
+			}
+		}
+		series = append(series, textplot.Series{Name: "t_" + model.Name(), Symbol: symbols[model.Name()], Y: ys})
+	}
+	// The t_real reference line at 1.0.
+	ones := make([]float64, len(xs))
+	for i := range ones {
+		ones[i] = 1
+	}
+	series = append(series, textplot.Series{Name: "t_real", Symbol: '-', Y: ones})
+	textplot.Scatter(w, "", xs, series, 16)
+
+	fmt.Fprintln(w)
+	headers := []string{"Matrix", "MEM", "MEMCOMP", "OVERLAP"}
+	var rows [][]string
+	for i, pt := range res.PerModel["MEM"] {
+		rows = append(rows, []string{
+			fmt.Sprintf("#%d", pt.ID),
+			textplot.F(pt.NormalizedAvg, 3),
+			textplot.F(res.PerModel["MEMCOMP"][i].NormalizedAvg, 3),
+			textplot.F(res.PerModel["OVERLAP"][i].NormalizedAvg, 3),
+		})
+	}
+	textplot.Table(w, headers, rows)
+}
+
+// SelectionPoint is one matrix's entry in Figure 4: the measured time of
+// the candidate each model selected, normalized over the overall best
+// measured time for that matrix.
+type SelectionPoint struct {
+	ID int
+	// Selected is the candidate the model picked.
+	Selected core.Candidate
+	// Normalized is realTime(selected)/realTime(best).
+	Normalized float64
+	// Correct reports whether the selected method and block shape match
+	// the actual best candidate's (implementation class is not compared,
+	// following Table IV's "block method and block").
+	Correct bool
+}
+
+// SelectionResult is Figure 4 and Table IV for one precision.
+type SelectionResult struct {
+	Precision string
+	PerModel  map[string][]SelectionPoint
+	// Correct counts optimal (method, block) selections per model
+	// (Table IV "#correct").
+	Correct map[string]int
+	// OffFromBest is the average performance distance from the optimal
+	// selection per model (Table IV "off. from best").
+	OffFromBest map[string]float64
+	Matrices    int
+}
+
+// Fig4 evaluates the selection accuracy of the three models. The MEMCOMP
+// and OVERLAP models select over every candidate including the simd
+// implementations; for the MEM model, blind to the computational part,
+// the non-simd variant is selected by default (Section V.B). The
+// normalization baseline is the best measured time over all candidates
+// including 1D-VBL.
+func Fig4(s *Session, prec string) SelectionResult {
+	prof := s.Cfg.Profiles[prec]
+	if prof == nil {
+		panic("bench: Fig4 requires a kernel profile for " + prec)
+	}
+	res := SelectionResult{
+		Precision:   prec,
+		PerModel:    make(map[string][]SelectionPoint),
+		Correct:     make(map[string]int),
+		OffFromBest: make(map[string]float64),
+	}
+	ids := s.NonSpecialIDs()
+	res.Matrices = len(ids)
+	for _, id := range ids {
+		run := s.Run(prec, id)
+		best := run.Best(true)
+		bestSecs := best.Seconds
+		if run.VBLSeconds > 0 && run.VBLSeconds < bestSecs {
+			bestSecs = run.VBLSeconds
+		}
+		for _, model := range core.Models() {
+			sel, selSecs := selectAndMeasure(run, model, s)
+			pt := SelectionPoint{
+				ID:         id,
+				Selected:   sel,
+				Normalized: selSecs / bestSecs,
+				Correct: sel.Method == best.Cand.Method &&
+					sel.Shape == best.Cand.Shape,
+			}
+			res.PerModel[model.Name()] = append(res.PerModel[model.Name()], pt)
+			if pt.Correct {
+				res.Correct[model.Name()]++
+			}
+			res.OffFromBest[model.Name()] += selSecs/best.Seconds - 1
+		}
+	}
+	for name := range res.OffFromBest {
+		res.OffFromBest[name] /= float64(res.Matrices)
+	}
+	return res
+}
+
+// selectAndMeasure picks the model's best candidate and returns its
+// measured time.
+func selectAndMeasure(run MatrixRun, model core.Model, s *Session) (core.Candidate, float64) {
+	prof := s.Cfg.Profiles[run.Precision]
+	bestPred := math.Inf(1)
+	var sel core.Candidate
+	for _, t := range run.Timings {
+		// MEM cannot distinguish implementations: restrict it to the
+		// scalar variants (the paper's default).
+		if model.Name() == "MEM" && t.Cand.Impl != blocks.Scalar {
+			continue
+		}
+		if pred := model.Predict(t.Stats, s.Cfg.Machine, prof); pred < bestPred {
+			bestPred = pred
+			sel = t.Cand
+		}
+	}
+	t, ok := run.Find(sel)
+	if !ok {
+		panic("bench: selected candidate was not measured")
+	}
+	return sel, t.Seconds
+}
+
+// PrintFig4 renders the selection-accuracy figure and Table IV.
+func PrintFig4(w io.Writer, res SelectionResult) {
+	fmt.Fprintf(w, "Figure 4 (%s): time of each model's selection normalized over the best (1.0 = optimal)\n\n", res.Precision)
+	var xs []int
+	for _, pt := range res.PerModel["MEM"] {
+		xs = append(xs, pt.ID)
+	}
+	symbols := map[string]byte{"MEM": '+', "MEMCOMP": 'o', "OVERLAP": 'x'}
+	var series []textplot.Series
+	for _, model := range core.Models() {
+		pts := res.PerModel[model.Name()]
+		ys := make([]float64, len(pts))
+		for i, pt := range pts {
+			ys[i] = pt.Normalized
+		}
+		series = append(series, textplot.Series{Name: "t_" + model.Name(), Symbol: symbols[model.Name()], Y: ys})
+	}
+	textplot.Scatter(w, "", xs, series, 14)
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "Table IV (%s): optimal selections and distance from best\n\n", res.Precision)
+	var rows [][]string
+	for _, model := range core.Models() {
+		name := model.Name()
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d/%d", res.Correct[name], res.Matrices),
+			fmt.Sprintf("%.1f%%", 100*res.OffFromBest[name]),
+		})
+	}
+	textplot.Table(w, []string{"Model", "#correct", "off. from best"}, rows)
+
+	fmt.Fprintln(w)
+	var selRows [][]string
+	for i, pt := range res.PerModel["MEM"] {
+		selRows = append(selRows, []string{
+			fmt.Sprintf("#%d", pt.ID),
+			res.PerModel["MEM"][i].Selected.String(),
+			res.PerModel["MEMCOMP"][i].Selected.String(),
+			res.PerModel["OVERLAP"][i].Selected.String(),
+		})
+	}
+	textplot.Table(w, []string{"Matrix", "MEM pick", "MEMCOMP pick", "OVERLAP pick"}, selRows)
+}

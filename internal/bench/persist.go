@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/core"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/machine"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/suite"
+)
+
+// Measurement is the serialised form of one candidate timing. Stats are
+// recomputed on load (they are deterministic functions of the matrix),
+// so only the measured seconds travel.
+type jsonTiming struct {
+	Method  string  `json:"method"`
+	Shape   string  `json:"shape"`
+	Impl    string  `json:"impl"`
+	Seconds float64 `json:"seconds"`
+}
+
+type jsonRun struct {
+	ID         int          `json:"id"`
+	Precision  string       `json:"precision"`
+	VBLSeconds float64      `json:"vbl_seconds"`
+	Timings    []jsonTiming `json:"timings"`
+}
+
+type jsonSession struct {
+	Scale   string          `json:"scale"`
+	Machine machine.Machine `json:"machine"`
+	Runs    []jsonRun       `json:"runs"`
+}
+
+// Save serialises every cached run of the session as JSON, separating the
+// expensive measurement phase from the cheap model analysis: a saved
+// session can be re-analysed (Fig. 3, Fig. 4, rank quality) with different
+// profiles or models without re-timing anything.
+func (s *Session) Save(w io.Writer) error {
+	js := jsonSession{Scale: s.Cfg.Scale.String(), Machine: s.Cfg.Machine}
+	emit := func(runs map[int]MatrixRun) {
+		for id, run := range runs {
+			jr := jsonRun{ID: id, Precision: run.Precision, VBLSeconds: run.VBLSeconds}
+			for _, t := range run.Timings {
+				jr.Timings = append(jr.Timings, jsonTiming{
+					Method:  t.Cand.Method.String(),
+					Shape:   t.Cand.Shape.String(),
+					Impl:    t.Cand.Impl.String(),
+					Seconds: t.Seconds,
+				})
+			}
+			js.Runs = append(js.Runs, jr)
+		}
+	}
+	emit(s.dp)
+	emit(s.sp)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(js)
+}
+
+// methodByName resolves a Method from its String form.
+func methodByName(name string) (core.Method, error) {
+	for _, m := range core.Methods() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("bench: unknown method %q", name)
+}
+
+// LoadSession rebuilds a session from a Save stream: matrices are
+// regenerated (deterministic), candidate statistics recomputed, and the
+// saved measurements attached. The returned session behaves exactly like
+// a freshly measured one for every analysis experiment.
+func LoadSession(r io.Reader, cfg Config) (*Session, error) {
+	var js jsonSession
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, fmt.Errorf("bench: decoding session: %w", err)
+	}
+	scale, err := suite.ParseScale(js.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scale = scale
+	if cfg.Machine.BandwidthBytesPerSec == 0 {
+		cfg.Machine = js.Machine
+	}
+	s := NewSession(cfg)
+
+	for _, jr := range js.Runs {
+		info, err := suite.InfoByID(jr.ID)
+		if err != nil {
+			return nil, err
+		}
+		var run MatrixRun
+		switch jr.Precision {
+		case "dp":
+			run, err = rebuildRun[float64](jr, info, scale)
+		case "sp":
+			run, err = rebuildRun[float32](jr, info, scale)
+		default:
+			return nil, fmt.Errorf("bench: unknown precision %q", jr.Precision)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if jr.Precision == "dp" {
+			s.dp[jr.ID] = run
+		} else {
+			s.sp[jr.ID] = run
+		}
+	}
+	return s, nil
+}
+
+func rebuildRun[T floats.Float](jr jsonRun, info suite.Info, scale suite.Scale) (MatrixRun, error) {
+	m := suite.MustBuild[T](jr.ID, scale)
+	stats := core.EnumerateStats(mat.PatternOf(m), floats.SizeOf[T]())
+	byCand := make(map[core.Candidate]core.CandidateStats, len(stats))
+	for _, cs := range stats {
+		byCand[cs.Cand] = cs
+	}
+	run := MatrixRun{
+		Info:       info,
+		Precision:  jr.Precision,
+		Rows:       m.Rows(),
+		Cols:       m.Cols(),
+		NNZ:        int64(m.NNZ()),
+		VBLSeconds: jr.VBLSeconds,
+		CSRWorkingSetMiB: float64(mat.CSRWorkingSetBytes(
+			m.Rows(), m.NNZ(), floats.SizeOf[T]())) / (1 << 20),
+	}
+	for _, jt := range jr.Timings {
+		method, err := methodByName(jt.Method)
+		if err != nil {
+			return MatrixRun{}, err
+		}
+		shape, err := blocks.ParseShape(jt.Shape)
+		if err != nil {
+			return MatrixRun{}, err
+		}
+		impl, err := blocks.ParseImpl(jt.Impl)
+		if err != nil {
+			return MatrixRun{}, err
+		}
+		cand := core.Candidate{Method: method, Shape: shape, Impl: impl}
+		cs, ok := byCand[cand]
+		if !ok {
+			return MatrixRun{}, fmt.Errorf("bench: saved candidate %s not in the selection space", cand)
+		}
+		run.Timings = append(run.Timings, Timing{Cand: cand, Stats: cs, Seconds: jt.Seconds})
+	}
+	return run, nil
+}

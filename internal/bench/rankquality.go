@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"blockspmv/internal/core"
+	"blockspmv/internal/textplot"
+)
+
+// KendallTau computes Kendall's rank correlation coefficient (tau-a)
+// between two equally long value slices: the fraction of concordant
+// candidate pairs minus discordant ones. 1 means the orders agree
+// perfectly, -1 that they are reversed, 0 that they are unrelated.
+func KendallTau(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("bench: KendallTau length mismatch")
+	}
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	var concordant, discordant int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da*db > 0:
+				concordant++
+			case da*db < 0:
+				discordant++
+			}
+		}
+	}
+	return float64(concordant-discordant) / float64(n*(n-1)/2)
+}
+
+// RankQualityRow reports, for one matrix, how well each model's predicted
+// candidate ordering correlates with the measured ordering.
+type RankQualityRow struct {
+	ID   int
+	Name string
+	// Tau maps model name to Kendall's tau between predicted and
+	// measured execution times over all candidates.
+	Tau map[string]float64
+}
+
+// RankQuality evaluates ordering fidelity per model and matrix. The paper
+// observes (Section V.B) that a model only needs to *rank* candidates
+// correctly to select well even when its absolute predictions are off
+// (MEMCOMP being the example); Kendall's tau quantifies that claim.
+func RankQuality(s *Session, prec string) []RankQualityRow {
+	prof := s.Cfg.Profiles[prec]
+	if prof == nil {
+		panic("bench: RankQuality requires a kernel profile for " + prec)
+	}
+	var out []RankQualityRow
+	for _, id := range s.NonSpecialIDs() {
+		run := s.Run(prec, id)
+		row := RankQualityRow{ID: id, Name: run.Info.Name, Tau: make(map[string]float64)}
+		real := make([]float64, len(run.Timings))
+		for i, t := range run.Timings {
+			real[i] = t.Seconds
+		}
+		for _, model := range core.ExtendedModels() {
+			pred := make([]float64, len(run.Timings))
+			for i, t := range run.Timings {
+				pred[i] = model.Predict(t.Stats, s.Cfg.Machine, prof)
+			}
+			row.Tau[model.Name()] = KendallTau(pred, real)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// PrintRankQuality renders the per-matrix rank correlations.
+func PrintRankQuality(w io.Writer, rows []RankQualityRow, prec string) {
+	fmt.Fprintf(w, "Ranking fidelity (%s): Kendall tau between predicted and measured candidate order\n\n", prec)
+	models := core.ExtendedModels()
+	headers := []string{"Matrix"}
+	for _, m := range models {
+		headers = append(headers, m.Name())
+	}
+	var cells [][]string
+	sums := make(map[string]float64)
+	for _, r := range rows {
+		row := []string{r.Name}
+		for _, m := range models {
+			row = append(row, textplot.F(r.Tau[m.Name()], 2))
+			sums[m.Name()] += r.Tau[m.Name()]
+		}
+		cells = append(cells, row)
+	}
+	if n := float64(len(rows)); n > 0 {
+		row := []string{"Average"}
+		for _, m := range models {
+			row = append(row, textplot.F(sums[m.Name()]/n, 2))
+		}
+		cells = append(cells, row)
+	}
+	textplot.Table(w, headers, cells)
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"blockspmv/internal/core"
+	"blockspmv/internal/textplot"
+)
+
+// SpeedupRow is one matrix row of Table III: for each blocked method the
+// minimum, average and maximum speedup over scalar CSR across all block
+// shapes, plus the single 1D-VBL speedup.
+type SpeedupRow struct {
+	ID      int
+	Name    string
+	Methods map[core.Method]MinAvgMax
+	VBL     float64
+}
+
+// MinAvgMax summarises speedups across block shapes.
+type MinAvgMax struct {
+	Min, Avg, Max float64
+}
+
+// SpeedupResult is Table III for one precision/implementation
+// configuration.
+type SpeedupResult struct {
+	Rows    []SpeedupRow
+	Average map[core.Method]MinAvgMax
+	VBLAvg  float64
+}
+
+// speedupMethods is the column order of Table III.
+var speedupMethods = []core.Method{core.BCSR, core.BCSRDec, core.BCSD, core.BCSDDec}
+
+// Table3 computes per-matrix speedups over CSR for the double-precision
+// scalar configuration, as Table III reports ("the double precision
+// configuration without vectorization; the results are similar for the
+// remaining configurations").
+func Table3(s *Session) SpeedupResult {
+	res := SpeedupResult{Average: make(map[core.Method]MinAvgMax)}
+	sums := make(map[core.Method]*MinAvgMax)
+	for _, m := range speedupMethods {
+		sums[m] = &MinAvgMax{}
+	}
+	var vblSum float64
+	for _, id := range s.Cfg.MatrixIDs {
+		run := s.DP(id)
+		csrT := run.CSRSeconds()
+		row := SpeedupRow{ID: id, Name: run.Info.Name, Methods: make(map[core.Method]MinAvgMax)}
+		for _, method := range speedupMethods {
+			mam := MinAvgMax{Min: math.Inf(1), Max: math.Inf(-1)}
+			n := 0
+			for _, t := range run.Timings {
+				if t.Cand.Method != method || t.Cand.Impl != 0 {
+					continue
+				}
+				sp := csrT / t.Seconds
+				mam.Min = math.Min(mam.Min, sp)
+				mam.Max = math.Max(mam.Max, sp)
+				mam.Avg += sp
+				n++
+			}
+			if n > 0 {
+				mam.Avg /= float64(n)
+			}
+			row.Methods[method] = mam
+			sums[method].Min += mam.Min
+			sums[method].Avg += mam.Avg
+			sums[method].Max += mam.Max
+		}
+		row.VBL = csrT / run.VBLSeconds
+		vblSum += row.VBL
+		res.Rows = append(res.Rows, row)
+	}
+	n := float64(len(res.Rows))
+	if n > 0 {
+		for _, m := range speedupMethods {
+			res.Average[m] = MinAvgMax{Min: sums[m].Min / n, Avg: sums[m].Avg / n, Max: sums[m].Max / n}
+		}
+		res.VBLAvg = vblSum / n
+	}
+	return res
+}
+
+// PrintTable3 renders Table III.
+func PrintTable3(w io.Writer, res SpeedupResult) {
+	fmt.Fprintf(w, "Table III: speedup over CSR per matrix, min/avg/max across blocks (dp, scalar)\n\n")
+	headers := []string{"Matrix"}
+	for _, m := range speedupMethods {
+		headers = append(headers, m.String()+" min", "avg", "max")
+	}
+	headers = append(headers, "1D-VBL")
+	var rows [][]string
+	addRow := func(name string, methods map[core.Method]MinAvgMax, vbl float64) {
+		row := []string{name}
+		for _, m := range speedupMethods {
+			mam := methods[m]
+			row = append(row, textplot.F(mam.Min, 2), textplot.F(mam.Avg, 2), textplot.F(mam.Max, 2))
+		}
+		row = append(row, textplot.F(vbl, 2))
+		rows = append(rows, row)
+	}
+	for _, r := range res.Rows {
+		addRow(r.Name, r.Methods, r.VBL)
+	}
+	addRow("Average", res.Average, res.VBLAvg)
+	textplot.Table(w, headers, rows)
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"blockspmv/internal/mat"
+	"blockspmv/internal/suite"
+	"blockspmv/internal/textplot"
+)
+
+// Table1Row is one matrix-suite row of Table I.
+type Table1Row struct {
+	Info suite.Info
+	Rows int
+	NNZ  int64
+	// WSMiB is the double-precision CSR working set, as the paper reports.
+	WSMiB float64
+}
+
+// Table1 generates the matrix suite at the configured scale and reports
+// the Table I columns: matrix, domain, rows, nonzeros and CSR working set.
+func Table1(cfg Config) []Table1Row {
+	cfg = cfg.withDefaults()
+	var out []Table1Row
+	for _, id := range cfg.MatrixIDs {
+		info, err := suite.InfoByID(id)
+		if err != nil {
+			panic(err)
+		}
+		cfg.logf("building %s", info.Name)
+		m := suite.MustBuild[float64](id, cfg.Scale)
+		out = append(out, Table1Row{
+			Info:  info,
+			Rows:  m.Rows(),
+			NNZ:   int64(m.NNZ()),
+			WSMiB: float64(mat.CSRWorkingSetBytes(m.Rows(), m.NNZ(), 8)) / (1 << 20),
+		})
+	}
+	return out
+}
+
+// PrintTable1 renders the rows like Table I.
+func PrintTable1(w io.Writer, rows []Table1Row, scale suite.Scale) {
+	fmt.Fprintf(w, "Table I: matrix suite (synthetic archetypes, %s scale)\n\n", scale)
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Info.Name, r.Info.Domain,
+			fmt.Sprintf("%d", r.Rows),
+			fmt.Sprintf("%d", r.NNZ),
+			textplot.F(r.WSMiB, 2),
+		})
+	}
+	textplot.Table(w, []string{"Matrix", "Domain", "#rows", "#nonzeros", "ws (MiB)"}, cells)
+}

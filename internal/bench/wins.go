@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"blockspmv/internal/core"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/parallel"
+	"blockspmv/internal/suite"
+	"blockspmv/internal/textplot"
+)
+
+// WinsConfigs lists Table II's four configurations in paper order.
+var WinsConfigs = []string{"dp", "dp-simd", "sp", "sp-simd"}
+
+// winsMethods is the row order of Table II.
+var winsMethods = []string{"CSR", "BCSR", "BCSR-DEC", "BCSD", "BCSD-DEC", "1D-VBL"}
+
+// WinsResult is Table II: for each configuration, how many matrices each
+// storage format won (achieved the overall best performance on). The
+// special dense/random matrices are excluded, as in the paper.
+type WinsResult struct {
+	// Counts maps configuration -> method name -> number of wins.
+	Counts map[string]map[string]int
+	// Winners maps configuration -> matrix id -> winning method, for
+	// drill-down inspection.
+	Winners map[string]map[int]string
+	// Matrices is the number of matrices evaluated.
+	Matrices int
+}
+
+// Table2 measures every format on every non-special matrix in the four
+// configurations of Table II: double/single precision, each without and
+// with the vectorized kernels. 1D-VBL competes only in the non-simd
+// configurations (the paper implemented no vectorized 1D-VBL).
+func Table2(s *Session) WinsResult {
+	res := WinsResult{
+		Counts:  make(map[string]map[string]int),
+		Winners: make(map[string]map[int]string),
+	}
+	for _, cfgName := range WinsConfigs {
+		res.Counts[cfgName] = make(map[string]int)
+		res.Winners[cfgName] = make(map[int]string)
+	}
+	ids := s.NonSpecialIDs()
+	res.Matrices = len(ids)
+	for _, id := range ids {
+		for _, prec := range []string{"dp", "sp"} {
+			run := s.Run(prec, id)
+			plain := run.Winner(false, true)
+			simd := run.Winner(true, false)
+			res.Counts[prec][plain]++
+			res.Winners[prec][id] = plain
+			res.Counts[prec+"-simd"][simd]++
+			res.Winners[prec+"-simd"][id] = simd
+		}
+	}
+	return res
+}
+
+// PrintTable2 renders the wins like Table II.
+func PrintTable2(w io.Writer, res WinsResult) {
+	fmt.Fprintf(w, "Table II: matrices won per method (%d non-special matrices)\n\n", res.Matrices)
+	var rows [][]string
+	for _, m := range winsMethods {
+		row := []string{m}
+		for _, c := range WinsConfigs {
+			if m == "1D-VBL" && (c == "dp-simd" || c == "sp-simd") {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%d", res.Counts[c][m]))
+		}
+		rows = append(rows, row)
+	}
+	textplot.Table(w, append([]string{"Method"}, WinsConfigs...), rows)
+}
+
+// PrintWinners renders the per-matrix winner drill-down for one
+// configuration of Table II.
+func PrintWinners(w io.Writer, s *Session, res WinsResult, cfgName string) {
+	fmt.Fprintf(w, "Winners per matrix (%s)\n\n", cfgName)
+	var rows [][]string
+	for _, id := range s.NonSpecialIDs() {
+		winner := res.Winners[cfgName][id]
+		run := s.Run(strings.SplitN(cfgName, "-", 2)[0], id)
+		best := run.Best(strings.HasSuffix(cfgName, "-simd"))
+		rows = append(rows, []string{
+			run.Info.Name,
+			winner,
+			best.Cand.String(),
+			fmt.Sprintf("%.2f", run.CSRSeconds()/best.Seconds),
+		})
+	}
+	textplot.Table(w, []string{"Matrix", "Winner", "Best candidate", "speedup vs CSR"}, rows)
+}
+
+// MulticoreWins is Figure 2: the wins distribution for 1, 2 and 4 cores
+// in single and double precision.
+type MulticoreWins struct {
+	// Counts maps "<prec>/<cores>c" -> method name -> wins.
+	Counts map[string]map[string]int
+	// Configs lists the keys in display order.
+	Configs []string
+	// Matrices is the number of matrices evaluated.
+	Matrices int
+}
+
+// Fig2 measures the multithreaded wins distribution. For each matrix and
+// precision the per-method best block shape is taken from the
+// single-threaded measurements (shapes are re-timed, not re-searched, at
+// each core count; see EXPERIMENTS.md) and re-measured with the
+// nnz+padding-balanced row partitioning at each core count. 1D-VBL is
+// excluded, as in the paper's multithreaded evaluation.
+func Fig2(s *Session) MulticoreWins {
+	cfg := s.Cfg
+	res := MulticoreWins{Counts: make(map[string]map[string]int)}
+	for _, prec := range []string{"sp", "dp"} {
+		for _, cores := range cfg.Cores {
+			res.Configs = append(res.Configs, fmt.Sprintf("%s/%dc", prec, cores))
+		}
+	}
+	for _, key := range res.Configs {
+		res.Counts[key] = make(map[string]int)
+	}
+	ids := s.NonSpecialIDs()
+	res.Matrices = len(ids)
+	for _, id := range ids {
+		for _, prec := range []string{"sp", "dp"} {
+			run := s.Run(prec, id)
+			best := run.BestPerMethod(true)
+			var cands []core.Candidate
+			for _, t := range best {
+				cands = append(cands, t.Cand)
+			}
+			times := multicoreTimes(s, prec, id, cands)
+			for ci, cores := range cfg.Cores {
+				key := fmt.Sprintf("%s/%dc", prec, cores)
+				bestMethod, bestSecs := "", 0.0
+				for i, c := range cands {
+					if secs := times[i][ci]; bestMethod == "" || secs < bestSecs {
+						bestMethod, bestSecs = c.Method.String(), secs
+					}
+				}
+				res.Counts[key][bestMethod]++
+			}
+		}
+	}
+	return res
+}
+
+// multicoreTimes measures each candidate at every configured core count:
+// result[i][j] is candidate i at cfg.Cores[j] threads.
+func multicoreTimes(s *Session, prec string, id int, cands []core.Candidate) [][]float64 {
+	if prec == "sp" {
+		return multicoreTimesT[float32](s.Cfg, id, cands)
+	}
+	return multicoreTimesT[float64](s.Cfg, id, cands)
+}
+
+func multicoreTimesT[T floats.Float](cfg Config, id int, cands []core.Candidate) [][]float64 {
+	m := suite.MustBuild[T](id, cfg.Scale)
+	x := floats.RandVector[T](m.Cols(), 102)
+	y := make([]T, m.Rows())
+	out := make([][]float64, len(cands))
+	for i, c := range cands {
+		inst := core.Instantiate(m, c)
+		for _, cores := range cfg.Cores {
+			pm := parallel.NewMul(inst, cores, parallel.BalanceWeights)
+			out[i] = append(out[i], timeAvg(cfg, func() { pm.MulVec(x, y) }))
+		}
+	}
+	return out
+}
+
+// PrintFig2 renders the multicore wins distribution as grouped bars.
+func PrintFig2(w io.Writer, res MulticoreWins) {
+	fmt.Fprintf(w, "Figure 2: wins per method for 1/2/4 cores, sp and dp (%d matrices)\n\n", res.Matrices)
+	var rows [][]string
+	for _, m := range winsMethods {
+		if m == "1D-VBL" {
+			continue
+		}
+		row := []string{m}
+		for _, key := range res.Configs {
+			row = append(row, fmt.Sprintf("%d", res.Counts[key][m]))
+		}
+		rows = append(rows, row)
+	}
+	textplot.Table(w, append([]string{"Method"}, res.Configs...), rows)
+}

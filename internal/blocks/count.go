@@ -1,0 +1,151 @@
+package blocks
+
+import (
+	"fmt"
+	"sort"
+
+	"blockspmv/internal/mat"
+)
+
+// Count summarises how a fixed block shape tiles a sparsity pattern. All
+// numbers are exact (not sampled estimates): the counting pass merges the
+// column lists of each block row, which is cheap enough to run for every
+// candidate shape.
+type Count struct {
+	Shape Shape
+
+	// Blocks is the number of blocks the padded format (BCSR/BCSD) stores:
+	// every aligned block position containing at least one nonzero.
+	Blocks int64
+
+	// Padding is the number of explicit zeros the padded format adds:
+	// Blocks*Elems - NNZ.
+	Padding int64
+
+	// FullBlocks is the number of aligned block positions that are
+	// completely dense, i.e. the blocks a decomposed format extracts
+	// without padding.
+	FullBlocks int64
+
+	// RemainderNNZ is the number of nonzeros a decomposed format leaves in
+	// the CSR remainder: NNZ - FullBlocks*Elems.
+	RemainderNNZ int64
+}
+
+// CountRect counts aligned r x c blocks in the pattern. A block at block
+// position (I, J) covers rows [I*r, I*r+r) and columns [J*c, J*c+c); edge
+// blocks that overhang the matrix boundary are counted like any other
+// (overhanging positions are padding and can never be part of a full
+// block).
+func CountRect(p *mat.Pattern, r, c int) Count {
+	s := RectShape(r, c)
+	if !s.Valid() && !s.IsUnit() {
+		panic(fmt.Sprintf("blocks: invalid rect shape %dx%d", r, c))
+	}
+	cnt := Count{Shape: s}
+	elems := int64(r * c)
+	var buf []int32
+	for br := 0; br*r < p.Rows; br++ {
+		rowEnd := min((br+1)*r, p.Rows)
+		fullRows := rowEnd-br*r == r // bottom-edge block rows can't be full
+		buf = buf[:0]
+		for row := br * r; row < rowEnd; row++ {
+			for _, col := range p.RowCols(row) {
+				buf = append(buf, col/int32(c))
+			}
+		}
+		sortInt32(buf)
+		for i := 0; i < len(buf); {
+			j := i + 1
+			for j < len(buf) && buf[j] == buf[i] {
+				j++
+			}
+			cnt.Blocks++
+			// A full block needs all r*c positions inside the matrix.
+			if fullRows && int64(j-i) == elems && int(buf[i]+1)*c <= p.Cols {
+				cnt.FullBlocks++
+			}
+			i = j
+		}
+	}
+	cnt.Padding = cnt.Blocks*elems - int64(p.NNZ())
+	cnt.RemainderNNZ = int64(p.NNZ()) - cnt.FullBlocks*elems
+	return cnt
+}
+
+// CountDiag counts aligned diagonal blocks of length b. The matrix is split
+// into row segments of height b; within segment s, the nonzero (row, col)
+// lies on the diagonal block starting at (s*b, col-(row-s*b)). Start
+// columns may be negative or overhang the right edge; such boundary blocks
+// are stored clipped and can never be full.
+func CountDiag(p *mat.Pattern, b int) Count {
+	s := DiagShape(b)
+	if !s.Valid() {
+		panic(fmt.Sprintf("blocks: invalid diag length %d", b))
+	}
+	cnt := Count{Shape: s}
+	var buf []int32
+	for seg := 0; seg*b < p.Rows; seg++ {
+		rowEnd := min((seg+1)*b, p.Rows)
+		fullRows := rowEnd-seg*b == b
+		buf = buf[:0]
+		for row := seg * b; row < rowEnd; row++ {
+			off := int32(row - seg*b)
+			for _, col := range p.RowCols(row) {
+				buf = append(buf, col-off) // may be negative: boundary block
+			}
+		}
+		sortInt32(buf)
+		for i := 0; i < len(buf); {
+			j := i + 1
+			for j < len(buf) && buf[j] == buf[i] {
+				j++
+			}
+			cnt.Blocks++
+			start := buf[i]
+			if fullRows && j-i == b && start >= 0 && int(start)+b <= p.Cols {
+				cnt.FullBlocks++
+			}
+			i = j
+		}
+	}
+	cnt.Padding = cnt.Blocks*int64(b) - int64(p.NNZ())
+	cnt.RemainderNNZ = int64(p.NNZ()) - cnt.FullBlocks*int64(b)
+	return cnt
+}
+
+// CountVBL returns the number of variable-length horizontal blocks 1D-VBL
+// forms: maximal runs of consecutive columns within a row, split into
+// chunks of at most maxLen elements (the paper stores block sizes in one
+// byte, so maxLen is 255 there).
+func CountVBL(p *mat.Pattern, maxLen int) int64 {
+	if maxLen < 1 {
+		panic("blocks: CountVBL maxLen must be positive")
+	}
+	var blocks int64
+	for r := 0; r < p.Rows; r++ {
+		cols := p.RowCols(r)
+		for i := 0; i < len(cols); {
+			j := i + 1
+			for j < len(cols) && cols[j] == cols[j-1]+1 {
+				j++
+			}
+			runLen := j - i
+			blocks += int64((runLen + maxLen - 1) / maxLen)
+			i = j
+		}
+	}
+	return blocks
+}
+
+// CountForShape dispatches to CountRect or CountDiag.
+func CountForShape(p *mat.Pattern, s Shape) Count {
+	if s.Kind == Diag {
+		return CountDiag(p, s.R)
+	}
+	return CountRect(p, s.R, s.C)
+}
+
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

@@ -1,0 +1,49 @@
+package blocks
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseShape parses the String form of a shape: "RxC" for rectangular
+// blocks ("2x3", "1x1") or "dB" for diagonal blocks ("d4").
+func ParseShape(s string) (Shape, error) {
+	if rest, ok := strings.CutPrefix(s, "d"); ok {
+		b, err := strconv.Atoi(rest)
+		if err != nil {
+			return Shape{}, fmt.Errorf("blocks: bad diagonal shape %q: %w", s, err)
+		}
+		sh := DiagShape(b)
+		if !sh.Valid() {
+			return Shape{}, fmt.Errorf("blocks: diagonal length %d out of range", b)
+		}
+		return sh, nil
+	}
+	rs, cs, ok := strings.Cut(s, "x")
+	if !ok {
+		return Shape{}, fmt.Errorf("blocks: bad shape %q", s)
+	}
+	r, err1 := strconv.Atoi(rs)
+	c, err2 := strconv.Atoi(cs)
+	if err1 != nil || err2 != nil {
+		return Shape{}, fmt.Errorf("blocks: bad shape %q", s)
+	}
+	sh := RectShape(r, c)
+	if !sh.Valid() && !sh.IsUnit() {
+		return Shape{}, fmt.Errorf("blocks: shape %q out of range", s)
+	}
+	return sh, nil
+}
+
+// ParseImpl parses the String form of an implementation class: "scalar"
+// or "simd".
+func ParseImpl(s string) (Impl, error) {
+	switch s {
+	case "scalar":
+		return Scalar, nil
+	case "simd":
+		return Vector, nil
+	}
+	return 0, fmt.Errorf("blocks: unknown impl %q (want scalar or simd)", s)
+}

@@ -1,0 +1,139 @@
+// Package blocks defines the block shapes and kernel implementation
+// classes evaluated in the paper, and provides exact, construction-free
+// block counting over a sparsity pattern. The counts feed the working-set
+// and block-number terms of the MEM, MEMCOMP and OVERLAP models.
+package blocks
+
+import "fmt"
+
+// MaxBlockElems is the largest block the paper evaluates: "we used blocks
+// with up to eight elements" (Section V), because larger blocks showed no
+// speedup over CSR in the authors' preliminary experiments.
+const MaxBlockElems = 8
+
+// Kind distinguishes the two fixed-size block geometries.
+type Kind uint8
+
+const (
+	// Rect is a dense r x c rectangular sub-block (BCSR family).
+	Rect Kind = iota
+	// Diag is a dense diagonal sub-block of length b (BCSD family).
+	Diag
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Rect:
+		return "rect"
+	case Diag:
+		return "diag"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Impl selects a kernel implementation class for a block shape.
+type Impl uint8
+
+const (
+	// Scalar is the plain unrolled kernel.
+	Scalar Impl = iota
+	// Vector is the lane-structured kernel emulating the paper's SIMD
+	// implementations: multiple independent accumulators scheduled like
+	// vector lanes. See DESIGN.md for the substitution rationale.
+	Vector
+)
+
+func (im Impl) String() string {
+	switch im {
+	case Scalar:
+		return "scalar"
+	case Vector:
+		return "simd"
+	default:
+		return fmt.Sprintf("Impl(%d)", uint8(im))
+	}
+}
+
+// Impls lists the implementation classes in evaluation order.
+func Impls() []Impl { return []Impl{Scalar, Vector} }
+
+// Shape identifies a fixed block geometry.
+//
+// For Rect, R x C is the block size. For Diag, R is the diagonal length b
+// and C is always 1.
+type Shape struct {
+	Kind Kind
+	R, C int
+}
+
+// RectShape returns the r x c rectangular shape.
+func RectShape(r, c int) Shape { return Shape{Kind: Rect, R: r, C: c} }
+
+// DiagShape returns the diagonal shape of length b.
+func DiagShape(b int) Shape { return Shape{Kind: Diag, R: b, C: 1} }
+
+// Elems returns the number of stored elements per block.
+func (s Shape) Elems() int {
+	if s.Kind == Diag {
+		return s.R
+	}
+	return s.R * s.C
+}
+
+func (s Shape) String() string {
+	if s.Kind == Diag {
+		return fmt.Sprintf("d%d", s.R)
+	}
+	return fmt.Sprintf("%dx%d", s.R, s.C)
+}
+
+// IsUnit reports whether the shape is the degenerate 1x1 block, i.e. plain
+// CSR in the models' view.
+func (s Shape) IsUnit() bool { return s.Kind == Rect && s.R == 1 && s.C == 1 }
+
+// Valid reports whether the shape is one the kernel set supports.
+func (s Shape) Valid() bool {
+	switch s.Kind {
+	case Rect:
+		return s.R >= 1 && s.C >= 1 && s.R*s.C <= MaxBlockElems
+	case Diag:
+		return s.R >= 2 && s.R <= MaxBlockElems && s.C == 1
+	default:
+		return false
+	}
+}
+
+// RectShapes enumerates every rectangular block shape with at most
+// MaxBlockElems elements, excluding the degenerate 1x1:
+// 1x2..1x8, 2x1..2x4, 3x1, 3x2, 4x1, 4x2, 5x1, 6x1, 7x1, 8x1.
+func RectShapes() []Shape {
+	var shapes []Shape
+	for r := 1; r <= MaxBlockElems; r++ {
+		for c := 1; r*c <= MaxBlockElems; c++ {
+			if r == 1 && c == 1 {
+				continue
+			}
+			shapes = append(shapes, RectShape(r, c))
+		}
+	}
+	return shapes
+}
+
+// DiagShapes enumerates every diagonal block length 2..MaxBlockElems.
+func DiagShapes() []Shape {
+	var shapes []Shape
+	for b := 2; b <= MaxBlockElems; b++ {
+		shapes = append(shapes, DiagShape(b))
+	}
+	return shapes
+}
+
+// AllShapes returns the degenerate 1x1 shape followed by every rectangular
+// and diagonal shape, in a stable order.
+func AllShapes() []Shape {
+	shapes := []Shape{RectShape(1, 1)}
+	shapes = append(shapes, RectShapes()...)
+	shapes = append(shapes, DiagShapes()...)
+	return shapes
+}

@@ -1,0 +1,139 @@
+// Package conformance checks any formats.Instance implementation against
+// the invariants every storage format must satisfy: the multiply matches
+// the COO oracle, row-range multiplies compose to the full multiply, and
+// the accounting (stored scalars, row weights, working set) is consistent.
+// Each format's test suite runs these checks over the shared corpus.
+package conformance
+
+import (
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+)
+
+// Check verifies inst against the source matrix m.
+func Check[T floats.Float](t *testing.T, m *mat.COO[T], inst formats.Instance[T]) {
+	t.Helper()
+	tol := floats.DefaultTol[T]()
+
+	if inst.Rows() != m.Rows() || inst.Cols() != m.Cols() {
+		t.Fatalf("%s: dimensions %dx%d, want %dx%d",
+			inst.Name(), inst.Rows(), inst.Cols(), m.Rows(), m.Cols())
+	}
+	if got, want := inst.NNZ(), int64(m.NNZ()); got != want {
+		t.Fatalf("%s: NNZ = %d, want %d", inst.Name(), got, want)
+	}
+	if inst.StoredScalars() < inst.NNZ() {
+		t.Fatalf("%s: StoredScalars %d < NNZ %d", inst.Name(), inst.StoredScalars(), inst.NNZ())
+	}
+	if inst.MatrixBytes() < inst.StoredScalars()*int64(floats.SizeOf[T]()) {
+		t.Fatalf("%s: MatrixBytes %d below value-array size", inst.Name(), inst.MatrixBytes())
+	}
+
+	// Full multiply vs oracle.
+	x := floats.RandVector[T](m.Cols(), 42)
+	want := make([]T, m.Rows())
+	m.MulVec(x, want)
+	got := make([]T, m.Rows())
+	// Pre-poison y: Mul must overwrite, not accumulate.
+	floats.Fill(got, T(7))
+	inst.Mul(x, got)
+	if !floats.EqualWithin(got, want, tol) {
+		t.Fatalf("%s: Mul mismatch, max diff %g", inst.Name(), floats.MaxAbsDiff(got, want))
+	}
+
+	// Row-range multiplies over aligned partitions compose to Mul.
+	// RowAlign may exceed the row count (e.g. an 8-row block on a 1-row
+	// matrix); alignedSplit then degenerates to the full range.
+	align := inst.RowAlign()
+	if align < 1 {
+		t.Fatalf("%s: RowAlign = %d", inst.Name(), align)
+	}
+	for _, parts := range []int{1, 2, 3, 7} {
+		ranges := alignedSplit(m.Rows(), align, parts)
+		got2 := make([]T, m.Rows())
+		for _, rr := range ranges {
+			inst.MulRange(x, got2, rr[0], rr[1])
+		}
+		if !floats.EqualWithin(got2, want, tol) {
+			t.Fatalf("%s: MulRange over %d parts mismatch, max diff %g",
+				inst.Name(), parts, floats.MaxAbsDiff(got2, want))
+		}
+	}
+
+	// Row weights sum to the stored scalars.
+	w := inst.RowWeights()
+	if len(w) != m.Rows() {
+		t.Fatalf("%s: RowWeights has %d entries, want %d", inst.Name(), len(w), m.Rows())
+	}
+	var sum int64
+	for _, v := range w {
+		if v < 0 {
+			t.Fatalf("%s: negative row weight %d", inst.Name(), v)
+		}
+		sum += v
+	}
+	if sum != inst.StoredScalars() {
+		t.Fatalf("%s: row weights sum to %d, want StoredScalars %d",
+			inst.Name(), sum, inst.StoredScalars())
+	}
+
+	// WithImpl produces equivalent instances under both kernel classes
+	// without touching the receiver.
+	for _, impl := range []blocks.Impl{blocks.Scalar, blocks.Vector} {
+		alt := inst.WithImpl(impl)
+		got3 := make([]T, m.Rows())
+		alt.Mul(x, got3)
+		if !floats.EqualWithin(got3, want, tol) {
+			t.Fatalf("%s: WithImpl(%v) product mismatch, max diff %g",
+				inst.Name(), impl, floats.MaxAbsDiff(got3, want))
+		}
+		if alt.NNZ() != inst.NNZ() || alt.StoredScalars() != inst.StoredScalars() {
+			t.Fatalf("%s: WithImpl(%v) changed the stored matrix", inst.Name(), impl)
+		}
+	}
+	inst.Mul(x, got)
+	if !floats.EqualWithin(got, want, tol) {
+		t.Fatalf("%s: receiver corrupted by WithImpl", inst.Name())
+	}
+
+	// Components are consistent with the whole.
+	var compWS int64
+	for _, comp := range inst.Components() {
+		if comp.Blocks < 0 || comp.WSBytes < 0 {
+			t.Fatalf("%s: negative component fields %+v", inst.Name(), comp)
+		}
+		compWS += comp.WSBytes
+	}
+	if compWS != inst.MatrixBytes() {
+		t.Fatalf("%s: component WS bytes sum to %d, want MatrixBytes %d",
+			inst.Name(), compWS, inst.MatrixBytes())
+	}
+}
+
+// alignedSplit cuts [0, rows) into at most parts ranges whose boundaries
+// are multiples of align (except the final boundary, which is rows).
+func alignedSplit(rows, align, parts int) [][2]int {
+	if rows == 0 {
+		return nil
+	}
+	if align >= rows {
+		return [][2]int{{0, rows}}
+	}
+	var out [][2]int
+	chunk := (rows/align + parts - 1) / parts * align
+	if chunk == 0 {
+		chunk = align
+	}
+	for r := 0; r < rows; r += chunk {
+		end := r + chunk
+		if end > rows {
+			end = rows
+		}
+		out = append(out, [2]int{r, end})
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Package core implements the paper's contribution: the MEM, MEMCOMP and
+// OVERLAP performance models (Section IV) and the machinery to enumerate,
+// cost and select among the candidate storage formats and block shapes for
+// a given sparse matrix.
+//
+// The models operate on construction-free candidate statistics (exact
+// block and padding counts from the sparsity pattern, internal/blocks), a
+// machine description (internal/machine) and a kernel profile
+// (internal/profile). Selecting a format therefore never requires building
+// it; the experiment harness builds only what it wants to time.
+package core
+
+import (
+	"fmt"
+
+	"blockspmv/internal/blocks"
+)
+
+// Method enumerates the storage methods the models choose between. The
+// variable-size formats (1D-VBL, VBR) are deliberately absent: the paper
+// excludes them from modelling after finding them uncompetitive
+// (Section IV: "We do not consider variable size blocking methods").
+type Method int
+
+const (
+	// CSR is the baseline format, modelled as 1x1 blocking with nb = nnz.
+	CSR Method = iota
+	// BCSR is fixed r x c blocking with padding.
+	BCSR
+	// BCSRDec is the BCSR decomposition: full blocks + CSR remainder.
+	BCSRDec
+	// BCSD is fixed diagonal blocking with padding.
+	BCSD
+	// BCSDDec is the BCSD decomposition: full diagonals + CSR remainder.
+	BCSDDec
+)
+
+func (m Method) String() string {
+	switch m {
+	case CSR:
+		return "CSR"
+	case BCSR:
+		return "BCSR"
+	case BCSRDec:
+		return "BCSR-DEC"
+	case BCSD:
+		return "BCSD"
+	case BCSDDec:
+		return "BCSD-DEC"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists all modelled methods in evaluation order.
+func Methods() []Method { return []Method{CSR, BCSR, BCSRDec, BCSD, BCSDDec} }
+
+// Candidate is one point of the selection space: a method, its block
+// shape (meaningless for CSR) and the kernel implementation class.
+type Candidate struct {
+	Method Method
+	Shape  blocks.Shape
+	Impl   blocks.Impl
+}
+
+// String renders the candidate like the format instances name themselves:
+// "BCSR(2x3)/simd", "CSR".
+func (c Candidate) String() string {
+	s := c.Method.String()
+	if c.Method != CSR {
+		s += "(" + c.Shape.String() + ")"
+	}
+	if c.Impl == blocks.Vector {
+		s += "/simd"
+	}
+	return s
+}
+
+// Candidates enumerates the full selection space the paper's experiments
+// rank: CSR, every BCSR and BCSR-DEC rectangular shape with at most eight
+// elements, and every BCSD and BCSD-DEC diagonal length, each in scalar
+// and simd variants. Scalar candidates precede simd ones so that models
+// that cannot distinguish implementations (MEM) resolve ties to the
+// non-simd version, as the paper does.
+func Candidates() []Candidate {
+	var out []Candidate
+	for _, impl := range blocks.Impls() {
+		out = append(out, Candidate{Method: CSR, Shape: blocks.RectShape(1, 1), Impl: impl})
+		for _, s := range blocks.RectShapes() {
+			out = append(out, Candidate{Method: BCSR, Shape: s, Impl: impl})
+			out = append(out, Candidate{Method: BCSRDec, Shape: s, Impl: impl})
+		}
+		for _, s := range blocks.DiagShapes() {
+			out = append(out, Candidate{Method: BCSD, Shape: s, Impl: impl})
+			out = append(out, Candidate{Method: BCSDDec, Shape: s, Impl: impl})
+		}
+	}
+	return out
+}

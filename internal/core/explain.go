@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"blockspmv/internal/machine"
+	"blockspmv/internal/profile"
+)
+
+// TermBreakdown decomposes one component's predicted time into the
+// memory-streaming term and the computational term of equations (2)-(3).
+type TermBreakdown struct {
+	Component ComponentStats
+	// MemorySeconds is ws_i / BW (including the vector traffic of the
+	// component's pass).
+	MemorySeconds float64
+	// ComputeSeconds is nb_i * t_bi.
+	ComputeSeconds float64
+	// Nof is the profiled non-overlapping factor of the component's
+	// kernel; OVERLAP charges only Nof * ComputeSeconds.
+	Nof float64
+}
+
+// Explanation is a per-term account of the three models' predictions for
+// one candidate, used by diagnostic tooling (cmd/modelsel -explain).
+type Explanation struct {
+	Cand    Candidate
+	Terms   []TermBreakdown
+	Mem     float64 // MEM prediction
+	MemComp float64 // MEMCOMP prediction
+	Overlap float64 // OVERLAP prediction
+}
+
+// Explain breaks a candidate's predictions into their terms.
+func Explain(cs CandidateStats, m machine.Machine, prof *profile.Table) Explanation {
+	mustBW(m)
+	ex := Explanation{Cand: cs.Cand}
+	for _, comp := range cs.Components {
+		e := lookup(prof, comp)
+		tb := TermBreakdown{
+			Component:      comp,
+			MemorySeconds:  float64(comp.WSBytes+cs.VectorBytes) / m.BandwidthBytesPerSec,
+			ComputeSeconds: float64(comp.Blocks) * e.Tb,
+			Nof:            e.Nof,
+		}
+		ex.Terms = append(ex.Terms, tb)
+		ex.Mem += tb.MemorySeconds
+		ex.MemComp += tb.MemorySeconds + tb.ComputeSeconds
+		ex.Overlap += tb.MemorySeconds + tb.Nof*tb.ComputeSeconds
+	}
+	return ex
+}
+
+// String renders the explanation as a small report.
+func (ex Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", ex.Cand)
+	for i, t := range ex.Terms {
+		fmt.Fprintf(&b, "  component %d (%s/%s): %d blocks, %d B\n",
+			i+1, t.Component.Shape, t.Component.Impl, t.Component.Blocks, t.Component.WSBytes)
+		fmt.Fprintf(&b, "    memory  %.4g ms\n", t.MemorySeconds*1e3)
+		fmt.Fprintf(&b, "    compute %.4g ms (nof %.2f -> %.4g ms charged by OVERLAP)\n",
+			t.ComputeSeconds*1e3, t.Nof, t.Nof*t.ComputeSeconds*1e3)
+	}
+	fmt.Fprintf(&b, "  MEM %.4g ms | MEMCOMP %.4g ms | OVERLAP %.4g ms",
+		ex.Mem*1e3, ex.MemComp*1e3, ex.Overlap*1e3)
+	return b.String()
+}

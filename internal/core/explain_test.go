@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"blockspmv/internal/core"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/testmat"
+)
+
+// TestExplainConsistentWithModels verifies that the per-term breakdown
+// sums to exactly what the three models predict, for every candidate.
+func TestExplainConsistentWithModels(t *testing.T) {
+	m := testmat.Blocky[float64](80, 80, 2, 3, 60, 40, 8)
+	mach := fakeMachine()
+	prof := fakeProfile(0.6)
+	for _, cs := range core.EnumerateStats(mat.PatternOf(m), 8) {
+		ex := core.Explain(cs, mach, prof)
+		checks := []struct {
+			name      string
+			fromTerms float64
+			fromModel float64
+		}{
+			{"MEM", ex.Mem, core.Mem{}.Predict(cs, mach, prof)},
+			{"MEMCOMP", ex.MemComp, core.MemComp{}.Predict(cs, mach, prof)},
+			{"OVERLAP", ex.Overlap, core.Overlap{}.Predict(cs, mach, prof)},
+		}
+		for _, c := range checks {
+			if math.Abs(c.fromTerms-c.fromModel) > 1e-15 {
+				t.Fatalf("%s %s: breakdown %g vs model %g", cs.Cand, c.name, c.fromTerms, c.fromModel)
+			}
+		}
+		if len(ex.Terms) != len(cs.Components) {
+			t.Fatalf("%s: %d terms for %d components", cs.Cand, len(ex.Terms), len(cs.Components))
+		}
+		for _, term := range ex.Terms {
+			if term.MemorySeconds <= 0 || term.ComputeSeconds < 0 || term.Nof < 0 {
+				t.Fatalf("%s: bad term %+v", cs.Cand, term)
+			}
+		}
+	}
+}
+
+func TestExplanationString(t *testing.T) {
+	m := testmat.Blocky[float64](40, 40, 2, 2, 20, 10, 2)
+	stats := core.EnumerateStats(mat.PatternOf(m), 8)
+	var dec core.CandidateStats
+	for _, cs := range stats {
+		if cs.Cand.Method == core.BCSRDec {
+			dec = cs
+			break
+		}
+	}
+	s := core.Explain(dec, fakeMachine(), fakeProfile(0.5)).String()
+	for _, want := range []string{"component 1", "component 2", "memory", "compute", "OVERLAP"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explanation missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+
+	"blockspmv/internal/bcsd"
+	"blockspmv/internal/bcsr"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+)
+
+// Instantiate constructs the storage format a candidate describes for the
+// given matrix. The experiment harness uses it to time the candidates the
+// models rank.
+func Instantiate[T floats.Float](m *mat.COO[T], c Candidate) formats.Instance[T] {
+	switch c.Method {
+	case CSR:
+		return csr.FromCOO(m, c.Impl)
+	case BCSR:
+		return bcsr.New(m, c.Shape.R, c.Shape.C, c.Impl)
+	case BCSRDec:
+		return bcsr.NewDecomposed(m, c.Shape.R, c.Shape.C, c.Impl)
+	case BCSD:
+		return bcsd.New(m, c.Shape.R, c.Impl)
+	case BCSDDec:
+		return bcsd.NewDecomposed(m, c.Shape.R, c.Impl)
+	default:
+		panic(fmt.Sprintf("core: cannot instantiate %v", c))
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"blockspmv/internal/machine"
+	"blockspmv/internal/profile"
+)
+
+// Model predicts the execution time of one SpMV pass for a candidate
+// format on a matrix, given the machine parameters and a kernel profile.
+type Model interface {
+	// Name is the paper's model name: "MEM", "MEMCOMP" or "OVERLAP".
+	Name() string
+	// Predict returns the predicted seconds per multiplication.
+	Predict(cs CandidateStats, m machine.Machine, prof *profile.Table) float64
+}
+
+// Mem is the streaming model of Gropp et al. [6], equation (1):
+//
+//	t = ws / BW
+//
+// where ws is the full working set of the algorithm (matrix structures
+// plus the input and output vectors) and BW the effective memory
+// bandwidth. It ignores both memory latency and computation, making it a
+// lower bound on execution time (an upper bound on performance). It
+// cannot distinguish kernel implementations, so scalar/simd candidates
+// tie and selection resolves to the non-simd variant by candidate order.
+type Mem struct{}
+
+// Name implements Model.
+func (Mem) Name() string { return "MEM" }
+
+// Predict implements Model.
+func (Mem) Predict(cs CandidateStats, m machine.Machine, _ *profile.Table) float64 {
+	mustBW(m)
+	// Vector traffic is paid once per component pass: a decomposition
+	// re-streams x and y for every submatrix (Section III: "there is no
+	// temporal or spatial locality (except in the input vector) between
+	// the different k SpMV operations").
+	ws := cs.MatrixBytes() + int64(len(cs.Components))*cs.VectorBytes
+	return float64(ws) / m.BandwidthBytesPerSec
+}
+
+// MemComp extends Mem with the computational part of the kernel,
+// equation (2):
+//
+//	t = Σ_i ( ws_i/BW + nb_i · t_bi )
+//
+// summed over the k matrices of the decomposition, where nb_i is the
+// number of blocks of component i and t_bi the profiled single-block
+// execution time. CSR is priced as 1x1 blocking with nb = nnz. Because it
+// assumes no overlap between transfers and computation it over-predicts
+// on hardware with effective prefetching, making it an execution-time
+// upper bound (performance lower bound).
+type MemComp struct{}
+
+// Name implements Model.
+func (MemComp) Name() string { return "MEMCOMP" }
+
+// Predict implements Model.
+func (MemComp) Predict(cs CandidateStats, m machine.Machine, prof *profile.Table) float64 {
+	mustBW(m)
+	var t float64
+	for _, comp := range cs.Components {
+		e := lookup(prof, comp)
+		memBytes := comp.WSBytes + cs.VectorBytes
+		t += float64(memBytes)/m.BandwidthBytesPerSec + float64(comp.Blocks)*e.Tb
+	}
+	return t
+}
+
+// Overlap is the paper's proposed model, equation (3): like MEMCOMP, but
+// the computational term is scaled by the profiled non-overlapping factor
+// nof_b — the fraction of computation time not hidden behind memory
+// transfers by the hardware prefetchers:
+//
+//	t = Σ_i ( ws_i/BW + nof_bi · nb_i · t_bi )
+type Overlap struct{}
+
+// Name implements Model.
+func (Overlap) Name() string { return "OVERLAP" }
+
+// Predict implements Model.
+func (Overlap) Predict(cs CandidateStats, m machine.Machine, prof *profile.Table) float64 {
+	mustBW(m)
+	var t float64
+	for _, comp := range cs.Components {
+		e := lookup(prof, comp)
+		memBytes := comp.WSBytes + cs.VectorBytes
+		t += float64(memBytes)/m.BandwidthBytesPerSec + e.Nof*float64(comp.Blocks)*e.Tb
+	}
+	return t
+}
+
+// Models returns the three models in the paper's order.
+func Models() []Model { return []Model{Mem{}, MemComp{}, Overlap{}} }
+
+// ModelByName returns the model with the given name.
+func ModelByName(name string) (Model, error) {
+	for _, m := range Models() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown model %q", name)
+}
+
+func mustBW(m machine.Machine) {
+	if m.BandwidthBytesPerSec <= 0 {
+		panic("core: machine bandwidth not measured")
+	}
+}
+
+func lookup(prof *profile.Table, comp ComponentStats) profile.Entry {
+	if prof == nil {
+		panic("core: model requires a kernel profile")
+	}
+	e, ok := prof.Lookup(comp.Shape, comp.Impl)
+	if !ok {
+		panic(fmt.Sprintf("core: profile missing entry for %v/%v", comp.Shape, comp.Impl))
+	}
+	return e
+}

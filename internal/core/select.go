@@ -1,0 +1,43 @@
+package core
+
+import (
+	"sort"
+
+	"blockspmv/internal/machine"
+	"blockspmv/internal/profile"
+)
+
+// Prediction is a candidate together with its model-predicted execution
+// time for one multiplication.
+type Prediction struct {
+	Cand    Candidate
+	Seconds float64
+}
+
+// Rank prices every candidate under the model and returns the predictions
+// sorted fastest-first. Ties preserve the Candidates() order, which puts
+// scalar implementations before simd ones — this is how the MEM model,
+// blind to the computational part, "selects the non-simd version by
+// default" (Section V.B).
+func Rank(model Model, stats []CandidateStats, m machine.Machine, prof *profile.Table) []Prediction {
+	preds := make([]Prediction, len(stats))
+	for i, cs := range stats {
+		preds[i] = Prediction{Cand: cs.Cand, Seconds: model.Predict(cs, m, prof)}
+	}
+	sort.SliceStable(preds, func(i, j int) bool { return preds[i].Seconds < preds[j].Seconds })
+	return preds
+}
+
+// Select returns the model's fastest-predicted candidate.
+func Select(model Model, stats []CandidateStats, m machine.Machine, prof *profile.Table) Prediction {
+	if len(stats) == 0 {
+		panic("core: Select on empty candidate set")
+	}
+	best := Prediction{Cand: stats[0].Cand, Seconds: model.Predict(stats[0], m, prof)}
+	for _, cs := range stats[1:] {
+		if s := model.Predict(cs, m, prof); s < best.Seconds {
+			best = Prediction{Cand: cs.Cand, Seconds: s}
+		}
+	}
+	return best
+}

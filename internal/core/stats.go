@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/mat"
+)
+
+// ComponentStats describes one decomposition component of a candidate for
+// the models: its shape and implementation, the block count nb_i of
+// equations (2)-(3), and the matrix bytes ws_i streamed per multiply.
+type ComponentStats struct {
+	Shape   blocks.Shape
+	Impl    blocks.Impl
+	Blocks  int64
+	WSBytes int64
+}
+
+// CandidateStats is everything the models need to price a candidate on a
+// specific matrix, computed exactly from the sparsity pattern without
+// constructing the format.
+type CandidateStats struct {
+	Cand       Candidate
+	Rows, Cols int
+	NNZ        int64
+	// Components has one entry per submatrix of the decomposition
+	// (exactly one for the non-decomposed methods).
+	Components []ComponentStats
+	// VectorBytes is the traffic of the input and output vectors for a
+	// single pass over the matrix: (rows+cols)*valSize.
+	VectorBytes int64
+	// Padding is the number of explicit stored zeros of the candidate.
+	Padding int64
+	// IrregularAccesses is the matrix's likely-missing input-vector access
+	// count (mat.Pattern.IrregularAccesses with IrregularGap); it is a
+	// property of the matrix, identical across candidates, consumed only
+	// by the OVERLAP+LAT extension model.
+	IrregularAccesses int64
+}
+
+// MatrixBytes returns the summed matrix bytes of all components.
+func (cs CandidateStats) MatrixBytes() int64 {
+	var b int64
+	for _, c := range cs.Components {
+		b += c.WSBytes
+	}
+	return b
+}
+
+// csrBytes is the canonical CSR size: nnz values + nnz 4-byte column
+// indices + (rows+1) 4-byte row pointers.
+func csrBytes(rows int, nnz int64, valSize int) int64 {
+	return nnz*int64(valSize+4) + int64(rows+1)*4
+}
+
+// blockedBytes is the canonical fixed-size blocked storage: nb blocks of
+// elems values + nb 4-byte block column indices + (blockRows+1) 4-byte
+// block row pointers.
+func blockedBytes(blockRows int, nb int64, elems, valSize int) int64 {
+	return nb*int64(elems*valSize+4) + int64(blockRows+1)*4
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// StatsFor computes the model inputs for one candidate from a sparsity
+// pattern. valSize is the element size in bytes (4 or 8). The per-shape
+// block counting is exact; see blocks.CountRect/CountDiag.
+func StatsFor(p *mat.Pattern, c Candidate, valSize int) CandidateStats {
+	cnt := blocks.CountForShape(p, c.Shape)
+	return statsFromCount(p, c, valSize, cnt, p.IrregularAccesses(IrregularGap))
+}
+
+// statsFromCount assembles CandidateStats from a precomputed block count,
+// letting EnumerateStats share one counting pass between a padded method
+// and its decomposition.
+func statsFromCount(p *mat.Pattern, c Candidate, valSize int, cnt blocks.Count, irregular int64) CandidateStats {
+	nnz := int64(p.NNZ())
+	cs := CandidateStats{
+		Cand: c, Rows: p.Rows, Cols: p.Cols, NNZ: nnz,
+		VectorBytes:       int64(p.Rows+p.Cols) * int64(valSize),
+		IrregularAccesses: irregular,
+	}
+	elems := c.Shape.Elems()
+	blockRows := 0
+	if c.Shape.R > 0 {
+		blockRows = ceilDiv(p.Rows, c.Shape.R)
+	}
+	switch c.Method {
+	case CSR:
+		cs.Components = []ComponentStats{{
+			Shape: blocks.RectShape(1, 1), Impl: c.Impl,
+			Blocks:  nnz,
+			WSBytes: csrBytes(p.Rows, nnz, valSize),
+		}}
+	case BCSR, BCSD:
+		cs.Padding = cnt.Padding
+		cs.Components = []ComponentStats{{
+			Shape: c.Shape, Impl: c.Impl,
+			Blocks:  cnt.Blocks,
+			WSBytes: blockedBytes(blockRows, cnt.Blocks, elems, valSize),
+		}}
+	case BCSRDec, BCSDDec:
+		cs.Components = []ComponentStats{
+			{
+				Shape: c.Shape, Impl: c.Impl,
+				Blocks:  cnt.FullBlocks,
+				WSBytes: blockedBytes(blockRows, cnt.FullBlocks, elems, valSize),
+			},
+			{
+				Shape: blocks.RectShape(1, 1), Impl: c.Impl,
+				Blocks:  cnt.RemainderNNZ,
+				WSBytes: csrBytes(p.Rows, cnt.RemainderNNZ, valSize),
+			},
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown method %v", c.Method))
+	}
+	return cs
+}
+
+// EnumerateStats computes CandidateStats for the entire selection space of
+// Candidates(), sharing one block-counting pass per shape across the four
+// method/impl combinations that use it.
+func EnumerateStats(p *mat.Pattern, valSize int) []CandidateStats {
+	counts := make(map[blocks.Shape]blocks.Count)
+	shapeCount := func(s blocks.Shape) blocks.Count {
+		if cnt, ok := counts[s]; ok {
+			return cnt
+		}
+		cnt := blocks.CountForShape(p, s)
+		counts[s] = cnt
+		return cnt
+	}
+	irregular := p.IrregularAccesses(IrregularGap)
+	cands := Candidates()
+	out := make([]CandidateStats, len(cands))
+	for i, c := range cands {
+		out[i] = statsFromCount(p, c, valSize, shapeCount(c.Shape), irregular)
+	}
+	return out
+}

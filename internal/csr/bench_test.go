@@ -1,0 +1,49 @@
+package csr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/testmat"
+)
+
+// BenchmarkMul times the CSR kernel across row-length regimes: long rows
+// amortise loop overheads, short rows expose them (the paper's "very
+// short rows" pathology).
+func BenchmarkMul(b *testing.B) {
+	cases := []struct {
+		name       string
+		rows, cols int
+		density    float64
+	}{
+		{"short-rows", 20000, 20000, 3.0 / 20000},
+		{"medium-rows", 4000, 4000, 30.0 / 4000},
+		{"long-rows", 500, 4000, 400.0 / 4000},
+	}
+	for _, tc := range cases {
+		m := testmat.Random[float64](tc.rows, tc.cols, tc.density, 1)
+		x := floats.RandVector[float64](tc.cols, 2)
+		y := make([]float64, tc.rows)
+		for _, impl := range blocks.Impls() {
+			a := csr.FromCOO(m, impl)
+			b.Run(fmt.Sprintf("%s/%s", tc.name, impl), func(b *testing.B) {
+				b.SetBytes(a.MatrixBytes())
+				for i := 0; i < b.N; i++ {
+					a.Mul(x, y)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConvert times COO -> CSR conversion.
+func BenchmarkConvert(b *testing.B) {
+	m := testmat.Random[float64](4000, 4000, 0.005, 3)
+	b.ReportMetric(float64(m.NNZ()), "nnz")
+	for i := 0; i < b.N; i++ {
+		csr.FromCOO(m, blocks.Scalar)
+	}
+}

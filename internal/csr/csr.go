@@ -1,0 +1,204 @@
+// Package csr implements the Compressed Sparse Row format, the baseline
+// storage format of the paper (Barrett et al. [2]) and the remainder
+// container of the decomposed blocked formats.
+//
+// CSR stores an n x m matrix with nnz nonzeros in three arrays: val (nnz
+// values), colInd (nnz 4-byte column indices) and rowPtr (n+1 4-byte row
+// pointers into val).
+package csr
+
+import (
+	"fmt"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+)
+
+// Matrix is a sparse matrix in CSR format together with the kernel
+// implementation class it multiplies with.
+type Matrix[T floats.Float] struct {
+	rows, cols int
+	rowPtr     []int32
+	colInd     []int32
+	val        []T
+	impl       blocks.Impl
+}
+
+// FromCOO converts a finalized coordinate matrix to CSR with the given
+// kernel implementation class.
+func FromCOO[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
+	if !m.Finalized() {
+		panic("csr: matrix must be finalized")
+	}
+	a := &Matrix[T]{
+		rows:   m.Rows(),
+		cols:   m.Cols(),
+		rowPtr: make([]int32, m.Rows()+1),
+		colInd: make([]int32, m.NNZ()),
+		val:    make([]T, m.NNZ()),
+		impl:   impl,
+	}
+	for i, e := range m.Entries() {
+		a.rowPtr[e.Row+1]++
+		a.colInd[i] = e.Col
+		a.val[i] = e.Val
+	}
+	for r := 0; r < a.rows; r++ {
+		a.rowPtr[r+1] += a.rowPtr[r]
+	}
+	return a
+}
+
+// FromRaw assembles a CSR matrix directly from prepared arrays. The arrays
+// are taken over. It validates pointer monotonicity and lengths (but not
+// per-row column ordering, which hot-path converters guarantee
+// themselves).
+func FromRaw[T floats.Float](rows, cols int, rowPtr, colInd []int32, val []T, impl blocks.Impl) *Matrix[T] {
+	if len(rowPtr) != rows+1 {
+		panic(fmt.Sprintf("csr: rowPtr has %d entries, want %d", len(rowPtr), rows+1))
+	}
+	if len(colInd) != len(val) || int(rowPtr[rows]) != len(val) {
+		panic("csr: inconsistent array lengths")
+	}
+	for r := 0; r < rows; r++ {
+		if rowPtr[r] > rowPtr[r+1] {
+			panic(fmt.Sprintf("csr: rowPtr not monotone at row %d", r))
+		}
+	}
+	return &Matrix[T]{rows: rows, cols: cols, rowPtr: rowPtr, colInd: colInd, val: val, impl: impl}
+}
+
+// Name implements formats.Instance.
+func (a *Matrix[T]) Name() string {
+	if a.impl == blocks.Vector {
+		return "CSR/simd"
+	}
+	return "CSR"
+}
+
+// Rows implements formats.Instance.
+func (a *Matrix[T]) Rows() int { return a.rows }
+
+// Cols implements formats.Instance.
+func (a *Matrix[T]) Cols() int { return a.cols }
+
+// NNZ implements formats.Instance.
+func (a *Matrix[T]) NNZ() int64 { return int64(len(a.val)) }
+
+// StoredScalars implements formats.Instance; CSR stores no padding.
+func (a *Matrix[T]) StoredScalars() int64 { return int64(len(a.val)) }
+
+// MatrixBytes implements formats.Instance.
+func (a *Matrix[T]) MatrixBytes() int64 {
+	s := int64(floats.SizeOf[T]())
+	return int64(len(a.val))*(s+4) + int64(len(a.rowPtr))*4
+}
+
+// Components implements formats.Instance. CSR is the degenerate blocking
+// method with 1x1 blocks and nb = nnz (Section IV).
+func (a *Matrix[T]) Components() []formats.Component {
+	return []formats.Component{{
+		Shape:   blocks.RectShape(1, 1),
+		Impl:    a.impl,
+		Blocks:  int64(len(a.val)),
+		WSBytes: a.MatrixBytes(),
+	}}
+}
+
+// RowAlign implements formats.Instance.
+func (a *Matrix[T]) RowAlign() int { return 1 }
+
+// RowWeights implements formats.Instance.
+func (a *Matrix[T]) RowWeights() []int64 {
+	w := make([]int64, a.rows)
+	for r := 0; r < a.rows; r++ {
+		w[r] = int64(a.rowPtr[r+1] - a.rowPtr[r])
+	}
+	return w
+}
+
+// Mul implements formats.Instance.
+func (a *Matrix[T]) Mul(x, y []T) {
+	formats.CheckDims[T](a, x, y)
+	floats.Fill(y, 0)
+	a.MulRange(x, y, 0, a.rows)
+}
+
+// MulRange implements formats.Instance.
+func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
+	if a.impl == blocks.Vector {
+		a.mulRangeVector(x, y, r0, r1)
+		return
+	}
+	a.mulRangeScalar(x, y, r0, r1)
+}
+
+func (a *Matrix[T]) mulRangeScalar(x, y []T, r0, r1 int) {
+	rowPtr, colInd, val := a.rowPtr, a.colInd, a.val
+	for r := r0; r < r1; r++ {
+		var acc T
+		for i := rowPtr[r]; i < rowPtr[r+1]; i++ {
+			acc += val[i] * x[colInd[i]]
+		}
+		y[r] += acc
+	}
+}
+
+// mulRangeVector is the lane-structured CSR kernel: four independent
+// accumulator chains per row, the stand-in for the paper's SIMD CSR
+// implementation (see DESIGN.md).
+func (a *Matrix[T]) mulRangeVector(x, y []T, r0, r1 int) {
+	rowPtr, colInd, val := a.rowPtr, a.colInd, a.val
+	for r := r0; r < r1; r++ {
+		start, end := int(rowPtr[r]), int(rowPtr[r+1])
+		var a0, a1, a2, a3 T
+		i := start
+		for ; i+4 <= end; i += 4 {
+			a0 += val[i] * x[colInd[i]]
+			a1 += val[i+1] * x[colInd[i+1]]
+			a2 += val[i+2] * x[colInd[i+2]]
+			a3 += val[i+3] * x[colInd[i+3]]
+		}
+		for ; i < end; i++ {
+			a0 += val[i] * x[colInd[i]]
+		}
+		y[r] += a0 + a1 + a2 + a3
+	}
+}
+
+// ZeroColInd returns a copy of the matrix whose column indices are all
+// zero, reproducing the Section V.B latency probe: the value stream and row
+// structure are unchanged but every input-vector access hits x[0], so the
+// timing difference against the original isolates the cost of irregular
+// accesses on the input vector.
+func (a *Matrix[T]) ZeroColInd() *Matrix[T] {
+	z := &Matrix[T]{
+		rows:   a.rows,
+		cols:   a.cols,
+		rowPtr: a.rowPtr,
+		colInd: make([]int32, len(a.colInd)),
+		val:    a.val,
+		impl:   a.impl,
+	}
+	return z
+}
+
+// Pattern returns the sparsity pattern of the matrix.
+func (a *Matrix[T]) Pattern() *mat.Pattern {
+	return &mat.Pattern{Rows: a.rows, Cols: a.cols, RowPtr: a.rowPtr, ColInd: a.colInd}
+}
+
+// RowNNZ returns the number of stored elements in row r.
+func (a *Matrix[T]) RowNNZ(r int) int { return int(a.rowPtr[r+1] - a.rowPtr[r]) }
+
+var _ formats.Instance[float64] = (*Matrix[float64])(nil)
+
+// WithImpl implements formats.Instance: a view over the same arrays with
+// a different kernel implementation class.
+func (a *Matrix[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+	b := *a
+	b.impl = impl
+	return &b
+}

@@ -1,0 +1,67 @@
+package dcsr_test
+
+import (
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/conformance"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/dcsr"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/testmat"
+)
+
+func TestConformance(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		t.Run(name, func(t *testing.T) {
+			conformance.Check(t, m, dcsr.New(m))
+		})
+	}
+}
+
+func TestConformanceSingle(t *testing.T) {
+	for name, m := range testmat.Corpus[float32]() {
+		t.Run(name, func(t *testing.T) {
+			conformance.Check(t, m, dcsr.New(m))
+		})
+	}
+}
+
+func TestCompressionOnBandedMatrix(t *testing.T) {
+	// Dense horizontal runs have delta 1 everywhere: ~1 byte per index
+	// against CSR's 4.
+	m := testmat.Runs[float64](200, 2000, 1)
+	d := dcsr.New(m)
+	c := csr.FromCOO(m, blocks.Scalar)
+	if d.IndexBytes() >= d.NNZ()*2 {
+		t.Errorf("index stream %d bytes for %d nonzeros: compression failed", d.IndexBytes(), d.NNZ())
+	}
+	if d.MatrixBytes() >= c.MatrixBytes() {
+		t.Errorf("DCSR %d bytes vs CSR %d on banded data", d.MatrixBytes(), c.MatrixBytes())
+	}
+}
+
+func TestEscapeDeltas(t *testing.T) {
+	// Gaps >= 255 and a first column >= 255 force the 5-byte escape path.
+	m := mat.New[float64](2, 100000)
+	m.Add(0, 300, 1)     // first delta 300 (escape)
+	m.Add(0, 301, 2)     // delta 1
+	m.Add(0, 99999, 3)   // huge delta (escape)
+	m.Add(1, 0, 4)       // first delta 0
+	m.Add(1, 254, 5)     // delta 254 (single byte, the largest)
+	m.Add(1, 254+255, 6) // delta 255 (escape, the smallest)
+	m.Finalize()
+	d := dcsr.New(m)
+	wantBytes := int64(5 + 1 + 5 + 1 + 1 + 5)
+	if d.IndexBytes() != wantBytes {
+		t.Errorf("index stream = %d bytes, want %d", d.IndexBytes(), wantBytes)
+	}
+	conformance.Check(t, m, d)
+}
+
+func TestWorstCaseStillCorrect(t *testing.T) {
+	// Uniformly random wide matrix: most deltas escape; DCSR may be
+	// *larger* than CSR (5 > 4 bytes), but stays correct.
+	m := testmat.Random[float64](50, 30000, 0.001, 2)
+	conformance.Check(t, m, dcsr.New(m))
+}

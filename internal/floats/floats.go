@@ -1,0 +1,136 @@
+// Package floats provides the floating-point type constraint used across
+// the library together with small vector helpers shared by the storage
+// formats, the kernels and the test suites.
+//
+// The paper evaluates every storage format in both single ("sp") and double
+// ("dp") precision; this library expresses that with generics over the
+// Float constraint instead of duplicating every kernel.
+package floats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Float is the constraint satisfied by the two precisions the paper
+// evaluates: float32 (single precision, "sp") and float64 (double
+// precision, "dp").
+type Float interface {
+	~float32 | ~float64
+}
+
+// SizeOf reports the storage size in bytes of the element type T.
+// The performance models use it to compute working sets.
+func SizeOf[T Float]() int {
+	var v T
+	switch any(v).(type) {
+	case float32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// PrecisionName reports the paper's abbreviation for the element type:
+// "sp" for float32 and "dp" for float64.
+func PrecisionName[T Float]() string {
+	if SizeOf[T]() == 4 {
+		return "sp"
+	}
+	return "dp"
+}
+
+// Fill sets every element of dst to v.
+func Fill[T Float](dst []T, v T) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// RandVector returns a deterministic pseudo-random vector of length n with
+// entries in [0, 1), matching the paper's randomly generated input vectors.
+func RandVector[T Float](n int, seed int64) []T {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]T, n)
+	for i := range v {
+		v[i] = T(rng.Float64())
+	}
+	return v
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference between
+// a and b. It panics if the lengths differ, since comparing vectors of
+// different shapes is always a caller bug.
+func MaxAbsDiff[T Float](a, b []T) float64 {
+	if len(a) != len(b) {
+		panic("floats: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// EqualWithin reports whether a and b are element-wise equal within tol,
+// using a mixed absolute/relative criterion so that it behaves sensibly for
+// both tiny and large magnitudes.
+func EqualWithin[T Float](a, b []T, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		av, bv := float64(a[i]), float64(b[i])
+		d := math.Abs(av - bv)
+		scale := math.Max(math.Abs(av), math.Abs(bv))
+		if d > tol*math.Max(1, scale) {
+			return false
+		}
+	}
+	return true
+}
+
+// DefaultTol returns a comparison tolerance appropriate for the precision
+// of T: single-precision accumulations lose bits much faster than double.
+func DefaultTol[T Float]() float64 {
+	if SizeOf[T]() == 4 {
+		return 1e-3
+	}
+	return 1e-9
+}
+
+// Dot returns the inner product of a and b, accumulating in float64 for
+// use as a test oracle. It panics if the lengths differ.
+func Dot[T Float](a, b []T) float64 {
+	if len(a) != len(b) {
+		panic("floats: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// Sum returns the float64 sum of v.
+func Sum[T Float](v []T) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x)
+	}
+	return s
+}
+
+// AddTo accumulates src into dst element-wise. It panics if the lengths
+// differ.
+func AddTo[T Float](dst, src []T) {
+	if len(dst) != len(src) {
+		panic("floats: AddTo length mismatch")
+	}
+	for i := range src {
+		dst[i] += src[i]
+	}
+}

@@ -1,0 +1,104 @@
+package floats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeOf(t *testing.T) {
+	if got := SizeOf[float32](); got != 4 {
+		t.Errorf("SizeOf[float32] = %d, want 4", got)
+	}
+	if got := SizeOf[float64](); got != 8 {
+		t.Errorf("SizeOf[float64] = %d, want 8", got)
+	}
+}
+
+func TestPrecisionName(t *testing.T) {
+	if got := PrecisionName[float32](); got != "sp" {
+		t.Errorf("PrecisionName[float32] = %q, want sp", got)
+	}
+	if got := PrecisionName[float64](); got != "dp" {
+		t.Errorf("PrecisionName[float64] = %q, want dp", got)
+	}
+}
+
+func TestRandVectorDeterministic(t *testing.T) {
+	a := RandVector[float64](100, 7)
+	b := RandVector[float64](100, 7)
+	c := RandVector[float64](100, 8)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Error("same seed produced different vectors")
+	}
+	if MaxAbsDiff(a, c) == 0 {
+		t.Error("different seeds produced identical vectors")
+	}
+	for i, v := range a {
+		if v < 0 || v >= 1 {
+			t.Fatalf("element %d = %g outside [0,1)", i, v)
+		}
+	}
+}
+
+func TestEqualWithin(t *testing.T) {
+	if !EqualWithin([]float64{1, 2}, []float64{1, 2 + 1e-12}, 1e-9) {
+		t.Error("near-equal vectors reported unequal")
+	}
+	if EqualWithin([]float64{1, 2}, []float64{1, 2.1}, 1e-9) {
+		t.Error("different vectors reported equal")
+	}
+	if EqualWithin([]float64{1}, []float64{1, 1}, 1e-9) {
+		t.Error("different lengths reported equal")
+	}
+	// Relative criterion: large magnitudes tolerate proportionally large
+	// absolute differences.
+	if !EqualWithin([]float64{1e12}, []float64{1e12 + 1}, 1e-9) {
+		t.Error("relative tolerance not applied at large magnitude")
+	}
+}
+
+func TestMaxAbsDiffPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	MaxAbsDiff([]float32{1}, []float32{1, 2})
+}
+
+func TestDotMatchesQuick(t *testing.T) {
+	f := func(ai, bi [8]int16) bool {
+		// Bounded inputs keep the reference sum exact.
+		var a, b [8]float64
+		for i := range ai {
+			a[i] = float64(ai[i]) / 16
+			b[i] = float64(bi[i]) / 16
+		}
+		var want float64
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		got := Dot(a[:], b[:])
+		diff := got - want
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFillAndSum(t *testing.T) {
+	v := make([]float32, 10)
+	Fill(v, 2.5)
+	if got := Sum(v); got != 25 {
+		t.Errorf("Sum after Fill = %g, want 25", got)
+	}
+}
+
+func TestAddTo(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	AddTo(dst, []float64{10, 20, 30})
+	if dst[0] != 11 || dst[1] != 22 || dst[2] != 33 {
+		t.Errorf("AddTo result = %v", dst)
+	}
+}

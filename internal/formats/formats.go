@@ -1,0 +1,100 @@
+// Package formats defines the common interface every sparse storage format
+// in this library implements, plus the component descriptors the
+// performance models consume.
+//
+// A format instance is an immutable, multiply-ready representation of one
+// matrix. Decomposed formats (BCSR-DEC, BCSD-DEC) expose one component per
+// submatrix of the decomposition, matching the per-component sums of
+// equations (2) and (3) in the paper.
+package formats
+
+import (
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/floats"
+)
+
+// Component describes one submatrix of a format instance for the
+// performance models: its block shape and implementation class, the number
+// of blocks nb_i, and the bytes of matrix data ws_i streamed from memory.
+type Component struct {
+	Shape   blocks.Shape
+	Impl    blocks.Impl
+	Blocks  int64
+	WSBytes int64
+}
+
+// Instance is a multiply-ready sparse matrix in some storage format.
+//
+// Mul computes y = A*x, overwriting y. MulRange accumulates the product of
+// the row range [r0, r1) into y, assuming the caller has zeroed that range;
+// r0 and r1 must be multiples of RowAlign() or equal to Rows(). The
+// multithreaded executor in internal/parallel builds on MulRange.
+type Instance[T floats.Float] interface {
+	// Name identifies the format and configuration, e.g. "BCSR(2x3)" or
+	// "BCSD-DEC(d4)/simd".
+	Name() string
+
+	Rows() int
+	Cols() int
+
+	// NNZ is the number of original nonzero elements.
+	NNZ() int64
+
+	// StoredScalars is the number of value-array entries including any
+	// zero padding. The multithreaded load balancer weights rows by stored
+	// scalars, "account[ing] for the extra zero elements used for the
+	// padding" (Section V).
+	StoredScalars() int64
+
+	// MatrixBytes is the total size of the matrix data structures: value
+	// arrays, index arrays and pointers, excluding the x and y vectors.
+	MatrixBytes() int64
+
+	// Components lists the decomposition components for the performance
+	// models; non-decomposed formats return a single component.
+	Components() []Component
+
+	// Mul computes y = A*x. It panics on dimension mismatch.
+	Mul(x, y []T)
+
+	// RowAlign is the row granularity of MulRange: range boundaries must
+	// be multiples of it (the block height r for BCSR, the segment size b
+	// for BCSD, 1 for CSR and 1D-VBL).
+	RowAlign() int
+
+	// RowWeights returns per-row stored-scalar counts (including padding),
+	// the weights the balanced partitioner splits on.
+	RowWeights() []int64
+
+	// MulRange accumulates A[r0:r1) * x into y[r0:r1), which the caller
+	// must have zeroed. Boundaries must be RowAlign()-aligned (or Rows()).
+	MulRange(x, y []T, r0, r1 int)
+
+	// WithImpl returns an instance over the same storage using the given
+	// kernel implementation class; the receiver is unchanged and the
+	// underlying arrays are shared. Formats without distinct
+	// implementations (VBR, DCSR) return an equivalent instance. The
+	// experiment harness uses this to time scalar and simd kernels
+	// without converting the matrix twice.
+	WithImpl(impl blocks.Impl) Instance[T]
+}
+
+// VectorBytes returns the bytes of the input and output vectors for an
+// n x m matrix with valSize-byte elements. The models add this to
+// MatrixBytes to form the full streaming working set ws.
+func VectorBytes(rows, cols, valSize int) int64 {
+	return int64(rows+cols) * int64(valSize)
+}
+
+// WorkingSetBytes is the full streaming working set of an instance:
+// matrix structures plus both vectors.
+func WorkingSetBytes[T floats.Float](inst Instance[T]) int64 {
+	return inst.MatrixBytes() + VectorBytes(inst.Rows(), inst.Cols(), floats.SizeOf[T]())
+}
+
+// CheckDims panics with a uniform message on Mul dimension mismatches.
+func CheckDims[T floats.Float](inst Instance[T], x, y []T) {
+	if len(x) != inst.Cols() || len(y) != inst.Rows() {
+		panic("formats: Mul dimension mismatch: " + inst.Name())
+	}
+}

@@ -1,0 +1,45 @@
+package formats_test
+
+import (
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/testmat"
+)
+
+func TestVectorBytes(t *testing.T) {
+	if got := formats.VectorBytes(100, 50, 8); got != 1200 {
+		t.Errorf("VectorBytes = %d, want 1200", got)
+	}
+	if got := formats.VectorBytes(100, 50, 4); got != 600 {
+		t.Errorf("VectorBytes = %d, want 600", got)
+	}
+}
+
+func TestWorkingSetBytes(t *testing.T) {
+	m := testmat.Random[float64](64, 32, 0.1, 1)
+	a := csr.FromCOO(m, blocks.Scalar)
+	want := a.MatrixBytes() + int64(64+32)*8
+	if got := formats.WorkingSetBytes[float64](a); got != want {
+		t.Errorf("WorkingSetBytes = %d, want %d", got, want)
+	}
+}
+
+func TestCheckDims(t *testing.T) {
+	m := testmat.Random[float64](10, 20, 0.2, 2)
+	a := csr.FromCOO(m, blocks.Scalar)
+	// Correct dims pass silently.
+	formats.CheckDims[float64](a, make([]float64, 20), make([]float64, 10))
+	for _, tc := range []struct{ xn, yn int }{{19, 10}, {20, 11}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CheckDims(x=%d, y=%d) did not panic", tc.xn, tc.yn)
+				}
+			}()
+			formats.CheckDims[float64](a, make([]float64, tc.xn), make([]float64, tc.yn))
+		}()
+	}
+}

@@ -1,0 +1,31 @@
+package kernels
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"blockspmv/internal/kernels/gen"
+)
+
+// TestGeneratedFilesCurrent regenerates the kernel sources in memory and
+// verifies the checked-in files match byte for byte, so edits to the
+// generator cannot silently drift from the committed kernels.
+func TestGeneratedFilesCurrent(t *testing.T) {
+	files, err := gen.Files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("generator produced %d files, want 3", len(files))
+	}
+	for name, want := range files {
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading checked-in %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s is stale: run `go generate ./internal/kernels`", name)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Command genkernels writes the generated kernel sources of
+// internal/kernels (rect_gen.go, diag_gen.go, dispatch_gen.go) into the
+// current directory. Run via: go generate ./internal/kernels
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"blockspmv/internal/kernels/gen"
+)
+
+func main() {
+	files, err := gen.Files()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, src := range files {
+		if err := os.WriteFile(name, src, 0o644); err != nil {
+			log.Fatalf("writing %s: %v", name, err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", name, len(src))
+	}
+}

@@ -1,0 +1,292 @@
+// Package machine characterises the host for the performance models: the
+// effective streaming memory bandwidth (via a STREAM-style triad benchmark,
+// McCalpin [11]) and the cache hierarchy sizes that choose the profiling
+// working sets. The paper's models take exactly these inputs: BW for the
+// ws/BW memory term, L1 for the t_b profiling matrix, and the last-level
+// cache for the nof profiling matrix.
+package machine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Machine describes the host parameters the models consume.
+type Machine struct {
+	// Cores is the number of usable CPUs.
+	Cores int
+	// L1DataBytes, L2Bytes and LLCBytes are the data-cache capacities per
+	// level. LLCBytes is the largest (last) level reported.
+	L1DataBytes int64
+	L2Bytes     int64
+	LLCBytes    int64
+	// BandwidthBytesPerSec is the effective streaming bandwidth measured
+	// by the triad benchmark, the BW of equations (1)-(3).
+	BandwidthBytesPerSec float64
+	// TriadBytes is the working-set size the bandwidth was measured at.
+	TriadBytes int64
+	// LoadLatencySeconds is the average dependent-load latency beyond the
+	// caches, measured by a pointer chase. It is zero unless measured; the
+	// paper's models ignore latency (Section IV), and only the OVERLAP+LAT
+	// extension model consumes it.
+	LoadLatencySeconds float64
+}
+
+// String summarises the machine in one line.
+func (m Machine) String() string {
+	return fmt.Sprintf("cores=%d L1d=%s L2=%s LLC=%s BW=%.2f GiB/s (triad @ %s)",
+		m.Cores, fmtBytes(m.L1DataBytes), fmtBytes(m.L2Bytes), fmtBytes(m.LLCBytes),
+		m.BandwidthBytesPerSec/(1<<30), fmtBytes(m.TriadBytes))
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.0fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// Default cache sizes when sysfs is unavailable. These are the paper's
+// Core 2 Xeon values (32 KiB L1d, 4 MiB shared L2 as the last level),
+// which keeps the profiling working sets sensible on unknown hosts.
+const (
+	DefaultL1 = 32 << 10
+	DefaultL2 = 4 << 20
+)
+
+// DetectCaches reads the data-cache hierarchy from Linux sysfs, falling
+// back to the paper's Core 2 values when unavailable.
+func DetectCaches() (l1d, l2, llc int64) {
+	l1d, l2, llc = DefaultL1, DefaultL2, DefaultL2
+	base := "/sys/devices/system/cpu/cpu0/cache"
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return l1d, l2, llc
+	}
+	var maxLevelSize int64
+	var haveAny bool
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "index") {
+			continue
+		}
+		dir := filepath.Join(base, e.Name())
+		typ := readFileTrim(filepath.Join(dir, "type"))
+		if typ == "Instruction" {
+			continue
+		}
+		level, err1 := strconv.Atoi(readFileTrim(filepath.Join(dir, "level")))
+		size, err2 := parseSize(readFileTrim(filepath.Join(dir, "size")))
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		haveAny = true
+		switch level {
+		case 1:
+			l1d = size
+		case 2:
+			l2 = size
+		}
+		if size > maxLevelSize {
+			maxLevelSize = size
+		}
+	}
+	if haveAny && maxLevelSize > 0 {
+		llc = maxLevelSize
+	}
+	return l1d, l2, llc
+}
+
+func readFileTrim(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// parseSize parses sysfs cache sizes like "48K", "2048K", "36M".
+func parseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("machine: empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'K', 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'M', 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'G', 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("machine: bad cache size %q: %w", s, err)
+	}
+	return n * mult, nil
+}
+
+// MeasureTriadBandwidth runs a STREAM-style triad a[i] = b[i] + s*c[i]
+// over three float64 arrays totalling approximately wsBytes and returns
+// the sustained bandwidth in bytes per second (counting, as STREAM does,
+// three 8-byte transfers per element: two reads and one write). The best
+// of reps repetitions is reported, after one warm-up pass.
+func MeasureTriadBandwidth(wsBytes int64, reps int) float64 {
+	n := int(wsBytes / (3 * 8))
+	if n < 1024 {
+		n = 1024
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i % 7)
+		c[i] = float64(i % 5)
+	}
+	triad := func() {
+		s := 3.0
+		for i := range a {
+			a[i] = b[i] + s*c[i]
+		}
+	}
+	triad() // warm-up / page-fault absorption
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		triad()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		best = time.Nanosecond
+	}
+	return float64(3*8*n) / best.Seconds()
+}
+
+// DefaultTriadBytes picks the bandwidth-measurement working set: well
+// beyond L2 so the triad streams rather than hitting a near cache, but
+// bounded so detection stays fast even on hosts reporting huge shared
+// last-level caches.
+func DefaultTriadBytes(l2 int64) int64 {
+	ws := 16 * l2
+	const (
+		minWS = 32 << 20
+		maxWS = 256 << 20
+	)
+	if ws < minWS {
+		ws = minWS
+	}
+	if ws > maxWS {
+		ws = maxWS
+	}
+	return ws
+}
+
+// MeasureLoadLatency measures the average latency of a dependent load
+// chain over a randomly permuted array of approximately wsBytes: a pointer
+// chase in which each load's address depends on the previous load's value,
+// defeating both prefetching and overlap. The result approximates the
+// cache-miss cost an irregularly accessed input vector pays.
+func MeasureLoadLatency(wsBytes int64, hops int) float64 {
+	n := int(wsBytes / 8)
+	if n < 1024 {
+		n = 1024
+	}
+	// Build a random single-cycle permutation (Sattolo's algorithm) so the
+	// chase visits every element exactly once per lap.
+	next := make([]int64, n)
+	for i := range next {
+		next[i] = int64(i)
+	}
+	state := uint64(0x9E3779B97F4A7C15)
+	rnd := func(bound int) int {
+		// xorshift*; deterministic and cheap.
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return int((state * 0x2545F4914F6CDD1D) >> 33 % uint64(bound))
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rnd(i)
+		next[i], next[j] = next[j], next[i]
+	}
+
+	cur := int64(0)
+	// Warm-up lap to populate the TLB and fault pages in.
+	for i := 0; i < n; i++ {
+		cur = next[cur]
+	}
+	if hops < 1 {
+		hops = 1
+	}
+	start := time.Now()
+	for i := 0; i < hops; i++ {
+		cur = next[cur]
+	}
+	elapsed := time.Since(start)
+	if cur < 0 {
+		panic("machine: unreachable") // keep the chain observable
+	}
+	return elapsed.Seconds() / float64(hops)
+}
+
+// Detect characterises the current host: cache sizes from sysfs, the
+// triad bandwidth at DefaultTriadBytes and the dependent-load latency.
+// It takes on the order of seconds.
+func Detect() Machine {
+	l1d, l2, llc := DetectCaches()
+	ws := DefaultTriadBytes(l2)
+	return Machine{
+		Cores:                runtime.NumCPU(),
+		L1DataBytes:          l1d,
+		L2Bytes:              l2,
+		LLCBytes:             llc,
+		BandwidthBytesPerSec: MeasureTriadBandwidth(ws, 3),
+		TriadBytes:           ws,
+		LoadLatencySeconds:   MeasureLoadLatency(ws, 2_000_000),
+	}
+}
+
+// Time measures f by running it reps times after warmup warm-up runs and
+// returns the minimum duration of a single run in seconds. The minimum is
+// the standard estimator for kernel timing: every source of interference
+// only ever adds time.
+func Time(warmup, reps int, f func()) float64 {
+	for i := 0; i < warmup; i++ {
+		f()
+	}
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best.Seconds()
+}
+
+// TimeAvg measures f by running it reps times in one timed batch and
+// returns the average seconds per run. Used when a single run is too
+// short for the timer resolution (e.g. L1-resident kernels).
+func TimeAvg(warmup, reps int, f func()) float64 {
+	for i := 0; i < warmup; i++ {
+		f()
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return time.Since(start).Seconds() / float64(reps)
+}

@@ -1,0 +1,117 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"48K":   48 << 10,
+		"2048K": 2048 << 10,
+		"36M":   36 << 20,
+		"1G":    1 << 30,
+		"512":   512,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "12Q3"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDetectCachesSane(t *testing.T) {
+	l1, l2, llc := DetectCaches()
+	if l1 < 8<<10 || l1 > 1<<20 {
+		t.Errorf("implausible L1d %d", l1)
+	}
+	if l2 < l1 {
+		t.Errorf("L2 %d smaller than L1 %d", l2, l1)
+	}
+	if llc < l2 {
+		t.Errorf("LLC %d smaller than L2 %d", llc, l2)
+	}
+}
+
+func TestMeasureTriadBandwidth(t *testing.T) {
+	// A tiny measurement just has to produce a positive, finite rate.
+	bw := MeasureTriadBandwidth(1<<20, 2)
+	if bw <= 0 {
+		t.Fatalf("bandwidth = %g", bw)
+	}
+	// Sanity ceiling: no machine streams at an exabyte per second.
+	if bw > 1e18 {
+		t.Fatalf("bandwidth = %g implausible", bw)
+	}
+}
+
+func TestDefaultTriadBytes(t *testing.T) {
+	if got := DefaultTriadBytes(1 << 20); got != 32<<20 {
+		t.Errorf("small L2: %d, want 32MiB floor", got)
+	}
+	if got := DefaultTriadBytes(4 << 20); got != 64<<20 {
+		t.Errorf("4MiB L2: %d, want 64MiB", got)
+	}
+	if got := DefaultTriadBytes(1 << 30); got != 256<<20 {
+		t.Errorf("huge L2: %d, want 256MiB cap", got)
+	}
+}
+
+func TestTimeEstimators(t *testing.T) {
+	n := 0
+	sink := 0.0
+	work := func() {
+		n++
+		for i := 0; i < 1000; i++ {
+			sink += float64(i)
+		}
+	}
+	sec := Time(1, 3, work)
+	if sec < 0 {
+		t.Errorf("Time returned %g", sec)
+	}
+	if n != 4 {
+		t.Errorf("Time ran f %d times, want 4", n)
+	}
+	n = 0
+	sec = TimeAvg(2, 5, work)
+	if sec < 0 {
+		t.Errorf("TimeAvg returned %g", sec)
+	}
+	if n != 7 {
+		t.Errorf("TimeAvg ran f %d times, want 7", n)
+	}
+	_ = sink
+}
+
+func TestMachineString(t *testing.T) {
+	m := Machine{
+		Cores: 2, L1DataBytes: 32 << 10, L2Bytes: 4 << 20, LLCBytes: 4 << 20,
+		BandwidthBytesPerSec: 3.36 * (1 << 30), TriadBytes: 64 << 20,
+	}
+	s := m.String()
+	for _, want := range []string{"cores=2", "32KiB", "4.0MiB", "3.36 GiB/s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestMeasureLoadLatency(t *testing.T) {
+	lat := MeasureLoadLatency(1<<20, 50000)
+	if lat <= 0 || lat > 1e-5 {
+		t.Fatalf("load latency %g s implausible", lat)
+	}
+	// A chase far beyond L1 must not be faster than a cache-resident one
+	// by any large margin (monotonicity sanity; equal is fine).
+	small := MeasureLoadLatency(16<<10, 50000)
+	if lat < small/4 {
+		t.Errorf("large-ws latency %g much faster than small-ws %g", lat, small)
+	}
+}

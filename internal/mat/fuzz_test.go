@@ -1,0 +1,42 @@
+package mat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket exercises the parser against arbitrary input: it
+// must never panic, and anything it accepts must round-trip through the
+// writer into an equivalent matrix.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 3 2\n1 1 1.5\n2 3 -2\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n")
+	f.Add("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+	f.Add("%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 7\n")
+	f.Add("% not a header\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 999999999999\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ReadMatrixMarket[float64](strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must satisfy the matrix invariants...
+		if err := PatternOf(m).Validate(); err != nil {
+			t.Fatalf("accepted matrix violates invariants: %v", err)
+		}
+		// ...and survive a write/read round trip.
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatalf("cannot write accepted matrix: %v", err)
+		}
+		back, err := ReadMatrixMarket[float64](&buf)
+		if err != nil {
+			t.Fatalf("cannot re-read written matrix: %v", err)
+		}
+		if back.Rows() != m.Rows() || back.Cols() != m.Cols() || back.NNZ() != m.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d/%d -> %dx%d/%d",
+				m.Rows(), m.Cols(), m.NNZ(), back.Rows(), back.Cols(), back.NNZ())
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package mat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"blockspmv/internal/floats"
+)
+
+// Matrix Market I/O.
+//
+// The paper's matrix suite comes from Tim Davis' collection, which is
+// distributed in the Matrix Market exchange format. This reproduction ships
+// synthetic generators instead (see internal/suite), but supports reading
+// and writing the same exchange format so real collection matrices can be
+// dropped into every experiment unchanged.
+
+// ReadMatrixMarket parses a matrix in Matrix Market coordinate or array
+// format. Supported qualifiers: real/integer/pattern values and
+// general/symmetric/skew-symmetric storage. Pattern entries get value 1.
+// Symmetric (and skew-symmetric) off-diagonal entries are mirrored.
+func ReadMatrixMarket[T floats.Float](r io.Reader) (*COO[T], error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mat: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("mat: bad MatrixMarket header %q", sc.Text())
+	}
+	layout, valType, symmetry := header[2], header[3], header[4]
+	if layout != "coordinate" && layout != "array" {
+		return nil, fmt.Errorf("mat: unsupported layout %q", layout)
+	}
+	switch valType {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("mat: unsupported value type %q", valType)
+	}
+	switch symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("mat: unsupported symmetry %q", symmetry)
+	}
+	if layout == "array" && valType == "pattern" {
+		return nil, fmt.Errorf("mat: array layout cannot be pattern")
+	}
+
+	// Skip comments, read the size line.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("mat: missing size line")
+	}
+	sizes := strings.Fields(sizeLine)
+	wantSizes := 3
+	if layout == "array" {
+		wantSizes = 2
+	}
+	if len(sizes) != wantSizes {
+		return nil, fmt.Errorf("mat: bad size line %q", sizeLine)
+	}
+	rows, err := strconv.Atoi(sizes[0])
+	if err != nil {
+		return nil, fmt.Errorf("mat: bad row count: %w", err)
+	}
+	cols, err := strconv.Atoi(sizes[1])
+	if err != nil {
+		return nil, fmt.Errorf("mat: bad column count: %w", err)
+	}
+	declared := rows * cols
+	if layout == "coordinate" {
+		declared, err = strconv.Atoi(sizes[2])
+		if err != nil {
+			return nil, fmt.Errorf("mat: bad nnz count: %w", err)
+		}
+	}
+
+	m := New[T](rows, cols)
+	add := func(r, c int, v float64) {
+		m.Add(int32(r), int32(c), T(v))
+		if r != c {
+			switch symmetry {
+			case "symmetric":
+				m.Add(int32(c), int32(r), T(v))
+			case "skew-symmetric":
+				m.Add(int32(c), int32(r), T(-v))
+			}
+		}
+	}
+
+	seen := 0
+	if layout == "array" {
+		// Column-major dense listing.
+		r, c := 0, 0
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			for _, f := range strings.Fields(line) {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("mat: bad array value %q: %w", f, err)
+				}
+				if v != 0 {
+					add(r, c, v)
+				}
+				seen++
+				r++
+				if r == rows {
+					r, c = 0, c+1
+				}
+			}
+		}
+		if seen != declared {
+			return nil, fmt.Errorf("mat: array has %d values, header declares %d", seen, declared)
+		}
+	} else {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			fields := strings.Fields(line)
+			want := 3
+			if valType == "pattern" {
+				want = 2
+			}
+			if len(fields) < want {
+				return nil, fmt.Errorf("mat: bad entry line %q", line)
+			}
+			ri, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("mat: bad row index %q: %w", fields[0], err)
+			}
+			ci, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("mat: bad column index %q: %w", fields[1], err)
+			}
+			if ri < 1 || ri > rows || ci < 1 || ci > cols {
+				return nil, fmt.Errorf("mat: entry (%d,%d) outside declared %dx%d", ri, ci, rows, cols)
+			}
+			v := 1.0
+			if valType != "pattern" {
+				v, err = strconv.ParseFloat(fields[2], 64)
+				if err != nil {
+					return nil, fmt.Errorf("mat: bad value %q: %w", fields[2], err)
+				}
+			}
+			add(ri-1, ci-1, v)
+			seen++
+		}
+		if seen != declared {
+			return nil, fmt.Errorf("mat: stream has %d entries, header declares %d", seen, declared)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mat: reading MatrixMarket: %w", err)
+	}
+	m.Finalize()
+	return m, nil
+}
+
+// WriteMatrixMarket writes the matrix in Matrix Market coordinate general
+// real format with 1-based indices.
+func WriteMatrixMarket[T floats.Float](w io.Writer, m *COO[T]) error {
+	m.mustFinal()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n",
+		m.Rows(), m.Cols(), m.NNZ()); err != nil {
+		return err
+	}
+	for _, e := range m.Entries() {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", e.Row+1, e.Col+1, float64(e.Val)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,125 @@
+package mat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := New[float64](5, 7)
+	m.Add(0, 0, 1.5)
+	m.Add(2, 6, -2.25)
+	m.Add(4, 3, 1e-7)
+	m.Finalize()
+
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket[float64](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != 5 || back.Cols() != 7 || back.NNZ() != 3 {
+		t.Fatalf("round trip: %dx%d nnz=%d", back.Rows(), back.Cols(), back.NNZ())
+	}
+	for i, e := range m.Entries() {
+		if back.Entries()[i] != e {
+			t.Errorf("entry %d = %v, want %v", i, back.Entries()[i], e)
+		}
+	}
+}
+
+func TestReadSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 3
+1 1 2.0
+2 1 5.0
+3 3 1.0
+`
+	m, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2,1) mirrors to (1,2): 4 stored entries.
+	if m.NNZ() != 4 {
+		t.Fatalf("symmetric read gave %d entries, want 4", m.NNZ())
+	}
+	d := m.ToDense()
+	if d[0*3+1] != 5 || d[1*3+0] != 5 {
+		t.Errorf("mirror failed: %v", d)
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	m, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToDense()
+	if d[1*2+0] != 3 || d[0*2+1] != -3 {
+		t.Errorf("skew mirror failed: %v", d)
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	m, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Entries() {
+		if e.Val != 1 {
+			t.Errorf("pattern entry value = %g, want 1", e.Val)
+		}
+	}
+}
+
+func TestReadArray(t *testing.T) {
+	src := `%%MatrixMarket matrix array real general
+2 2
+1.0
+0.0
+3.0
+4.0
+`
+	m, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column-major: (0,0)=1, (1,0)=0, (0,1)=3, (1,1)=4.
+	d := m.ToDense()
+	want := []float64{1, 3, 0, 4}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dense = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"badheader":    "%%MatrixMarket tensor coordinate real general\n1 1 1\n1 1 1\n",
+		"badtype":      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 1\n",
+		"badsymmetry":  "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"outofrange":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"missingcount": "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n",
+		"badvalue":     "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 abc\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMatrixMarket[float64](strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted invalid input", name)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package mat
+
+import (
+	"fmt"
+
+	"blockspmv/internal/floats"
+)
+
+// Pattern is the value-free sparsity structure of a matrix in CSR layout:
+// row pointers and column indices only. Block counting — the basis of every
+// performance-model candidate evaluation — needs only the pattern, so it is
+// factored out of the value-carrying formats.
+type Pattern struct {
+	Rows, Cols int
+	RowPtr     []int32 // len Rows+1; RowPtr[r]..RowPtr[r+1] indexes ColInd
+	ColInd     []int32 // len NNZ; column indices, sorted within each row
+}
+
+// PatternOf extracts the sparsity pattern of a finalized matrix.
+func PatternOf[T floats.Float](m *COO[T]) *Pattern {
+	m.mustFinal()
+	p := &Pattern{
+		Rows:   m.Rows(),
+		Cols:   m.Cols(),
+		RowPtr: make([]int32, m.Rows()+1),
+		ColInd: make([]int32, m.NNZ()),
+	}
+	for i, e := range m.Entries() {
+		p.RowPtr[e.Row+1]++
+		p.ColInd[i] = e.Col
+	}
+	for r := 0; r < m.Rows(); r++ {
+		p.RowPtr[r+1] += p.RowPtr[r]
+	}
+	return p
+}
+
+// NNZ returns the number of stored positions.
+func (p *Pattern) NNZ() int { return len(p.ColInd) }
+
+// RowCols returns the column indices of row r.
+func (p *Pattern) RowCols(r int) []int32 {
+	return p.ColInd[p.RowPtr[r]:p.RowPtr[r+1]]
+}
+
+// IrregularAccesses counts the nonzeros whose input-vector access is
+// likely to miss in cache: the first access of each row and every access
+// whose column is more than gap positions beyond the previous access in
+// the same row (within gap, the line fetched or prefetched for the
+// previous access covers it). This is the latency proxy consumed by the
+// OVERLAP+LAT extension model; the paper's Section V.B identifies exactly
+// these accesses as the residual the models miss.
+func (p *Pattern) IrregularAccesses(gap int32) int64 {
+	var n int64
+	for r := 0; r < p.Rows; r++ {
+		cols := p.RowCols(r)
+		for i, c := range cols {
+			if i == 0 || c-cols[i-1] > gap {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Validate checks the structural invariants: monotone row pointers, sorted
+// and in-range column indices. It returns a descriptive error on the first
+// violation, and is used by the property-based tests.
+func (p *Pattern) Validate() error {
+	if len(p.RowPtr) != p.Rows+1 {
+		return fmt.Errorf("mat: RowPtr has %d entries, want %d", len(p.RowPtr), p.Rows+1)
+	}
+	if p.RowPtr[0] != 0 {
+		return fmt.Errorf("mat: RowPtr[0] = %d, want 0", p.RowPtr[0])
+	}
+	if int(p.RowPtr[p.Rows]) != len(p.ColInd) {
+		return fmt.Errorf("mat: RowPtr[end] = %d, want %d", p.RowPtr[p.Rows], len(p.ColInd))
+	}
+	for r := 0; r < p.Rows; r++ {
+		if p.RowPtr[r] > p.RowPtr[r+1] {
+			return fmt.Errorf("mat: RowPtr not monotone at row %d", r)
+		}
+		if p.RowPtr[r] < 0 || int(p.RowPtr[r+1]) > len(p.ColInd) {
+			return fmt.Errorf("mat: RowPtr out of bounds at row %d", r)
+		}
+		cols := p.RowCols(r)
+		for i, c := range cols {
+			if c < 0 || int(c) >= p.Cols {
+				return fmt.Errorf("mat: row %d has column %d outside [0,%d)", r, c, p.Cols)
+			}
+			if i > 0 && cols[i-1] >= c {
+				return fmt.Errorf("mat: row %d columns not strictly increasing at %d", r, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"blockspmv/internal/floats"
+)
+
+// Stats summarises the structural properties of a sparse matrix that drive
+// blocked-format behaviour: how long the rows are, how much of the matrix
+// sits on contiguous horizontal runs, and how diagonal it is. These are the
+// quantities Section III argues determine whether blocking pays off.
+type Stats struct {
+	Rows, Cols int
+	NNZ        int
+
+	// Row length distribution.
+	MinRowLen, MaxRowLen int
+	AvgRowLen            float64
+	EmptyRows            int
+
+	// Fraction of nonzeros whose left neighbour (same row, col-1) is also
+	// stored. High values mean long horizontal runs, i.e. 1D-VBL and r x c
+	// blocks with c > 1 can form blocks without padding.
+	HorizontalRunFraction float64
+
+	// Fraction of nonzeros whose up-left neighbour (row-1, col-1) is also
+	// stored. High values mean dense diagonal segments, i.e. BCSD-friendly
+	// structure.
+	DiagonalRunFraction float64
+
+	// Fraction of nonzeros whose upper neighbour (row-1, col) is also
+	// stored. High values favour r x 1 vertical blocks.
+	VerticalRunFraction float64
+
+	// Bandwidth is the maximum |col-row| over all entries.
+	Bandwidth int
+}
+
+// ComputeStats computes structure statistics for a finalized matrix.
+func ComputeStats[T floats.Float](m *COO[T]) Stats {
+	m.mustFinal()
+	s := Stats{Rows: m.Rows(), Cols: m.Cols(), NNZ: m.NNZ(), MinRowLen: math.MaxInt}
+	lens := m.RowLengths()
+	for _, l := range lens {
+		if l == 0 {
+			s.EmptyRows++
+		}
+		if l < s.MinRowLen {
+			s.MinRowLen = l
+		}
+		if l > s.MaxRowLen {
+			s.MaxRowLen = l
+		}
+	}
+	if len(lens) == 0 {
+		s.MinRowLen = 0
+	}
+	if s.Rows > 0 {
+		s.AvgRowLen = float64(s.NNZ) / float64(s.Rows)
+	}
+
+	// Neighbour fractions via a coordinate set. Entries are sorted
+	// row-major, so same-row left neighbours are adjacent; for cross-row
+	// neighbours use a hash set keyed on the packed coordinate.
+	set := make(map[int64]struct{}, s.NNZ)
+	key := func(r, c int32) int64 { return int64(r)<<32 | int64(uint32(c)) }
+	for _, e := range m.Entries() {
+		set[key(e.Row, e.Col)] = struct{}{}
+	}
+	var horiz, diag, vert int
+	for _, e := range m.Entries() {
+		if bw := int(math.Abs(float64(e.Col - e.Row))); bw > s.Bandwidth {
+			s.Bandwidth = bw
+		}
+		if e.Col > 0 {
+			if _, ok := set[key(e.Row, e.Col-1)]; ok {
+				horiz++
+			}
+		}
+		if e.Row > 0 {
+			if _, ok := set[key(e.Row-1, e.Col)]; ok {
+				vert++
+			}
+			if e.Col > 0 {
+				if _, ok := set[key(e.Row-1, e.Col-1)]; ok {
+					diag++
+				}
+			}
+		}
+	}
+	if s.NNZ > 0 {
+		s.HorizontalRunFraction = float64(horiz) / float64(s.NNZ)
+		s.DiagonalRunFraction = float64(diag) / float64(s.NNZ)
+		s.VerticalRunFraction = float64(vert) / float64(s.NNZ)
+	}
+	return s
+}
+
+// String renders the statistics as a compact single-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%dx%d nnz=%d rows[min=%d avg=%.1f max=%d empty=%d] runs[h=%.2f v=%.2f d=%.2f] bw=%d",
+		s.Rows, s.Cols, s.NNZ, s.MinRowLen, s.AvgRowLen, s.MaxRowLen, s.EmptyRows,
+		s.HorizontalRunFraction, s.VerticalRunFraction, s.DiagonalRunFraction, s.Bandwidth)
+}
+
+// RowLengthHistogram returns (upper bounds, counts) of a coarse row-length
+// histogram with power-of-two bucket boundaries, used by the matgen
+// inspection tool.
+func RowLengthHistogram[T floats.Float](m *COO[T]) (bounds []int, counts []int) {
+	lens := m.RowLengths()
+	maxLen := 0
+	for _, l := range lens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	for b := 1; b <= maxLen || len(bounds) == 0; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	counts = make([]int, len(bounds))
+	for _, l := range lens {
+		idx := sort.SearchInts(bounds, l)
+		if idx == len(bounds) {
+			idx--
+		}
+		counts[idx]++
+	}
+	return bounds, counts
+}
+
+// CSRWorkingSetBytes returns the size in bytes of the matrix stored in CSR
+// format with 4-byte indices and valSize-byte values, as reported in the
+// "ws" column of Table I: val (nnz) + col_ind (nnz) + row_ptr (rows+1).
+func CSRWorkingSetBytes(rows, nnz, valSize int) int64 {
+	return int64(nnz)*int64(valSize+4) + int64(rows+1)*4
+}

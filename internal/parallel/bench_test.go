@@ -1,0 +1,41 @@
+package parallel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/parallel"
+	"blockspmv/internal/testmat"
+)
+
+// BenchmarkMulVecWorkers measures the multithreaded multiply at different
+// worker counts (scaling depends on available CPUs; see EXPERIMENTS.md).
+func BenchmarkMulVecWorkers(b *testing.B) {
+	m := testmat.Random[float64](60000, 60000, 12.0/60000, 1)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	x := floats.RandVector[float64](60000, 2)
+	y := make([]float64, 60000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		pm := parallel.NewMul(inst, workers, parallel.BalanceWeights)
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.SetBytes(inst.MatrixBytes())
+			for i := 0; i < b.N; i++ {
+				pm.MulVec(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkPartition times the balanced partitioner itself.
+func BenchmarkPartition(b *testing.B) {
+	m := testmat.Random[float64](200000, 1000, 8.0/1000, 3)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	weights := inst.RowWeights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parallel.Partition(weights, 4, 8, parallel.BalanceWeights)
+	}
+}

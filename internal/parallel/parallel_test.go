@@ -1,0 +1,195 @@
+package parallel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blockspmv/internal/bcsr"
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/parallel"
+	"blockspmv/internal/testmat"
+)
+
+func TestPartitionInvariants(t *testing.T) {
+	f := func(seed int64, alignRaw, partsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Intn(300)
+		align := 1 + int(alignRaw%8)
+		parts := 1 + int(partsRaw%7)
+		weights := make([]int64, rows)
+		for i := range weights {
+			weights[i] = int64(rng.Intn(50))
+		}
+		for _, strategy := range []parallel.Strategy{parallel.BalanceWeights, parallel.EqualRows} {
+			ranges := parallel.Partition(weights, align, parts, strategy)
+			if len(ranges) != parts {
+				return false
+			}
+			// Contiguous cover of [0, rows) with aligned boundaries.
+			pos := 0
+			for _, rr := range ranges {
+				if rr[0] != pos || rr[1] < rr[0] {
+					return false
+				}
+				if rr[1]%align != 0 && rr[1] != rows {
+					return false
+				}
+				pos = rr[1]
+			}
+			if pos != rows {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionBalancesWeights(t *testing.T) {
+	// 1000 rows; the last 100 rows carry 10x the weight. A weight-balanced
+	// 2-way split must cut far beyond row 500.
+	weights := make([]int64, 1000)
+	for i := range weights {
+		if i >= 900 {
+			weights[i] = 100
+		} else {
+			weights[i] = 10
+		}
+	}
+	ranges := parallel.Partition(weights, 1, 2, parallel.BalanceWeights)
+	if cut := ranges[0][1]; cut < 800 {
+		t.Errorf("balanced cut at %d, want beyond 800", cut)
+	}
+	ranges = parallel.Partition(weights, 1, 2, parallel.EqualRows)
+	if cut := ranges[0][1]; cut != 500 {
+		t.Errorf("equal-rows cut at %d, want 500", cut)
+	}
+}
+
+func TestPartitionRespectsAlignment(t *testing.T) {
+	weights := make([]int64, 103)
+	for i := range weights {
+		weights[i] = 1
+	}
+	ranges := parallel.Partition(weights, 8, 4, parallel.BalanceWeights)
+	for i, rr := range ranges[:3] {
+		if rr[1]%8 != 0 {
+			t.Errorf("cut %d at row %d not 8-aligned", i, rr[1])
+		}
+	}
+	if ranges[3][1] != 103 {
+		t.Errorf("final boundary %d, want 103", ranges[3][1])
+	}
+}
+
+func TestMulMatchesSequential(t *testing.T) {
+	corpus := testmat.Corpus[float64]()
+	for name, m := range corpus {
+		builders := map[string]func() formats.Instance[float64]{
+			"CSR":       func() formats.Instance[float64] { return csr.FromCOO(m, blocks.Scalar) },
+			"BCSR(2x3)": func() formats.Instance[float64] { return bcsr.New(m, 2, 3, blocks.Scalar) },
+			"BCSR-DEC":  func() formats.Instance[float64] { return bcsr.NewDecomposed(m, 4, 2, blocks.Vector) },
+		}
+		for bname, build := range builders {
+			for _, parts := range []int{1, 2, 4, 7} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", name, bname, parts), func(t *testing.T) {
+					inst := build()
+					want := make([]float64, m.Rows())
+					x := floats.RandVector[float64](m.Cols(), 5)
+					m.MulVec(x, want)
+					pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+					got := make([]float64, m.Rows())
+					pm.MulVec(x, got)
+					if !floats.EqualWithin(got, want, 1e-9) {
+						t.Fatalf("parallel product differs, max %g", floats.MaxAbsDiff(got, want))
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestPartWeightsNearlyEqual(t *testing.T) {
+	m := testmat.Random[float64](4000, 4000, 0.002, 11)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	pm := parallel.NewMul(inst, 4, parallel.BalanceWeights)
+	pw := pm.PartWeights()
+	var total int64
+	for _, w := range pw {
+		total += w
+	}
+	target := total / 4
+	for i, w := range pw {
+		dev := w - target
+		if dev < 0 {
+			dev = -dev
+		}
+		// Random matrices have ~8 nnz per row: cuts land within a row or
+		// two of the ideal point.
+		if dev > total/20 {
+			t.Errorf("part %d weight %d deviates from target %d", i, w, target)
+		}
+	}
+}
+
+func TestPaddingAwareBalancing(t *testing.T) {
+	// Top half: dense aligned 2x2 tiles (no padding). Bottom half:
+	// isolated scattered entries (4x padding in 2x2 BCSR). A padding-
+	// aware 2-way split of the BCSR instance must give the bottom half
+	// fewer rows... i.e. cut earlier than the raw-nnz midpoint.
+	mraw := testmat.Blocky[float64](400, 400, 2, 2, 0, 0, 1) // empty base
+	_ = mraw
+	mm := testmat.Blocky[float64](200, 400, 2, 2, 300, 0, 2) // dense tiles
+	// Build combined matrix: tiles in top half, singles in bottom half.
+	combined := testmat.Blocky[float64](400, 400, 2, 2, 0, 0, 3).Clone()
+	for _, e := range mm.Entries() {
+		combined.Add(e.Row, e.Col, e.Val)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for k := 0; k < 1200; k++ {
+		combined.Add(int32(200+rng.Intn(200)), int32(rng.Intn(400)), 1)
+	}
+	combined.Finalize()
+
+	inst := bcsr.New(combined, 2, 2, blocks.Scalar)
+	pm := parallel.NewMul(inst, 2, parallel.BalanceWeights)
+	pw := pm.PartWeights()
+	ratio := float64(pw[0]) / float64(pw[0]+pw[1])
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("stored-scalar balance ratio %.2f, want ~0.5", ratio)
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	for _, tc := range []struct{ align, parts int }{{0, 2}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Partition(align=%d parts=%d) did not panic", tc.align, tc.parts)
+				}
+			}()
+			parallel.Partition([]int64{1, 2}, tc.align, tc.parts, parallel.BalanceWeights)
+		}()
+	}
+}
+
+func TestMorePartsThanRows(t *testing.T) {
+	m := testmat.Random[float64](3, 10, 0.5, 6)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	pm := parallel.NewMul(inst, 8, parallel.BalanceWeights)
+	x := floats.RandVector[float64](10, 7)
+	got := make([]float64, 3)
+	want := make([]float64, 3)
+	pm.MulVec(x, got)
+	m.MulVec(x, want)
+	if !floats.EqualWithin(got, want, 1e-12) {
+		t.Error("oversubscribed parallel multiply wrong")
+	}
+}

@@ -1,0 +1,227 @@
+// Package profile measures the per-block kernel parameters the MEMCOMP and
+// OVERLAP models need (Section IV):
+//
+//   - t_b: the execution time of a single block of each (shape, impl)
+//     combination, "obtained by profiling the execution of a very small
+//     dense matrix, which is stored using every blocking method and block
+//     under consideration and fits in the L1 cache of the target machine."
+//   - nof_b: the non-overlapping factor of equation (4), "obtained ...
+//     by profiling a large dense matrix that exceeds the highest level of
+//     cache": nof_b = (t_real_b - t_MEM) / (nb * t_b).
+//
+// CSR is profiled as the degenerate 1x1 blocking with nb = nnz.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"blockspmv/internal/bcsd"
+	"blockspmv/internal/bcsr"
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/machine"
+	"blockspmv/internal/mat"
+)
+
+// Key identifies one profiled kernel: a block shape and an implementation
+// class.
+type Key struct {
+	Shape blocks.Shape
+	Impl  blocks.Impl
+}
+
+func (k Key) String() string { return k.Shape.String() + "/" + k.Impl.String() }
+
+// Entry holds the profiled parameters of one kernel.
+type Entry struct {
+	// Tb is the estimated execution time of a single block, in seconds.
+	Tb float64
+	// Nof is the non-overlapping factor: the fraction of the computational
+	// time that is not hidden behind memory transfers.
+	Nof float64
+}
+
+// Table is a complete kernel profile for one precision on one machine.
+type Table struct {
+	Precision string
+	Machine   machine.Machine
+	Entries   map[Key]Entry
+}
+
+// Lookup returns the profile entry for a shape and impl.
+func (t *Table) Lookup(s blocks.Shape, impl blocks.Impl) (Entry, bool) {
+	e, ok := t.Entries[Key{Shape: s, Impl: impl}]
+	return e, ok
+}
+
+// Options tunes the profiling run. The zero value selects defaults
+// derived from the machine.
+type Options struct {
+	// TbBytes is the target CSR working set of the t_b profiling matrix.
+	// Default: half the L1 data cache.
+	TbBytes int64
+	// NofBytes is the target CSR working set of the nof profiling matrix.
+	// Default: 16x L2, clamped to [32 MiB, 256 MiB]. (The paper exceeds
+	// the highest cache level; on hosts advertising very large shared
+	// LLCs the clamp keeps profiling affordable while still streaming
+	// well beyond the private caches, consistent with how the effective
+	// bandwidth itself is measured.)
+	NofBytes int64
+	// MaxNof clamps the measured non-overlapping factor. Default 2.
+	MaxNof float64
+}
+
+func (o Options) withDefaults(m machine.Machine) Options {
+	if o.TbBytes == 0 {
+		o.TbBytes = m.L1DataBytes / 2
+		if o.TbBytes == 0 {
+			o.TbBytes = machine.DefaultL1 / 2
+		}
+	}
+	if o.NofBytes == 0 {
+		o.NofBytes = machine.DefaultTriadBytes(m.L2Bytes)
+	}
+	if o.MaxNof == 0 {
+		o.MaxNof = 2
+	}
+	return o
+}
+
+// buildDense stores the dense matrix d in the format identified by key.
+func buildDense[T floats.Float](d *mat.COO[T], k Key) formats.Instance[T] {
+	switch {
+	case k.Shape.IsUnit():
+		return csr.FromCOO(d, k.Impl)
+	case k.Shape.Kind == blocks.Diag:
+		return bcsd.New(d, k.Shape.R, k.Impl)
+	default:
+		return bcsr.New(d, k.Shape.R, k.Shape.C, k.Impl)
+	}
+}
+
+// denseSide returns the side length of a dense matrix whose CSR working
+// set is approximately wsBytes for element size valSize.
+func denseSide(wsBytes int64, valSize int) int {
+	n := int(math.Sqrt(float64(wsBytes) / float64(valSize+4)))
+	return max(n, 16)
+}
+
+// blockCount returns the number of blocks the instance stores, which for
+// the single-component formats used here is Components()[0].Blocks.
+func blockCount[T floats.Float](inst formats.Instance[T]) int64 {
+	return inst.Components()[0].Blocks
+}
+
+// Collect profiles every kernel (all shapes x scalar/simd, plus the CSR
+// 1x1 degenerate) for precision T on machine m. The machine's bandwidth
+// must already be measured (Machine.BandwidthBytesPerSec > 0).
+func Collect[T floats.Float](m machine.Machine, opts Options) *Table {
+	opts = opts.withDefaults(m)
+	if m.BandwidthBytesPerSec <= 0 {
+		panic("profile: machine bandwidth not measured")
+	}
+	valSize := floats.SizeOf[T]()
+
+	small := mat.Dense[T](denseSide(opts.TbBytes, valSize), denseSide(opts.TbBytes, valSize))
+	big := mat.Dense[T](denseSide(opts.NofBytes, valSize), denseSide(opts.NofBytes, valSize))
+
+	t := &Table{
+		Precision: floats.PrecisionName[T](),
+		Machine:   m,
+		Entries:   make(map[Key]Entry),
+	}
+	for _, s := range blocks.AllShapes() {
+		for _, impl := range blocks.Impls() {
+			k := Key{Shape: s, Impl: impl}
+			t.Entries[k] = profileOne[T](small, big, k, m, opts)
+		}
+	}
+	return t
+}
+
+// profileOne measures Tb on the L1-resident matrix and Nof on the
+// cache-exceeding matrix for a single kernel.
+func profileOne[T floats.Float](small, big *mat.COO[T], k Key, m machine.Machine, opts Options) Entry {
+	// t_b: batch enough repetitions that timer resolution is irrelevant.
+	si := buildDense(small, k)
+	x := floats.RandVector[T](si.Cols(), 11)
+	y := make([]T, si.Rows())
+	nbSmall := blockCount(si)
+	perMul := machine.TimeAvg(5, 400, func() { si.Mul(x, y) })
+	tb := perMul / float64(nbSmall)
+
+	// nof: one construction, a handful of timed full passes.
+	bi := buildDense(big, k)
+	bx := floats.RandVector[T](bi.Cols(), 12)
+	by := make([]T, bi.Rows())
+	tReal := machine.Time(1, 3, func() { bi.Mul(bx, by) })
+	ws := formats.WorkingSetBytes(bi)
+	tMem := float64(ws) / m.BandwidthBytesPerSec
+	nbBig := blockCount(bi)
+
+	nof := (tReal - tMem) / (float64(nbBig) * tb)
+	if nof < 0 {
+		nof = 0
+	}
+	if nof > opts.MaxNof {
+		nof = opts.MaxNof
+	}
+	return Entry{Tb: tb, Nof: nof}
+}
+
+// jsonEntry is the serialised form of one profile row.
+type jsonEntry struct {
+	Shape string  `json:"shape"`
+	Impl  string  `json:"impl"`
+	Tb    float64 `json:"tb"`
+	Nof   float64 `json:"nof"`
+}
+
+type jsonTable struct {
+	Precision string          `json:"precision"`
+	Machine   machine.Machine `json:"machine"`
+	Entries   []jsonEntry     `json:"entries"`
+}
+
+// Save writes the profile as JSON.
+func (t *Table) Save(w io.Writer) error {
+	jt := jsonTable{Precision: t.Precision, Machine: t.Machine}
+	for _, s := range blocks.AllShapes() {
+		for _, impl := range blocks.Impls() {
+			if e, ok := t.Lookup(s, impl); ok {
+				jt.Entries = append(jt.Entries, jsonEntry{
+					Shape: s.String(), Impl: impl.String(), Tb: e.Tb, Nof: e.Nof,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
+}
+
+// Load reads a profile previously written by Save.
+func Load(r io.Reader) (*Table, error) {
+	var jt jsonTable
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("profile: decoding: %w", err)
+	}
+	t := &Table{Precision: jt.Precision, Machine: jt.Machine, Entries: make(map[Key]Entry)}
+	for _, je := range jt.Entries {
+		s, err := blocks.ParseShape(je.Shape)
+		if err != nil {
+			return nil, err
+		}
+		impl, err := blocks.ParseImpl(je.Impl)
+		if err != nil {
+			return nil, err
+		}
+		t.Entries[Key{Shape: s, Impl: impl}] = Entry{Tb: je.Tb, Nof: je.Nof}
+	}
+	return t, nil
+}

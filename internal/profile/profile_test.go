@@ -1,0 +1,120 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/machine"
+)
+
+// testMachine returns a machine description with a synthetic bandwidth so
+// profiling runs fast and deterministically enough for assertions.
+func testMachine() machine.Machine {
+	return machine.Machine{
+		Cores: 1, L1DataBytes: 32 << 10, L2Bytes: 1 << 20, LLCBytes: 1 << 20,
+		BandwidthBytesPerSec: machine.MeasureTriadBandwidth(4<<20, 2),
+		TriadBytes:           4 << 20,
+	}
+}
+
+// tinyOptions keeps the profiling matrices small for test speed.
+func tinyOptions() Options {
+	return Options{TbBytes: 8 << 10, NofBytes: 1 << 20}
+}
+
+func TestCollectCoversAllKernels(t *testing.T) {
+	tab := Collect[float64](testMachine(), tinyOptions())
+	if tab.Precision != "dp" {
+		t.Errorf("precision = %q, want dp", tab.Precision)
+	}
+	want := len(blocks.AllShapes()) * len(blocks.Impls())
+	if len(tab.Entries) != want {
+		t.Fatalf("profile has %d entries, want %d", len(tab.Entries), want)
+	}
+	for k, e := range tab.Entries {
+		if e.Tb <= 0 {
+			t.Errorf("%v: Tb = %g, want positive", k, e.Tb)
+		}
+		if e.Tb > 1e-3 {
+			t.Errorf("%v: Tb = %g s per block, implausibly slow", k, e.Tb)
+		}
+		if e.Nof < 0 || e.Nof > 2 {
+			t.Errorf("%v: Nof = %g outside [0,2]", k, e.Nof)
+		}
+	}
+}
+
+func TestTbScalesWithBlockSize(t *testing.T) {
+	tab := Collect[float64](testMachine(), tinyOptions())
+	// An 8-element block must cost more than a 1-element block, but less
+	// than 8x as much (amortised loop overheads are the whole point of
+	// blocking).
+	e1, _ := tab.Lookup(blocks.RectShape(1, 1), blocks.Scalar)
+	e8, _ := tab.Lookup(blocks.RectShape(1, 8), blocks.Scalar)
+	if e8.Tb <= e1.Tb {
+		t.Errorf("Tb(1x8) = %g <= Tb(1x1) = %g", e8.Tb, e1.Tb)
+	}
+	if e8.Tb >= 8*e1.Tb {
+		t.Errorf("Tb(1x8) = %g >= 8*Tb(1x1) = %g: no amortisation", e8.Tb, 8*e1.Tb)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tab := Collect[float32](testMachine(), tinyOptions())
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Precision != "sp" {
+		t.Errorf("precision = %q", back.Precision)
+	}
+	if len(back.Entries) != len(tab.Entries) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(back.Entries), len(tab.Entries))
+	}
+	for k, e := range tab.Entries {
+		b := back.Entries[k]
+		if b.Tb != e.Tb || b.Nof != e.Nof {
+			t.Errorf("%v: round trip %+v != %+v", k, b, e)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"entries":[{"shape":"9x9","impl":"scalar"}]}`))); err == nil {
+		t.Error("invalid shape accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"entries":[{"shape":"2x2","impl":"avx"}]}`))); err == nil {
+		t.Error("invalid impl accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	m := machine.Machine{L1DataBytes: 64 << 10, L2Bytes: 4 << 20}
+	o := Options{}.withDefaults(m)
+	if o.TbBytes != 32<<10 {
+		t.Errorf("TbBytes default = %d, want half of L1", o.TbBytes)
+	}
+	if o.NofBytes != 64<<20 {
+		t.Errorf("NofBytes default = %d, want 64MiB", o.NofBytes)
+	}
+	if o.MaxNof != 2 {
+		t.Errorf("MaxNof default = %g", o.MaxNof)
+	}
+}
+
+func TestCollectPanicsWithoutBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Collect without bandwidth did not panic")
+		}
+	}()
+	Collect[float64](machine.Machine{L1DataBytes: 32 << 10, L2Bytes: 1 << 20}, tinyOptions())
+}

@@ -1,0 +1,167 @@
+package reorder_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blockspmv/internal/floats"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/reorder"
+	"blockspmv/internal/testmat"
+)
+
+func TestRCMReducesBandwidthOnShuffledBand(t *testing.T) {
+	// Build a tridiagonal matrix, shuffle it, and check RCM restores a
+	// narrow band.
+	n := 200
+	band := mat.New[float64](n, n)
+	for i := 0; i < n; i++ {
+		band.Add(int32(i), int32(i), 2)
+		if i+1 < n {
+			band.Add(int32(i), int32(i+1), -1)
+			band.Add(int32(i+1), int32(i), -1)
+		}
+	}
+	band.Finalize()
+
+	// Shuffle with a random permutation.
+	rng := rand.New(rand.NewSource(1))
+	shuffle := make(reorder.Permutation, n)
+	for i := range shuffle {
+		shuffle[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { shuffle[i], shuffle[j] = shuffle[j], shuffle[i] })
+	shuffled, err := reorder.Apply(band, shuffle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffledBW := mat.ComputeStats(shuffled).Bandwidth
+	if shuffledBW < n/4 {
+		t.Fatalf("shuffle did not destroy the band (bw %d)", shuffledBW)
+	}
+
+	perm, err := reorder.RCM(mat.PatternOf(shuffled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := reorder.Apply(shuffled, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredBW := mat.ComputeStats(restored).Bandwidth
+	if restoredBW > 4 {
+		t.Errorf("RCM bandwidth %d, want <= 4 on a path graph", restoredBW)
+	}
+}
+
+func TestRCMHandlesDisconnectedAndEmpty(t *testing.T) {
+	// Two disconnected cliques plus isolated vertices.
+	m := mat.New[float64](10, 10)
+	for _, base := range []int32{0, 5} {
+		for i := int32(0); i < 3; i++ {
+			for j := int32(0); j < 3; j++ {
+				m.Add(base+i, base+j, 1)
+			}
+		}
+	}
+	m.Finalize()
+	perm, err := reorder.RCM(mat.PatternOf(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := perm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	empty := mat.New[float64](5, 5)
+	empty.Finalize()
+	perm, err = reorder.RCM(mat.PatternOf(empty))
+	if err != nil || perm.Validate() != nil {
+		t.Fatalf("RCM on empty matrix: %v", err)
+	}
+}
+
+func TestRCMRejectsRectangular(t *testing.T) {
+	m := testmat.Random[float64](4, 6, 0.3, 1)
+	if _, err := reorder.RCM(mat.PatternOf(m)); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+}
+
+// TestApplyPreservesProduct is the fundamental reordering identity: with
+// B = P A Pᵀ, computing y' = B x' where x' = P x gives y' = P y.
+func TestApplyPreservesProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		m := mat.New[float64](n, n)
+		for k := 0; k < 5*n; k++ {
+			m.Add(int32(rng.Intn(n)), int32(rng.Intn(n)), rng.Float64())
+		}
+		m.Finalize()
+
+		perm := make(reorder.Permutation, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+
+		b, err := reorder.Apply(m, perm)
+		if err != nil {
+			return false
+		}
+		x := floats.RandVector[float64](n, seed+1)
+		y := make([]float64, n)
+		m.MulVec(x, y)
+
+		xp := reorder.PermuteVec(x, perm)
+		yp := make([]float64, n)
+		b.MulVec(xp, yp)
+
+		back := reorder.UnpermuteVec(yp, perm)
+		return floats.EqualWithin(back, y, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationHelpers(t *testing.T) {
+	p := reorder.Permutation{2, 0, 1}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inv := p.Inverse()
+	want := reorder.Permutation{1, 2, 0}
+	for i := range want {
+		if inv[i] != want[i] {
+			t.Fatalf("Inverse = %v, want %v", inv, want)
+		}
+	}
+	if err := (reorder.Permutation{0, 0, 1}).Validate(); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	if err := (reorder.Permutation{0, 3}).Validate(); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+}
+
+func TestApplyRows(t *testing.T) {
+	m := testmat.Random[float64](6, 4, 0.4, 2)
+	perm := reorder.Permutation{5, 4, 3, 2, 1, 0}
+	out, err := reorder.ApplyRows(m, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := floats.RandVector[float64](4, 3)
+	y := make([]float64, 6)
+	yr := make([]float64, 6)
+	m.MulVec(x, y)
+	out.MulVec(x, yr)
+	for i := 0; i < 6; i++ {
+		if d := yr[i] - y[5-i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("row permutation wrong at %d", i)
+		}
+	}
+}

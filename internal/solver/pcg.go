@@ -1,0 +1,101 @@
+package solver
+
+import (
+	"fmt"
+
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+)
+
+// JacobiPreconditioner is the diagonal preconditioner M = diag(A):
+// essentially free to build and apply, and often enough to cut CG
+// iterations on stiff diagonally-dominant systems.
+type JacobiPreconditioner[T floats.Float] struct {
+	invDiag []T
+}
+
+// NewJacobi extracts the inverse diagonal of a finalized square matrix.
+// Rows with a zero (or missing) diagonal entry get the identity, keeping
+// the preconditioner well defined on any input.
+func NewJacobi[T floats.Float](m *mat.COO[T]) *JacobiPreconditioner[T] {
+	if m.Rows() != m.Cols() {
+		panic(fmt.Sprintf("solver: Jacobi needs a square matrix, have %dx%d", m.Rows(), m.Cols()))
+	}
+	inv := make([]T, m.Rows())
+	for i := range inv {
+		inv[i] = 1
+	}
+	for _, e := range m.Entries() {
+		if e.Row == e.Col && e.Val != 0 {
+			inv[e.Row] = 1 / e.Val
+		}
+	}
+	return &JacobiPreconditioner[T]{invDiag: inv}
+}
+
+// Apply computes z = M⁻¹ r.
+func (p *JacobiPreconditioner[T]) Apply(r, z []T) {
+	for i := range r {
+		z[i] = p.invDiag[i] * r[i]
+	}
+}
+
+// PCG solves A x = b with Jacobi-preconditioned conjugate gradients for
+// symmetric positive-definite A, overwriting x.
+func PCG[T floats.Float](a formats.Instance[T], pre *JacobiPreconditioner[T], b, x []T, opts Options) (Stats, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return Stats{}, fmt.Errorf("solver: PCG needs a square matrix, have %dx%d", n, a.Cols())
+	}
+	if len(b) != n || len(x) != n || len(pre.invDiag) != n {
+		return Stats{}, fmt.Errorf("solver: dimension mismatch")
+	}
+	opts = opts.withDefaults(n, floats.SizeOf[T]())
+
+	r := make([]T, n)
+	z := make([]T, n)
+	p := make([]T, n)
+	ap := make([]T, n)
+
+	a.Mul(x, ap)
+	for i := range r {
+		r[i] = b[i] - ap[i]
+	}
+	pre.Apply(r, z)
+	copy(p, z)
+
+	bNorm := norm(b)
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	st := Stats{SpMVs: 1}
+	rz := dot(r, z)
+	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
+		st.Residual = norm(r) / bNorm
+		if st.Residual <= opts.Tol {
+			return st, nil
+		}
+		a.Mul(p, ap)
+		st.SpMVs++
+		pap := dot(p, ap)
+		if pap == 0 {
+			return st, ErrBreakdown
+		}
+		alpha := rz / pap
+		axpy(alpha, p, x)
+		axpy(-alpha, ap, r)
+		pre.Apply(r, z)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + T(beta)*p[i]
+		}
+	}
+	st.Residual = norm(r) / bNorm
+	if st.Residual <= opts.Tol {
+		return st, nil
+	}
+	return st, ErrNoConvergence
+}

@@ -1,0 +1,252 @@
+package solver_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"blockspmv/internal/bcsr"
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/solver"
+)
+
+// spdMatrix returns a symmetric positive-definite matrix: a 2D Laplacian
+// (5-point stencil) on a side x side grid.
+func spdMatrix(side int) *mat.COO[float64] {
+	n := side * side
+	m := mat.New[float64](n, n)
+	for j := 0; j < side; j++ {
+		for i := 0; i < side; i++ {
+			r := int32(j*side + i)
+			m.Add(r, r, 4)
+			if i > 0 {
+				m.Add(r, r-1, -1)
+			}
+			if i < side-1 {
+				m.Add(r, r+1, -1)
+			}
+			if j > 0 {
+				m.Add(r, r-int32(side), -1)
+			}
+			if j < side-1 {
+				m.Add(r, r+int32(side), -1)
+			}
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// nonsymMatrix returns a diagonally dominant nonsymmetric matrix.
+func nonsymMatrix(n int, seed int64) *mat.COO[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.New[float64](n, n)
+	for r := 0; r < n; r++ {
+		m.Add(int32(r), int32(r), 10)
+		for k := 0; k < 4; k++ {
+			c := rng.Intn(n)
+			if c != r {
+				m.Add(int32(r), int32(c), rng.Float64()-0.5)
+			}
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// residual computes ||b - A x|| / ||b|| through the COO oracle.
+func residual(m *mat.COO[float64], b, x []float64) float64 {
+	ax := make([]float64, m.Rows())
+	m.MulVec(x, ax)
+	var rn, bn float64
+	for i := range b {
+		d := b[i] - ax[i]
+		rn += d * d
+		bn += b[i] * b[i]
+	}
+	return math.Sqrt(rn / bn)
+}
+
+func TestCGOnLaplacian(t *testing.T) {
+	m := spdMatrix(24)
+	for _, build := range []func() formats.Instance[float64]{
+		func() formats.Instance[float64] { return csr.FromCOO(m, blocks.Scalar) },
+		func() formats.Instance[float64] { return bcsr.New(m, 2, 2, blocks.Vector) },
+	} {
+		a := build()
+		b := floats.RandVector[float64](m.Rows(), 1)
+		x := make([]float64, m.Rows())
+		st, err := solver.CG(a, b, x, solver.Options{Tol: 1e-10})
+		if err != nil {
+			t.Fatalf("%s: %v (after %d iters, res %g)", a.Name(), err, st.Iterations, st.Residual)
+		}
+		if got := residual(m, b, x); got > 1e-8 {
+			t.Errorf("%s: true residual %g", a.Name(), got)
+		}
+		if st.SpMVs != st.Iterations+1 {
+			t.Errorf("%s: %d SpMVs for %d iterations", a.Name(), st.SpMVs, st.Iterations)
+		}
+	}
+}
+
+func TestBiCGSTABOnNonsymmetric(t *testing.T) {
+	m := nonsymMatrix(500, 2)
+	a := csr.FromCOO(m, blocks.Scalar)
+	b := floats.RandVector[float64](500, 3)
+	x := make([]float64, 500)
+	st, err := solver.BiCGSTAB(a, b, x, solver.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("BiCGSTAB: %v (res %g after %d iters)", err, st.Residual, st.Iterations)
+	}
+	if got := residual(m, b, x); got > 1e-8 {
+		t.Errorf("true residual %g", got)
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	m := spdMatrix(16)
+	a := csr.FromCOO(m, blocks.Scalar)
+	b := floats.RandVector[float64](m.Rows(), 4)
+	// Solve once, then restart from the solution: should converge
+	// immediately.
+	x := make([]float64, m.Rows())
+	if _, err := solver.CG(a, b, x, solver.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := solver.CG(a, b, x, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 1 {
+		t.Errorf("warm start took %d iterations", st.Iterations)
+	}
+}
+
+func TestNoConvergence(t *testing.T) {
+	m := spdMatrix(24)
+	a := csr.FromCOO(m, blocks.Scalar)
+	b := floats.RandVector[float64](m.Rows(), 5)
+	x := make([]float64, m.Rows())
+	_, err := solver.CG(a, b, x, solver.Options{Tol: 1e-14, MaxIter: 2})
+	if !errors.Is(err, solver.ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestDimensionErrors(t *testing.T) {
+	rect := mat.New[float64](4, 6)
+	rect.Add(0, 0, 1)
+	rect.Finalize()
+	a := csr.FromCOO(rect, blocks.Scalar)
+	if _, err := solver.CG(a, make([]float64, 4), make([]float64, 4), solver.Options{}); err == nil {
+		t.Error("CG accepted a rectangular matrix")
+	}
+	sq := spdMatrix(4)
+	as := csr.FromCOO(sq, blocks.Scalar)
+	if _, err := solver.CG(as, make([]float64, 3), make([]float64, 16), solver.Options{}); err == nil {
+		t.Error("CG accepted a short b")
+	}
+	if _, err := solver.BiCGSTAB(a, make([]float64, 4), make([]float64, 4), solver.Options{}); err == nil {
+		t.Error("BiCGSTAB accepted a rectangular matrix")
+	}
+}
+
+func TestSinglePrecision(t *testing.T) {
+	side := 12
+	n := side * side
+	m := mat.New[float32](n, n)
+	for j := 0; j < side; j++ {
+		for i := 0; i < side; i++ {
+			r := int32(j*side + i)
+			m.Add(r, r, 4)
+			if i > 0 {
+				m.Add(r, r-1, -1)
+			}
+			if i < side-1 {
+				m.Add(r, r+1, -1)
+			}
+			if j > 0 {
+				m.Add(r, r-int32(side), -1)
+			}
+			if j < side-1 {
+				m.Add(r, r+int32(side), -1)
+			}
+		}
+	}
+	m.Finalize()
+	a := csr.FromCOO(m, blocks.Scalar)
+	b := floats.RandVector[float32](n, 6)
+	x := make([]float32, n)
+	st, err := solver.CG(a, b, x, solver.Options{})
+	if err != nil {
+		t.Fatalf("sp CG: %v (res %g)", err, st.Residual)
+	}
+}
+
+func TestPCGBeatsCGOnIllConditioned(t *testing.T) {
+	// A diagonal matrix with wildly varying scales: Jacobi makes it the
+	// identity, so PCG converges in one iteration while CG grinds.
+	n := 400
+	m := mat.New[float64](n, n)
+	for i := 0; i < n; i++ {
+		m.Add(int32(i), int32(i), math.Pow(10, float64(i%8)))
+	}
+	m.Finalize()
+	a := csr.FromCOO(m, blocks.Scalar)
+	b := floats.RandVector[float64](n, 7)
+
+	x1 := make([]float64, n)
+	cgStats, err := solver.CG(a, b, x1, solver.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("CG: %v", err)
+	}
+	x2 := make([]float64, n)
+	pcgStats, err := solver.PCG(a, solver.NewJacobi(m), b, x2, solver.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("PCG: %v", err)
+	}
+	if pcgStats.Iterations >= cgStats.Iterations {
+		t.Errorf("PCG took %d iterations, CG %d: preconditioning didn't help",
+			pcgStats.Iterations, cgStats.Iterations)
+	}
+	if got := residual(m, b, x2); got > 1e-8 {
+		t.Errorf("PCG true residual %g", got)
+	}
+}
+
+func TestPCGOnLaplacian(t *testing.T) {
+	m := spdMatrix(20)
+	a := csr.FromCOO(m, blocks.Scalar)
+	b := floats.RandVector[float64](m.Rows(), 8)
+	x := make([]float64, m.Rows())
+	st, err := solver.PCG(a, solver.NewJacobi(m), b, x, solver.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("PCG: %v (res %g)", err, st.Residual)
+	}
+	if got := residual(m, b, x); got > 1e-8 {
+		t.Errorf("true residual %g", got)
+	}
+}
+
+func TestJacobiZeroDiagonalSafe(t *testing.T) {
+	m := mat.New[float64](3, 3)
+	m.Add(0, 0, 2)
+	m.Add(1, 2, 1) // row 1 has no diagonal entry
+	m.Add(2, 2, 4)
+	m.Finalize()
+	p := solver.NewJacobi(m)
+	r := []float64{2, 3, 8}
+	z := make([]float64, 3)
+	p.Apply(r, z)
+	want := []float64{1, 3, 2}
+	for i := range want {
+		if z[i] != want[i] {
+			t.Errorf("Apply = %v, want %v", z, want)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package suite provides the 30-matrix evaluation suite of the paper
+// (Table I) as deterministic synthetic generators.
+//
+// The paper draws its matrices from Tim Davis' collection; this repository
+// cannot ship those, so each matrix is replaced by a generator producing
+// the same *structural archetype* at a configurable scale: the same domain
+// category (dense, random, circuit, graph, linear programming, 2D/3D
+// geometry), a comparable average row length, and — crucially for the
+// blocked formats — the same kind of local structure (dense node blocks
+// for FEM problems, full diagonals for finite differences, power-law rows
+// for graphs, and so on). A Matrix Market reader in internal/mat lets real
+// collection matrices replace these generators in every experiment.
+package suite
+
+import (
+	"math"
+	"math/rand"
+
+	"blockspmv/internal/floats"
+	"blockspmv/internal/mat"
+)
+
+// val returns a well-conditioned nonzero value.
+func val[T floats.Float](rng *rand.Rand) T {
+	return T(rng.Float64()*1.9 + 0.1)
+}
+
+// genDense generates a fully dense n x n matrix.
+func genDense[T floats.Float](n int, _ int64) *mat.COO[T] {
+	return mat.Dense[T](n, n)
+}
+
+// genUniformRandom generates a matrix with ~avg uniformly placed nonzeros
+// per row, the "random" special matrix of the suite: no exploitable
+// structure at all.
+func genUniformRandom[T floats.Float](rows, cols, avg int, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.New[T](rows, cols)
+	for r := 0; r < rows; r++ {
+		n := avg/2 + rng.Intn(avg+1)
+		for k := 0; k < n; k++ {
+			m.Add(int32(r), int32(rng.Intn(cols)), val[T](rng))
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// genGrid2D generates the matrix of a 5-point (or 9-point) stencil on an
+// nx x ny grid: the classic 2D-geometry problem with full sub/super
+// diagonals but no dense rectangular blocks.
+func genGrid2D[T floats.Float](nx, ny int, ninePoint bool, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	n := nx * ny
+	m := mat.New[T](n, n)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			r := int32(j*nx + i)
+			add := func(di, dj int) {
+				ii, jj := i+di, j+dj
+				if ii < 0 || ii >= nx || jj < 0 || jj >= ny {
+					return
+				}
+				m.Add(r, int32(jj*nx+ii), val[T](rng))
+			}
+			add(0, 0)
+			add(-1, 0)
+			add(1, 0)
+			add(0, -1)
+			add(0, 1)
+			if ninePoint {
+				add(-1, -1)
+				add(1, -1)
+				add(-1, 1)
+				add(1, 1)
+			}
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// genGrid3D generates the 7-point stencil on an nx x ny x nz grid: full
+// diagonals at offsets {0, ±1, ±nx, ±nx*ny}, the friendliest case for
+// BCSD (the paper's fdiff matrix, where BCSD wins).
+func genGrid3D[T floats.Float](nx, ny, nz int, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	n := nx * ny * nz
+	m := mat.New[T](n, n)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				r := int32((k*ny+j)*nx + i)
+				add := func(di, dj, dk int) {
+					ii, jj, kk := i+di, j+dj, k+dk
+					if ii < 0 || ii >= nx || jj < 0 || jj >= ny || kk < 0 || kk >= nz {
+						return
+					}
+					m.Add(r, int32((kk*ny+jj)*nx+ii), val[T](rng))
+				}
+				add(0, 0, 0)
+				add(-1, 0, 0)
+				add(1, 0, 0)
+				add(0, -1, 0)
+				add(0, 1, 0)
+				add(0, 0, -1)
+				add(0, 0, 1)
+			}
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// genFEM generates a finite-element-style matrix: nodes with dof degrees
+// of freedom each, connected in a quasi-planar mesh (ring of neighbours
+// plus short random links); every node adjacency becomes a dense dof x dof
+// block aligned at dof boundaries. This is the archetype of the structural
+// matrices (#20-#27 and #16) where BCSR shines.
+func genFEM[T floats.Float](nodes, dof, deg int, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	n := nodes * dof
+	m := mat.New[T](n, n)
+	addBlock := func(a, b int) {
+		for i := 0; i < dof; i++ {
+			for j := 0; j < dof; j++ {
+				m.Add(int32(a*dof+i), int32(b*dof+j), val[T](rng))
+			}
+		}
+	}
+	for u := 0; u < nodes; u++ {
+		addBlock(u, u)
+		// Near neighbours: mesh locality.
+		for d := 1; d <= deg/2; d++ {
+			v := u + d
+			if v < nodes {
+				addBlock(u, v)
+				addBlock(v, u)
+			}
+		}
+		// A sprinkle of longer-range couplings.
+		if deg > 2 && rng.Float64() < 0.3 {
+			span := 2 + rng.Intn(nodes/50+2)
+			if v := u + span; v < nodes {
+				addBlock(u, v)
+				addBlock(v, u)
+			}
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// genCircuit generates a circuit-simulation archetype: unit diagonal, a
+// few scattered off-diagonals per row, and a handful of dense rows and
+// columns (supply rails / ground nets). Irregular, no exploitable blocks:
+// CSR territory.
+func genCircuit[T floats.Float](n, avg int, hubs int, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.New[T](n, n)
+	for r := 0; r < n; r++ {
+		m.Add(int32(r), int32(r), val[T](rng))
+		k := rng.Intn(2*avg - 1) // avg-1 extra entries on average
+		for e := 0; e < k; e++ {
+			// Mostly local couplings with occasional far links.
+			var c int
+			if rng.Float64() < 0.8 {
+				c = r + rng.Intn(201) - 100
+			} else {
+				c = rng.Intn(n)
+			}
+			if c < 0 || c >= n {
+				continue
+			}
+			m.Add(int32(r), int32(c), val[T](rng))
+		}
+	}
+	for h := 0; h < hubs; h++ {
+		hub := rng.Intn(n)
+		stride := 1 + rng.Intn(8)
+		for c := rng.Intn(stride); c < n; c += stride {
+			m.Add(int32(hub), int32(c), val[T](rng))
+			m.Add(int32(c), int32(hub), val[T](rng))
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// genPowerLaw generates a scale-free graph adjacency archetype (web /
+// wikipedia / cage): row degrees follow a heavy-tailed distribution and
+// targets are Zipf-skewed towards low column indices. Highly irregular
+// input-vector access: the latency-bound case of Section V.B.
+func genPowerLaw[T floats.Float](n, avg int, alpha float64, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, alpha, 1, uint64(n-1))
+	m := mat.New[T](n, n)
+	for r := 0; r < n; r++ {
+		// Heavy-tailed out-degree: most rows short, some huge.
+		deg := 1 + int(float64(avg)*math.Exp(rng.NormFloat64()*0.9-0.4))
+		if deg > 50*avg {
+			deg = 50 * avg
+		}
+		for e := 0; e < deg; e++ {
+			c := int(zipf.Uint64())
+			// Scatter hub targets across the index space deterministically
+			// so that popular columns are not all adjacent.
+			c = (c*2654435761 + r) % n
+			if c < 0 {
+				c += n
+			}
+			m.Add(int32(r), int32(c), val[T](rng))
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// genLP generates a linear-programming constraint-matrix archetype:
+// rectangular, with each row's entries clustered into a few contiguous
+// column bands (the 1D-VBL-friendly horizontal-run structure), plus
+// occasional very long rows.
+func genLP[T floats.Float](rows, cols, avg int, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.New[T](rows, cols)
+	for r := 0; r < rows; r++ {
+		bands := 1 + rng.Intn(3)
+		remaining := avg/2 + rng.Intn(avg+1)
+		if rng.Float64() < 0.01 {
+			remaining *= 20 // occasional dense constraint
+		}
+		for b := 0; b < bands && remaining > 0; b++ {
+			runLen := 1 + rng.Intn(2*remaining/bands+1)
+			if runLen > remaining {
+				runLen = remaining
+			}
+			start := rng.Intn(cols)
+			for k := 0; k < runLen && start+k < cols; k++ {
+				m.Add(int32(r), int32(start+k), val[T](rng))
+			}
+			remaining -= runLen
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// genDenseRows generates a matrix whose rows are long contiguous dense
+// segments (the TSOPF / nd24k archetype: hundreds of nonzeros per row in
+// runs). Every blocked format does well here; wide 1 x c blocks and
+// 1D-VBL do best.
+func genDenseRows[T floats.Float](n, rowLen int, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.New[T](n, n)
+	for r := 0; r < n; r++ {
+		segs := 1 + rng.Intn(3)
+		per := rowLen / segs
+		for s := 0; s < segs; s++ {
+			start := rng.Intn(max(1, n-per))
+			// Align segment starts so rows share column ranges (vertical
+			// reuse, like the power-flow Jacobians they model).
+			start = start / 16 * 16
+			for k := 0; k < per && start+k < n; k++ {
+				m.Add(int32(r), int32(start+k), val[T](rng))
+			}
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// genSaddle generates a KKT / saddle-point archetype [A B; B' 0]: a
+// stencil block coupled to a rectangular block, with structurally zero
+// lower-right part. Mixed structure, hard for any single blocking.
+func genSaddle[T floats.Float](n1, n2, avg int, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	n := n1 + n2
+	m := mat.New[T](n, n)
+	// A: tridiagonal-ish on the first n1 variables.
+	for r := 0; r < n1; r++ {
+		m.Add(int32(r), int32(r), val[T](rng))
+		if r+1 < n1 {
+			m.Add(int32(r), int32(r+1), val[T](rng))
+			m.Add(int32(r+1), int32(r), val[T](rng))
+		}
+	}
+	// B: each constraint touches a few variables.
+	for r := 0; r < n2; r++ {
+		k := 1 + rng.Intn(2*avg)
+		for e := 0; e < k; e++ {
+			c := rng.Intn(n1)
+			m.Add(int32(n1+r), int32(c), val[T](rng))
+			m.Add(int32(c), int32(n1+r), val[T](rng))
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// genThermal generates an unstructured 2D/3D diffusion archetype
+// (thermal2/stomach): short rows, mesh locality with randomized
+// neighbour offsets so no full diagonals or dense blocks form. The
+// latency-sensitive end of the geometry category.
+func genThermal[T floats.Float](n, avg int, spread int, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.New[T](n, n)
+	for r := 0; r < n; r++ {
+		m.Add(int32(r), int32(r), val[T](rng))
+		k := avg - 1 + rng.Intn(3)
+		for e := 0; e < k; e++ {
+			c := r + rng.Intn(2*spread+1) - spread
+			if c < 0 || c >= n {
+				continue
+			}
+			m.Add(int32(r), int32(c), val[T](rng))
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// genChemistry generates a quantum-chemistry archetype (Ga41As41H72):
+// clusters of orbitals produce moderately dense row blocks with ragged
+// edges plus long-range exchange terms.
+func genChemistry[T floats.Float](n, cluster, avg int, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.New[T](n, n)
+	for r := 0; r < n; r++ {
+		base := r / cluster * cluster
+		// Dense coupling within the cluster, ragged.
+		for c := base; c < base+cluster && c < n; c++ {
+			if rng.Float64() < 0.7 {
+				m.Add(int32(r), int32(c), val[T](rng))
+			}
+		}
+		// Exchange terms with a few other clusters.
+		for e := 0; e < avg/cluster+1; e++ {
+			other := rng.Intn(n/cluster) * cluster
+			span := 1 + rng.Intn(cluster)
+			for k := 0; k < span && other+k < n; k++ {
+				if rng.Float64() < 0.5 {
+					m.Add(int32(r), int32(other+k), val[T](rng))
+				}
+			}
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// genBandedBlocks generates the "largebasis" archetype: a banded matrix
+// whose band is composed of aligned dense tiles of size tile, giving
+// near-perfect fixed-size blocking at one specific shape.
+func genBandedBlocks[T floats.Float](n, tile, bandTiles int, seed int64) *mat.COO[T] {
+	rng := rand.New(rand.NewSource(seed))
+	m := mat.New[T](n, n)
+	nTiles := n / tile
+	for bt := 0; bt < nTiles; bt++ {
+		for o := 0; o < bandTiles; o++ {
+			ct := bt + o - bandTiles/2
+			if ct < 0 || ct >= nTiles {
+				continue
+			}
+			if o != bandTiles/2 && rng.Float64() < 0.25 {
+				continue // occasional missing tile keeps it sparse
+			}
+			for i := 0; i < tile; i++ {
+				for j := 0; j < tile; j++ {
+					m.Add(int32(bt*tile+i), int32(ct*tile+j), val[T](rng))
+				}
+			}
+		}
+	}
+	m.Finalize()
+	return m
+}

@@ -1,0 +1,221 @@
+package suite
+
+import (
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/mat"
+)
+
+func TestInfosComplete(t *testing.T) {
+	is := Infos()
+	if len(is) != Count {
+		t.Fatalf("suite has %d entries, want %d", len(is), Count)
+	}
+	for i, in := range is {
+		if in.ID != i+1 {
+			t.Errorf("entry %d has ID %d", i, in.ID)
+		}
+		if in.Name == "" || in.Domain == "" || in.Archetype == "" {
+			t.Errorf("entry %d has empty metadata: %+v", i, in)
+		}
+	}
+	// The paper's category split: #3-#16 non-geometry, #17-#30 geometry.
+	for _, in := range is {
+		wantGeo := in.ID >= 17
+		if in.ID <= 2 {
+			wantGeo = false
+		}
+		if in.Geometry != wantGeo {
+			t.Errorf("%s: Geometry = %v, want %v", in.Name, in.Geometry, wantGeo)
+		}
+		if (in.ID <= 2) != in.Special {
+			t.Errorf("%s: Special = %v", in.Name, in.Special)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	in, err := InfoByID(23)
+	if err != nil || in.Name != "23.fdiff" {
+		t.Errorf("InfoByID(23) = %+v, %v", in, err)
+	}
+	if _, err := InfoByID(0); err == nil {
+		t.Error("InfoByID(0) accepted")
+	}
+	if _, err := InfoByID(31); err == nil {
+		t.Error("InfoByID(31) accepted")
+	}
+	in, err = InfoByName("rajat31")
+	if err != nil || in.ID != 9 {
+		t.Errorf("InfoByName(rajat31) = %+v, %v", in, err)
+	}
+	in, err = InfoByName("09.rajat31")
+	if err != nil || in.ID != 9 {
+		t.Errorf("InfoByName(09.rajat31) = %+v, %v", in, err)
+	}
+	if _, err := InfoByName("nonexistent"); err == nil {
+		t.Error("InfoByName(nonexistent) accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "paper"} {
+		sc, err := ParseScale(name)
+		if err != nil || sc.String() != name {
+			t.Errorf("ParseScale(%q) = %v, %v", name, sc, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("ParseScale(huge) accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for _, id := range []int{2, 9, 16, 23} {
+		a := MustBuild[float64](id, Tiny)
+		b := MustBuild[float64](id, Tiny)
+		if a.NNZ() != b.NNZ() || a.Rows() != b.Rows() {
+			t.Fatalf("matrix %d not deterministic: %d/%d vs %d/%d nnz/rows",
+				id, a.NNZ(), a.Rows(), b.NNZ(), b.Rows())
+		}
+		for i, e := range a.Entries() {
+			if b.Entries()[i] != e {
+				t.Fatalf("matrix %d entry %d differs", id, i)
+			}
+		}
+	}
+}
+
+func TestBuildAllTiny(t *testing.T) {
+	ms := BuildAll[float64](Tiny)
+	for i, m := range ms {
+		in := infos[i]
+		if m.NNZ() == 0 {
+			t.Errorf("%s: empty matrix", in.Name)
+		}
+		if m.Rows() == 0 || m.Cols() == 0 {
+			t.Errorf("%s: degenerate dims %dx%d", in.Name, m.Rows(), m.Cols())
+		}
+		if !m.Finalized() {
+			t.Errorf("%s: not finalized", in.Name)
+		}
+	}
+}
+
+// TestArchetypeStructure spot-checks that the generators produce the
+// structural signatures the blocked formats key on.
+func TestArchetypeStructure(t *testing.T) {
+	// FEM matrices (3-dof) must contain aligned dense 3-column runs:
+	// high horizontal and vertical run fractions.
+	fem := ComputeStatsFor(t, 21)
+	if fem.HorizontalRunFraction < 0.5 {
+		t.Errorf("audikw archetype horizontal run fraction = %.2f, want >= 0.5",
+			fem.HorizontalRunFraction)
+	}
+	if fem.VerticalRunFraction < 0.5 {
+		t.Errorf("audikw archetype vertical run fraction = %.2f, want >= 0.5",
+			fem.VerticalRunFraction)
+	}
+
+	// The 3D stencil must be strongly diagonal.
+	fdiff := ComputeStatsFor(t, 23)
+	if fdiff.DiagonalRunFraction < 0.7 {
+		t.Errorf("fdiff archetype diagonal run fraction = %.2f, want >= 0.7",
+			fdiff.DiagonalRunFraction)
+	}
+
+	// The random matrix must have no runs beyond chance level: with
+	// uniform placement the probability that a neighbour position is
+	// occupied is the density itself.
+	random := ComputeStatsFor(t, 2)
+	density := float64(random.NNZ) / (float64(random.Rows) * float64(random.Cols))
+	if random.HorizontalRunFraction > 2*density || random.DiagonalRunFraction > 2*density {
+		t.Errorf("random archetype has structure: h=%.3f d=%.3f density=%.3f",
+			random.HorizontalRunFraction, random.DiagonalRunFraction, density)
+	}
+
+	// TSOPF-like dense rows: very long average row length.
+	tsopf := ComputeStatsFor(t, 19)
+	if tsopf.AvgRowLen < 50 {
+		t.Errorf("TSOPF archetype avg row length = %.1f, want >= 50", tsopf.AvgRowLen)
+	}
+
+	// The power-law graph must have wildly unequal row lengths.
+	wiki := ComputeStatsFor(t, 12)
+	if wiki.MaxRowLen < 10*int(wiki.AvgRowLen+1) {
+		t.Errorf("wikipedia archetype max row %d vs avg %.1f: tail too light",
+			wiki.MaxRowLen, wiki.AvgRowLen)
+	}
+}
+
+// ComputeStatsFor builds matrix id at Tiny scale and returns its stats.
+func ComputeStatsFor(t *testing.T, id int) mat.Stats {
+	t.Helper()
+	return mat.ComputeStats(MustBuild[float64](id, Tiny))
+}
+
+func TestRectangularLPMatrices(t *testing.T) {
+	for _, id := range []int{13, 14} {
+		m := MustBuild[float64](id, Tiny)
+		if m.Rows() <= m.Cols() {
+			t.Errorf("matrix %d: %dx%d, want tall rectangular", id, m.Rows(), m.Cols())
+		}
+	}
+}
+
+// TestFEMArchetypesHaveAlignedBlocks asserts the defining property of the
+// structural matrices: a large fraction of their nonzeros sits in
+// completely dense aligned dof x 1 blocks, so the decomposed formats
+// extract most of the matrix.
+func TestFEMArchetypesHaveAlignedBlocks(t *testing.T) {
+	femIDs := map[int]int{16: 3, 20: 3, 21: 3, 22: 3, 24: 2, 25: 3, 26: 3, 27: 3}
+	for id, dof := range femIDs {
+		m := MustBuild[float64](id, Tiny)
+		p := mat.PatternOf(m)
+		cnt := blocks.CountRect(p, dof, 1)
+		fullFrac := float64(cnt.FullBlocks*int64(dof)) / float64(p.NNZ())
+		if fullFrac < 0.9 {
+			t.Errorf("matrix %d (dof %d): only %.0f%% of nonzeros in full %dx1 blocks",
+				id, dof, 100*fullFrac, dof)
+		}
+	}
+}
+
+// TestStencilArchetypeIsDiagonal asserts fdiff's defining property: BCSD
+// stores it almost without padding at any block size.
+func TestStencilArchetypeIsDiagonal(t *testing.T) {
+	m := MustBuild[float64](23, Tiny)
+	p := mat.PatternOf(m)
+	for _, b := range []int{2, 4, 8} {
+		cnt := blocks.CountDiag(p, b)
+		padFrac := float64(cnt.Padding) / float64(cnt.Blocks*int64(b))
+		if padFrac > 0.1 {
+			t.Errorf("fdiff d%d: %.0f%% padding, want near zero", b, 100*padFrac)
+		}
+	}
+}
+
+// TestBandedBlocksArchetype asserts largebasis's defining property:
+// perfect 4-aligned tiles, zero padding at the 2x4 and 4x2 shapes.
+func TestBandedBlocksArchetype(t *testing.T) {
+	m := MustBuild[float64](18, Tiny)
+	p := mat.PatternOf(m)
+	for _, s := range []blocks.Shape{blocks.RectShape(2, 4), blocks.RectShape(4, 2), blocks.RectShape(2, 2)} {
+		cnt := blocks.CountForShape(p, s)
+		if cnt.Padding != 0 {
+			t.Errorf("largebasis %s: padding %d, want 0", s, cnt.Padding)
+		}
+	}
+}
+
+// TestScaleMonotonic asserts scales order the matrix sizes as documented.
+func TestScaleMonotonic(t *testing.T) {
+	for _, id := range []int{2, 9, 21} {
+		tiny := MustBuild[float64](id, Tiny)
+		small := MustBuild[float64](id, Small)
+		if small.NNZ() <= tiny.NNZ() {
+			t.Errorf("matrix %d: small nnz %d <= tiny nnz %d", id, small.NNZ(), tiny.NNZ())
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package textplot renders the experiment results as aligned ASCII tables
+// and simple character plots, mirroring the tables and figures of the
+// paper in terminal-friendly form.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table writes an aligned table with a header row, a separator and the
+// data rows. Cells are right-aligned except the first column.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	writeRow(headers)
+	var sep []string
+	for _, wd := range widths {
+		sep = append(sep, strings.Repeat("-", wd))
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+// Bars renders a horizontal bar chart: one labelled bar per value, scaled
+// to maxWidth characters at the maximum value.
+func Bars(w io.Writer, title string, labels []string, values []float64, maxWidth int) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	labelW, maxV := 0, 0.0
+	for i, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+		if values[i] > maxV {
+			maxV = values[i]
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for i, l := range labels {
+		n := int(math.Round(values[i] / maxV * float64(maxWidth)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %-*s |%s %.3g\n", labelW, l, strings.Repeat("#", n), values[i])
+	}
+}
+
+// Scatter renders series of y-values over a shared integer x-axis as a
+// character grid, one symbol per series, with a legend. It is the
+// terminal stand-in for Figures 3 and 4: x is the matrix id, y the
+// normalized time.
+func Scatter(w io.Writer, title string, xs []int, series []Series, height int) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	if len(xs) == 0 || len(series) == 0 || height < 2 {
+		return
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			minY = math.Min(minY, v)
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(xs)))
+	}
+	for _, s := range series {
+		for xi, v := range s.Y {
+			if xi >= len(xs) || math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			row := int(math.Round((maxY - v) / (maxY - minY) * float64(height-1)))
+			if grid[row][xi] == ' ' {
+				grid[row][xi] = s.Symbol
+			} else {
+				grid[row][xi] = '*' // collision
+			}
+		}
+	}
+	for r, line := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "  %7.3f |%s\n", yVal, string(line))
+	}
+	fmt.Fprintf(w, "          +%s\n", strings.Repeat("-", len(xs)))
+	// X-axis tick labels every 5 columns.
+	var ticks strings.Builder
+	for i := 0; i < len(xs); {
+		if i%5 == 0 {
+			label := fmt.Sprintf("%d", xs[i])
+			ticks.WriteString(label)
+			i += len(label)
+		} else {
+			ticks.WriteByte(' ')
+			i++
+		}
+	}
+	fmt.Fprintf(w, "           %s\n", ticks.String())
+	for _, s := range series {
+		fmt.Fprintf(w, "    %c = %s\n", s.Symbol, s.Name)
+	}
+}
+
+// Series is one named scatter series.
+type Series struct {
+	Name   string
+	Symbol byte
+	Y      []float64
+}
+
+// F formats a float compactly for table cells.
+func F(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}

@@ -1,0 +1,101 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"Name", "N"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "12345"},
+	})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	// All rows share the same width.
+	for _, l := range lines[1:] {
+		if len(l) > len(lines[1]) {
+			t.Errorf("ragged table:\n%s", buf.String())
+		}
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Errorf("header mangled: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+	// Numbers right-aligned: "1" ends its cell.
+	if !strings.HasSuffix(lines[2], "1") {
+		t.Errorf("value not right-aligned: %q", lines[2])
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "title", []string{"a", "bb"}, []float64{1, 2}, 10)
+	out := buf.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "##########") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Errorf("half bar missing:\n%s", out)
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(buf.String(), "a") {
+		t.Error("zero-valued bars should still render labels")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []int{3, 4, 5, 6, 7, 8, 9, 10}
+	Scatter(&buf, "fig", xs, []Series{
+		{Name: "up", Symbol: '+', Y: []float64{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Name: "down", Symbol: 'x', Y: []float64{8, 7, 6, 5, 4, 3, 2, 1}},
+	}, 8)
+	out := buf.String()
+	for _, want := range []string{"fig", "+ = up", "x = down", "+", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scatter missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScatterCollision(t *testing.T) {
+	var buf bytes.Buffer
+	// Two series sharing an identical point must render '*' there.
+	Scatter(&buf, "", []int{1, 2}, []Series{
+		{Name: "a", Symbol: '+', Y: []float64{1, 2}},
+		{Name: "b", Symbol: 'x', Y: []float64{1, 3}},
+	}, 6)
+	if !strings.Contains(buf.String(), "*") {
+		t.Errorf("coincident points should collide:\n%s", buf.String())
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	// Empty input renders nothing but must not panic.
+	Scatter(&buf, "", nil, nil, 8)
+	Scatter(&buf, "", []int{1}, []Series{{Name: "s", Symbol: 'o', Y: []float64{5}}}, 8)
+	if !strings.Contains(buf.String(), "o") {
+		t.Error("single-point scatter missing its point")
+	}
+}
+
+func TestF(t *testing.T) {
+	if got := F(1.23456, 2); got != "1.23" {
+		t.Errorf("F = %q", got)
+	}
+}

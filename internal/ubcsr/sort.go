@@ -1,0 +1,7 @@
+package ubcsr
+
+import "sort"
+
+func sortInt32Std(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,95 @@
+package ubcsr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"blockspmv/internal/bcsr"
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/conformance"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/testmat"
+	"blockspmv/internal/ubcsr"
+)
+
+func TestConformanceAllShapes(t *testing.T) {
+	corpus := testmat.Corpus[float64]()
+	for _, s := range blocks.RectShapes() {
+		for name, m := range corpus {
+			for _, impl := range blocks.Impls() {
+				t.Run(fmt.Sprintf("%s/%s/%s", s, name, impl), func(t *testing.T) {
+					conformance.Check(t, m, ubcsr.New(m, s.R, s.C, impl))
+				})
+			}
+		}
+	}
+}
+
+func TestConformanceSingle(t *testing.T) {
+	corpus := testmat.Corpus[float32]()
+	for _, s := range []blocks.Shape{blocks.RectShape(2, 3), blocks.RectShape(1, 8)} {
+		for name, m := range corpus {
+			t.Run(fmt.Sprintf("%s/%s", s, name), func(t *testing.T) {
+				conformance.Check(t, m, ubcsr.New(m, s.R, s.C, blocks.Vector))
+			})
+		}
+	}
+}
+
+// TestUnalignedTileNeedsOneBlock is the motivating case: a dense 2x2 tile
+// at the unaligned column offset (0,1) costs aligned BCSR two blocks but
+// UBCSR exactly one.
+func TestUnalignedTileNeedsOneBlock(t *testing.T) {
+	m := mat.New[float64](2, 6)
+	for i := 0; i < 2; i++ {
+		for j := 1; j <= 2; j++ {
+			m.Add(int32(i), int32(j), 1)
+		}
+	}
+	m.Finalize()
+
+	aligned := bcsr.New(m, 2, 2, blocks.Scalar)
+	unaligned := ubcsr.New(m, 2, 2, blocks.Scalar)
+	if aligned.Blocks() != 2 || aligned.Padding() != 4 {
+		t.Errorf("aligned: %d blocks, %d padding; want 2, 4", aligned.Blocks(), aligned.Padding())
+	}
+	if unaligned.Blocks() != 1 || unaligned.Padding() != 0 {
+		t.Errorf("unaligned: %d blocks, %d padding; want 1, 0", unaligned.Blocks(), unaligned.Padding())
+	}
+}
+
+// TestNeverMorePaddingThanAligned: greedy column packing can only reduce
+// the number of blocks per block row relative to c-aligned anchoring.
+func TestNeverMorePaddingThanAligned(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		for _, s := range blocks.RectShapes() {
+			a := bcsr.New(m, s.R, s.C, blocks.Scalar)
+			u := ubcsr.New(m, s.R, s.C, blocks.Scalar)
+			if u.Blocks() > a.Blocks() {
+				t.Errorf("%s %s: UBCSR has %d blocks, aligned BCSR %d",
+					name, s, u.Blocks(), a.Blocks())
+			}
+			if u.Padding() > a.Padding() {
+				t.Errorf("%s %s: UBCSR pads %d, aligned BCSR %d",
+					name, s, u.Padding(), a.Padding())
+			}
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	m := testmat.Random[float64](10, 10, 0.2, 1)
+	if got := ubcsr.New(m, 2, 3, blocks.Vector).Name(); got != "UBCSR(2x3)/simd" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestInvalidShapePanics(t *testing.T) {
+	m := testmat.Random[float64](8, 8, 0.3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("3x3 did not panic")
+		}
+	}()
+	ubcsr.New(m, 3, 3, blocks.Scalar)
+}

@@ -1,0 +1,54 @@
+package vbl_test
+
+import (
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/testmat"
+	"blockspmv/internal/vbl"
+)
+
+// BenchmarkMulVsCSR compares 1D-VBL against CSR on run-structured data
+// (VBL's best case) — the trade the paper evaluates.
+func BenchmarkMulVsCSR(b *testing.B) {
+	m := testmat.Runs[float64](4000, 8000, 1)
+	x := floats.RandVector[float64](8000, 2)
+	y := make([]float64, 4000)
+	v := vbl.New(m, blocks.Scalar)
+	c := csr.FromCOO(m, blocks.Scalar)
+	b.Run("1D-VBL", func(b *testing.B) {
+		b.SetBytes(v.MatrixBytes())
+		b.ReportMetric(v.AvgBlockLen(), "avg-block-len")
+		for i := 0; i < b.N; i++ {
+			v.Mul(x, y)
+		}
+	})
+	b.Run("CSR", func(b *testing.B) {
+		b.SetBytes(c.MatrixBytes())
+		for i := 0; i < b.N; i++ {
+			c.Mul(x, y)
+		}
+	})
+}
+
+// BenchmarkScattered is VBL's worst case: singleton blocks make the extra
+// indirection pure overhead.
+func BenchmarkScattered(b *testing.B) {
+	m := testmat.Random[float64](4000, 4000, 0.002, 3)
+	x := floats.RandVector[float64](4000, 4)
+	y := make([]float64, 4000)
+	v := vbl.New(m, blocks.Scalar)
+	c := csr.FromCOO(m, blocks.Scalar)
+	b.Run("1D-VBL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v.Mul(x, y)
+		}
+	})
+	b.Run("CSR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Mul(x, y)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+// Package vbl implements the one-dimensional Variable Block Length format
+// of Pinar & Heath [12].
+//
+// 1D-VBL stores maximal horizontal runs of consecutive nonzeros as
+// variable-size blocks. Four arrays hold the matrix, as in the paper: val
+// (the nonzero values, exactly nnz of them — no padding), rowPtr (n+1
+// 4-byte pointers into val, as in CSR), bcol (the 4-byte starting column of
+// each block) and bsize (the size of each block in a single byte). The
+// 1-byte size limits blocks to 255 elements; longer runs are split into
+// 255-element chunks, which the paper notes is rare.
+package vbl
+
+import (
+	"fmt"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+)
+
+// MaxBlockLen is the largest representable block: sizes are stored in one
+// byte.
+const MaxBlockLen = 255
+
+// Matrix is a sparse matrix in 1D-VBL format.
+type Matrix[T floats.Float] struct {
+	rows, cols int
+	val        []T
+	rowPtr     []int32 // len rows+1, indexes val
+	bcol       []int32 // starting column per block
+	bsize      []uint8 // block sizes, 1..255
+
+	// wideSize, when non-nil, replaces bsize with 4-byte block sizes and
+	// lifts the 255-element split limit. It exists for the index-width
+	// ablation (the paper chose 1-byte sizes to shave the working set);
+	// see NewWide.
+	wideSize []int32
+
+	// rowBlk is an auxiliary index (first block of each row) used only to
+	// seed MulRange at partition boundaries; the sequential multiply
+	// streams blocks with a running cursor and never reads it, so it is
+	// not part of the streamed working set (MatrixBytes), matching the
+	// four-array layout of the paper.
+	rowBlk []int32
+
+	impl blocks.Impl
+}
+
+// New converts a finalized coordinate matrix to 1D-VBL with the paper's
+// 1-byte block sizes.
+func New[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
+	return build(m, impl, false)
+}
+
+// NewWide converts to a 1D-VBL variant with 4-byte block sizes and no run
+// splitting. It exists for the index-width ablation: the paper's 1-byte
+// choice trades the (rare) splitting of >255-element runs for 3 fewer
+// bytes of traffic per block.
+func NewWide[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
+	return build(m, impl, true)
+}
+
+func build[T floats.Float](m *mat.COO[T], impl blocks.Impl, wide bool) *Matrix[T] {
+	if !m.Finalized() {
+		panic("vbl: matrix must be finalized")
+	}
+	a := &Matrix[T]{
+		rows:   m.Rows(),
+		cols:   m.Cols(),
+		val:    make([]T, 0, m.NNZ()),
+		rowPtr: make([]int32, m.Rows()+1),
+		rowBlk: make([]int32, m.Rows()+1),
+		impl:   impl,
+	}
+	addBlock := func(col int32, n int) {
+		a.bcol = append(a.bcol, col)
+		if wide {
+			a.wideSize = append(a.wideSize, int32(n))
+		} else {
+			a.bsize = append(a.bsize, uint8(n))
+		}
+	}
+	entries := m.Entries()
+	for lo := 0; lo < len(entries); {
+		row := entries[lo].Row
+		hi := lo
+		for hi < len(entries) && entries[hi].Row == row {
+			hi++
+		}
+		for i := lo; i < hi; {
+			j := i + 1
+			for j < hi && entries[j].Col == entries[j-1].Col+1 {
+				j++
+			}
+			if wide {
+				addBlock(entries[i].Col, j-i)
+				for k := i; k < j; k++ {
+					a.val = append(a.val, entries[k].Val)
+				}
+			} else {
+				// Split runs longer than 255 into chunks.
+				for off := i; off < j; off += MaxBlockLen {
+					n := min(j-off, MaxBlockLen)
+					addBlock(entries[off].Col, n)
+					for k := 0; k < n; k++ {
+						a.val = append(a.val, entries[off+k].Val)
+					}
+				}
+			}
+			i = j
+		}
+		a.rowPtr[row+1] = int32(len(a.val))
+		a.rowBlk[row+1] = int32(len(a.bcol))
+		lo = hi
+	}
+	for r := 0; r < a.rows; r++ {
+		if a.rowPtr[r+1] < a.rowPtr[r] {
+			a.rowPtr[r+1] = a.rowPtr[r]
+			a.rowBlk[r+1] = a.rowBlk[r]
+		}
+	}
+	return a
+}
+
+// Blocks returns the number of variable-length blocks.
+func (a *Matrix[T]) Blocks() int64 { return int64(len(a.bcol)) }
+
+// Wide reports whether this instance uses 4-byte block sizes.
+func (a *Matrix[T]) Wide() bool { return a.wideSize != nil }
+
+func (a *Matrix[T]) blockLen(bi int) int {
+	if a.wideSize != nil {
+		return int(a.wideSize[bi])
+	}
+	return int(a.bsize[bi])
+}
+
+// AvgBlockLen returns the mean block length, a structure diagnostic.
+func (a *Matrix[T]) AvgBlockLen() float64 {
+	if len(a.bcol) == 0 {
+		return 0
+	}
+	return float64(len(a.val)) / float64(len(a.bcol))
+}
+
+// Name implements formats.Instance.
+func (a *Matrix[T]) Name() string {
+	n := "1D-VBL"
+	if a.wideSize != nil {
+		n += "-wide"
+	}
+	if a.impl == blocks.Vector {
+		n += "/simd"
+	}
+	return n
+}
+
+// Rows implements formats.Instance.
+func (a *Matrix[T]) Rows() int { return a.rows }
+
+// Cols implements formats.Instance.
+func (a *Matrix[T]) Cols() int { return a.cols }
+
+// NNZ implements formats.Instance.
+func (a *Matrix[T]) NNZ() int64 { return int64(len(a.val)) }
+
+// StoredScalars implements formats.Instance; 1D-VBL stores no padding.
+func (a *Matrix[T]) StoredScalars() int64 { return int64(len(a.val)) }
+
+// MatrixBytes implements formats.Instance. It covers the four arrays the
+// kernel streams: val, rowPtr, bcol and the block sizes (1 byte each, or
+// 4 for the wide variant).
+func (a *Matrix[T]) MatrixBytes() int64 {
+	s := int64(floats.SizeOf[T]())
+	return int64(len(a.val))*s + int64(len(a.rowPtr))*4 +
+		int64(len(a.bcol))*4 + int64(len(a.bsize)) + int64(len(a.wideSize))*4
+}
+
+// Components implements formats.Instance. Variable-size blocks have no
+// fixed shape; the models in this library do not cost 1D-VBL (the paper
+// excludes variable-size blocking from its models for lack of competitive
+// performance), so the component reports the degenerate 1x1 shape with the
+// block count.
+func (a *Matrix[T]) Components() []formats.Component {
+	return []formats.Component{{
+		Shape:   blocks.RectShape(1, 1),
+		Impl:    a.impl,
+		Blocks:  a.Blocks(),
+		WSBytes: a.MatrixBytes(),
+	}}
+}
+
+// RowAlign implements formats.Instance.
+func (a *Matrix[T]) RowAlign() int { return 1 }
+
+// RowWeights implements formats.Instance.
+func (a *Matrix[T]) RowWeights() []int64 {
+	w := make([]int64, a.rows)
+	for r := 0; r < a.rows; r++ {
+		w[r] = int64(a.rowPtr[r+1] - a.rowPtr[r])
+	}
+	return w
+}
+
+// Mul implements formats.Instance.
+func (a *Matrix[T]) Mul(x, y []T) {
+	formats.CheckDims[T](a, x, y)
+	floats.Fill(y, 0)
+	a.MulRange(x, y, 0, a.rows)
+}
+
+// MulRange implements formats.Instance.
+func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
+	if r0 < 0 || r1 > a.rows || r0 > r1 {
+		panic(fmt.Sprintf("vbl: MulRange [%d,%d) out of bounds", r0, r1))
+	}
+	val, bcol := a.val, a.bcol
+	bi := int(a.rowBlk[r0])
+	vi := int(a.rowPtr[r0])
+	for r := r0; r < r1; r++ {
+		end := int(a.rowPtr[r+1])
+		var acc T
+		for vi < end {
+			c := int(bcol[bi])
+			n := a.blockLen(bi)
+			bi++
+			v := val[vi : vi+n]
+			xs := x[c : c+n]
+			k := 0
+			var a0, a1, a2, a3 T
+			for ; k+4 <= n; k += 4 {
+				a0 += v[k] * xs[k]
+				a1 += v[k+1] * xs[k+1]
+				a2 += v[k+2] * xs[k+2]
+				a3 += v[k+3] * xs[k+3]
+			}
+			for ; k < n; k++ {
+				a0 += v[k] * xs[k]
+			}
+			acc += a0 + a1 + a2 + a3
+			vi += n
+		}
+		y[r] += acc
+	}
+}
+
+var _ formats.Instance[float64] = (*Matrix[float64])(nil)
+
+// WithImpl implements formats.Instance. 1D-VBL has a single kernel; the
+// class only affects the instance name.
+func (a *Matrix[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+	b := *a
+	b.impl = impl
+	return &b
+}

@@ -1,0 +1,292 @@
+// Package vbr implements the Variable Block Row format of SPARSKIT
+// (Saad [13]), the two-dimensional variable-block format Section II
+// describes. The paper surveys VBR but does not evaluate it (its extra
+// indexing makes it uncompetitive, like 1D-VBL); it is provided here for
+// completeness of the format survey and as a structural diagnostic.
+//
+// VBR partitions the rows and the columns so that every resulting block is
+// either completely dense or completely empty, then stores the dense blocks
+// column-major per block, as SPARSKIT does. The canonical partition groups
+// consecutive rows with identical sparsity patterns (and likewise for
+// columns); with that choice the dense/empty dichotomy is guaranteed.
+package vbr
+
+import (
+	"fmt"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+)
+
+// Matrix is a sparse matrix in VBR format.
+type Matrix[T floats.Float] struct {
+	rows, cols int
+	rpntr      []int32 // block-row boundaries, len nBlockRows+1
+	cpntr      []int32 // block-column boundaries, len nBlockCols+1
+	browPtr    []int32 // first block of each block row, len nBlockRows+1
+	bcolInd    []int32 // block-column index per block
+	valPtr     []int32 // offset of each block in val, len nBlocks+1
+	val        []T
+
+	nnz  int64
+	impl blocks.Impl
+}
+
+// New converts a finalized coordinate matrix to VBR.
+func New[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
+	if !m.Finalized() {
+		panic("vbr: matrix must be finalized")
+	}
+	p := mat.PatternOf(m)
+	rpntr := partitionByPattern(p)
+	cpntr := partitionByPattern(transposePattern(p))
+
+	a := &Matrix[T]{
+		rows: m.Rows(), cols: m.Cols(),
+		rpntr: rpntr, cpntr: cpntr,
+		nnz: int64(m.NNZ()), impl: impl,
+	}
+
+	// Map each column to its block column.
+	colBlock := make([]int32, m.Cols())
+	for bj := 0; bj+1 < len(cpntr); bj++ {
+		for c := cpntr[bj]; c < cpntr[bj+1]; c++ {
+			colBlock[c] = int32(bj)
+		}
+	}
+
+	nBlockRows := len(rpntr) - 1
+	a.browPtr = make([]int32, nBlockRows+1)
+	a.valPtr = append(a.valPtr, 0)
+
+	entries := m.Entries()
+	lo := 0
+	for bi := 0; bi < nBlockRows; bi++ {
+		rowEnd := rpntr[bi+1]
+		hi := lo
+		for hi < len(entries) && entries[hi].Row < rowEnd {
+			hi++
+		}
+		// Distinct block columns of this block row, from the first row's
+		// pattern (all rows in the group share it).
+		var bcols []int32
+		if lo < hi {
+			first := entries[lo].Row
+			for i := lo; i < hi && entries[i].Row == first; i++ {
+				bj := colBlock[entries[i].Col]
+				if len(bcols) == 0 || bcols[len(bcols)-1] != bj {
+					bcols = append(bcols, bj)
+				}
+			}
+		}
+		blockBase := len(a.bcolInd)
+		a.bcolInd = append(a.bcolInd, bcols...)
+		brHeight := int(rpntr[bi+1] - rpntr[bi])
+		for _, bj := range bcols {
+			bw := int(cpntr[bj+1] - cpntr[bj])
+			a.valPtr = append(a.valPtr, a.valPtr[len(a.valPtr)-1]+int32(brHeight*bw))
+		}
+		a.val = append(a.val, make([]T, int(a.valPtr[len(a.valPtr)-1])-len(a.val))...)
+
+		// Fill values column-major within each block (SPARSKIT layout).
+		for i := lo; i < hi; i++ {
+			e := entries[i]
+			bj := colBlock[e.Col]
+			k, ok := searchInt32(bcols, bj)
+			if !ok {
+				panic(fmt.Sprintf("vbr: block (%d,%d) missing: partition not pattern-consistent", bi, bj))
+			}
+			bw := int(cpntr[bj+1] - cpntr[bj])
+			_ = bw
+			localR := int(e.Row - rpntr[bi])
+			localC := int(e.Col - cpntr[bj])
+			off := int(a.valPtr[blockBase+k]) + localC*brHeight + localR
+			a.val[off] = e.Val
+		}
+		a.browPtr[bi+1] = int32(len(a.bcolInd))
+		lo = hi
+	}
+	return a
+}
+
+// partitionByPattern returns block boundaries grouping consecutive rows of
+// p with identical column patterns.
+func partitionByPattern(p *mat.Pattern) []int32 {
+	bounds := []int32{0}
+	for r := 1; r < p.Rows; r++ {
+		if !equalInt32(p.RowCols(r), p.RowCols(r-1)) {
+			bounds = append(bounds, int32(r))
+		}
+	}
+	bounds = append(bounds, int32(p.Rows))
+	return bounds
+}
+
+func transposePattern(p *mat.Pattern) *mat.Pattern {
+	t := &mat.Pattern{
+		Rows:   p.Cols,
+		Cols:   p.Rows,
+		RowPtr: make([]int32, p.Cols+1),
+		ColInd: make([]int32, p.NNZ()),
+	}
+	for _, c := range p.ColInd {
+		t.RowPtr[c+1]++
+	}
+	for c := 0; c < p.Cols; c++ {
+		t.RowPtr[c+1] += t.RowPtr[c]
+	}
+	cursor := make([]int32, p.Cols)
+	copy(cursor, t.RowPtr[:p.Cols])
+	for r := 0; r < p.Rows; r++ {
+		for _, c := range p.RowCols(r) {
+			t.ColInd[cursor[c]] = int32(r)
+			cursor[c]++
+		}
+	}
+	return t
+}
+
+// Blocks returns the number of stored dense blocks.
+func (a *Matrix[T]) Blocks() int64 { return int64(len(a.bcolInd)) }
+
+// BlockRows returns the number of block rows in the partition.
+func (a *Matrix[T]) BlockRows() int { return len(a.rpntr) - 1 }
+
+// BlockCols returns the number of block columns in the partition.
+func (a *Matrix[T]) BlockCols() int { return len(a.cpntr) - 1 }
+
+// Name implements formats.Instance.
+func (a *Matrix[T]) Name() string { return "VBR" }
+
+// Rows implements formats.Instance.
+func (a *Matrix[T]) Rows() int { return a.rows }
+
+// Cols implements formats.Instance.
+func (a *Matrix[T]) Cols() int { return a.cols }
+
+// NNZ implements formats.Instance.
+func (a *Matrix[T]) NNZ() int64 { return a.nnz }
+
+// StoredScalars implements formats.Instance; with a pattern-consistent
+// partition every stored block is dense, so no padding is stored.
+func (a *Matrix[T]) StoredScalars() int64 { return int64(len(a.val)) }
+
+// MatrixBytes implements formats.Instance.
+func (a *Matrix[T]) MatrixBytes() int64 {
+	s := int64(floats.SizeOf[T]())
+	return int64(len(a.val))*s +
+		int64(len(a.rpntr)+len(a.cpntr)+len(a.browPtr)+len(a.bcolInd)+len(a.valPtr))*4
+}
+
+// Components implements formats.Instance; like 1D-VBL, VBR has no fixed
+// shape and is not costed by the models.
+func (a *Matrix[T]) Components() []formats.Component {
+	return []formats.Component{{
+		Shape:   blocks.RectShape(1, 1),
+		Impl:    a.impl,
+		Blocks:  a.Blocks(),
+		WSBytes: a.MatrixBytes(),
+	}}
+}
+
+// RowAlign implements formats.Instance. VBR row ranges must respect the
+// pattern partition, which is data-dependent; the executor treats VBR as
+// unsplittable by returning the full row count.
+func (a *Matrix[T]) RowAlign() int { return a.rows }
+
+// RowWeights implements formats.Instance.
+func (a *Matrix[T]) RowWeights() []int64 {
+	w := make([]int64, a.rows)
+	for bi := 0; bi+1 < len(a.rpntr); bi++ {
+		var scalars int64
+		for k := a.browPtr[bi]; k < a.browPtr[bi+1]; k++ {
+			scalars += int64(a.valPtr[k+1] - a.valPtr[k])
+		}
+		h := int64(a.rpntr[bi+1] - a.rpntr[bi])
+		if h == 0 {
+			continue
+		}
+		// Distribute the block row's scalars exactly across its rows so
+		// that the weights sum to StoredScalars.
+		per, extra := scalars/h, scalars%h
+		for i, r := int64(0), a.rpntr[bi]; r < a.rpntr[bi+1]; i, r = i+1, r+1 {
+			w[r] = per
+			if i < extra {
+				w[r]++
+			}
+		}
+	}
+	return w
+}
+
+// Mul implements formats.Instance.
+func (a *Matrix[T]) Mul(x, y []T) {
+	formats.CheckDims[T](a, x, y)
+	floats.Fill(y, 0)
+	a.MulRange(x, y, 0, a.rows)
+}
+
+// MulRange implements formats.Instance. Only the full range is supported
+// (see RowAlign).
+func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
+	if r0 != 0 || r1 != a.rows {
+		panic("vbr: MulRange supports only the full row range")
+	}
+	for bi := 0; bi+1 < len(a.rpntr); bi++ {
+		rowStart := int(a.rpntr[bi])
+		h := int(a.rpntr[bi+1]) - rowStart
+		for k := a.browPtr[bi]; k < a.browPtr[bi+1]; k++ {
+			bj := a.bcolInd[k]
+			colStart := int(a.cpntr[bj])
+			w := int(a.cpntr[bj+1]) - colStart
+			block := a.val[a.valPtr[k]:a.valPtr[k+1]]
+			// Column-major block: block[c*h+r].
+			for c := 0; c < w; c++ {
+				xv := x[colStart+c]
+				col := block[c*h : c*h+h]
+				for r := 0; r < h; r++ {
+					y[rowStart+r] += col[r] * xv
+				}
+			}
+		}
+	}
+}
+
+var _ formats.Instance[float64] = (*Matrix[float64])(nil)
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func searchInt32(s []int32, v int32) (int, bool) {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == v {
+		return lo, true
+	}
+	return 0, false
+}
+
+// WithImpl implements formats.Instance. VBR has a single kernel.
+func (a *Matrix[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+	b := *a
+	b.impl = impl
+	return &b
+}

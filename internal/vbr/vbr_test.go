@@ -1,0 +1,85 @@
+package vbr_test
+
+import (
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/conformance"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/testmat"
+	"blockspmv/internal/vbr"
+)
+
+func TestConformance(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		t.Run(name, func(t *testing.T) {
+			conformance.Check(t, m, vbr.New(m, blocks.Scalar))
+		})
+	}
+}
+
+func TestConformanceSingle(t *testing.T) {
+	for name, m := range testmat.Corpus[float32]() {
+		t.Run(name, func(t *testing.T) {
+			conformance.Check(t, m, vbr.New(m, blocks.Scalar))
+		})
+	}
+}
+
+func TestNoPaddingStored(t *testing.T) {
+	// The pattern partition guarantees every block is dense: the stored
+	// scalars must equal the nonzeros exactly.
+	for name, m := range testmat.Corpus[float64]() {
+		a := vbr.New(m, blocks.Scalar)
+		if a.StoredScalars() != a.NNZ() {
+			t.Errorf("%s: VBR stores %d scalars for %d nonzeros", name, a.StoredScalars(), a.NNZ())
+		}
+	}
+}
+
+func TestDenseMatrixFormsSingleBlock(t *testing.T) {
+	m := mat.Dense[float64](16, 12)
+	a := vbr.New(m, blocks.Scalar)
+	if a.BlockRows() != 1 || a.BlockCols() != 1 || a.Blocks() != 1 {
+		t.Errorf("dense matrix: %d block rows, %d block cols, %d blocks; want 1/1/1",
+			a.BlockRows(), a.BlockCols(), a.Blocks())
+	}
+}
+
+func TestBlockDiagonalPartition(t *testing.T) {
+	// Two 3x3 dense tiles on the diagonal: the pattern partition should
+	// recover exactly two block rows, two block columns, two blocks.
+	m := mat.New[float64](6, 6)
+	for t0 := 0; t0 < 2; t0++ {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m.Add(int32(t0*3+i), int32(t0*3+j), float64(i*3+j+1))
+			}
+		}
+	}
+	m.Finalize()
+	a := vbr.New(m, blocks.Scalar)
+	if a.BlockRows() != 2 || a.Blocks() != 2 {
+		t.Errorf("block-diagonal: %d block rows, %d blocks; want 2, 2", a.BlockRows(), a.Blocks())
+	}
+}
+
+func TestVariableBlockSizes(t *testing.T) {
+	// Rows 0-1 share a pattern {0,1,2}, row 2 has {0,1,2,3}: three block
+	// rows cannot merge rows 2 with 0-1.
+	m := mat.New[float64](3, 4)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			m.Add(int32(r), int32(c), 1)
+		}
+	}
+	for c := 0; c < 4; c++ {
+		m.Add(2, int32(c), 2)
+	}
+	m.Finalize()
+	a := vbr.New(m, blocks.Scalar)
+	if a.BlockRows() != 2 {
+		t.Errorf("pattern partition found %d block rows, want 2", a.BlockRows())
+	}
+	conformance.Check(t, m, a)
+}
