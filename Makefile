@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the tier-1 verify referenced
+# from ROADMAP.md; `make race` exercises the concurrent packages (the
+# worker-pool executor, the vector kernels and the solvers built on them)
+# under the race detector.
+
+GO ?= go
+
+RACE_PKGS = ./internal/workpool ./internal/parallel ./internal/vecops ./internal/solver
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench 'MulVecWorkers|SolveCGWorkers' -benchmem \
+	    ./internal/parallel ./internal/solver

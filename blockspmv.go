@@ -256,11 +256,17 @@ func Instantiate[T Float](m *Matrix[T], c Candidate) Format[T] {
 
 // ParallelMul is a multithreaded y = A*x executor over a fixed row
 // partition balanced by stored scalars (including padding), the paper's
-// static load-balancing scheme.
+// static load-balancing scheme. The workers are a persistent pool started
+// at construction and pinned to their row ranges: repeated MulVec calls
+// (the iterative-solver traffic pattern) pay no per-call goroutine spawns
+// and no allocations, and each worker zero-fills its own slice of y so
+// the output vector stays first-touched by its owning thread. Call Close
+// to retire the pool; MulVec afterwards panics.
 type ParallelMul[T Float] = parallel.Mul[T]
 
 // NewParallelMul prepares a multithreaded multiply with the given number
-// of workers.
+// of workers. Workers are started only for non-empty partition ranges,
+// so oversubscribing a small matrix costs nothing.
 func NewParallelMul[T Float](f Format[T], workers int) *ParallelMul[T] {
 	return parallel.NewMul(f, workers, parallel.BalanceWeights)
 }
@@ -270,7 +276,12 @@ func NewParallelMul[T Float](f Format[T], workers int) *ParallelMul[T] {
 func WorkingSetBytes[T Float](f Format[T]) int64 { return formats.WorkingSetBytes(f) }
 
 // SolverOptions controls the iterative solvers; the zero value selects a
-// precision-appropriate tolerance and a 10n iteration cap.
+// precision-appropriate tolerance, a 10n iteration cap and serial
+// execution. Setting Workers > 1 runs the whole solver iteration — the
+// SpMV through a ParallelMul pool and the vector kernels (dot, axpy,
+// norm, the fused recurrence updates) through a matching worker team —
+// on that many threads, so end-to-end solve time scales with cores, not
+// just the multiply.
 type SolverOptions = solver.Options
 
 // SolverStats reports the work a solve performed: iterations, SpMV count
@@ -280,7 +291,9 @@ type SolverStats = solver.Stats
 // SolveCG solves A x = b with conjugate gradients for symmetric
 // positive-definite A in any storage format, overwriting x (initial
 // guess). SpMV dominates its runtime, so format selection carries through
-// to end-to-end solve time; see examples/solver.
+// to end-to-end solve time; see examples/solver. This is also the
+// parallel-solver entry point: SolverOptions.Workers > 1 runs every
+// iteration on persistent worker pools.
 func SolveCG[T Float](a Format[T], b, x []T, opts SolverOptions) (SolverStats, error) {
 	return solver.CG(a, b, x, opts)
 }

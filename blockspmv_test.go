@@ -113,11 +113,47 @@ func TestParallelMulPublic(t *testing.T) {
 	want := make([]float64, m.Rows())
 	m.MulVec(x, want)
 	got := make([]float64, m.Rows())
+	pm.MulVec(x, got) // the pool is reusable across calls
 	pm.MulVec(x, got)
 	for i := range want {
 		if math.Abs(got[i]-want[i]) > 1e-9 {
 			t.Fatalf("parallel y[%d] = %g, want %g", i, got[i], want[i])
 		}
+	}
+	pm.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("MulVec after Close did not panic")
+		}
+	}()
+	pm.MulVec(x, got)
+}
+
+func TestParallelSolvePublic(t *testing.T) {
+	// SolverOptions.Workers runs the whole CG iteration on worker pools.
+	m := buildTestMatrix()
+	sym := blockspmv.NewMatrix[float64](m.Rows(), m.Rows())
+	// A·Aᵀ-style SPD stand-in: diagonally dominant tridiagonal system.
+	for i := 0; i < m.Rows(); i++ {
+		sym.Add(int32(i), int32(i), 4)
+		if i > 0 {
+			sym.Add(int32(i), int32(i-1), -1)
+			sym.Add(int32(i-1), int32(i), -1)
+		}
+	}
+	sym.Finalize()
+	f := blockspmv.NewCSR(sym, blockspmv.Scalar)
+	b := make([]float64, sym.Rows())
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, sym.Rows())
+	st, err := blockspmv.SolveCG(f, b, x, blockspmv.SolverOptions{Tol: 1e-10, Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel SolveCG: %v (residual %g)", err, st.Residual)
+	}
+	if st.Residual > 1e-10 {
+		t.Errorf("residual %g", st.Residual)
 	}
 }
 

@@ -14,7 +14,10 @@
 //
 // Experiments: table1, table2, table3, fig2, fig3, fig4 (includes
 // table4), latency, fig3x (the OVERLAP+LAT extension), rank (Kendall-tau
-// ordering fidelity), all.
+// ordering fidelity), all. The extra "scaling" experiment (not part of
+// "all") isolates the persistent-pool multithreaded executor: one matrix,
+// one format, growing worker team, GFlop/s and speedup per worker count
+// (worker counts from -cores, matrices from -matrices).
 //
 // The model experiments need a kernel profile, which takes a minute or
 // two to collect; pass -profile-dir to cache profiles across runs. Pass
@@ -39,11 +42,11 @@ import (
 
 func main() {
 	var (
-		experiments = flag.String("experiment", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,latency,all")
+		experiments = flag.String("experiment", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,latency,scaling,all")
 		scaleName   = flag.String("scale", "small", "suite scale: tiny, small or paper")
 		matrices    = flag.String("matrices", "", "comma-separated matrix ids (default: all 30)")
 		iterations  = flag.Int("iterations", 20, "timed SpMV operations per instance")
-		cores       = flag.String("cores", "1,2,4", "comma-separated worker counts for fig2")
+		cores       = flag.String("cores", "1,2,4", "comma-separated worker counts for fig2 and scaling")
 		profileDir  = flag.String("profile-dir", "", "directory to cache kernel profiles in")
 		winners     = flag.Bool("winners", false, "with table2: also print the per-matrix winner drill-down")
 		sessionFile = flag.String("session", "", "measurement session JSON: loaded if present (skipping re-measurement), written after the run")
@@ -67,12 +70,13 @@ func main() {
 	known := map[string]bool{
 		"all": true, "table1": true, "table2": true, "table3": true, "table4": true,
 		"fig2": true, "fig3": true, "fig4": true, "latency": true, "fig3x": true, "rank": true,
+		"scaling": true,
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiments, ",") {
 		name := strings.TrimSpace(e)
 		if !known[name] {
-			fatal(fmt.Errorf("unknown experiment %q (known: table1 table2 table3 table4 fig2 fig3 fig4 latency fig3x rank all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (known: table1 table2 table3 table4 fig2 fig3 fig4 latency fig3x rank scaling all)", name))
 		}
 		want[name] = true
 	}
@@ -157,6 +161,10 @@ func main() {
 	}
 	if want["fig2"] {
 		bench.PrintFig2(out, bench.Fig2(session))
+		fmt.Fprintln(out)
+	}
+	if want["scaling"] {
+		bench.PrintScaling(out, bench.Scaling(cfg))
 		fmt.Fprintln(out)
 	}
 	if want["fig3"] {

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"blockspmv"
@@ -47,6 +48,19 @@ func main() {
 		fmt.Printf("%-16s %4d iterations, %4d SpMVs, residual %.2e, %v\n",
 			f.Name(), st.Iterations, st.SpMVs, st.Residual, elapsed.Round(time.Millisecond))
 	}
+
+	// The same solve with the whole iteration — SpMV and vector kernels —
+	// on the persistent worker pools (cmd/solvebench sweeps this knob).
+	workers := runtime.NumCPU()
+	x := make([]float64, n)
+	start := time.Now()
+	st, err := blockspmv.SolveCG(tuned, b, x, blockspmv.SolverOptions{Tol: 1e-8, Workers: workers})
+	if err != nil {
+		log.Fatalf("parallel %s: %v", tuned.Name(), err)
+	}
+	fmt.Printf("%-16s %4d iterations, %4d SpMVs, residual %.2e, %v  (%d workers)\n",
+		tuned.Name(), st.Iterations, st.SpMVs, st.Residual,
+		time.Since(start).Round(time.Millisecond), workers)
 }
 
 // laplacianBlocks builds a block version of the 5-point Laplacian: each

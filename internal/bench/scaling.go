@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/parallel"
+	"blockspmv/internal/suite"
+	"blockspmv/internal/textplot"
+)
+
+// ScalingPoint is one worker count on the executor-scaling curve.
+type ScalingPoint struct {
+	Workers int
+	Seconds float64
+	GFlops  float64
+	Speedup float64 // vs the 1-worker pooled run on the same matrix
+}
+
+// ScalingResult is the pooled-executor scaling curve for one matrix.
+type ScalingResult struct {
+	Info   suite.Info
+	NNZ    int64
+	Points []ScalingPoint
+}
+
+// Scaling measures the persistent-pool SpMV executor (dp, CSR scalar) at
+// every configured core count. Unlike Fig2, which compares formats, this
+// experiment isolates the executor itself: same matrix, same kernel,
+// growing worker team. With no explicit matrix selection it uses matrix
+// #2 (uniform random — no structure for a format to exploit, so the curve
+// shows pure orchestration plus memory bandwidth).
+func Scaling(cfg Config) []ScalingResult {
+	cfg = cfg.withDefaults()
+	ids := cfg.MatrixIDs
+	if len(ids) == suite.Count { // defaulted: the full suite would be noise
+		ids = []int{2}
+	}
+	var out []ScalingResult
+	for _, id := range ids {
+		info, err := suite.InfoByID(id)
+		if err != nil {
+			continue
+		}
+		m := suite.MustBuild[float64](id, cfg.Scale)
+		inst := csr.FromCOO(m, blocks.Scalar)
+		x := floats.RandVector[float64](m.Cols(), 103)
+		y := make([]float64, m.Rows())
+		res := ScalingResult{Info: info, NNZ: inst.NNZ()}
+		var base float64
+		for _, workers := range cfg.Cores {
+			pm := parallel.NewMul(inst, workers, parallel.BalanceWeights)
+			secs := timeAvg(cfg, func() { pm.MulVec(x, y) })
+			pm.Close()
+			if len(res.Points) == 0 {
+				base = secs
+			}
+			res.Points = append(res.Points, ScalingPoint{
+				Workers: workers,
+				Seconds: secs,
+				GFlops:  2 * float64(inst.NNZ()) / secs / 1e9,
+				Speedup: base / secs,
+			})
+		}
+		out = append(out, res)
+		cfg.logf("scaling: %s done", info.Name)
+	}
+	return out
+}
+
+// PrintScaling renders the executor-scaling curves.
+func PrintScaling(w io.Writer, res []ScalingResult) {
+	fmt.Fprintln(w, "Executor scaling: pooled SpMV (dp, CSR scalar) per worker count")
+	fmt.Fprintln(w)
+	for _, r := range res {
+		fmt.Fprintf(w, "%s (%d nonzeros)\n", r.Info.Name, r.NNZ)
+		var rows [][]string
+		for _, pt := range r.Points {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", pt.Workers),
+				fmt.Sprintf("%.3g", pt.Seconds*1e3),
+				fmt.Sprintf("%.2f", pt.GFlops),
+				fmt.Sprintf("%.2fx", pt.Speedup),
+			})
+		}
+		textplot.Table(w, []string{"workers", "ms/SpMV", "GFlop/s", "speedup"}, rows)
+	}
+}

@@ -170,6 +170,7 @@ func multicoreTimesT[T floats.Float](cfg Config, id int, cands []core.Candidate)
 		for _, cores := range cfg.Cores {
 			pm := parallel.NewMul(inst, cores, parallel.BalanceWeights)
 			out[i] = append(out[i], timeAvg(cfg, func() { pm.MulVec(x, y) }))
+			pm.Close()
 		}
 	}
 	return out

@@ -47,6 +47,15 @@ func Fill[T Float](dst []T, v T) {
 	}
 }
 
+// Zero clears dst. Unlike Fill(dst, 0) the constant store compiles to a
+// memclr, which matters for the per-worker first-touch zeroing of the
+// output vector on the multithreaded hot path.
+func Zero[T Float](dst []T) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
 // RandVector returns a deterministic pseudo-random vector of length n with
 // entries in [0, 1), matching the paper's randomly generated input vectors.
 func RandVector[T Float](n int, seed int64) []T {

@@ -29,6 +29,14 @@ type Component struct {
 // the row range [r0, r1) into y, assuming the caller has zeroed that range;
 // r0 and r1 must be multiples of RowAlign() or equal to Rows(). The
 // multithreaded executor in internal/parallel builds on MulRange.
+//
+// Concurrency contract: MulRange must be safe for concurrent calls on
+// disjoint aligned row ranges — implementations read only immutable
+// matrix state and the shared x, and write y exclusively inside their
+// range. The persistent worker pool relies on this: each pinned worker
+// zero-fills and accumulates its own y slice (first-touch ownership)
+// while the others do the same on theirs, every multiply, with no
+// cross-range synchronisation.
 type Instance[T floats.Float] interface {
 	// Name identifies the format and configuration, e.g. "BCSR(2x3)" or
 	// "BCSD-DEC(d4)/simd".

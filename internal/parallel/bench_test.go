@@ -22,10 +22,13 @@ func BenchmarkMulVecWorkers(b *testing.B) {
 		pm := parallel.NewMul(inst, workers, parallel.BalanceWeights)
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			b.SetBytes(inst.MatrixBytes())
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pm.MulVec(x, y)
 			}
+			b.ReportMetric(2*float64(inst.NNZ())/1e9/b.Elapsed().Seconds()*float64(b.N), "gflops")
 		})
+		pm.Close()
 	}
 }
 

@@ -4,14 +4,21 @@
 // the same number of stored scalars — "for the case of methods with
 // padding, we also accounted for the extra zero elements used for the
 // padding". Partition boundaries respect the format's block-row alignment.
+//
+// Execution uses a persistent worker pool (internal/workpool): workers are
+// started once per Mul, pinned to their row ranges, and woken per multiply
+// by an epoch handoff, keeping per-call dispatch overhead and allocations
+// at zero for the repeated-SpMV traffic of the iterative solvers.
 package parallel
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
+	"sync/atomic"
 
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
+	"blockspmv/internal/workpool"
 )
 
 // Strategy selects how rows are assigned to threads.
@@ -30,8 +37,15 @@ const (
 // Partition computes parts row ranges covering [0, rows) with boundaries
 // aligned to align (the final boundary is rows itself). With
 // BalanceWeights the cut points equalise the cumulative weight; with
-// EqualRows they equalise the row count. Some trailing ranges may be
-// empty when rows/align < parts.
+// EqualRows they equalise the row count.
+//
+// When the matrix has fewer aligned boundaries than parts — rows/align <
+// parts — there are not enough cut points to go around and some ranges
+// are necessarily empty (r0 == r1). Empty ranges may appear anywhere in
+// the slice, not only at the tail: with BalanceWeights an early target
+// weight can round to a boundary already taken, yielding leading or
+// interior empties. The executor never starts workers for empty ranges
+// (see Mul), so oversubscribed part counts cost nothing at run time.
 func Partition(weights []int64, align, parts int, strategy Strategy) [][2]int {
 	rows := len(weights)
 	if parts < 1 {
@@ -98,34 +112,74 @@ func Partition(weights []int64, align, parts int, strategy Strategy) [][2]int {
 	return ranges
 }
 
-// Mul is a multithreaded SpMV: it partitions the matrix rows over parts
-// workers according to the strategy and computes y = A*x with one
-// goroutine per part. The instance's MulRange must be safe for concurrent
-// use on disjoint row ranges (all formats in this library are: they only
-// write y rows inside their range).
+// Mul is a persistent multithreaded SpMV executor: it partitions the
+// matrix rows over parts workers according to the strategy and computes
+// y = A*x with a worker pool started once at construction. Workers stay
+// pinned to their row range across calls, park on a condition variable
+// between multiplies, and are woken per MulVec by a single epoch bump —
+// no per-call goroutine spawns and no per-call allocations, so the
+// dispatch cost stays near zero under the repeated-multiply traffic of
+// the iterative solvers. Each worker zero-fills its own slice of y before
+// accumulating, so the output vector is first touched by the thread that
+// owns it.
+//
+// MulVec is intended for repeated calls from a single caller; concurrent
+// MulVec calls on one Mul are not supported. Call Close when done to
+// retire the workers (an abandoned executor is also cleaned up when the
+// garbage collector finds it unreachable, but deterministic release is
+// cheaper).
 type Mul[T floats.Float] struct {
+	ranges  [][2]int
+	pl      *pool[T]
+	cleanup runtime.Cleanup
+}
+
+// pool carries the state shared with the worker goroutines. It must not
+// reference the owning Mul: workers keep the pool alive, and a reference
+// back to Mul would keep an abandoned executor reachable forever,
+// defeating the GC cleanup that retires leaked workers.
+type pool[T floats.Float] struct {
 	inst   formats.Instance[T]
-	ranges [][2]int
+	active [][2]int       // the non-empty row ranges, one worker each
+	team   *workpool.Team // nil when at most one range is non-empty
+	x, y   []T            // operands of the in-flight MulVec
+	closed atomic.Bool
 }
 
-// NewMul prepares a multithreaded multiply over parts workers.
+// NewMul prepares a multithreaded multiply over parts workers and starts
+// the pool. Workers are started only for non-empty partition ranges, so
+// asking for more parts than the matrix has aligned row groups does not
+// spawn idle goroutines.
 func NewMul[T floats.Float](inst formats.Instance[T], parts int, strategy Strategy) *Mul[T] {
-	return &Mul[T]{
-		inst:   inst,
-		ranges: Partition(inst.RowWeights(), inst.RowAlign(), parts, strategy),
+	ranges := Partition(inst.RowWeights(), inst.RowAlign(), parts, strategy)
+	pl := &pool[T]{inst: inst}
+	for _, rr := range ranges {
+		if rr[0] < rr[1] {
+			pl.active = append(pl.active, rr)
+		}
 	}
+	if len(pl.active) > 1 {
+		pl.team = workpool.New(len(pl.active), pl.runPart)
+	}
+	p := &Mul[T]{ranges: ranges, pl: pl}
+	p.cleanup = runtime.AddCleanup(p, func(pl *pool[T]) { pl.close() }, pl)
+	return p
 }
 
-// Ranges returns the computed row partition.
+// Ranges returns the computed row partition, including empty ranges.
 func (p *Mul[T]) Ranges() [][2]int { return p.ranges }
 
+// ActiveWorkers reports how many partition ranges are non-empty — the
+// number of threads (including the caller) that participate in a MulVec.
+func (p *Mul[T]) ActiveWorkers() int { return len(p.pl.active) }
+
 // Instance returns the wrapped format instance.
-func (p *Mul[T]) Instance() formats.Instance[T] { return p.inst }
+func (p *Mul[T]) Instance() formats.Instance[T] { return p.pl.inst }
 
 // PartWeights returns the total row weight assigned to each part, the
 // balancing diagnostic used by tests and the ablation bench.
 func (p *Mul[T]) PartWeights() []int64 {
-	w := p.inst.RowWeights()
+	w := p.pl.inst.RowWeights()
 	out := make([]int64, len(p.ranges))
 	for i, rr := range p.ranges {
 		for r := rr[0]; r < rr[1]; r++ {
@@ -135,20 +189,50 @@ func (p *Mul[T]) PartWeights() []int64 {
 	return out
 }
 
-// MulVec computes y = A*x using one goroutine per partition.
+// MulVec computes y = A*x on the pool. The caller's goroutine executes
+// one partition itself while the pinned workers handle the rest; every
+// partition clears its own y range (first touch) before accumulating.
+// MulVec performs no allocations and panics if the executor is closed.
 func (p *Mul[T]) MulVec(x, y []T) {
-	formats.CheckDims[T](p.inst, x, y)
-	floats.Fill(y, 0)
-	var wg sync.WaitGroup
-	for _, rr := range p.ranges {
-		if rr[0] == rr[1] {
-			continue
-		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			p.inst.MulRange(x, y, r0, r1)
-		}(rr[0], rr[1])
+	pl := p.pl
+	if pl.closed.Load() {
+		panic("parallel: MulVec called on a closed Mul (use it before Close)")
 	}
-	wg.Wait()
+	formats.CheckDims[T](pl.inst, x, y)
+	if len(pl.active) == 0 {
+		return // 0-row matrix: nothing to compute
+	}
+	pl.x, pl.y = x, y
+	if pl.team == nil {
+		pl.runPart(0)
+	} else {
+		pl.team.Run()
+	}
+	pl.x, pl.y = nil, nil
+}
+
+// runPart is the per-worker body: zero the partition's slice of y, then
+// accumulate the partition's rows. Worker k always executes active[k], so
+// the same thread touches the same y rows every call.
+func (pl *pool[T]) runPart(k int) {
+	rr := pl.active[k]
+	x, y := pl.x, pl.y
+	floats.Zero(y[rr[0]:rr[1]])
+	pl.inst.MulRange(x, y, rr[0], rr[1])
+}
+
+// Close retires the worker goroutines and waits for them to exit. It is
+// idempotent. After Close, MulVec panics.
+func (p *Mul[T]) Close() {
+	p.cleanup.Stop()
+	p.pl.close()
+}
+
+func (pl *pool[T]) close() {
+	if pl.closed.Swap(true) {
+		return
+	}
+	if pl.team != nil {
+		pl.team.Close()
+	}
 }

@@ -3,16 +3,25 @@ package parallel_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
+	"blockspmv/internal/bcsd"
 	"blockspmv/internal/bcsr"
 	"blockspmv/internal/blocks"
 	"blockspmv/internal/csr"
+	"blockspmv/internal/dcsr"
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
+	"blockspmv/internal/multidec"
 	"blockspmv/internal/parallel"
 	"blockspmv/internal/testmat"
+	"blockspmv/internal/ubcsr"
+	"blockspmv/internal/vbl"
+	"blockspmv/internal/vbr"
 )
 
 func TestPartitionInvariants(t *testing.T) {
@@ -105,6 +114,7 @@ func TestMulMatchesSequential(t *testing.T) {
 					x := floats.RandVector[float64](m.Cols(), 5)
 					m.MulVec(x, want)
 					pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+					defer pm.Close()
 					got := make([]float64, m.Rows())
 					pm.MulVec(x, got)
 					if !floats.EqualWithin(got, want, 1e-9) {
@@ -116,10 +126,173 @@ func TestMulMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestPooledMatchesSerialBitForBit is the pool correctness property: for
+// every format family, the pooled MulVec must reproduce the serial
+// Format.Mul exactly — each row is computed by exactly one worker with
+// the same kernel and the same accumulation order, so not even the last
+// bit may differ.
+func TestPooledMatchesSerialBitForBit(t *testing.T) {
+	corpus := testmat.Corpus[float64]()
+	for name, m := range corpus {
+		insts := map[string]formats.Instance[float64]{
+			"CSR":       csr.FromCOO(m, blocks.Scalar),
+			"BCSR(2x3)": bcsr.New(m, 2, 3, blocks.Vector),
+			"BCSR-DEC":  bcsr.NewDecomposed(m, 4, 2, blocks.Scalar),
+			"UBCSR":     ubcsr.New(m, 2, 2, blocks.Scalar),
+			"BCSD(d4)":  bcsd.New(m, 4, blocks.Scalar),
+			"BCSD-DEC":  bcsd.NewDecomposed(m, 4, blocks.Vector),
+			"1D-VBL":    vbl.New(m, blocks.Scalar),
+			"VBR":       vbr.New(m, blocks.Scalar),
+			"DCSR":      dcsr.New(m),
+			"MultiDec":  multidec.New(m, 2, 2, 4, blocks.Scalar),
+		}
+		x := floats.RandVector[float64](m.Cols(), 17)
+		for iname, inst := range insts {
+			want := make([]float64, m.Rows())
+			inst.Mul(x, want)
+			for _, parts := range []int{1, 2, 4, 7} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", name, iname, parts), func(t *testing.T) {
+					pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+					defer pm.Close()
+					got := make([]float64, m.Rows())
+					// Twice: the pool must be reusable and idempotent.
+					pm.MulVec(x, got)
+					pm.MulVec(x, got)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("y[%d] = %x, serial %x: pooled result not bit-identical",
+								i, got[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestMulVecAfterClosePanics(t *testing.T) {
+	m := testmat.Random[float64](64, 64, 0.1, 9)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	pm := parallel.NewMul(inst, 4, parallel.BalanceWeights)
+	pm.Close()
+	pm.Close() // idempotent
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MulVec after Close did not panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "Close") {
+			t.Errorf("panic message %q does not mention Close", msg)
+		}
+	}()
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	pm.MulVec(x, y)
+}
+
+// goroutinesEventually polls until the goroutine count drops to at most
+// want (worker exit is asynchronous after Close returns only for the
+// cleanup path; Close itself joins the workers, so one settle pass is
+// usually enough).
+func goroutinesEventually(t *testing.T, want int) int {
+	t.Helper()
+	var got int
+	for i := 0; i < 50; i++ {
+		got = runtime.NumGoroutine()
+		if got <= want {
+			return got
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return got
+}
+
+func TestCloseRetiresWorkers(t *testing.T) {
+	m := testmat.Random[float64](4000, 4000, 0.002, 13)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	base := runtime.NumGoroutine()
+	pm := parallel.NewMul(inst, 6, parallel.BalanceWeights)
+	if got := runtime.NumGoroutine(); got != base+5 {
+		t.Errorf("after NewMul(6): %d goroutines, want %d (5 workers + caller's part)", got, base+5)
+	}
+	x := floats.RandVector[float64](4000, 14)
+	y := make([]float64, 4000)
+	pm.MulVec(x, y)
+	pm.Close()
+	if got := goroutinesEventually(t, base); got > base {
+		t.Errorf("after Close: %d goroutines, want %d", got, base)
+	}
+}
+
+// TestEmptyRangesStartNoWorkers is the oversubscription contract: a 3-row
+// matrix split 8 ways has at most 3 non-empty ranges, and the pool must
+// not start goroutines for the permanently-empty ones.
+func TestEmptyRangesStartNoWorkers(t *testing.T) {
+	m := testmat.Random[float64](3, 10, 0.5, 6)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	base := runtime.NumGoroutine()
+	pm := parallel.NewMul(inst, 8, parallel.BalanceWeights)
+	defer pm.Close()
+	if got := pm.ActiveWorkers(); got > 3 {
+		t.Errorf("ActiveWorkers() = %d for a 3-row matrix, want <= 3", got)
+	}
+	nonEmpty := 0
+	for _, rr := range pm.Ranges() {
+		if rr[0] < rr[1] {
+			nonEmpty++
+		}
+	}
+	if len(pm.Ranges()) != 8 {
+		t.Errorf("Ranges() has %d entries, want 8", len(pm.Ranges()))
+	}
+	if nonEmpty != pm.ActiveWorkers() {
+		t.Errorf("ActiveWorkers() = %d but %d ranges are non-empty", pm.ActiveWorkers(), nonEmpty)
+	}
+	// Workers beyond part 0 run on extra goroutines: at most nonEmpty-1.
+	if got := runtime.NumGoroutine(); got > base+nonEmpty-1 {
+		t.Errorf("%d goroutines for %d active ranges (base %d): idle ranges got workers",
+			got, nonEmpty, base)
+	}
+}
+
+func TestMulVecZeroAllocs(t *testing.T) {
+	m := testmat.Random[float64](8000, 8000, 0.002, 21)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	x := floats.RandVector[float64](8000, 22)
+	y := make([]float64, 8000)
+	for _, parts := range []int{1, 4} {
+		pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+		if allocs := testing.AllocsPerRun(100, func() { pm.MulVec(x, y) }); allocs != 0 {
+			t.Errorf("parts=%d: MulVec allocates %v times per call, want 0", parts, allocs)
+		}
+		pm.Close()
+	}
+}
+
+// TestPooledOverwritesStaleOutput checks the per-worker first-touch
+// zeroing: a y vector full of garbage must be fully overwritten, empty
+// partitions included.
+func TestPooledOverwritesStaleOutput(t *testing.T) {
+	m := testmat.Random[float64](500, 500, 0.01, 23)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	pm := parallel.NewMul(inst, 4, parallel.BalanceWeights)
+	defer pm.Close()
+	x := floats.RandVector[float64](500, 24)
+	want := make([]float64, 500)
+	m.MulVec(x, want)
+	got := make([]float64, 500)
+	floats.Fill(got, 1e300) // garbage that would survive a missed clear
+	pm.MulVec(x, got)
+	if !floats.EqualWithin(got, want, 1e-9) {
+		t.Fatalf("stale y not fully cleared, max diff %g", floats.MaxAbsDiff(got, want))
+	}
+}
+
 func TestPartWeightsNearlyEqual(t *testing.T) {
 	m := testmat.Random[float64](4000, 4000, 0.002, 11)
 	inst := csr.FromCOO(m, blocks.Scalar)
 	pm := parallel.NewMul(inst, 4, parallel.BalanceWeights)
+	defer pm.Close()
 	pw := pm.PartWeights()
 	var total int64
 	for _, w := range pw {
@@ -160,6 +333,7 @@ func TestPaddingAwareBalancing(t *testing.T) {
 
 	inst := bcsr.New(combined, 2, 2, blocks.Scalar)
 	pm := parallel.NewMul(inst, 2, parallel.BalanceWeights)
+	defer pm.Close()
 	pw := pm.PartWeights()
 	ratio := float64(pw[0]) / float64(pw[0]+pw[1])
 	if ratio < 0.4 || ratio > 0.6 {
@@ -184,6 +358,7 @@ func TestMorePartsThanRows(t *testing.T) {
 	m := testmat.Random[float64](3, 10, 0.5, 6)
 	inst := csr.FromCOO(m, blocks.Scalar)
 	pm := parallel.NewMul(inst, 8, parallel.BalanceWeights)
+	defer pm.Close()
 	x := floats.RandVector[float64](10, 7)
 	got := make([]float64, 3)
 	want := make([]float64, 3)

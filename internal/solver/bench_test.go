@@ -1,0 +1,51 @@
+package solver_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/solver"
+)
+
+// BenchmarkSolveCGWorkers measures a fixed-length CG solve at different
+// worker counts: the whole iteration — SpMV plus the vector kernels —
+// runs on the persistent pools, so this is the end-to-end scaling curve
+// of the solver, not just of the multiply (scaling depends on available
+// CPUs; see EXPERIMENTS.md).
+func BenchmarkSolveCGWorkers(b *testing.B) {
+	const side = 245 // 60025 unknowns, the scale of the MulVec bench
+	m := spdMatrix(side)
+	a := csr.FromCOO(m, blocks.Scalar)
+	n := m.Rows()
+	rhs := floats.RandVector[float64](n, 1)
+
+	const iters = 40
+	// CG flops per iteration: one SpMV (2 flops per nonzero) plus the
+	// vector work — two dots (2n each), the fused x/r update (4n) and the
+	// direction update (2n).
+	flopsPerSolve := float64(iters) * (2*float64(m.NNZ()) + 10*float64(n))
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.SetBytes(a.MatrixBytes())
+			b.ReportAllocs()
+			x := make([]float64, n)
+			for i := 0; i < b.N; i++ {
+				floats.Zero(x)
+				// An unreachable tolerance pins the solve at exactly
+				// iters iterations so every run does identical work.
+				_, err := solver.CG(a, rhs, x, solver.Options{
+					Tol: 1e-300, MaxIter: iters, Workers: workers,
+				})
+				if err != nil && !errors.Is(err, solver.ErrNoConvergence) {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(flopsPerSolve*float64(b.N)/1e9/b.Elapsed().Seconds(), "gflops")
+		})
+	}
+}

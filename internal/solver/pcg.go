@@ -52,48 +52,46 @@ func PCG[T floats.Float](a formats.Instance[T], pre *JacobiPreconditioner[T], b,
 		return Stats{}, fmt.Errorf("solver: dimension mismatch")
 	}
 	opts = opts.withDefaults(n, floats.SizeOf[T]())
+	pm, vp := pools(a, n, opts)
+	defer pm.Close()
+	defer vp.Close()
 
 	r := make([]T, n)
 	z := make([]T, n)
 	p := make([]T, n)
 	ap := make([]T, n)
 
-	a.Mul(x, ap)
-	for i := range r {
-		r[i] = b[i] - ap[i]
-	}
-	pre.Apply(r, z)
+	pm.MulVec(x, ap)
+	vp.SubScaled(b, 1, ap, r)
+	vp.Hadamard(pre.invDiag, r, z)
 	copy(p, z)
 
-	bNorm := norm(b)
+	bNorm := vp.Norm2(b)
 	if bNorm == 0 {
 		bNorm = 1
 	}
 	st := Stats{SpMVs: 1}
-	rz := dot(r, z)
+	rz := vp.Dot(r, z)
 	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
-		st.Residual = norm(r) / bNorm
+		st.Residual = vp.Norm2(r) / bNorm
 		if st.Residual <= opts.Tol {
 			return st, nil
 		}
-		a.Mul(p, ap)
+		pm.MulVec(p, ap)
 		st.SpMVs++
-		pap := dot(p, ap)
+		pap := vp.Dot(p, ap)
 		if pap == 0 {
 			return st, ErrBreakdown
 		}
 		alpha := rz / pap
-		axpy(alpha, p, x)
-		axpy(-alpha, ap, r)
-		pre.Apply(r, z)
-		rzNew := dot(r, z)
+		vp.FusedUpdate(alpha, p, ap, x, r) // x += α·p ; r −= α·ap
+		vp.Hadamard(pre.invDiag, r, z)     // z = M⁻¹ r
+		rzNew := vp.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + T(beta)*p[i]
-		}
+		vp.Xpby(z, beta, p)
 	}
-	st.Residual = norm(r) / bNorm
+	st.Residual = vp.Norm2(r) / bNorm
 	if st.Residual <= opts.Tol {
 		return st, nil
 	}

@@ -12,6 +12,8 @@ import (
 
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
+	"blockspmv/internal/parallel"
+	"blockspmv/internal/vecops"
 )
 
 // ErrNoConvergence is returned when the iteration limit is reached before
@@ -34,10 +36,16 @@ type Stats struct {
 }
 
 // Options controls a solve. The zero value means: tolerance 1e-10 (dp) or
-// 1e-4 (sp), iteration limit 10*n.
+// 1e-4 (sp), iteration limit 10*n, serial execution.
 type Options struct {
 	Tol     float64
 	MaxIter int
+	// Workers is the number of threads (including the caller) used for
+	// both the SpMV and the vector kernels of every iteration, via the
+	// persistent worker pools of internal/parallel and internal/vecops.
+	// 0 or 1 runs serially. Pools are created once per solve and retired
+	// on return.
+	Workers int
 }
 
 func (o Options) withDefaults(n int, valSize int) Options {
@@ -51,25 +59,19 @@ func (o Options) withDefaults(n int, valSize int) Options {
 	if o.MaxIter == 0 {
 		o.MaxIter = 10 * n
 	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
 	return o
 }
 
-func dot[T floats.Float](a, b []T) float64 {
-	var s float64
-	for i := range a {
-		s += float64(a[i]) * float64(b[i])
-	}
-	return s
-}
-
-func norm[T floats.Float](a []T) float64 { return math.Sqrt(dot(a, a)) }
-
-// axpy computes y += alpha*x.
-func axpy[T floats.Float](alpha float64, x, y []T) {
-	a := T(alpha)
-	for i := range x {
-		y[i] += a * x[i]
-	}
+// pools builds the per-solve execution engines: the pooled SpMV executor
+// over a (the paper's Section V scheme, balanced by stored scalars) and
+// the parallel vector kernels. With Workers <= 1 both run serially on the
+// caller with no extra goroutines.
+func pools[T floats.Float](a formats.Instance[T], n int, opts Options) (*parallel.Mul[T], *vecops.Pool[T]) {
+	return parallel.NewMul(a, opts.Workers, parallel.BalanceWeights),
+		vecops.NewPool[T](n, opts.Workers)
 }
 
 // CG solves A x = b for symmetric positive-definite A with the conjugate
@@ -85,44 +87,42 @@ func CG[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (Stats, e
 		return Stats{}, fmt.Errorf("solver: dimension mismatch")
 	}
 	opts = opts.withDefaults(n, floats.SizeOf[T]())
+	pm, vp := pools(a, n, opts)
+	defer pm.Close()
+	defer vp.Close()
 
 	r := make([]T, n)
 	p := make([]T, n)
 	ap := make([]T, n)
 
 	// r = b - A*x
-	a.Mul(x, ap)
-	for i := range r {
-		r[i] = b[i] - ap[i]
-	}
+	pm.MulVec(x, ap)
+	vp.SubScaled(b, 1, ap, r)
 	copy(p, r)
 
-	bNorm := norm(b)
+	bNorm := vp.Norm2(b)
 	if bNorm == 0 {
 		bNorm = 1
 	}
 	st := Stats{SpMVs: 1}
-	rr := dot(r, r)
+	rr := vp.Dot(r, r)
 	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
 		st.Residual = math.Sqrt(rr) / bNorm
 		if st.Residual <= opts.Tol {
 			return st, nil
 		}
-		a.Mul(p, ap)
+		pm.MulVec(p, ap)
 		st.SpMVs++
-		pap := dot(p, ap)
+		pap := vp.Dot(p, ap)
 		if pap == 0 {
 			return st, ErrBreakdown
 		}
 		alpha := rr / pap
-		axpy(alpha, p, x)
-		axpy(-alpha, ap, r)
-		rrNew := dot(r, r)
+		vp.FusedUpdate(alpha, p, ap, x, r) // x += α·p ; r −= α·ap
+		rrNew := vp.Dot(r, r)
 		beta := rrNew / rr
 		rr = rrNew
-		for i := range p {
-			p[i] = r[i] + T(beta)*p[i]
-		}
+		vp.Xpby(r, beta, p)
 	}
 	st.Residual = math.Sqrt(rr) / bNorm
 	if st.Residual <= opts.Tol {
@@ -143,6 +143,9 @@ func BiCGSTAB[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (St
 		return Stats{}, fmt.Errorf("solver: dimension mismatch")
 	}
 	opts = opts.withDefaults(n, floats.SizeOf[T]())
+	pm, vp := pools(a, n, opts)
+	defer pm.Close()
+	defer vp.Close()
 
 	r := make([]T, n)
 	rHat := make([]T, n)
@@ -151,67 +154,57 @@ func BiCGSTAB[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (St
 	s := make([]T, n)
 	t := make([]T, n)
 
-	a.Mul(x, v)
-	for i := range r {
-		r[i] = b[i] - v[i]
-	}
+	pm.MulVec(x, v)
+	vp.SubScaled(b, 1, v, r)
 	copy(rHat, r)
-	floats.Fill(v, 0)
+	floats.Zero(v)
 
-	bNorm := norm(b)
+	bNorm := vp.Norm2(b)
 	if bNorm == 0 {
 		bNorm = 1
 	}
 	st := Stats{SpMVs: 1}
 	rho, alpha, omega := 1.0, 1.0, 1.0
 	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
-		st.Residual = norm(r) / bNorm
+		st.Residual = vp.Norm2(r) / bNorm
 		if st.Residual <= opts.Tol {
 			return st, nil
 		}
-		rhoNew := dot(rHat, r)
+		rhoNew := vp.Dot(rHat, r)
 		if rhoNew == 0 {
 			return st, ErrBreakdown
 		}
 		beta := (rhoNew / rho) * (alpha / omega)
 		rho = rhoNew
-		for i := range p {
-			p[i] = r[i] + T(beta)*(p[i]-T(omega)*v[i])
-		}
-		a.Mul(p, v)
+		vp.DirUpdate(r, beta, omega, v, p) // p = r + β·(p − ω·v)
+		pm.MulVec(p, v)
 		st.SpMVs++
-		den := dot(rHat, v)
+		den := vp.Dot(rHat, v)
 		if den == 0 {
 			return st, ErrBreakdown
 		}
 		alpha = rho / den
-		for i := range s {
-			s[i] = r[i] - T(alpha)*v[i]
-		}
-		if norm(s)/bNorm <= opts.Tol {
-			axpy(alpha, p, x)
-			st.Residual = norm(s) / bNorm
+		vp.SubScaled(r, alpha, v, s)
+		if vp.Norm2(s)/bNorm <= opts.Tol {
+			vp.Axpy(alpha, p, x)
+			st.Residual = vp.Norm2(s) / bNorm
 			st.Iterations++
 			return st, nil
 		}
-		a.Mul(s, t)
+		pm.MulVec(s, t)
 		st.SpMVs++
-		tt := dot(t, t)
+		tt := vp.Dot(t, t)
 		if tt == 0 {
 			return st, ErrBreakdown
 		}
-		omega = dot(t, s) / tt
-		for i := range x {
-			x[i] += T(alpha)*p[i] + T(omega)*s[i]
-		}
-		for i := range r {
-			r[i] = s[i] - T(omega)*t[i]
-		}
+		omega = vp.Dot(t, s) / tt
+		vp.AddScaled2(alpha, p, omega, s, x) // x += α·p + ω·s
+		vp.SubScaled(s, omega, t, r)         // r = s − ω·t
 		if omega == 0 {
 			return st, ErrBreakdown
 		}
 	}
-	st.Residual = norm(r) / bNorm
+	st.Residual = vp.Norm2(r) / bNorm
 	if st.Residual <= opts.Tol {
 		return st, nil
 	}

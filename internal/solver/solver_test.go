@@ -2,9 +2,12 @@ package solver_test
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"blockspmv/internal/bcsr"
 	"blockspmv/internal/blocks"
@@ -230,6 +233,88 @@ func TestPCGOnLaplacian(t *testing.T) {
 	}
 	if got := residual(m, b, x); got > 1e-8 {
 		t.Errorf("true residual %g", got)
+	}
+}
+
+// TestSolversParallelMatchSerial runs every solver with the worker knob
+// at several widths: each must converge to the same solution the serial
+// path finds. Iteration counts may drift by a step or two because the
+// parallel dot products round differently.
+func TestSolversParallelMatchSerial(t *testing.T) {
+	spd := spdMatrix(24)
+	aSPD := csr.FromCOO(spd, blocks.Scalar)
+	nonsym := nonsymMatrix(500, 2)
+	aNonsym := csr.FromCOO(nonsym, blocks.Scalar)
+
+	for _, workers := range []int{2, 4, 7} {
+		t.Run(fmt.Sprintf("CG/workers-%d", workers), func(t *testing.T) {
+			b := floats.RandVector[float64](spd.Rows(), 11)
+			xs := make([]float64, spd.Rows())
+			xp := make([]float64, spd.Rows())
+			ss, err := solver.CG(aSPD, b, xs, solver.Options{Tol: 1e-10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := solver.CG(aSPD, b, xp, solver.Options{Tol: 1e-10, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := residual(spd, b, xp); got > 1e-8 {
+				t.Errorf("parallel CG true residual %g", got)
+			}
+			if !floats.EqualWithin(xp, xs, 1e-6) {
+				t.Errorf("parallel CG solution differs from serial, max %g", floats.MaxAbsDiff(xp, xs))
+			}
+			if diff := sp.Iterations - ss.Iterations; diff < -3 || diff > 3 {
+				t.Errorf("parallel CG took %d iterations, serial %d", sp.Iterations, ss.Iterations)
+			}
+		})
+		t.Run(fmt.Sprintf("PCG/workers-%d", workers), func(t *testing.T) {
+			b := floats.RandVector[float64](spd.Rows(), 12)
+			x := make([]float64, spd.Rows())
+			pre := solver.NewJacobi(spd)
+			if _, err := solver.PCG(aSPD, pre, b, x, solver.Options{Tol: 1e-10, Workers: workers}); err != nil {
+				t.Fatal(err)
+			}
+			if got := residual(spd, b, x); got > 1e-8 {
+				t.Errorf("parallel PCG true residual %g", got)
+			}
+		})
+		t.Run(fmt.Sprintf("BiCGSTAB/workers-%d", workers), func(t *testing.T) {
+			b := floats.RandVector[float64](500, 13)
+			x := make([]float64, 500)
+			if _, err := solver.BiCGSTAB(aNonsym, b, x, solver.Options{Tol: 1e-10, Workers: workers}); err != nil {
+				t.Fatal(err)
+			}
+			if got := residual(nonsym, b, x); got > 1e-8 {
+				t.Errorf("parallel BiCGSTAB true residual %g", got)
+			}
+		})
+	}
+}
+
+// TestParallelSolveLeavesNoWorkers checks that the per-solve pools are
+// retired when the solve returns, including on the early-error paths.
+func TestParallelSolveLeavesNoWorkers(t *testing.T) {
+	m := spdMatrix(16)
+	a := csr.FromCOO(m, blocks.Scalar)
+	b := floats.RandVector[float64](m.Rows(), 14)
+	base := runtime.NumGoroutine()
+	x := make([]float64, m.Rows())
+	if _, err := solver.CG(a, b, x, solver.Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Convergence-failure path must also release the pools.
+	floats.Zero(x)
+	if _, err := solver.CG(a, b, x, solver.Options{Workers: 4, Tol: 1e-14, MaxIter: 2}); !errors.Is(err, solver.ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Errorf("%d goroutines after solves, want %d: solver leaked pool workers", got, base)
 	}
 }
 

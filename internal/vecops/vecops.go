@@ -1,0 +1,270 @@
+// Package vecops provides the dense-vector kernels of the Krylov solvers
+// — dot products, norms, axpy and the fused recurrence updates — over the
+// same persistent worker-pool machinery (internal/workpool) as the
+// multithreaded SpMV executor. With the SpMV parallelised, Amdahl's law
+// moves the bottleneck to the serial vector work of each iteration; a
+// Pool lets the whole solver iteration scale with cores.
+//
+// Every operation dispatches to workers pinned to fixed element ranges
+// (the same range every call, keeping per-thread first-touch locality of
+// the solver vectors) and performs no per-call allocations. Reductions
+// accumulate per-worker partials in float64 on cache-line-padded slots;
+// the partial order is fixed by the partition, so results are
+// deterministic for a given worker count (but may differ from the serial
+// sum in the last bits, as any parallel reduction does).
+package vecops
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"blockspmv/internal/floats"
+	"blockspmv/internal/workpool"
+)
+
+// opCode selects the kernel a dispatch executes. Fixed operand slots
+// (four vectors, two scalars) instead of per-call closures keep the
+// dispatch allocation-free.
+type opCode int
+
+const (
+	opNone       opCode = iota
+	opDot               // partial = Σ v1[i]·v2[i]
+	opAxpy              // v2 += a1·v1
+	opFused             // v3 += a1·v1 ; v4 −= a1·v2
+	opXpby              // v2 = v1 + a1·v2
+	opSubScaled         // v3 = v1 − a1·v2
+	opDirUpdate         // v3 = v1 + a1·(v3 − a2·v2)
+	opAddScaled2        // v3 += a1·v1 + a2·v2
+	opHadamard          // v3 = v1 ⊙ v2
+)
+
+// partStride spaces the per-worker reduction slots a cache line apart so
+// concurrent partial writes never share a line.
+const partStride = 8
+
+// minChunk is the smallest per-worker element count worth a cross-thread
+// dispatch; shorter vectors run on fewer workers (possibly one).
+const minChunk = 2048
+
+// Pool executes vector kernels over length-n operands on a persistent
+// worker team. Like the SpMV executor it is meant for repeated calls
+// from a single caller; Close retires the workers (a GC cleanup retires
+// them for abandoned pools).
+type Pool[T floats.Float] struct {
+	pl      *vpool[T]
+	cleanup runtime.Cleanup
+}
+
+// vpool is the worker-shared state; it must not reference the owning Pool
+// (see the equivalent comment in internal/parallel).
+type vpool[T floats.Float] struct {
+	n      int
+	ranges [][2]int
+	team   *workpool.Team // nil when the pool runs serially
+	part   []float64      // padded reduction slots, one per range
+
+	op             opCode
+	a1, a2         float64
+	v1, v2, v3, v4 []T
+	closed         atomic.Bool
+}
+
+// NewPool prepares kernels over vectors of length n with up to workers
+// threads (including the caller). The effective width is clamped so every
+// worker gets at least minChunk elements; workers <= 1 yields a serial
+// pool with no goroutines.
+func NewPool[T floats.Float](n, workers int) *Pool[T] {
+	if n < 0 {
+		panic(fmt.Sprintf("vecops: n = %d", n))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if maxParts := n / minChunk; workers > maxParts {
+		workers = maxParts
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	pl := &vpool[T]{
+		n:      n,
+		ranges: make([][2]int, workers),
+		part:   make([]float64, workers*partStride),
+	}
+	for k := 0; k < workers; k++ {
+		pl.ranges[k] = [2]int{k * n / workers, (k + 1) * n / workers}
+	}
+	if workers > 1 {
+		pl.team = workpool.New(workers, pl.runPart)
+	}
+	p := &Pool[T]{pl: pl}
+	p.cleanup = runtime.AddCleanup(p, func(pl *vpool[T]) { pl.close() }, pl)
+	return p
+}
+
+// Workers reports the effective team width, including the caller.
+func (p *Pool[T]) Workers() int { return len(p.pl.ranges) }
+
+// N reports the operand length the pool was built for.
+func (p *Pool[T]) N() int { return p.pl.n }
+
+// Close retires the worker goroutines; afterwards any operation panics.
+// Close is idempotent.
+func (p *Pool[T]) Close() {
+	p.cleanup.Stop()
+	p.pl.close()
+}
+
+func (pl *vpool[T]) close() {
+	if pl.closed.Swap(true) {
+		return
+	}
+	if pl.team != nil {
+		pl.team.Close()
+	}
+}
+
+func (pl *vpool[T]) check(vs ...[]T) {
+	if pl.closed.Load() {
+		panic("vecops: operation on a closed Pool")
+	}
+	for _, v := range vs {
+		if len(v) != pl.n {
+			panic(fmt.Sprintf("vecops: operand length %d, pool built for %d", len(v), pl.n))
+		}
+	}
+}
+
+func (pl *vpool[T]) dispatch(op opCode, a1, a2 float64, v1, v2, v3, v4 []T) float64 {
+	pl.op, pl.a1, pl.a2 = op, a1, a2
+	pl.v1, pl.v2, pl.v3, pl.v4 = v1, v2, v3, v4
+	if pl.team == nil {
+		pl.runPart(0)
+	} else {
+		pl.team.Run()
+	}
+	var s float64
+	for k := range pl.ranges {
+		s += pl.part[k*partStride]
+	}
+	pl.v1, pl.v2, pl.v3, pl.v4 = nil, nil, nil, nil
+	return s
+}
+
+// runPart executes the current op on range k. Worker k always owns the
+// same element range, preserving first-touch locality across calls.
+func (pl *vpool[T]) runPart(k int) {
+	r0, r1 := pl.ranges[k][0], pl.ranges[k][1]
+	var acc float64
+	switch pl.op {
+	case opDot:
+		a, b := pl.v1[r0:r1], pl.v2[r0:r1]
+		for i := range a {
+			acc += float64(a[i]) * float64(b[i])
+		}
+	case opAxpy:
+		al := T(pl.a1)
+		x, y := pl.v1[r0:r1], pl.v2[r0:r1]
+		for i := range x {
+			y[i] += al * x[i]
+		}
+	case opFused:
+		al := T(pl.a1)
+		pv, q, x, r := pl.v1[r0:r1], pl.v2[r0:r1], pl.v3[r0:r1], pl.v4[r0:r1]
+		for i := range pv {
+			x[i] += al * pv[i]
+			r[i] -= al * q[i]
+		}
+	case opXpby:
+		be := T(pl.a1)
+		r, pv := pl.v1[r0:r1], pl.v2[r0:r1]
+		for i := range r {
+			pv[i] = r[i] + be*pv[i]
+		}
+	case opSubScaled:
+		al := T(pl.a1)
+		r, v, s := pl.v1[r0:r1], pl.v2[r0:r1], pl.v3[r0:r1]
+		for i := range r {
+			s[i] = r[i] - al*v[i]
+		}
+	case opDirUpdate:
+		be, om := T(pl.a1), T(pl.a2)
+		r, v, pv := pl.v1[r0:r1], pl.v2[r0:r1], pl.v3[r0:r1]
+		for i := range r {
+			pv[i] = r[i] + be*(pv[i]-om*v[i])
+		}
+	case opAddScaled2:
+		al, om := T(pl.a1), T(pl.a2)
+		pv, s, x := pl.v1[r0:r1], pl.v2[r0:r1], pl.v3[r0:r1]
+		for i := range pv {
+			x[i] += al*pv[i] + om*s[i]
+		}
+	case opHadamard:
+		d, r, z := pl.v1[r0:r1], pl.v2[r0:r1], pl.v3[r0:r1]
+		for i := range d {
+			z[i] = d[i] * r[i]
+		}
+	}
+	pl.part[k*partStride] = acc
+}
+
+// Dot returns Σ a[i]·b[i], accumulated in float64.
+func (p *Pool[T]) Dot(a, b []T) float64 {
+	p.pl.check(a, b)
+	return p.pl.dispatch(opDot, 0, 0, a, b, nil, nil)
+}
+
+// Norm2 returns the Euclidean norm of a.
+func (p *Pool[T]) Norm2(a []T) float64 {
+	p.pl.check(a)
+	return math.Sqrt(p.pl.dispatch(opDot, 0, 0, a, a, nil, nil))
+}
+
+// Axpy computes y += alpha·x.
+func (p *Pool[T]) Axpy(alpha float64, x, y []T) {
+	p.pl.check(x, y)
+	p.pl.dispatch(opAxpy, alpha, 0, x, y, nil, nil)
+}
+
+// FusedUpdate computes the CG tail update in one pass over four vectors:
+// x += alpha·pv and r −= alpha·q.
+func (p *Pool[T]) FusedUpdate(alpha float64, pv, q, x, r []T) {
+	p.pl.check(pv, q, x, r)
+	p.pl.dispatch(opFused, alpha, 0, pv, q, x, r)
+}
+
+// Xpby computes pv = r + beta·pv (the CG direction update).
+func (p *Pool[T]) Xpby(r []T, beta float64, pv []T) {
+	p.pl.check(r, pv)
+	p.pl.dispatch(opXpby, beta, 0, r, pv, nil, nil)
+}
+
+// SubScaled computes s = r − alpha·v.
+func (p *Pool[T]) SubScaled(r []T, alpha float64, v, s []T) {
+	p.pl.check(r, v, s)
+	p.pl.dispatch(opSubScaled, alpha, 0, r, v, s, nil)
+}
+
+// DirUpdate computes pv = r + beta·(pv − omega·v), the BiCGSTAB search
+// direction update.
+func (p *Pool[T]) DirUpdate(r []T, beta, omega float64, v, pv []T) {
+	p.pl.check(r, v, pv)
+	p.pl.dispatch(opDirUpdate, beta, omega, r, v, pv, nil)
+}
+
+// AddScaled2 computes x += alpha·pv + omega·s, the BiCGSTAB solution
+// update.
+func (p *Pool[T]) AddScaled2(alpha float64, pv []T, omega float64, s, x []T) {
+	p.pl.check(pv, s, x)
+	p.pl.dispatch(opAddScaled2, alpha, omega, pv, s, x, nil)
+}
+
+// Hadamard computes z = d ⊙ r elementwise, the Jacobi preconditioner
+// application.
+func (p *Pool[T]) Hadamard(d, r, z []T) {
+	p.pl.check(d, r, z)
+	p.pl.dispatch(opHadamard, 0, 0, d, r, z, nil)
+}

@@ -1,0 +1,184 @@
+package vecops_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"blockspmv/internal/floats"
+	"blockspmv/internal/vecops"
+)
+
+const n = 1 << 16 // large enough that the pool keeps up to 8 workers
+
+func pools[T floats.Float](t *testing.T, workers int) *vecops.Pool[T] {
+	t.Helper()
+	p := vecops.NewPool[T](n, workers)
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestOpsMatchSerial(t *testing.T) {
+	a := floats.RandVector[float64](n, 1)
+	b := floats.RandVector[float64](n, 2)
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			p := pools[float64](t, workers)
+
+			wantDot := floats.Dot(a, b)
+			if got := p.Dot(a, b); math.Abs(got-wantDot) > 1e-9*math.Abs(wantDot) {
+				t.Errorf("Dot = %g, want %g", got, wantDot)
+			}
+			if got, want := p.Norm2(a), math.Sqrt(floats.Dot(a, a)); math.Abs(got-want) > 1e-9*want {
+				t.Errorf("Norm2 = %g, want %g", got, want)
+			}
+
+			// Axpy.
+			y := append([]float64(nil), b...)
+			p.Axpy(0.75, a, y)
+			for i := range y {
+				if want := b[i] + 0.75*a[i]; y[i] != want {
+					t.Fatalf("Axpy[%d] = %g, want %g", i, y[i], want)
+				}
+			}
+
+			// FusedUpdate: x += α·pv ; r −= α·q.
+			pv := floats.RandVector[float64](n, 3)
+			q := floats.RandVector[float64](n, 4)
+			x := append([]float64(nil), a...)
+			r := append([]float64(nil), b...)
+			p.FusedUpdate(-1.25, pv, q, x, r)
+			for i := range x {
+				if want := a[i] + -1.25*pv[i]; x[i] != want {
+					t.Fatalf("FusedUpdate x[%d] = %g, want %g", i, x[i], want)
+				}
+				if want := b[i] - -1.25*q[i]; r[i] != want {
+					t.Fatalf("FusedUpdate r[%d] = %g, want %g", i, r[i], want)
+				}
+			}
+
+			// Xpby: pv = r + β·pv.
+			pv2 := append([]float64(nil), pv...)
+			p.Xpby(b, 0.5, pv2)
+			for i := range pv2 {
+				if want := b[i] + 0.5*pv[i]; pv2[i] != want {
+					t.Fatalf("Xpby[%d] = %g, want %g", i, pv2[i], want)
+				}
+			}
+
+			// SubScaled: s = r − α·v.
+			s := make([]float64, n)
+			p.SubScaled(a, 2.5, b, s)
+			for i := range s {
+				if want := a[i] - 2.5*b[i]; s[i] != want {
+					t.Fatalf("SubScaled[%d] = %g, want %g", i, s[i], want)
+				}
+			}
+
+			// DirUpdate: pv = r + β·(pv − ω·v).
+			pv3 := append([]float64(nil), pv...)
+			p.DirUpdate(a, 0.3, 0.7, b, pv3)
+			for i := range pv3 {
+				if want := a[i] + 0.3*(pv[i]-0.7*b[i]); pv3[i] != want {
+					t.Fatalf("DirUpdate[%d] = %g, want %g", i, pv3[i], want)
+				}
+			}
+
+			// AddScaled2: x += α·pv + ω·s.
+			x2 := append([]float64(nil), a...)
+			p.AddScaled2(0.2, pv, 0.4, q, x2)
+			for i := range x2 {
+				if want := a[i] + (0.2*pv[i] + 0.4*q[i]); x2[i] != want {
+					t.Fatalf("AddScaled2[%d] = %g, want %g", i, x2[i], want)
+				}
+			}
+
+			// Hadamard: z = d ⊙ r.
+			z := make([]float64, n)
+			p.Hadamard(a, b, z)
+			for i := range z {
+				if want := a[i] * b[i]; z[i] != want {
+					t.Fatalf("Hadamard[%d] = %g, want %g", i, z[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestDotDeterministicPerWidth(t *testing.T) {
+	a := floats.RandVector[float64](n, 5)
+	b := floats.RandVector[float64](n, 6)
+	p := pools[float64](t, 4)
+	first := p.Dot(a, b)
+	for i := 0; i < 10; i++ {
+		if got := p.Dot(a, b); got != first {
+			t.Fatalf("Dot changed between calls: %g vs %g", got, first)
+		}
+	}
+}
+
+func TestSinglePrecision(t *testing.T) {
+	a := floats.RandVector[float32](n, 7)
+	p := pools[float32](t, 4)
+	want := floats.Dot(a, a)
+	if got := p.Dot(a, a); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("sp Dot = %g, want %g", got, want)
+	}
+}
+
+func TestWorkerClamp(t *testing.T) {
+	// Tiny vectors are not worth a cross-thread dispatch: the pool falls
+	// back to fewer (here one) workers.
+	p := vecops.NewPool[float64](100, 8)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Errorf("Workers() = %d for n=100, want 1", p.Workers())
+	}
+	a := floats.RandVector[float64](100, 8)
+	if got, want := p.Dot(a, a), floats.Dot(a, a); got != want {
+		t.Errorf("serial-clamped Dot = %g, want %g", got, want)
+	}
+}
+
+func TestOperationAfterClosePanics(t *testing.T) {
+	p := vecops.NewPool[float64](n, 2)
+	p.Close()
+	p.Close() // idempotent
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("Dot after Close did not panic")
+		} else if msg := fmt.Sprint(r); msg == "" {
+			t.Error("empty panic message")
+		}
+	}()
+	a := make([]float64, n)
+	p.Dot(a, a)
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	p := vecops.NewPool[float64](n, 2)
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	p.Dot(make([]float64, n), make([]float64, n-1))
+}
+
+func TestZeroAllocs(t *testing.T) {
+	a := floats.RandVector[float64](n, 9)
+	b := floats.RandVector[float64](n, 10)
+	for _, workers := range []int{1, 4} {
+		p := vecops.NewPool[float64](n, workers)
+		var sink float64
+		if allocs := testing.AllocsPerRun(100, func() { sink += p.Dot(a, b) }); allocs != 0 {
+			t.Errorf("workers=%d: Dot allocates %v per call, want 0", workers, allocs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() { p.Axpy(1e-9, a, b) }); allocs != 0 {
+			t.Errorf("workers=%d: Axpy allocates %v per call, want 0", workers, allocs)
+		}
+		p.Close()
+		_ = sink
+	}
+}

@@ -1,0 +1,118 @@
+// Package workpool provides a persistent team of worker goroutines for
+// data-parallel kernels with very low per-dispatch overhead. A Team is
+// created once, its workers park on a condition variable between
+// dispatches, and every Run wakes them with a single epoch bump — no
+// per-call goroutine spawns and no per-call allocations. Both the
+// multithreaded SpMV executor (internal/parallel) and the parallel vector
+// kernels (internal/vecops) are built on it.
+package workpool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Team executes a fixed part function over parts indices [0, parts)
+// concurrently. Part 0 always runs on the goroutine that calls Run (the
+// caller participates in the work), parts 1..parts-1 run on persistent
+// worker goroutines pinned to their index for the lifetime of the Team,
+// so per-part state (and the memory it first touches) stays with one
+// thread across dispatches.
+//
+// Run and Close must be called from a single caller at a time: a Team
+// serialises work through shared epoch state and is not a concurrent
+// queue.
+type Team struct {
+	run   func(part int)
+	parts int
+
+	mu        sync.Mutex
+	work      sync.Cond // a new epoch started, or the team closed
+	done      sync.Cond // all workers finished the current epoch
+	epoch     uint64
+	remaining int
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// New starts a team of parts-1 worker goroutines (part 0 belongs to the
+// Run caller). run(part) must confine its writes to part-private data.
+func New(parts int, run func(part int)) *Team {
+	if parts < 1 {
+		panic(fmt.Sprintf("workpool: parts = %d", parts))
+	}
+	t := &Team{run: run, parts: parts}
+	t.work.L = &t.mu
+	t.done.L = &t.mu
+	for k := 1; k < parts; k++ {
+		t.wg.Add(1)
+		go t.worker(k)
+	}
+	return t
+}
+
+// Parts reports the team width, including the caller's part 0.
+func (t *Team) Parts() int { return t.parts }
+
+// Run executes run(0..parts-1) concurrently and returns when every part
+// has finished. It performs no allocations.
+func (t *Team) Run() {
+	if t.parts == 1 {
+		t.run(0)
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		panic("workpool: Run called after Close")
+	}
+	t.remaining = t.parts - 1
+	t.epoch++
+	t.mu.Unlock()
+	t.work.Broadcast()
+
+	t.run(0) // the caller's own share
+
+	t.mu.Lock()
+	for t.remaining > 0 {
+		t.done.Wait()
+	}
+	t.mu.Unlock()
+}
+
+func (t *Team) worker(part int) {
+	defer t.wg.Done()
+	var seen uint64
+	t.mu.Lock()
+	for {
+		for t.epoch == seen && !t.closed {
+			t.work.Wait()
+		}
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		seen = t.epoch
+		t.mu.Unlock()
+		t.run(part)
+		t.mu.Lock()
+		t.remaining--
+		if t.remaining == 0 {
+			t.done.Signal()
+		}
+	}
+}
+
+// Close retires the workers and waits for them to exit. It is idempotent
+// and must not overlap a Run in progress.
+func (t *Team) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.work.Broadcast()
+	t.wg.Wait()
+}

@@ -1,0 +1,98 @@
+package workpool_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"blockspmv/internal/workpool"
+)
+
+func TestRunCoversAllParts(t *testing.T) {
+	for _, parts := range []int{1, 2, 4, 7} {
+		var hits [7]atomic.Int64
+		team := workpool.New(parts, func(part int) { hits[part].Add(1) })
+		if team.Parts() != parts {
+			t.Fatalf("Parts() = %d, want %d", team.Parts(), parts)
+		}
+		const reps = 50
+		for i := 0; i < reps; i++ {
+			team.Run()
+		}
+		team.Close()
+		for k := 0; k < parts; k++ {
+			if got := hits[k].Load(); got != reps {
+				t.Errorf("parts=%d: part %d ran %d times, want %d", parts, k, got, reps)
+			}
+		}
+		for k := parts; k < len(hits); k++ {
+			if got := hits[k].Load(); got != 0 {
+				t.Errorf("parts=%d: part %d ran %d times, want 0", parts, k, got)
+			}
+		}
+	}
+}
+
+func TestPartialSumsRace(t *testing.T) {
+	// Each part sums its own range; -race verifies the handoff publishes
+	// the inputs and collects the partials without data races.
+	const parts, n = 4, 10000
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	part := make([]int64, parts)
+	team := workpool.New(parts, func(k int) {
+		lo, hi := k*n/parts, (k+1)*n/parts
+		var s int64
+		for _, v := range data[lo:hi] {
+			s += v
+		}
+		part[k] = s
+	})
+	defer team.Close()
+	for rep := 0; rep < 20; rep++ {
+		team.Run()
+		var total int64
+		for _, s := range part {
+			total += s
+		}
+		if want := int64(n) * (n - 1) / 2; total != want {
+			t.Fatalf("sum = %d, want %d", total, want)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	team := workpool.New(3, func(int) {})
+	team.Run()
+	team.Close()
+	team.Close() // must not hang or panic
+}
+
+func TestRunAfterClosePanics(t *testing.T) {
+	team := workpool.New(2, func(int) {})
+	team.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Run after Close did not panic")
+		}
+	}()
+	team.Run()
+}
+
+func TestRunNoAllocs(t *testing.T) {
+	team := workpool.New(4, func(int) {})
+	defer team.Close()
+	if allocs := testing.AllocsPerRun(100, team.Run); allocs != 0 {
+		t.Errorf("Run allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestBadPartsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, ...) did not panic")
+		}
+	}()
+	workpool.New(0, func(int) {})
+}
