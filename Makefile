@@ -5,9 +5,10 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/workpool ./internal/parallel ./internal/vecops ./internal/solver
+RACE_PKGS = ./internal/workpool ./internal/parallel ./internal/vecops ./internal/solver \
+    ./internal/conformance ./internal/csrdu
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-json
 
 check: vet build test race
 
@@ -26,3 +27,10 @@ race:
 bench:
 	$(GO) test -bench 'MulVecWorkers|SolveCGWorkers' -benchmem \
 	    ./internal/parallel ./internal/solver
+
+# bench-json regenerates the tracked BENCH_compress.json artifact: the
+# index-compression experiment (bytes/nnz, measured and MEM-predicted
+# speedup per format) in machine-readable form.
+bench-json:
+	$(GO) run ./cmd/spmvbench -experiment compress -scale small \
+	    -iterations 20 -json BENCH_compress.json

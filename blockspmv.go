@@ -49,6 +49,7 @@ import (
 	"blockspmv/internal/blocks"
 	"blockspmv/internal/core"
 	"blockspmv/internal/csr"
+	"blockspmv/internal/csrdu"
 	"blockspmv/internal/dcsr"
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
@@ -123,10 +124,28 @@ func WriteMatrixMarket[T Float](w io.Writer, m *Matrix[T]) error {
 // NewCSR converts a finalized matrix to the CSR baseline format.
 func NewCSR[T Float](m *Matrix[T], impl Impl) Format[T] { return csr.FromCOO(m, impl) }
 
+// NewCSRCompact converts a finalized matrix to CSR with the narrowest
+// column-index type its width admits (uint8 up to 256 columns, uint16 up
+// to 65536), shrinking the index stream the MEM model charges for by up
+// to 4x. Wide matrices fall back to the plain 4-byte layout.
+func NewCSRCompact[T Float](m *Matrix[T], impl Impl) Format[T] { return csr.NewCompact(m, impl) }
+
+// NewCSRDU converts a finalized matrix to CSR-DU: column indices stored
+// as per-row delta units of 1-, 2- or 4-byte gaps behind 2-byte unit
+// headers (Kourtis, Goumas & Koziris). Locally dense matrices of any
+// width compress their index stream to about one byte per nonzero.
+func NewCSRDU[T Float](m *Matrix[T], impl Impl) Format[T] { return csrdu.New(m, impl) }
+
 // NewBCSR converts a finalized matrix to BCSR with aligned, zero-padded
 // r x c blocks (r*c <= MaxBlockElems).
 func NewBCSR[T Float](m *Matrix[T], r, c int, impl Impl) Format[T] {
 	return bcsr.New(m, r, c, impl)
+}
+
+// NewBCSRCompact is NewBCSR with the narrowest block-column-index type
+// the matrix width admits; wide matrices fall back to the plain layout.
+func NewBCSRCompact[T Float](m *Matrix[T], r, c int, impl Impl) Format[T] {
+	return bcsr.NewCompact(m, r, c, impl)
 }
 
 // NewBCSRDec converts a finalized matrix to BCSR-DEC: completely dense
@@ -146,6 +165,12 @@ func NewUBCSR[T Float](m *Matrix[T], r, c int, impl Impl) Format[T] {
 // diagonal blocks of length b (2..MaxBlockElems).
 func NewBCSD[T Float](m *Matrix[T], b int, impl Impl) Format[T] {
 	return bcsd.New(m, b, impl)
+}
+
+// NewBCSDCompact is NewBCSD with the narrowest diagonal-start-index type
+// the matrix width admits; wide matrices fall back to the plain layout.
+func NewBCSDCompact[T Float](m *Matrix[T], b int, impl Impl) Format[T] {
+	return bcsd.NewCompact(m, b, impl)
 }
 
 // NewBCSDDec converts a finalized matrix to BCSD-DEC: completely dense
@@ -228,9 +253,20 @@ func Models() []Model { return core.Models() }
 func ModelByName(name string) (Model, error) { return core.ModelByName(name) }
 
 // Rank prices every candidate format for the matrix under the model and
-// returns the predictions sorted fastest-first.
+// returns the predictions sorted fastest-first. The selection space is
+// the paper's (CSR, BCSR, BCSD and their decompositions) plus the
+// compressed-index variants the matrix admits — narrow-index mirrors of
+// every blocked shape and the delta-encoded CSR-DU — ranked on equal
+// footing via their exact working-set sizes.
+//
+// Caveat: the models price CSR-DU by its byte stream alone. On patterns
+// whose column gaps defeat delta grouping (e.g. uniform-random rows),
+// the encoder emits near-singleton units whose decode overhead is not
+// modelled, and a measured CSR-DU can fall far short of its prediction;
+// the fixed-width compact variants carry no such decode cost and are
+// the robust choice there (see EXPERIMENTS.md, index compression).
 func Rank[T Float](m *Matrix[T], model Model, mach Machine, prof *Profile) []Prediction {
-	stats := core.EnumerateStats(mat.PatternOf(m), floats.SizeOf[T]())
+	stats := core.EnumerateStatsAll(mat.PatternOf(m), floats.SizeOf[T]())
 	return core.Rank(model, stats, mach, prof)
 }
 
@@ -241,9 +277,10 @@ func Autotune[T Float](m *Matrix[T], mach Machine, prof *Profile) (Format[T], Pr
 	return AutotuneWith(m, core.Overlap{}, mach, prof)
 }
 
-// AutotuneWith is Autotune under a caller-chosen model.
+// AutotuneWith is Autotune under a caller-chosen model. Like Rank, it
+// selects over the paper's formats and the compressed-index variants.
 func AutotuneWith[T Float](m *Matrix[T], model Model, mach Machine, prof *Profile) (Format[T], Prediction) {
-	stats := core.EnumerateStats(mat.PatternOf(m), floats.SizeOf[T]())
+	stats := core.EnumerateStatsAll(mat.PatternOf(m), floats.SizeOf[T]())
 	best := core.Select(model, stats, mach, prof)
 	return core.Instantiate(m, best.Cand), best
 }

@@ -62,6 +62,10 @@ func TestAllPublicConstructors(t *testing.T) {
 	for _, f := range []blockspmv.Format[float64]{
 		blockspmv.NewCSR(m, blockspmv.Scalar),
 		blockspmv.NewCSR(m, blockspmv.Vector),
+		blockspmv.NewCSRCompact(m, blockspmv.Scalar),
+		blockspmv.NewCSRDU(m, blockspmv.Vector),
+		blockspmv.NewBCSRCompact(m, 2, 4, blockspmv.Vector),
+		blockspmv.NewBCSDCompact(m, 4, blockspmv.Scalar),
 		blockspmv.NewBCSR(m, 2, 4, blockspmv.Scalar),
 		blockspmv.NewBCSRDec(m, 2, 4, blockspmv.Vector),
 		blockspmv.NewBCSD(m, 4, blockspmv.Scalar),
@@ -91,12 +95,24 @@ func TestRankCoversSelectionSpace(t *testing.T) {
 	prof := testProfile(t)
 	for _, model := range blockspmv.Models() {
 		preds := blockspmv.Rank(m, model, testMachine(), prof)
-		if len(preds) != 106 {
-			t.Fatalf("%s: ranked %d candidates, want 106", model.Name(), len(preds))
+		// The paper's 106-candidate space plus the compressed-index
+		// variants a 64-column matrix admits: the uint8 mirror of all 106
+		// and the two CSR-DU candidates.
+		if len(preds) != 214 {
+			t.Fatalf("%s: ranked %d candidates, want 214", model.Name(), len(preds))
 		}
+		seen := make(map[string]bool)
 		for i := 1; i < len(preds); i++ {
 			if preds[i].Seconds < preds[i-1].Seconds {
 				t.Fatalf("%s: ranking not sorted", model.Name())
+			}
+		}
+		for _, p := range preds {
+			seen[p.Cand.String()] = true
+		}
+		for _, want := range []string{"CSR", "CSR/ix8", "CSR-DU", "BCSR(2x4)/ix8/simd"} {
+			if !seen[want] {
+				t.Errorf("%s: candidate %s missing from ranking", model.Name(), want)
 			}
 		}
 	}

@@ -33,6 +33,7 @@ func main() {
 		precision = flag.String("precision", "dp", "element precision: sp or dp")
 		topN      = flag.Int("top", 5, "ranked candidates to show per model")
 		explain   = flag.Bool("explain", false, "break each model's selection into memory/compute terms")
+		compress  = flag.Bool("compress", true, "include compressed-index candidates (narrow indices, CSR-DU) in the ranking")
 	)
 	flag.Parse()
 	if (*name == "") == (*mtxPath == "") {
@@ -41,16 +42,16 @@ func main() {
 	}
 	switch *precision {
 	case "dp":
-		run[float64](*name, *mtxPath, *scaleName, *topN, *explain)
+		run[float64](*name, *mtxPath, *scaleName, *topN, *explain, *compress)
 	case "sp":
-		run[float32](*name, *mtxPath, *scaleName, *topN, *explain)
+		run[float32](*name, *mtxPath, *scaleName, *topN, *explain, *compress)
 	default:
 		fmt.Fprintln(os.Stderr, "modelsel: -precision must be sp or dp")
 		os.Exit(2)
 	}
 }
 
-func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain bool) {
+func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain, compress bool) {
 	m := loadMatrix[T](name, mtxPath, scaleName)
 	fmt.Printf("matrix: %dx%d, %d nonzeros, %.2f MiB in CSR\n",
 		m.Rows(), m.Cols(), m.NNZ(),
@@ -63,7 +64,13 @@ func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain bool
 	fmt.Println("profiling kernels...")
 	prof := profile.Collect[T](mach, profile.Options{})
 
-	stats := core.EnumerateStats(mat.PatternOf(m), floats.SizeOf[T]())
+	// With -compress the selection space gains the narrow-index mirrors
+	// and CSR-DU, priced by their exact (smaller) working sets.
+	enumerate := core.EnumerateStats
+	if compress {
+		enumerate = core.EnumerateStatsAll
+	}
+	stats := enumerate(mat.PatternOf(m), floats.SizeOf[T]())
 	statOf := make(map[core.Candidate]core.CandidateStats, len(stats))
 	for _, cs := range stats {
 		statOf[cs.Cand] = cs

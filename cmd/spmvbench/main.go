@@ -14,10 +14,16 @@
 //
 // Experiments: table1, table2, table3, fig2, fig3, fig4 (includes
 // table4), latency, fig3x (the OVERLAP+LAT extension), rank (Kendall-tau
-// ordering fidelity), all. The extra "scaling" experiment (not part of
-// "all") isolates the persistent-pool multithreaded executor: one matrix,
-// one format, growing worker team, GFlop/s and speedup per worker count
-// (worker counts from -cores, matrices from -matrices).
+// ordering fidelity), compress (index-compressed CSR variants vs plain
+// CSR: bytes/nnz, measured and MEM-predicted speedup), all. The extra
+// "scaling" experiment (not part of "all") isolates the persistent-pool
+// multithreaded executor: one matrix, one format, growing worker team,
+// GFlop/s and speedup per worker count (worker counts from -cores,
+// matrices from -matrices).
+//
+// Pass -json FILE to additionally write every per-format measurement
+// (GFlop/s, bytes/nnz, ms/SpMV) as a machine-readable report; the
+// tracked BENCH_*.json files are produced this way.
 //
 // The model experiments need a kernel profile, which takes a minute or
 // two to collect; pass -profile-dir to cache profiles across runs. Pass
@@ -42,13 +48,14 @@ import (
 
 func main() {
 	var (
-		experiments = flag.String("experiment", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,latency,scaling,all")
+		experiments = flag.String("experiment", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,latency,compress,scaling,all")
 		scaleName   = flag.String("scale", "small", "suite scale: tiny, small or paper")
 		matrices    = flag.String("matrices", "", "comma-separated matrix ids (default: all 30)")
 		iterations  = flag.Int("iterations", 20, "timed SpMV operations per instance")
 		cores       = flag.String("cores", "1,2,4", "comma-separated worker counts for fig2 and scaling")
 		profileDir  = flag.String("profile-dir", "", "directory to cache kernel profiles in")
 		winners     = flag.Bool("winners", false, "with table2: also print the per-matrix winner drill-down")
+		jsonFile    = flag.String("json", "", "write per-format/per-experiment results (GFlop/s, bytes/nnz, ms/SpMV) as JSON to this file")
 		sessionFile = flag.String("session", "", "measurement session JSON: loaded if present (skipping re-measurement), written after the run")
 		verbose     = flag.Bool("v", false, "log progress")
 	)
@@ -70,18 +77,18 @@ func main() {
 	known := map[string]bool{
 		"all": true, "table1": true, "table2": true, "table3": true, "table4": true,
 		"fig2": true, "fig3": true, "fig4": true, "latency": true, "fig3x": true, "rank": true,
-		"scaling": true,
+		"compress": true, "scaling": true,
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiments, ",") {
 		name := strings.TrimSpace(e)
 		if !known[name] {
-			fatal(fmt.Errorf("unknown experiment %q (known: table1 table2 table3 table4 fig2 fig3 fig4 latency fig3x rank scaling all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (known: table1 table2 table3 table4 fig2 fig3 fig4 latency fig3x rank compress scaling all)", name))
 		}
 		want[name] = true
 	}
 	if want["all"] {
-		for _, e := range []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "latency", "fig3x", "rank"} {
+		for _, e := range []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "latency", "fig3x", "rank", "compress"} {
 			want[e] = true
 		}
 	}
@@ -126,6 +133,7 @@ func main() {
 		}
 	}
 
+	report := &bench.Report{Machine: mach, Scale: scale.String()}
 	session := bench.NewSession(cfg)
 	if *sessionFile != "" {
 		if f, err := os.Open(*sessionFile); err == nil {
@@ -163,9 +171,16 @@ func main() {
 		bench.PrintFig2(out, bench.Fig2(session))
 		fmt.Fprintln(out)
 	}
+	if want["compress"] {
+		res := bench.Compress(cfg)
+		bench.PrintCompress(out, res)
+		report.AddCompress(res)
+	}
 	if want["scaling"] {
-		bench.PrintScaling(out, bench.Scaling(cfg))
+		res := bench.Scaling(cfg)
+		bench.PrintScaling(out, res)
 		fmt.Fprintln(out)
+		report.AddScaling(res)
 	}
 	if want["fig3"] {
 		for _, prec := range []string{"sp", "dp"} {
@@ -192,6 +207,26 @@ func main() {
 			bench.PrintRankQuality(out, bench.RankQuality(session, prec), prec)
 			fmt.Fprintln(out)
 		}
+	}
+
+	if *jsonFile != "" {
+		// Every per-candidate timing measured (or loaded) by the run's
+		// experiments rides along with the dedicated experiment records.
+		for _, run := range session.CachedRuns() {
+			report.AddRun(run)
+		}
+		f, err := os.Create(*jsonFile)
+		if err != nil {
+			fatal(fmt.Errorf("saving json report: %w", err))
+		}
+		err = report.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(fmt.Errorf("saving json report: %w", err))
+		}
+		fmt.Printf("wrote JSON report (%d records) to %s\n", len(report.Records), *jsonFile)
 	}
 
 	if *sessionFile != "" {

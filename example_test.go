@@ -52,7 +52,8 @@ func ExampleFormat_Mul() {
 // ExampleRank prices candidate formats with the MEM model, which depends
 // only on working sets and therefore gives deterministic output.
 func ExampleRank() {
-	// A strictly diagonal matrix: BCSD stores it with the fewest bytes.
+	// A strictly diagonal matrix: BCSD stores it with the fewest bytes,
+	// and at 4096 columns its diagonal starts narrow to uint16 indices.
 	m := blockspmv.NewMatrix[float64](4096, 4096)
 	for i := 0; i < 4096; i++ {
 		m.Add(int32(i), int32(i), 1)
@@ -70,5 +71,5 @@ func ExampleRank() {
 	preds := blockspmv.Rank(m, mem, mach, prof)
 	fmt.Println("fastest predicted:", preds[0].Cand.String())
 	// Output:
-	// fastest predicted: BCSD(d8)
+	// fastest predicted: BCSD(d8)/ix16
 }

@@ -12,6 +12,11 @@
 // column (an element (i, j) with j < i%b lies on such a diagonal). These
 // boundary blocks are stored in a clipped side structure, like the
 // right-edge blocks of package bcsr.
+//
+// Interior block start columns are non-negative and bounded by cols-b,
+// so the compressed variants (NewCompact) can store them as uint16 or
+// uint8; the boundary arrays (which may hold negative starts) and the
+// segment pointers always stay 4-byte.
 package bcsd
 
 import (
@@ -21,19 +26,21 @@ import (
 	"blockspmv/internal/blocks"
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
+	"blockspmv/internal/idx"
 	"blockspmv/internal/kernels"
 	"blockspmv/internal/mat"
 )
 
-// Matrix is a sparse matrix in BCSD format with diagonal blocks of size b.
-type Matrix[T floats.Float] struct {
+// Mat is a sparse matrix in BCSD format with diagonal blocks of size b
+// and interior block start columns stored as I.
+type Mat[T floats.Float, I idx.Index] struct {
 	rows, cols int
 	b          int
 	impl       blocks.Impl
-	kernel     kernels.BlockRowKernel[T]
+	kernel     kernels.BlockRowKernelIx[T, I]
 
 	browPtr []int32 // len nSegments+1; indexes bcol/bval-block
-	bcol    []int32 // starting column of each interior block
+	bcol    []I     // starting column of each interior block
 	bval    []T     // len(bcol) * b
 
 	// Boundary blocks (start < 0 or start+b > cols), multiplied clipped.
@@ -44,28 +51,52 @@ type Matrix[T floats.Float] struct {
 	nnz int64
 }
 
+// Matrix is the paper's baseline BCSD instantiation: 4-byte block start
+// columns.
+type Matrix[T floats.Float] = Mat[T, int32]
+
 // New converts a finalized coordinate matrix to BCSD with diagonal blocks
 // of size b.
 func New[T floats.Float](m *mat.COO[T], b int, impl blocks.Impl) *Matrix[T] {
+	return NewIx[T, int32](m, b, impl)
+}
+
+// NewIx is New with block start columns stored as I. The caller must
+// ensure every interior start column fits I; NewCompact selects a
+// fitting type automatically.
+func NewIx[T floats.Float, I idx.Index](m *mat.COO[T], b int, impl blocks.Impl) *Mat[T, I] {
 	if !blocks.DiagShape(b).Valid() {
 		panic(fmt.Sprintf("bcsd: unsupported diagonal size %d", b))
 	}
 	if !m.Finalized() {
 		panic("bcsd: matrix must be finalized")
 	}
-	a := &Matrix[T]{
+	a := &Mat[T, I]{
 		rows: m.Rows(), cols: m.Cols(), b: b, impl: impl,
-		kernel: kernels.Diag[T](b, impl),
+		kernel: kernels.DiagIx[T, I](b, impl),
 		nnz:    int64(m.NNZ()),
 	}
 	if a.kernel == nil {
-		a.kernel = kernels.DiagGeneric[T](b)
+		a.kernel = kernels.DiagGenericIx[T, I](b)
 	}
 	a.build(m.Entries())
 	return a
 }
 
-func (a *Matrix[T]) build(entries []mat.Entry[T]) {
+// NewCompact converts a finalized coordinate matrix to BCSD with the
+// narrowest block-start-column type the matrix width permits.
+func NewCompact[T floats.Float](m *mat.COO[T], b int, impl blocks.Impl) formats.Instance[T] {
+	switch idx.FitsCols(m.Cols()) {
+	case idx.W8:
+		return NewIx[T, uint8](m, b, impl)
+	case idx.W16:
+		return NewIx[T, uint16](m, b, impl)
+	default:
+		return NewIx[T, int32](m, b, impl)
+	}
+}
+
+func (a *Mat[T, I]) build(entries []mat.Entry[T]) {
 	b := a.b
 	nSegments := (a.rows + b - 1) / b
 	a.browPtr = make([]int32, nSegments+1)
@@ -99,7 +130,9 @@ func (a *Matrix[T]) build(entries []mat.Entry[T]) {
 		interior := starts[first:last]
 
 		base := len(a.bcol)
-		a.bcol = append(a.bcol, interior...)
+		for _, v := range interior {
+			a.bcol = append(a.bcol, I(v))
+		}
 		a.bval = append(a.bval, make([]T, len(interior)*b)...)
 		edgeBase := len(a.edgeCol)
 		for _, s := range starts[:first] {
@@ -148,18 +181,18 @@ func (a *Matrix[T]) build(entries []mat.Entry[T]) {
 }
 
 // Shape returns the diagonal block shape.
-func (a *Matrix[T]) Shape() blocks.Shape { return blocks.DiagShape(a.b) }
+func (a *Mat[T, I]) Shape() blocks.Shape { return blocks.DiagShape(a.b) }
 
 // Blocks returns the total number of stored blocks including boundary
 // blocks.
-func (a *Matrix[T]) Blocks() int64 { return int64(len(a.bcol) + len(a.edgeSeg)) }
+func (a *Mat[T, I]) Blocks() int64 { return int64(len(a.bcol) + len(a.edgeSeg)) }
 
 // Padding returns the number of explicit zeros stored.
-func (a *Matrix[T]) Padding() int64 { return a.StoredScalars() - a.nnz }
+func (a *Mat[T, I]) Padding() int64 { return a.StoredScalars() - a.nnz }
 
 // Name implements formats.Instance.
-func (a *Matrix[T]) Name() string {
-	n := fmt.Sprintf("BCSD(d%d)", a.b)
+func (a *Mat[T, I]) Name() string {
+	n := fmt.Sprintf("BCSD(d%d)", a.b) + idx.Of[I]().Suffix()
 	if a.impl == blocks.Vector {
 		n += "/simd"
 	}
@@ -167,26 +200,27 @@ func (a *Matrix[T]) Name() string {
 }
 
 // Rows implements formats.Instance.
-func (a *Matrix[T]) Rows() int { return a.rows }
+func (a *Mat[T, I]) Rows() int { return a.rows }
 
 // Cols implements formats.Instance.
-func (a *Matrix[T]) Cols() int { return a.cols }
+func (a *Mat[T, I]) Cols() int { return a.cols }
 
 // NNZ implements formats.Instance.
-func (a *Matrix[T]) NNZ() int64 { return a.nnz }
+func (a *Mat[T, I]) NNZ() int64 { return a.nnz }
 
 // StoredScalars implements formats.Instance.
-func (a *Matrix[T]) StoredScalars() int64 { return int64(len(a.bval) + len(a.edgeVal)) }
+func (a *Mat[T, I]) StoredScalars() int64 { return int64(len(a.bval) + len(a.edgeVal)) }
 
 // MatrixBytes implements formats.Instance.
-func (a *Matrix[T]) MatrixBytes() int64 {
+func (a *Mat[T, I]) MatrixBytes() int64 {
 	s := int64(floats.SizeOf[T]())
 	return a.StoredScalars()*s +
-		int64(len(a.bcol)+len(a.edgeCol)+len(a.edgeSeg)+len(a.browPtr))*4
+		int64(len(a.bcol))*int64(idx.Bytes[I]()) +
+		int64(len(a.edgeCol)+len(a.edgeSeg)+len(a.browPtr))*4
 }
 
 // Components implements formats.Instance.
-func (a *Matrix[T]) Components() []formats.Component {
+func (a *Mat[T, I]) Components() []formats.Component {
 	return []formats.Component{{
 		Shape:   a.Shape(),
 		Impl:    a.impl,
@@ -196,13 +230,13 @@ func (a *Matrix[T]) Components() []formats.Component {
 }
 
 // RowAlign implements formats.Instance.
-func (a *Matrix[T]) RowAlign() int { return a.b }
+func (a *Mat[T, I]) RowAlign() int { return a.b }
 
 // RowWeights implements formats.Instance: each diagonal block stores one
 // scalar in every row of its segment. A bottom-edge segment's ghost rows
 // have their scalars redistributed over its real rows so that the weights
 // sum exactly to StoredScalars.
-func (a *Matrix[T]) RowWeights() []int64 {
+func (a *Mat[T, I]) RowWeights() []int64 {
 	w := make([]int64, a.rows)
 	nSegments := (a.rows + a.b - 1) / a.b
 	nBlocks := make([]int64, nSegments)
@@ -228,20 +262,19 @@ func (a *Matrix[T]) RowWeights() []int64 {
 }
 
 // Mul implements formats.Instance.
-func (a *Matrix[T]) Mul(x, y []T) {
+func (a *Mat[T, I]) Mul(x, y []T) {
 	formats.CheckDims[T](a, x, y)
 	floats.Fill(y, 0)
 	a.MulRange(x, y, 0, a.rows)
 }
 
 // MulRange implements formats.Instance.
-func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
+func (a *Mat[T, I]) MulRange(x, y []T, r0, r1 int) {
 	b := a.b
 	if r0%b != 0 || (r1%b != 0 && r1 != a.rows) {
 		panic(fmt.Sprintf("bcsd: MulRange [%d,%d) not aligned to segment size %d", r0, r1, b))
 	}
 	seg0, seg1 := r0/b, (r1+b-1)/b
-	var scratch [blocks.MaxBlockElems]T
 	for seg := seg0; seg < seg1; seg++ {
 		lo, hi := int(a.browPtr[seg]), int(a.browPtr[seg+1])
 		if lo == hi {
@@ -253,11 +286,15 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 		if rowStart+b <= a.rows {
 			a.kernel(bvals, bcols, x, y[rowStart:rowStart+b])
 		} else {
-			sc := scratch[:b]
-			floats.Fill(sc, 0)
-			a.kernel(bvals, bcols, x, sc)
-			for k := 0; rowStart+k < a.rows; k++ {
-				y[rowStart+k] += sc[k]
+			// Bottom-edge segment: compute the surviving rows directly
+			// rather than through the kernel, whose scratch output would
+			// escape to the heap and allocate on every MulRange call.
+			for k := range bcols {
+				col := int(bcols[k])
+				v := bvals[k*b : (k+1)*b]
+				for bi := 0; rowStart+bi < a.rows; bi++ {
+					y[rowStart+bi] += v[bi] * x[col+bi]
+				}
 			}
 		}
 	}
@@ -278,7 +315,11 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 	}
 }
 
-var _ formats.Instance[float64] = (*Matrix[float64])(nil)
+var (
+	_ formats.Instance[float64] = (*Matrix[float64])(nil)
+	_ formats.Instance[float64] = (*Mat[float64, uint16])(nil)
+	_ formats.Instance[float64] = (*Mat[float64, uint8])(nil)
+)
 
 func sortUnique(a *[]int32) {
 	s := *a
@@ -313,12 +354,12 @@ func search(s []int32, v int32) (int, bool) {
 
 // WithImpl implements formats.Instance: a view over the same arrays with
 // a different kernel implementation class.
-func (a *Matrix[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+func (a *Mat[T, I]) WithImpl(impl blocks.Impl) formats.Instance[T] {
 	b := *a
 	b.impl = impl
-	b.kernel = kernels.Diag[T](b.b, impl)
+	b.kernel = kernels.DiagIx[T, I](b.b, impl)
 	if b.kernel == nil {
-		b.kernel = kernels.DiagGeneric[T](b.b)
+		b.kernel = kernels.DiagGenericIx[T, I](b.b)
 	}
 	return &b
 }

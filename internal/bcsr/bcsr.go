@@ -14,6 +14,11 @@
 // small side structure and multiplied by a clipped path. Block rows at the
 // bottom edge shorter than r rows are handled with an on-stack scratch
 // output.
+//
+// The interior block start columns are stored as 4-byte integers in the
+// paper's baseline and as uint16/uint8 in the compressed variants
+// (NewCompact); the rare edge-block arrays and the block-row pointers
+// always stay 4-byte.
 package bcsr
 
 import (
@@ -23,19 +28,21 @@ import (
 	"blockspmv/internal/blocks"
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
+	"blockspmv/internal/idx"
 	"blockspmv/internal/kernels"
 	"blockspmv/internal/mat"
 )
 
-// Matrix is a sparse matrix in BCSR format with fixed r x c blocks.
-type Matrix[T floats.Float] struct {
+// Mat is a sparse matrix in BCSR format with fixed r x c blocks and
+// interior block start columns stored as I.
+type Mat[T floats.Float, I idx.Index] struct {
 	rows, cols int
 	r, c       int
 	impl       blocks.Impl
-	kernel     kernels.BlockRowKernel[T]
+	kernel     kernels.BlockRowKernelIx[T, I]
 
 	browPtr []int32 // len nBlockRows+1; indexes bcol/bval-block
-	bcol    []int32 // absolute starting column of each interior block
+	bcol    []I     // absolute starting column of each interior block
 	bval    []T     // len(bcol) * r * c
 
 	// Right-edge blocks (start column + c > cols), multiplied clipped.
@@ -46,11 +53,22 @@ type Matrix[T floats.Float] struct {
 	nnz int64
 }
 
+// Matrix is the paper's baseline BCSR instantiation: 4-byte block start
+// columns.
+type Matrix[T floats.Float] = Mat[T, int32]
+
 // New converts a finalized coordinate matrix to BCSR with r x c blocks and
 // the given kernel implementation class. It panics if the shape has more
 // than blocks.MaxBlockElems elements (no kernel exists) or the matrix is
 // not finalized.
 func New[T floats.Float](m *mat.COO[T], r, c int, impl blocks.Impl) *Matrix[T] {
+	return NewIx[T, int32](m, r, c, impl)
+}
+
+// NewIx is New with block start columns stored as I. The caller must
+// ensure every interior start column fits I; NewCompact selects a
+// fitting type automatically.
+func NewIx[T floats.Float, I idx.Index](m *mat.COO[T], r, c int, impl blocks.Impl) *Mat[T, I] {
 	shape := blocks.RectShape(r, c)
 	if !shape.Valid() && !shape.IsUnit() {
 		panic(fmt.Sprintf("bcsr: unsupported shape %dx%d", r, c))
@@ -58,19 +76,32 @@ func New[T floats.Float](m *mat.COO[T], r, c int, impl blocks.Impl) *Matrix[T] {
 	if !m.Finalized() {
 		panic("bcsr: matrix must be finalized")
 	}
-	a := &Matrix[T]{
+	a := &Mat[T, I]{
 		rows: m.Rows(), cols: m.Cols(), r: r, c: c, impl: impl,
-		kernel: kernels.Rect[T](r, c, impl),
+		kernel: kernels.RectIx[T, I](r, c, impl),
 		nnz:    int64(m.NNZ()),
 	}
 	if a.kernel == nil {
-		a.kernel = kernels.RectGeneric[T](r, c)
+		a.kernel = kernels.RectGenericIx[T, I](r, c)
 	}
 	a.build(m.Entries())
 	return a
 }
 
-func (a *Matrix[T]) build(entries []mat.Entry[T]) {
+// NewCompact converts a finalized coordinate matrix to BCSR with the
+// narrowest block-start-column type the matrix width permits.
+func NewCompact[T floats.Float](m *mat.COO[T], r, c int, impl blocks.Impl) formats.Instance[T] {
+	switch idx.FitsCols(m.Cols()) {
+	case idx.W8:
+		return NewIx[T, uint8](m, r, c, impl)
+	case idx.W16:
+		return NewIx[T, uint16](m, r, c, impl)
+	default:
+		return NewIx[T, int32](m, r, c, impl)
+	}
+}
+
+func (a *Mat[T, I]) build(entries []mat.Entry[T]) {
 	r, c := a.r, a.c
 	elems := r * c
 	nBlockRows := (a.rows + r - 1) / r
@@ -108,7 +139,9 @@ func (a *Matrix[T]) build(entries []mat.Entry[T]) {
 		interior := cols[:nInterior]
 
 		base := len(a.bcol)
-		a.bcol = append(a.bcol, interior...)
+		for _, v := range interior {
+			a.bcol = append(a.bcol, I(v))
+		}
 		a.bval = append(a.bval, make([]T, len(interior)*elems)...)
 		for _, ec := range cols[nInterior:] {
 			a.edgeBRow = append(a.edgeBRow, int32(br))
@@ -146,17 +179,17 @@ func (a *Matrix[T]) build(entries []mat.Entry[T]) {
 }
 
 // Shape returns the block shape.
-func (a *Matrix[T]) Shape() blocks.Shape { return blocks.RectShape(a.r, a.c) }
+func (a *Mat[T, I]) Shape() blocks.Shape { return blocks.RectShape(a.r, a.c) }
 
 // Blocks returns the total number of stored blocks including edge blocks.
-func (a *Matrix[T]) Blocks() int64 { return int64(len(a.bcol) + len(a.edgeBRow)) }
+func (a *Mat[T, I]) Blocks() int64 { return int64(len(a.bcol) + len(a.edgeBRow)) }
 
 // Padding returns the number of explicit zeros stored.
-func (a *Matrix[T]) Padding() int64 { return a.StoredScalars() - a.nnz }
+func (a *Mat[T, I]) Padding() int64 { return a.StoredScalars() - a.nnz }
 
 // Name implements formats.Instance.
-func (a *Matrix[T]) Name() string {
-	n := fmt.Sprintf("BCSR(%dx%d)", a.r, a.c)
+func (a *Mat[T, I]) Name() string {
+	n := fmt.Sprintf("BCSR(%dx%d)", a.r, a.c) + idx.Of[I]().Suffix()
 	if a.impl == blocks.Vector {
 		n += "/simd"
 	}
@@ -164,28 +197,29 @@ func (a *Matrix[T]) Name() string {
 }
 
 // Rows implements formats.Instance.
-func (a *Matrix[T]) Rows() int { return a.rows }
+func (a *Mat[T, I]) Rows() int { return a.rows }
 
 // Cols implements formats.Instance.
-func (a *Matrix[T]) Cols() int { return a.cols }
+func (a *Mat[T, I]) Cols() int { return a.cols }
 
 // NNZ implements formats.Instance.
-func (a *Matrix[T]) NNZ() int64 { return a.nnz }
+func (a *Mat[T, I]) NNZ() int64 { return a.nnz }
 
 // StoredScalars implements formats.Instance.
-func (a *Matrix[T]) StoredScalars() int64 {
+func (a *Mat[T, I]) StoredScalars() int64 {
 	return int64(len(a.bval) + len(a.edgeVal))
 }
 
 // MatrixBytes implements formats.Instance.
-func (a *Matrix[T]) MatrixBytes() int64 {
+func (a *Mat[T, I]) MatrixBytes() int64 {
 	s := int64(floats.SizeOf[T]())
 	return a.StoredScalars()*s +
-		int64(len(a.bcol)+len(a.edgeCol)+len(a.edgeBRow)+len(a.browPtr))*4
+		int64(len(a.bcol))*int64(idx.Bytes[I]()) +
+		int64(len(a.edgeCol)+len(a.edgeBRow)+len(a.browPtr))*4
 }
 
 // Components implements formats.Instance.
-func (a *Matrix[T]) Components() []formats.Component {
+func (a *Mat[T, I]) Components() []formats.Component {
 	return []formats.Component{{
 		Shape:   a.Shape(),
 		Impl:    a.impl,
@@ -195,13 +229,13 @@ func (a *Matrix[T]) Components() []formats.Component {
 }
 
 // RowAlign implements formats.Instance.
-func (a *Matrix[T]) RowAlign() int { return a.r }
+func (a *Mat[T, I]) RowAlign() int { return a.r }
 
 // RowWeights implements formats.Instance: every block contributes c stored
 // scalars to each of the r rows it covers. A bottom-edge block row's ghost
 // rows have their scalars redistributed over its real rows so that the
 // weights sum exactly to StoredScalars.
-func (a *Matrix[T]) RowWeights() []int64 {
+func (a *Mat[T, I]) RowWeights() []int64 {
 	w := make([]int64, a.rows)
 	nBlockRows := (a.rows + a.r - 1) / a.r
 	nBlocks := make([]int64, nBlockRows)
@@ -227,21 +261,20 @@ func (a *Matrix[T]) RowWeights() []int64 {
 }
 
 // Mul implements formats.Instance.
-func (a *Matrix[T]) Mul(x, y []T) {
+func (a *Mat[T, I]) Mul(x, y []T) {
 	formats.CheckDims[T](a, x, y)
 	floats.Fill(y, 0)
 	a.MulRange(x, y, 0, a.rows)
 }
 
 // MulRange implements formats.Instance.
-func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
+func (a *Mat[T, I]) MulRange(x, y []T, r0, r1 int) {
 	r, c := a.r, a.c
 	if r0%r != 0 || (r1%r != 0 && r1 != a.rows) {
 		panic(fmt.Sprintf("bcsr: MulRange [%d,%d) not aligned to block height %d", r0, r1, r))
 	}
 	elems := r * c
 	br0, br1 := r0/r, (r1+r-1)/r
-	var scratch [blocks.MaxBlockElems]T
 	for br := br0; br < br1; br++ {
 		lo, hi := int(a.browPtr[br]), int(a.browPtr[br+1])
 		if lo == hi {
@@ -253,13 +286,21 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 		if rowStart+r <= a.rows {
 			a.kernel(bvals, bcols, x, y[rowStart:rowStart+r])
 		} else {
-			// Bottom-edge block row: run the kernel into a scratch output
-			// and copy back only the rows that exist.
-			sc := scratch[:r]
-			floats.Fill(sc, 0)
-			a.kernel(bvals, bcols, x, sc)
-			for bi := 0; rowStart+bi < a.rows; bi++ {
-				y[rowStart+bi] += sc[bi]
+			// Bottom-edge block row: the kernel would write r rows but
+			// fewer exist, so compute the surviving rows directly. At most
+			// one block row per matrix takes this path; routing it through
+			// the kernel would need a scratch output that escapes to the
+			// heap and costs an allocation on every MulRange call.
+			for k := range bcols {
+				col := int(bcols[k])
+				v := bvals[k*elems : (k+1)*elems]
+				for bi := 0; rowStart+bi < a.rows; bi++ {
+					var acc T
+					for bj := 0; bj < c; bj++ {
+						acc += v[bi*c+bj] * x[col+bj]
+					}
+					y[rowStart+bi] += acc
+				}
 			}
 		}
 	}
@@ -281,7 +322,11 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 	}
 }
 
-var _ formats.Instance[float32] = (*Matrix[float32])(nil)
+var (
+	_ formats.Instance[float32] = (*Matrix[float32])(nil)
+	_ formats.Instance[float32] = (*Mat[float32, uint16])(nil)
+	_ formats.Instance[float32] = (*Mat[float32, uint8])(nil)
+)
 
 // sortUniqueInt32 sorts *a and removes duplicates in place.
 func sortUniqueInt32(a *[]int32) {
@@ -330,12 +375,12 @@ func searchInt32From(cols, brows []int32, br, col int32) (int, bool) {
 
 // WithImpl implements formats.Instance: a view over the same arrays with
 // a different kernel implementation class.
-func (a *Matrix[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+func (a *Mat[T, I]) WithImpl(impl blocks.Impl) formats.Instance[T] {
 	b := *a
 	b.impl = impl
-	b.kernel = kernels.Rect[T](b.r, b.c, impl)
+	b.kernel = kernels.RectIx[T, I](b.r, b.c, impl)
 	if b.kernel == nil {
-		b.kernel = kernels.RectGeneric[T](b.r, b.c)
+		b.kernel = kernels.RectGenericIx[T, I](b.r, b.c)
 	}
 	return &b
 }

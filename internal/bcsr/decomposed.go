@@ -7,31 +7,57 @@ import (
 	"blockspmv/internal/csr"
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
+	"blockspmv/internal/idx"
 	"blockspmv/internal/mat"
 )
 
-// Decomposed is the BCSR-DEC format: the input matrix split into a blocked
+// Dec is the BCSR-DEC format: the input matrix split into a blocked
 // submatrix holding only completely dense (unpadded) r x c aligned blocks
-// and a CSR submatrix holding the remainder elements (Section II.B, k = 2).
-type Decomposed[T floats.Float] struct {
-	blocked *Matrix[T]
-	rem     *csr.Matrix[T]
+// and a CSR submatrix holding the remainder elements (Section II.B,
+// k = 2). Both components store their column indices as I.
+type Dec[T floats.Float, I idx.Index] struct {
+	blocked *Mat[T, I]
+	rem     *csr.Mat[T, I]
 }
+
+// Decomposed is the paper's baseline BCSR-DEC instantiation: 4-byte
+// column indices in both components.
+type Decomposed[T floats.Float] = Dec[T, int32]
 
 // NewDecomposed converts a finalized coordinate matrix to BCSR-DEC.
 func NewDecomposed[T floats.Float](m *mat.COO[T], r, c int, impl blocks.Impl) *Decomposed[T] {
+	return NewDecomposedIx[T, int32](m, r, c, impl)
+}
+
+// NewDecomposedIx is NewDecomposed with column indices stored as I in
+// both the blocked part and the CSR remainder.
+func NewDecomposedIx[T floats.Float, I idx.Index](m *mat.COO[T], r, c int, impl blocks.Impl) *Dec[T, I] {
 	if !m.Finalized() {
 		panic("bcsr: matrix must be finalized")
 	}
 	full, rem := SplitFullBlocks(m, r, c)
-	d := &Decomposed[T]{
-		blocked: New(full, r, c, impl),
-		rem:     csr.FromCOO(rem, impl),
+	d := &Dec[T, I]{
+		blocked: NewIx[T, I](full, r, c, impl),
+		rem:     csr.FromCOOIx[T, I](rem, impl),
 	}
 	if p := d.blocked.Padding(); p != 0 {
 		panic(fmt.Sprintf("bcsr: decomposed blocked part has %d padding zeros", p))
 	}
 	return d
+}
+
+// NewDecomposedCompact converts a finalized coordinate matrix to
+// BCSR-DEC with the narrowest column-index type the matrix width
+// permits.
+func NewDecomposedCompact[T floats.Float](m *mat.COO[T], r, c int, impl blocks.Impl) formats.Instance[T] {
+	switch idx.FitsCols(m.Cols()) {
+	case idx.W8:
+		return NewDecomposedIx[T, uint8](m, r, c, impl)
+	case idx.W16:
+		return NewDecomposedIx[T, uint16](m, r, c, impl)
+	default:
+		return NewDecomposedIx[T, int32](m, r, c, impl)
+	}
 }
 
 // SplitFullBlocks partitions the entries of m into a matrix containing
@@ -78,17 +104,17 @@ func SplitFullBlocks[T floats.Float](m *mat.COO[T], r, c int) (full, rem *mat.CO
 }
 
 // Blocked returns the blocked component.
-func (d *Decomposed[T]) Blocked() *Matrix[T] { return d.blocked }
+func (d *Dec[T, I]) Blocked() *Mat[T, I] { return d.blocked }
 
 // Remainder returns the CSR remainder component.
-func (d *Decomposed[T]) Remainder() *csr.Matrix[T] { return d.rem }
+func (d *Dec[T, I]) Remainder() *csr.Mat[T, I] { return d.rem }
 
 // Shape returns the block shape of the blocked component.
-func (d *Decomposed[T]) Shape() blocks.Shape { return d.blocked.Shape() }
+func (d *Dec[T, I]) Shape() blocks.Shape { return d.blocked.Shape() }
 
 // Name implements formats.Instance.
-func (d *Decomposed[T]) Name() string {
-	n := fmt.Sprintf("BCSR-DEC(%dx%d)", d.blocked.r, d.blocked.c)
+func (d *Dec[T, I]) Name() string {
+	n := fmt.Sprintf("BCSR-DEC(%dx%d)", d.blocked.r, d.blocked.c) + idx.Of[I]().Suffix()
 	if d.blocked.impl == blocks.Vector {
 		n += "/simd"
 	}
@@ -96,37 +122,37 @@ func (d *Decomposed[T]) Name() string {
 }
 
 // Rows implements formats.Instance.
-func (d *Decomposed[T]) Rows() int { return d.blocked.Rows() }
+func (d *Dec[T, I]) Rows() int { return d.blocked.Rows() }
 
 // Cols implements formats.Instance.
-func (d *Decomposed[T]) Cols() int { return d.blocked.Cols() }
+func (d *Dec[T, I]) Cols() int { return d.blocked.Cols() }
 
 // NNZ implements formats.Instance.
-func (d *Decomposed[T]) NNZ() int64 { return d.blocked.NNZ() + d.rem.NNZ() }
+func (d *Dec[T, I]) NNZ() int64 { return d.blocked.NNZ() + d.rem.NNZ() }
 
 // StoredScalars implements formats.Instance; a decomposition stores no
 // padding, so this equals NNZ.
-func (d *Decomposed[T]) StoredScalars() int64 {
+func (d *Dec[T, I]) StoredScalars() int64 {
 	return d.blocked.StoredScalars() + d.rem.StoredScalars()
 }
 
 // MatrixBytes implements formats.Instance.
-func (d *Decomposed[T]) MatrixBytes() int64 {
+func (d *Dec[T, I]) MatrixBytes() int64 {
 	return d.blocked.MatrixBytes() + d.rem.MatrixBytes()
 }
 
 // Components implements formats.Instance: one component per submatrix, in
 // multiplication order (blocked first, CSR remainder second), matching the
 // k-term sums of equations (2) and (3).
-func (d *Decomposed[T]) Components() []formats.Component {
+func (d *Dec[T, I]) Components() []formats.Component {
 	return append(d.blocked.Components(), d.rem.Components()...)
 }
 
 // RowAlign implements formats.Instance.
-func (d *Decomposed[T]) RowAlign() int { return d.blocked.r }
+func (d *Dec[T, I]) RowAlign() int { return d.blocked.r }
 
 // RowWeights implements formats.Instance.
-func (d *Decomposed[T]) RowWeights() []int64 {
+func (d *Dec[T, I]) RowWeights() []int64 {
 	w := d.blocked.RowWeights()
 	for r, rw := range d.rem.RowWeights() {
 		w[r] += rw
@@ -135,7 +161,7 @@ func (d *Decomposed[T]) RowWeights() []int64 {
 }
 
 // Mul implements formats.Instance.
-func (d *Decomposed[T]) Mul(x, y []T) {
+func (d *Dec[T, I]) Mul(x, y []T) {
 	formats.CheckDims[T](d, x, y)
 	floats.Fill(y, 0)
 	d.MulRange(x, y, 0, d.Rows())
@@ -144,17 +170,21 @@ func (d *Decomposed[T]) Mul(x, y []T) {
 // MulRange implements formats.Instance: both components accumulate into
 // the same output range, performing the partial-result accumulation of the
 // decomposed method.
-func (d *Decomposed[T]) MulRange(x, y []T, r0, r1 int) {
+func (d *Dec[T, I]) MulRange(x, y []T, r0, r1 int) {
 	d.blocked.MulRange(x, y, r0, r1)
 	d.rem.MulRange(x, y, r0, r1)
 }
 
-var _ formats.Instance[float64] = (*Decomposed[float64])(nil)
+var (
+	_ formats.Instance[float64] = (*Decomposed[float64])(nil)
+	_ formats.Instance[float64] = (*Dec[float64, uint16])(nil)
+	_ formats.Instance[float64] = (*Dec[float64, uint8])(nil)
+)
 
 // WithImpl implements formats.Instance.
-func (d *Decomposed[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
-	return &Decomposed[T]{
-		blocked: d.blocked.WithImpl(impl).(*Matrix[T]),
-		rem:     d.rem.WithImpl(impl).(*csr.Matrix[T]),
+func (d *Dec[T, I]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+	return &Dec[T, I]{
+		blocked: d.blocked.WithImpl(impl).(*Mat[T, I]),
+		rem:     d.rem.WithImpl(impl).(*csr.Mat[T, I]),
 	}
 }

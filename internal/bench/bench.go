@@ -254,6 +254,21 @@ func (s *Session) Run(prec string, id int) MatrixRun {
 	return s.DP(id)
 }
 
+// CachedRuns returns every matrix run this session has measured (or
+// loaded from a persisted session), double precision first, in matrix-id
+// order — the set the -json report serializes.
+func (s *Session) CachedRuns() []MatrixRun {
+	var out []MatrixRun
+	for _, runs := range []map[int]MatrixRun{s.dp, s.sp} {
+		for id := 1; id <= suite.Count; id++ {
+			if r, ok := runs[id]; ok {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
 // NonSpecialIDs returns the configured matrix ids excluding the special
 // dense/random pair, which the paper ignores in the wins statistics.
 func (s *Session) NonSpecialIDs() []int {

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blockspmv/internal/suite"
+)
+
+func TestCompressExperiment(t *testing.T) {
+	mach, _ := fixtures()
+	cfg := Config{
+		Scale: suite.Tiny, MatrixIDs: []int{2, 4},
+		Iterations: 2, Warmup: 1, Machine: mach,
+	}
+	res := Compress(cfg)
+	if len(res) != 2 {
+		t.Fatalf("Compress returned %d results, want 2", len(res))
+	}
+	for _, r := range res {
+		if len(r.Entries) < 3 {
+			t.Fatalf("%s: only %d formats measured", r.Info.Name, len(r.Entries))
+		}
+		if r.Entries[0].Format != "CSR" {
+			t.Fatalf("%s: first entry %q, want the CSR baseline", r.Info.Name, r.Entries[0].Format)
+		}
+		if r.Entries[0].MemPredictedSpeedup != 1 || r.Entries[0].SpeedupVsCSR != 1 {
+			t.Errorf("%s: baseline speedups %g/%g, want 1/1",
+				r.Info.Name, r.Entries[0].SpeedupVsCSR, r.Entries[0].MemPredictedSpeedup)
+		}
+		names := make(map[string]CompressEntry)
+		for _, e := range r.Entries {
+			if e.Seconds <= 0 || e.GFlops <= 0 || e.BytesPerNNZ <= 0 {
+				t.Errorf("%s %s: non-positive measurement %+v", r.Info.Name, e.Format, e)
+			}
+			names[e.Format] = e
+		}
+		du, ok := names["CSR-DU"]
+		if !ok {
+			t.Fatalf("%s: no CSR-DU entry", r.Info.Name)
+		}
+		if du.MatrixBytes >= names["CSR"].MatrixBytes {
+			t.Errorf("%s: CSR-DU %d B not below CSR %d B",
+				r.Info.Name, du.MatrixBytes, names["CSR"].MatrixBytes)
+		}
+		if du.MemPredictedSpeedup <= 1 {
+			t.Errorf("%s: CSR-DU MEM-predicted speedup %g not above 1",
+				r.Info.Name, du.MemPredictedSpeedup)
+		}
+	}
+
+	var buf bytes.Buffer
+	PrintCompress(&buf, res)
+	for _, want := range []string{"CSR-DU", "B/nnz", "MEM-pred"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("PrintCompress output missing %q", want)
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	mach, _ := fixtures()
+	cfg := Config{
+		Scale: suite.Tiny, MatrixIDs: []int{4},
+		Iterations: 2, Warmup: 1, Machine: mach,
+	}
+	rep := &Report{Machine: mach, Scale: suite.Tiny.String()}
+	rep.AddCompress(Compress(cfg))
+	rep.AddScaling(Scaling(Config{
+		Scale: suite.Tiny, MatrixIDs: []int{4},
+		Iterations: 2, Warmup: 1, Machine: mach, Cores: []int{1, 2},
+	}))
+	s := testSession(t, 4)
+	rep.AddRun(s.DP(4))
+	if len(s.CachedRuns()) != 1 {
+		t.Fatalf("CachedRuns = %d, want 1", len(s.CachedRuns()))
+	}
+
+	var buf bytes.Buffer
+	if err := rep.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(rep.Records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back.Records), len(rep.Records))
+	}
+	experiments := make(map[string]int)
+	for _, rec := range back.Records {
+		experiments[rec.Experiment]++
+		if rec.MsPerSpMV <= 0 || rec.GFlops <= 0 {
+			t.Errorf("%s/%s/%s: non-positive timing", rec.Experiment, rec.Matrix, rec.Format)
+		}
+	}
+	for _, e := range []string{"compress", "scaling", "formats"} {
+		if experiments[e] == 0 {
+			t.Errorf("report has no %q records", e)
+		}
+	}
+}

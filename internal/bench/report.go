@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"blockspmv/internal/machine"
+)
+
+// ReportRecord is one (experiment, matrix, format) measurement in the
+// machine-readable benchmark report: the per-format numbers the tracked
+// BENCH_*.json artifacts carry across revisions.
+type ReportRecord struct {
+	Experiment string `json:"experiment"`
+	Matrix     string `json:"matrix"`
+	Precision  string `json:"precision,omitempty"`
+	Format     string `json:"format"`
+	Workers    int    `json:"workers,omitempty"`
+	NNZ        int64  `json:"nnz,omitempty"`
+	// BytesPerNNZ is the matrix-stream cost per nonzero (0 when the
+	// experiment does not account storage).
+	BytesPerNNZ float64 `json:"bytes_per_nnz,omitempty"`
+	MsPerSpMV   float64 `json:"ms_per_spmv"`
+	GFlops      float64 `json:"gflops"`
+	// SpeedupVsCSR and MemPredictedSpeedup are filled by the compression
+	// experiment: measured vs MEM-model-predicted gain over scalar CSR.
+	SpeedupVsCSR        float64 `json:"speedup_vs_csr,omitempty"`
+	MemPredictedSpeedup float64 `json:"mem_predicted_speedup,omitempty"`
+}
+
+// Report is the serializable result set of a benchmark run.
+type Report struct {
+	Machine machine.Machine `json:"machine"`
+	Scale   string          `json:"scale"`
+	Records []ReportRecord  `json:"records"`
+}
+
+// Save writes the report as indented JSON.
+func (r *Report) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadReport reads a report written by Save.
+func LoadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// AddCompress appends the compression experiment's measurements.
+func (r *Report) AddCompress(res []CompressResult) {
+	for _, cr := range res {
+		for _, e := range cr.Entries {
+			r.Records = append(r.Records, ReportRecord{
+				Experiment:          "compress",
+				Matrix:              cr.Info.Name,
+				Precision:           cr.Precision,
+				Format:              e.Format,
+				NNZ:                 cr.NNZ,
+				BytesPerNNZ:         e.BytesPerNNZ,
+				MsPerSpMV:           e.Seconds * 1e3,
+				GFlops:              e.GFlops,
+				SpeedupVsCSR:        e.SpeedupVsCSR,
+				MemPredictedSpeedup: e.MemPredictedSpeedup,
+			})
+		}
+	}
+}
+
+// AddScaling appends the pooled-executor scaling measurements.
+func (r *Report) AddScaling(res []ScalingResult) {
+	for _, sr := range res {
+		for _, pt := range sr.Points {
+			r.Records = append(r.Records, ReportRecord{
+				Experiment: "scaling",
+				Matrix:     sr.Info.Name,
+				Precision:  "dp",
+				Format:     "CSR",
+				Workers:    pt.Workers,
+				NNZ:        sr.NNZ,
+				MsPerSpMV:  pt.Seconds * 1e3,
+				GFlops:     pt.GFlops,
+			})
+		}
+	}
+}
+
+// AddRun appends every per-candidate timing of a measured matrix run
+// (the Table II/III measurement set).
+func (r *Report) AddRun(run MatrixRun) {
+	for _, t := range run.Timings {
+		r.Records = append(r.Records, ReportRecord{
+			Experiment:  "formats",
+			Matrix:      run.Info.Name,
+			Precision:   run.Precision,
+			Format:      t.Cand.String(),
+			NNZ:         run.NNZ,
+			BytesPerNNZ: float64(t.Stats.MatrixBytes()) / float64(run.NNZ),
+			MsPerSpMV:   t.Seconds * 1e3,
+			GFlops:      2 * float64(run.NNZ) / t.Seconds / 1e9,
+		})
+	}
+	if run.VBLSeconds > 0 {
+		r.Records = append(r.Records, ReportRecord{
+			Experiment: "formats",
+			Matrix:     run.Info.Name,
+			Precision:  run.Precision,
+			Format:     "1D-VBL",
+			NNZ:        run.NNZ,
+			MsPerSpMV:  run.VBLSeconds * 1e3,
+			GFlops:     2 * float64(run.NNZ) / run.VBLSeconds / 1e9,
+		})
+	}
+}

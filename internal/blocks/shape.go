@@ -58,6 +58,31 @@ func (im Impl) String() string {
 // Impls lists the implementation classes in evaluation order.
 func Impls() []Impl { return []Impl{Scalar, Vector} }
 
+// Variant distinguishes kernel families that share a block shape but
+// differ in how they read the matrix stream, so the profiling layer can
+// hold separate per-block timings for each. The zero value is the plain
+// layout of the paper's formats.
+type Variant uint8
+
+const (
+	// Plain reads explicit column indices (CSR and the blocked formats,
+	// at any index width).
+	Plain Variant = iota
+	// DU decodes the variable-width column-delta units of CSR-DU.
+	DU
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Plain:
+		return "plain"
+	case DU:
+		return "du"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
 // Shape identifies a fixed block geometry.
 //
 // For Rect, R x C is the block size. For Diag, R is the diagonal length b

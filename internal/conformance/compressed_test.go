@@ -1,0 +1,104 @@
+package conformance_test
+
+import (
+	"fmt"
+	"testing"
+
+	"blockspmv/internal/bcsd"
+	"blockspmv/internal/bcsr"
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/conformance"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/csrdu"
+	"blockspmv/internal/dcsr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/parallel"
+	"blockspmv/internal/testmat"
+)
+
+// compressedBuilders constructs every index-compressed storage variant of
+// a matrix: the width-compacted fixed-index formats and the delta-unit
+// stream formats. These are the layouts the MEM model ranks against the
+// plain formats, so they must satisfy exactly the same contract.
+func compressedBuilders(m *mat.COO[float64]) map[string]formats.Instance[float64] {
+	return map[string]formats.Instance[float64]{
+		"CSR-compact":      csr.NewCompact(m, blocks.Scalar),
+		"CSR-DU":           csrdu.New(m, blocks.Scalar),
+		"CSR-DU/simd":      csrdu.New(m, blocks.Vector),
+		"DCSR":             dcsr.New(m),
+		"BCSR-compact":     bcsr.NewCompact(m, 2, 3, blocks.Scalar),
+		"BCSR-compact/v":   bcsr.NewCompact(m, 4, 2, blocks.Vector),
+		"BCSR-DEC-compact": bcsr.NewDecomposedCompact(m, 2, 2, blocks.Scalar),
+		"BCSD-compact":     bcsd.NewCompact(m, 4, blocks.Scalar),
+		"BCSD-DEC-compact": bcsd.NewDecomposedCompact(m, 8, blocks.Vector),
+	}
+}
+
+// TestCompressedVariantsConform runs every compressed variant through the
+// full conformance suite on the shared corpus.
+func TestCompressedVariantsConform(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		for bname, inst := range compressedBuilders(m) {
+			t.Run(name+"/"+bname, func(t *testing.T) {
+				conformance.Check(t, m, inst)
+			})
+		}
+	}
+}
+
+// TestCompressedPooledMatchesSerialBitForBit extends the pool correctness
+// property to the compressed variants: the pooled MulVec must reproduce
+// the serial Mul exactly, bit for bit, because each row is computed by
+// exactly one worker running the same decode kernel in the same
+// accumulation order.
+func TestCompressedPooledMatchesSerialBitForBit(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		x := floats.RandVector[float64](m.Cols(), 17)
+		for iname, inst := range compressedBuilders(m) {
+			want := make([]float64, m.Rows())
+			inst.Mul(x, want)
+			for _, parts := range []int{1, 2, 4, 7} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", name, iname, parts), func(t *testing.T) {
+					pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+					defer pm.Close()
+					got := make([]float64, m.Rows())
+					// Twice: the pool must be reusable and idempotent.
+					pm.MulVec(x, got)
+					pm.MulVec(x, got)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("y[%d] = %x, serial %x: pooled result not bit-identical",
+								i, got[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCompressedMulVecZeroAllocs asserts the steady-state allocation
+// contract on the compressed variants: after warmup, neither the serial
+// Mul nor the pooled MulVec may allocate — the decode kernels work
+// entirely in registers and the pool reuses its partitions.
+func TestCompressedMulVecZeroAllocs(t *testing.T) {
+	m := testmat.Random[float64](2000, 2000, 0.004, 21)
+	x := floats.RandVector[float64](m.Cols(), 22)
+	y := make([]float64, m.Rows())
+	for iname, inst := range compressedBuilders(m) {
+		inst.Mul(x, y) // warm up any lazy state before counting
+		if allocs := testing.AllocsPerRun(100, func() { inst.Mul(x, y) }); allocs != 0 {
+			t.Errorf("%s: serial Mul allocates %v times per call, want 0", iname, allocs)
+		}
+		for _, parts := range []int{1, 4} {
+			pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+			if allocs := testing.AllocsPerRun(100, func() { pm.MulVec(x, y) }); allocs != 0 {
+				t.Errorf("%s parts=%d: pooled MulVec allocates %v times per call, want 0",
+					iname, parts, allocs)
+			}
+			pm.Close()
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"blockspmv/internal/bcsr"
 	"blockspmv/internal/blocks"
 	"blockspmv/internal/csr"
+	"blockspmv/internal/csrdu"
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
 	"blockspmv/internal/mat"
@@ -55,6 +56,11 @@ func TestAllFormatsAgreeQuick(t *testing.T) {
 			vbl.New(m, blocks.Scalar),
 			vbl.NewWide(m, blocks.Scalar),
 			vbr.New(m, blocks.Scalar),
+			csr.NewCompact(m, blocks.Scalar),
+			csrdu.New(m, blocks.Scalar),
+			csrdu.New(m, blocks.Vector),
+			bcsr.NewCompact(m, 2, 3, blocks.Scalar),
+			bcsd.NewCompact(m, 4, blocks.Scalar),
 		}
 		got := make([]float64, rows)
 		for _, inst := range instances {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"blockspmv/internal/blocks"
+	"blockspmv/internal/idx"
 )
 
 // Method enumerates the storage methods the models choose between. The
@@ -33,6 +34,11 @@ const (
 	BCSD
 	// BCSDDec is the BCSD decomposition: full diagonals + CSR remainder.
 	BCSDDec
+	// CSRDU is the delta-unit compressed CSR variant (internal/csrdu):
+	// modelled like CSR as 1x1 blocking with nb = nnz, but with the
+	// encoded column stream in place of explicit indices and the DU
+	// decoder's profiled block time.
+	CSRDU
 )
 
 func (m Method) String() string {
@@ -47,6 +53,8 @@ func (m Method) String() string {
 		return "BCSD"
 	case BCSDDec:
 		return "BCSD-DEC"
+	case CSRDU:
+		return "CSR-DU"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -56,19 +64,27 @@ func (m Method) String() string {
 func Methods() []Method { return []Method{CSR, BCSR, BCSRDec, BCSD, BCSDDec} }
 
 // Candidate is one point of the selection space: a method, its block
-// shape (meaningless for CSR) and the kernel implementation class.
+// shape (meaningless for CSR and CSR-DU), the kernel implementation
+// class, and the column-index storage width. The zero Width is the
+// paper's 4-byte baseline, so pre-existing candidates are unchanged;
+// narrow widths describe the compressed-index variants and CSR-DU
+// ignores the field (its indices are delta-encoded, not fixed-width).
 type Candidate struct {
 	Method Method
 	Shape  blocks.Shape
 	Impl   blocks.Impl
+	Width  idx.Width
 }
 
 // String renders the candidate like the format instances name themselves:
-// "BCSR(2x3)/simd", "CSR".
+// "BCSR(2x3)/simd", "CSR", "BCSD(d4)/ix16", "CSR-DU/simd".
 func (c Candidate) String() string {
 	s := c.Method.String()
-	if c.Method != CSR {
+	if c.Method != CSR && c.Method != CSRDU {
 		s += "(" + c.Shape.String() + ")"
+	}
+	if c.Method != CSRDU {
+		s += c.Width.Suffix()
 	}
 	if c.Impl == blocks.Vector {
 		s += "/simd"
@@ -93,6 +109,33 @@ func Candidates() []Candidate {
 		for _, s := range blocks.DiagShapes() {
 			out = append(out, Candidate{Method: BCSD, Shape: s, Impl: impl})
 			out = append(out, Candidate{Method: BCSDDec, Shape: s, Impl: impl})
+		}
+	}
+	return out
+}
+
+// CandidatesCompressed enumerates the compressed-index variants a matrix
+// of the given width admits: CSR-DU always, plus the narrow-index mirror
+// of the full Candidates() space whenever the column count fits a 1- or
+// 2-byte index. Scalar candidates precede simd ones, like Candidates().
+// The plain baseline candidates are not repeated; append this to
+// Candidates() (or use EnumerateStatsAll) for the combined space.
+func CandidatesCompressed(cols int) []Candidate {
+	var out []Candidate
+	w := idx.FitsCols(cols)
+	for _, impl := range blocks.Impls() {
+		out = append(out, Candidate{Method: CSRDU, Shape: blocks.RectShape(1, 1), Impl: impl})
+		if w == idx.W32 {
+			continue
+		}
+		out = append(out, Candidate{Method: CSR, Shape: blocks.RectShape(1, 1), Impl: impl, Width: w})
+		for _, s := range blocks.RectShapes() {
+			out = append(out, Candidate{Method: BCSR, Shape: s, Impl: impl, Width: w})
+			out = append(out, Candidate{Method: BCSRDec, Shape: s, Impl: impl, Width: w})
+		}
+		for _, s := range blocks.DiagShapes() {
+			out = append(out, Candidate{Method: BCSD, Shape: s, Impl: impl, Width: w})
+			out = append(out, Candidate{Method: BCSDDec, Shape: s, Impl: impl, Width: w})
 		}
 	}
 	return out

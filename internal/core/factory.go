@@ -6,15 +6,39 @@ import (
 	"blockspmv/internal/bcsd"
 	"blockspmv/internal/bcsr"
 	"blockspmv/internal/csr"
+	"blockspmv/internal/csrdu"
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
+	"blockspmv/internal/idx"
 	"blockspmv/internal/mat"
 )
 
 // Instantiate constructs the storage format a candidate describes for the
 // given matrix. The experiment harness uses it to time the candidates the
-// models rank.
+// models rank. Candidates with a narrow index width must match the width
+// the matrix admits (idx.FitsCols), which is how CandidatesCompressed
+// produces them; the compact constructors then select that same width.
 func Instantiate[T floats.Float](m *mat.COO[T], c Candidate) formats.Instance[T] {
+	if c.Method == CSRDU {
+		return csrdu.New(m, c.Impl)
+	}
+	if c.Width != idx.W32 {
+		if w := idx.FitsCols(m.Cols()); w != c.Width {
+			panic(fmt.Sprintf("core: cannot instantiate %v: matrix of %d columns requires %v", c, m.Cols(), w))
+		}
+		switch c.Method {
+		case CSR:
+			return csr.NewCompact(m, c.Impl)
+		case BCSR:
+			return bcsr.NewCompact(m, c.Shape.R, c.Shape.C, c.Impl)
+		case BCSRDec:
+			return bcsr.NewDecomposedCompact(m, c.Shape.R, c.Shape.C, c.Impl)
+		case BCSD:
+			return bcsd.NewCompact(m, c.Shape.R, c.Impl)
+		case BCSDDec:
+			return bcsd.NewDecomposedCompact(m, c.Shape.R, c.Impl)
+		}
+	}
 	switch c.Method {
 	case CSR:
 		return csr.FromCOO(m, c.Impl)

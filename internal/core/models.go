@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"blockspmv/internal/blocks"
 	"blockspmv/internal/machine"
 	"blockspmv/internal/profile"
 )
@@ -116,7 +117,13 @@ func lookup(prof *profile.Table, comp ComponentStats) profile.Entry {
 	if prof == nil {
 		panic("core: model requires a kernel profile")
 	}
-	e, ok := prof.Lookup(comp.Shape, comp.Impl)
+	e, ok := prof.LookupVariant(comp.Shape, comp.Impl, comp.Variant)
+	if !ok && comp.Variant != blocks.Plain {
+		// Profiles collected before the variant kernels existed lack their
+		// entries; approximate with the plain kernel's timing rather than
+		// refusing to rank.
+		e, ok = prof.Lookup(comp.Shape, comp.Impl)
+	}
 	if !ok {
 		panic(fmt.Sprintf("core: profile missing entry for %v/%v", comp.Shape, comp.Impl))
 	}

@@ -4,17 +4,21 @@ import (
 	"fmt"
 
 	"blockspmv/internal/blocks"
+	"blockspmv/internal/csrdu"
 	"blockspmv/internal/mat"
 )
 
 // ComponentStats describes one decomposition component of a candidate for
 // the models: its shape and implementation, the block count nb_i of
-// equations (2)-(3), and the matrix bytes ws_i streamed per multiply.
+// equations (2)-(3), the matrix bytes ws_i streamed per multiply, and the
+// kernel variant (plain explicit-index or the CSR-DU delta decoder) whose
+// profiled block time prices the computational term.
 type ComponentStats struct {
 	Shape   blocks.Shape
 	Impl    blocks.Impl
 	Blocks  int64
 	WSBytes int64
+	Variant blocks.Variant
 }
 
 // CandidateStats is everything the models need to price a candidate on a
@@ -48,27 +52,58 @@ func (cs CandidateStats) MatrixBytes() int64 {
 	return b
 }
 
-// csrBytes is the canonical CSR size: nnz values + nnz 4-byte column
-// indices + (rows+1) 4-byte row pointers.
-func csrBytes(rows int, nnz int64, valSize int) int64 {
-	return nnz*int64(valSize+4) + int64(rows+1)*4
+// csrBytes is the canonical CSR size: nnz values + nnz idxSize-byte
+// column indices + (rows+1) 4-byte row pointers (row pointers count
+// nonzeros, not columns, so they never narrow).
+func csrBytes(rows int, nnz int64, valSize, idxSize int) int64 {
+	return nnz*int64(valSize+idxSize) + int64(rows+1)*4
 }
 
 // blockedBytes is the canonical fixed-size blocked storage: nb blocks of
-// elems values + nb 4-byte block column indices + (blockRows+1) 4-byte
-// block row pointers.
-func blockedBytes(blockRows int, nb int64, elems, valSize int) int64 {
-	return nb*int64(elems*valSize+4) + int64(blockRows+1)*4
+// elems values + nb idxSize-byte block column indices + (blockRows+1)
+// 4-byte block row pointers.
+func blockedBytes(blockRows int, nb int64, elems, valSize, idxSize int) int64 {
+	return nb*int64(elems*valSize+idxSize) + int64(blockRows+1)*4
+}
+
+// duBytes is the canonical CSR-DU size: nnz values + the encoded delta
+// stream + two (rows+1) 4-byte pointer arrays (value offsets and stream
+// byte offsets).
+func duBytes(rows int, nnz, streamBytes int64, valSize int) int64 {
+	return nnz*int64(valSize) + streamBytes + int64(rows+1)*8
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // StatsFor computes the model inputs for one candidate from a sparsity
 // pattern. valSize is the element size in bytes (4 or 8). The per-shape
-// block counting is exact; see blocks.CountRect/CountDiag.
+// block counting is exact; see blocks.CountRect/CountDiag. CSR-DU
+// candidates additionally walk the pattern once to size the encoded
+// delta stream exactly (csrdu.StreamBytes).
 func StatsFor(p *mat.Pattern, c Candidate, valSize int) CandidateStats {
+	if c.Method == CSRDU {
+		return duStats(p, c, valSize, csrdu.StreamBytes(p), p.IrregularAccesses(IrregularGap))
+	}
 	cnt := blocks.CountForShape(p, c.Shape)
 	return statsFromCount(p, c, valSize, cnt, p.IrregularAccesses(IrregularGap))
+}
+
+// duStats assembles CandidateStats for a CSR-DU candidate from a
+// precomputed encoded stream size, so EnumerateStatsAll can share one
+// StreamBytes pass between the scalar and simd candidates.
+func duStats(p *mat.Pattern, c Candidate, valSize int, streamBytes, irregular int64) CandidateStats {
+	nnz := int64(p.NNZ())
+	return CandidateStats{
+		Cand: c, Rows: p.Rows, Cols: p.Cols, NNZ: nnz,
+		VectorBytes:       int64(p.Rows+p.Cols) * int64(valSize),
+		IrregularAccesses: irregular,
+		Components: []ComponentStats{{
+			Shape: blocks.RectShape(1, 1), Impl: c.Impl,
+			Blocks:  nnz,
+			WSBytes: duBytes(p.Rows, nnz, streamBytes, valSize),
+			Variant: blocks.DU,
+		}},
+	}
 }
 
 // statsFromCount assembles CandidateStats from a precomputed block count,
@@ -82,6 +117,7 @@ func statsFromCount(p *mat.Pattern, c Candidate, valSize int, cnt blocks.Count, 
 		IrregularAccesses: irregular,
 	}
 	elems := c.Shape.Elems()
+	idxSize := c.Width.Bytes()
 	blockRows := 0
 	if c.Shape.R > 0 {
 		blockRows = ceilDiv(p.Rows, c.Shape.R)
@@ -91,26 +127,26 @@ func statsFromCount(p *mat.Pattern, c Candidate, valSize int, cnt blocks.Count, 
 		cs.Components = []ComponentStats{{
 			Shape: blocks.RectShape(1, 1), Impl: c.Impl,
 			Blocks:  nnz,
-			WSBytes: csrBytes(p.Rows, nnz, valSize),
+			WSBytes: csrBytes(p.Rows, nnz, valSize, idxSize),
 		}}
 	case BCSR, BCSD:
 		cs.Padding = cnt.Padding
 		cs.Components = []ComponentStats{{
 			Shape: c.Shape, Impl: c.Impl,
 			Blocks:  cnt.Blocks,
-			WSBytes: blockedBytes(blockRows, cnt.Blocks, elems, valSize),
+			WSBytes: blockedBytes(blockRows, cnt.Blocks, elems, valSize, idxSize),
 		}}
 	case BCSRDec, BCSDDec:
 		cs.Components = []ComponentStats{
 			{
 				Shape: c.Shape, Impl: c.Impl,
 				Blocks:  cnt.FullBlocks,
-				WSBytes: blockedBytes(blockRows, cnt.FullBlocks, elems, valSize),
+				WSBytes: blockedBytes(blockRows, cnt.FullBlocks, elems, valSize, idxSize),
 			},
 			{
 				Shape: blocks.RectShape(1, 1), Impl: c.Impl,
 				Blocks:  cnt.RemainderNNZ,
-				WSBytes: csrBytes(p.Rows, cnt.RemainderNNZ, valSize),
+				WSBytes: csrBytes(p.Rows, cnt.RemainderNNZ, valSize, idxSize),
 			},
 		}
 	default:
@@ -137,6 +173,38 @@ func EnumerateStats(p *mat.Pattern, valSize int) []CandidateStats {
 	out := make([]CandidateStats, len(cands))
 	for i, c := range cands {
 		out[i] = statsFromCount(p, c, valSize, shapeCount(c.Shape), irregular)
+	}
+	return out
+}
+
+// EnumerateStatsAll extends EnumerateStats with the compressed-index
+// candidates the matrix admits (CandidatesCompressed): the superset the
+// facade and the compression experiments rank, with the paper's baseline
+// space as a stable prefix. The CSR-DU stream is sized once and shared
+// between its scalar and simd candidates; block counts are shared with
+// the baseline enumeration.
+func EnumerateStatsAll(p *mat.Pattern, valSize int) []CandidateStats {
+	counts := make(map[blocks.Shape]blocks.Count)
+	shapeCount := func(s blocks.Shape) blocks.Count {
+		if cnt, ok := counts[s]; ok {
+			return cnt
+		}
+		cnt := blocks.CountForShape(p, s)
+		counts[s] = cnt
+		return cnt
+	}
+	irregular := p.IrregularAccesses(IrregularGap)
+	streamBytes := int64(-1)
+	var out []CandidateStats
+	for _, c := range append(Candidates(), CandidatesCompressed(p.Cols)...) {
+		if c.Method == CSRDU {
+			if streamBytes < 0 {
+				streamBytes = csrdu.StreamBytes(p)
+			}
+			out = append(out, duStats(p, c, valSize, streamBytes, irregular))
+			continue
+		}
+		out = append(out, statsFromCount(p, c, valSize, shapeCount(c.Shape), irregular))
 	}
 	return out
 }

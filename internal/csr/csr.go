@@ -3,8 +3,11 @@
 // container of the decomposed blocked formats.
 //
 // CSR stores an n x m matrix with nnz nonzeros in three arrays: val (nnz
-// values), colInd (nnz 4-byte column indices) and rowPtr (n+1 4-byte row
-// pointers into val).
+// values), colInd (nnz column indices) and rowPtr (n+1 4-byte row
+// pointers into val). The paper's baseline stores colInd as 4-byte
+// integers; the compressed variants (NewCompact) store it as uint16 or
+// uint8 when the matrix width permits, shedding index bytes from the
+// matrix stream the MEM model charges for.
 package csr
 
 import (
@@ -13,36 +16,48 @@ import (
 	"blockspmv/internal/blocks"
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
+	"blockspmv/internal/idx"
 	"blockspmv/internal/mat"
 )
 
-// Matrix is a sparse matrix in CSR format together with the kernel
-// implementation class it multiplies with.
-type Matrix[T floats.Float] struct {
+// Mat is a sparse matrix in CSR format with column indices stored as I,
+// together with the kernel implementation class it multiplies with.
+type Mat[T floats.Float, I idx.Index] struct {
 	rows, cols int
 	rowPtr     []int32
-	colInd     []int32
+	colInd     []I
 	val        []T
 	impl       blocks.Impl
 }
 
-// FromCOO converts a finalized coordinate matrix to CSR with the given
-// kernel implementation class.
+// Matrix is the paper's baseline CSR instantiation: 4-byte column
+// indices.
+type Matrix[T floats.Float] = Mat[T, int32]
+
+// FromCOO converts a finalized coordinate matrix to baseline (int32
+// index) CSR with the given kernel implementation class.
 func FromCOO[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
+	return FromCOOIx[T, int32](m, impl)
+}
+
+// FromCOOIx converts a finalized coordinate matrix to CSR with column
+// indices stored as I. The caller must ensure every column index fits I;
+// NewCompact selects a fitting type automatically.
+func FromCOOIx[T floats.Float, I idx.Index](m *mat.COO[T], impl blocks.Impl) *Mat[T, I] {
 	if !m.Finalized() {
 		panic("csr: matrix must be finalized")
 	}
-	a := &Matrix[T]{
+	a := &Mat[T, I]{
 		rows:   m.Rows(),
 		cols:   m.Cols(),
 		rowPtr: make([]int32, m.Rows()+1),
-		colInd: make([]int32, m.NNZ()),
+		colInd: make([]I, m.NNZ()),
 		val:    make([]T, m.NNZ()),
 		impl:   impl,
 	}
 	for i, e := range m.Entries() {
 		a.rowPtr[e.Row+1]++
-		a.colInd[i] = e.Col
+		a.colInd[i] = I(e.Col)
 		a.val[i] = e.Val
 	}
 	for r := 0; r < a.rows; r++ {
@@ -51,10 +66,24 @@ func FromCOO[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
 	return a
 }
 
-// FromRaw assembles a CSR matrix directly from prepared arrays. The arrays
-// are taken over. It validates pointer monotonicity and lengths (but not
-// per-row column ordering, which hot-path converters guarantee
-// themselves).
+// NewCompact converts a finalized coordinate matrix to CSR with the
+// narrowest column-index type the matrix width permits: uint8 up to 256
+// columns, uint16 up to 65536, int32 beyond.
+func NewCompact[T floats.Float](m *mat.COO[T], impl blocks.Impl) formats.Instance[T] {
+	switch idx.FitsCols(m.Cols()) {
+	case idx.W8:
+		return FromCOOIx[T, uint8](m, impl)
+	case idx.W16:
+		return FromCOOIx[T, uint16](m, impl)
+	default:
+		return FromCOOIx[T, int32](m, impl)
+	}
+}
+
+// FromRaw assembles a baseline CSR matrix directly from prepared arrays.
+// The arrays are taken over. It validates pointer monotonicity and
+// lengths (but not per-row column ordering, which hot-path converters
+// guarantee themselves).
 func FromRaw[T floats.Float](rows, cols int, rowPtr, colInd []int32, val []T, impl blocks.Impl) *Matrix[T] {
 	if len(rowPtr) != rows+1 {
 		panic(fmt.Sprintf("csr: rowPtr has %d entries, want %d", len(rowPtr), rows+1))
@@ -71,34 +100,35 @@ func FromRaw[T floats.Float](rows, cols int, rowPtr, colInd []int32, val []T, im
 }
 
 // Name implements formats.Instance.
-func (a *Matrix[T]) Name() string {
+func (a *Mat[T, I]) Name() string {
+	n := "CSR" + idx.Of[I]().Suffix()
 	if a.impl == blocks.Vector {
-		return "CSR/simd"
+		n += "/simd"
 	}
-	return "CSR"
+	return n
 }
 
 // Rows implements formats.Instance.
-func (a *Matrix[T]) Rows() int { return a.rows }
+func (a *Mat[T, I]) Rows() int { return a.rows }
 
 // Cols implements formats.Instance.
-func (a *Matrix[T]) Cols() int { return a.cols }
+func (a *Mat[T, I]) Cols() int { return a.cols }
 
 // NNZ implements formats.Instance.
-func (a *Matrix[T]) NNZ() int64 { return int64(len(a.val)) }
+func (a *Mat[T, I]) NNZ() int64 { return int64(len(a.val)) }
 
 // StoredScalars implements formats.Instance; CSR stores no padding.
-func (a *Matrix[T]) StoredScalars() int64 { return int64(len(a.val)) }
+func (a *Mat[T, I]) StoredScalars() int64 { return int64(len(a.val)) }
 
 // MatrixBytes implements formats.Instance.
-func (a *Matrix[T]) MatrixBytes() int64 {
+func (a *Mat[T, I]) MatrixBytes() int64 {
 	s := int64(floats.SizeOf[T]())
-	return int64(len(a.val))*(s+4) + int64(len(a.rowPtr))*4
+	return int64(len(a.val))*(s+int64(idx.Bytes[I]())) + int64(len(a.rowPtr))*4
 }
 
 // Components implements formats.Instance. CSR is the degenerate blocking
 // method with 1x1 blocks and nb = nnz (Section IV).
-func (a *Matrix[T]) Components() []formats.Component {
+func (a *Mat[T, I]) Components() []formats.Component {
 	return []formats.Component{{
 		Shape:   blocks.RectShape(1, 1),
 		Impl:    a.impl,
@@ -108,10 +138,10 @@ func (a *Matrix[T]) Components() []formats.Component {
 }
 
 // RowAlign implements formats.Instance.
-func (a *Matrix[T]) RowAlign() int { return 1 }
+func (a *Mat[T, I]) RowAlign() int { return 1 }
 
 // RowWeights implements formats.Instance.
-func (a *Matrix[T]) RowWeights() []int64 {
+func (a *Mat[T, I]) RowWeights() []int64 {
 	w := make([]int64, a.rows)
 	for r := 0; r < a.rows; r++ {
 		w[r] = int64(a.rowPtr[r+1] - a.rowPtr[r])
@@ -120,14 +150,14 @@ func (a *Matrix[T]) RowWeights() []int64 {
 }
 
 // Mul implements formats.Instance.
-func (a *Matrix[T]) Mul(x, y []T) {
+func (a *Mat[T, I]) Mul(x, y []T) {
 	formats.CheckDims[T](a, x, y)
 	floats.Fill(y, 0)
 	a.MulRange(x, y, 0, a.rows)
 }
 
 // MulRange implements formats.Instance.
-func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
+func (a *Mat[T, I]) MulRange(x, y []T, r0, r1 int) {
 	if a.impl == blocks.Vector {
 		a.mulRangeVector(x, y, r0, r1)
 		return
@@ -135,7 +165,7 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 	a.mulRangeScalar(x, y, r0, r1)
 }
 
-func (a *Matrix[T]) mulRangeScalar(x, y []T, r0, r1 int) {
+func (a *Mat[T, I]) mulRangeScalar(x, y []T, r0, r1 int) {
 	rowPtr, colInd, val := a.rowPtr, a.colInd, a.val
 	for r := r0; r < r1; r++ {
 		var acc T
@@ -149,7 +179,7 @@ func (a *Matrix[T]) mulRangeScalar(x, y []T, r0, r1 int) {
 // mulRangeVector is the lane-structured CSR kernel: four independent
 // accumulator chains per row, the stand-in for the paper's SIMD CSR
 // implementation (see DESIGN.md).
-func (a *Matrix[T]) mulRangeVector(x, y []T, r0, r1 int) {
+func (a *Mat[T, I]) mulRangeVector(x, y []T, r0, r1 int) {
 	rowPtr, colInd, val := a.rowPtr, a.colInd, a.val
 	for r := r0; r < r1; r++ {
 		start, end := int(rowPtr[r]), int(rowPtr[r+1])
@@ -173,31 +203,44 @@ func (a *Matrix[T]) mulRangeVector(x, y []T, r0, r1 int) {
 // structure are unchanged but every input-vector access hits x[0], so the
 // timing difference against the original isolates the cost of irregular
 // accesses on the input vector.
-func (a *Matrix[T]) ZeroColInd() *Matrix[T] {
-	z := &Matrix[T]{
+func (a *Mat[T, I]) ZeroColInd() *Mat[T, I] {
+	z := &Mat[T, I]{
 		rows:   a.rows,
 		cols:   a.cols,
 		rowPtr: a.rowPtr,
-		colInd: make([]int32, len(a.colInd)),
+		colInd: make([]I, len(a.colInd)),
 		val:    a.val,
 		impl:   a.impl,
 	}
 	return z
 }
 
-// Pattern returns the sparsity pattern of the matrix.
-func (a *Matrix[T]) Pattern() *mat.Pattern {
-	return &mat.Pattern{Rows: a.rows, Cols: a.cols, RowPtr: a.rowPtr, ColInd: a.colInd}
+// Pattern returns the sparsity pattern of the matrix. For the baseline
+// index width the pattern shares the matrix's arrays; narrow widths
+// widen a copy.
+func (a *Mat[T, I]) Pattern() *mat.Pattern {
+	ci, ok := any(a.colInd).([]int32)
+	if !ok {
+		ci = make([]int32, len(a.colInd))
+		for i, c := range a.colInd {
+			ci[i] = int32(c)
+		}
+	}
+	return &mat.Pattern{Rows: a.rows, Cols: a.cols, RowPtr: a.rowPtr, ColInd: ci}
 }
 
 // RowNNZ returns the number of stored elements in row r.
-func (a *Matrix[T]) RowNNZ(r int) int { return int(a.rowPtr[r+1] - a.rowPtr[r]) }
+func (a *Mat[T, I]) RowNNZ(r int) int { return int(a.rowPtr[r+1] - a.rowPtr[r]) }
 
-var _ formats.Instance[float64] = (*Matrix[float64])(nil)
+var (
+	_ formats.Instance[float64] = (*Matrix[float64])(nil)
+	_ formats.Instance[float64] = (*Mat[float64, uint16])(nil)
+	_ formats.Instance[float64] = (*Mat[float64, uint8])(nil)
+)
 
 // WithImpl implements formats.Instance: a view over the same arrays with
 // a different kernel implementation class.
-func (a *Matrix[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+func (a *Mat[T, I]) WithImpl(impl blocks.Impl) formats.Instance[T] {
 	b := *a
 	b.impl = impl
 	return &b

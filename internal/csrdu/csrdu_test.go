@@ -1,0 +1,202 @@
+package csrdu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/testmat"
+)
+
+// csrColumns extracts the explicit row-major column stream of m, the
+// reference the delta round-trip must reproduce.
+func csrColumns[T floats.Float](m *mat.COO[T]) []int32 {
+	out := make([]int32, 0, m.NNZ())
+	for _, e := range m.Entries() {
+		out = append(out, e.Col)
+	}
+	return out
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundTripCorpus verifies encode->decode reproduces the exact CSR
+// column stream on the shared structural corpus.
+func TestRoundTripCorpus(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		a := New(m, blocks.Scalar)
+		if got, want := a.Columns(), csrColumns(m); !equalInt32(got, want) {
+			t.Errorf("%s: decoded columns differ (got %d, want %d entries)", name, len(got), len(want))
+		}
+		if a.MatrixBytes() <= 0 {
+			t.Errorf("%s: MatrixBytes = %d", name, a.MatrixBytes())
+		}
+	}
+}
+
+// TestRoundTripAdversarial covers the structures the issue calls out:
+// empty rows, maximum-width jumps, and single-column matrices.
+func TestRoundTripAdversarial(t *testing.T) {
+	cases := map[string]*mat.COO[float64]{}
+
+	// Mostly empty rows around sparse occupied ones.
+	sparse := mat.New[float64](100, 1<<20)
+	sparse.Add(0, 0, 1)
+	sparse.Add(50, 1<<20-1, 2) // max-width first delta
+	sparse.Add(99, 1, 3)
+	sparse.Finalize()
+	cases["emptyrows-widejump"] = sparse
+
+	// Deltas straddling every width-class boundary in one row.
+	bounds := mat.New[float64](1, 1<<22)
+	cols := []int32{0, 255, 256, 511, 512 + 255, 512 + 256 + 65535, 512 + 256 + 65536 + 65536, 1<<22 - 1}
+	for i, c := range cols {
+		bounds.Add(0, c, float64(i+1))
+	}
+	bounds.Finalize()
+	cases["width-boundaries"] = bounds
+
+	// Single-column matrix: every delta after the first row entry is 0-gap
+	// impossible, but each row's single entry has absolute column 0.
+	onecol := mat.New[float64](300, 1)
+	for r := 0; r < 300; r += 2 {
+		onecol.Add(int32(r), 0, float64(r))
+	}
+	onecol.Finalize()
+	cases["single-column"] = onecol
+
+	// A run longer than maxUnitLen forces unit splitting.
+	long := mat.New[float64](2, 2000)
+	for c := 0; c < 2000; c++ {
+		long.Add(0, int32(c), float64(c))
+	}
+	long.Finalize()
+	cases["long-run"] = long
+
+	// Fully empty matrix.
+	empty := mat.New[float64](7, 7)
+	empty.Finalize()
+	cases["empty"] = empty
+
+	for name, m := range cases {
+		a := New(m, blocks.Scalar)
+		if got, want := a.Columns(), csrColumns(m); !equalInt32(got, want) {
+			t.Errorf("%s: decoded columns differ\n got %v\nwant %v", name, got, want)
+		}
+		// The multiply must agree with CSR on the same matrix.
+		ref := csr.FromCOO(m, blocks.Scalar)
+		x := floats.RandVector[float64](m.Cols(), 1)
+		y := make([]float64, m.Rows())
+		want := make([]float64, m.Rows())
+		a.Mul(x, y)
+		ref.Mul(x, want)
+		if !floats.EqualWithin(y, want, floats.DefaultTol[float64]()) {
+			t.Errorf("%s: Mul differs from CSR", name)
+		}
+	}
+}
+
+// TestRoundTripProperty is the randomized property test: arbitrary
+// sorted column sets over matrices wide enough to need every delta
+// width must round-trip exactly, under both impl classes.
+func TestRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(1<<20)
+		m := mat.New[float64](rows, cols)
+		nnz := rng.Intn(500)
+		for i := 0; i < nnz; i++ {
+			m.Add(int32(rng.Intn(rows)), int32(rng.Intn(cols)), rng.Float64()*2-1)
+		}
+		m.Finalize()
+		want := csrColumns(m)
+		for _, impl := range blocks.Impls() {
+			a := New(m, impl)
+			if !equalInt32(a.Columns(), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamBytesMatchesEncoder verifies the construction-free size
+// model agrees byte-for-byte with the encoder's actual stream.
+func TestStreamBytesMatchesEncoder(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		a := New(m, blocks.Scalar)
+		p := csr.FromCOO(m, blocks.Scalar).Pattern()
+		if got, want := StreamBytes(p), int64(len(a.stream)); got != want {
+			t.Errorf("%s: StreamBytes = %d, encoder wrote %d", name, got, want)
+		}
+	}
+}
+
+// TestMulMatchesCSR verifies both impl classes against CSR over the
+// corpus, including MulRange over row sub-ranges.
+func TestMulMatchesCSR(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		ref := csr.FromCOO(m, blocks.Scalar)
+		x := floats.RandVector[float64](m.Cols(), 7)
+		want := make([]float64, m.Rows())
+		ref.Mul(x, want)
+		for _, impl := range blocks.Impls() {
+			a := New(m, impl)
+			y := make([]float64, m.Rows())
+			a.Mul(x, y)
+			if !floats.EqualWithin(y, want, floats.DefaultTol[float64]()) {
+				t.Errorf("%s/%v: Mul differs from CSR", name, impl)
+			}
+			// Split mid-matrix: MulRange accumulates per range.
+			floats.Zero(y)
+			mid := m.Rows() / 2
+			a.MulRange(x, y, 0, mid)
+			a.MulRange(x, y, mid, m.Rows())
+			if !floats.EqualWithin(y, want, floats.DefaultTol[float64]()) {
+				t.Errorf("%s/%v: split MulRange differs from CSR", name, impl)
+			}
+		}
+	}
+}
+
+// FuzzRoundTrip feeds arbitrary byte strings as (row, col) entry seeds
+// and asserts the encoded stream always decodes back to the exact
+// column sequence.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1}, uint16(4), uint32(16))
+	f.Add([]byte{255, 255, 0, 128, 7}, uint16(3), uint32(1<<16+3))
+	f.Add([]byte{}, uint16(1), uint32(1))
+	f.Fuzz(func(t *testing.T, data []byte, rows16 uint16, cols32 uint32) {
+		rows := 1 + int(rows16)%512
+		cols := 1 + int(cols32)%(1<<21)
+		m := mat.New[float64](rows, cols)
+		for i := 0; i+3 < len(data); i += 4 {
+			r := (int(data[i])<<8 | int(data[i+1])) % rows
+			c := (int(data[i+2])<<16 | int(data[i+3])<<8 | int(data[i])) % cols
+			m.Add(int32(r), int32(c), float64(i+1))
+		}
+		m.Finalize()
+		a := New(m, blocks.Scalar)
+		if !equalInt32(a.Columns(), csrColumns(m)) {
+			t.Fatalf("round trip failed for %d x %d with %d entries", rows, cols, m.NNZ())
+		}
+	})
+}

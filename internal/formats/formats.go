@@ -21,6 +21,10 @@ type Component struct {
 	Impl    blocks.Impl
 	Blocks  int64
 	WSBytes int64
+	// Variant marks components whose kernel family differs from the
+	// plain explicit-index layout (e.g. the CSR-DU delta decoder), so
+	// model predictions can use the matching profiled block time.
+	Variant blocks.Variant
 }
 
 // Instance is a multiply-ready sparse matrix in some storage format.

@@ -1,0 +1,104 @@
+// Package idx defines the column-index storage widths of the compressed
+// format variants. The paper's formats store every column index as a
+// 4-byte integer; on bandwidth-bound SpMV those index bytes are pure
+// working-set cost (ws in the MEM model t = ws/BW), so matrices narrow
+// enough to address with 2- or 1-byte indices can shed a large fraction
+// of their matrix stream with no change to the arithmetic.
+package idx
+
+// Index constrains the integer types usable as stored column indices.
+// int32 is the paper's baseline; uint16 and uint8 are the narrow
+// variants selected when the matrix width permits.
+type Index interface {
+	~uint8 | ~uint16 | ~int32
+}
+
+// Bytes reports the storage size of the index type I.
+func Bytes[I Index]() int {
+	var v I
+	switch any(v).(type) {
+	case uint8:
+		return 1
+	case uint16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// Of reports the width of the index type I.
+func Of[I Index]() Width {
+	switch Bytes[I]() {
+	case 1:
+		return W8
+	case 2:
+		return W16
+	default:
+		return W32
+	}
+}
+
+// Width names an index storage width. The zero value is the paper's
+// 4-byte baseline, so existing candidates and serialized artifacts are
+// unchanged by the field's introduction.
+type Width uint8
+
+const (
+	// W32 is the 4-byte baseline of the paper's formats.
+	W32 Width = iota
+	// W16 stores column indices as uint16 (matrices up to 65536 columns).
+	W16
+	// W8 stores column indices as uint8 (matrices up to 256 columns).
+	W8
+)
+
+// Bytes reports the storage size of one index under the width.
+func (w Width) Bytes() int {
+	switch w {
+	case W8:
+		return 1
+	case W16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// Suffix is the name decoration instances and candidates carry for the
+// width: "" for the baseline, "/ix16" and "/ix8" for the narrow variants.
+func (w Width) Suffix() string {
+	switch w {
+	case W8:
+		return "/ix8"
+	case W16:
+		return "/ix16"
+	default:
+		return ""
+	}
+}
+
+// String names the width for diagnostics.
+func (w Width) String() string {
+	switch w {
+	case W8:
+		return "ix8"
+	case W16:
+		return "ix16"
+	default:
+		return "ix32"
+	}
+}
+
+// FitsCols returns the narrowest width able to address every column of a
+// matrix with the given number of columns: indices range over
+// [0, cols-1], so cols <= 256 fits uint8 and cols <= 65536 fits uint16.
+func FitsCols(cols int) Width {
+	switch {
+	case cols <= 1<<8:
+		return W8
+	case cols <= 1<<16:
+		return W16
+	default:
+		return W32
+	}
+}

@@ -1,0 +1,51 @@
+package idx
+
+import "testing"
+
+func TestBytes(t *testing.T) {
+	if got := Bytes[uint8](); got != 1 {
+		t.Errorf("Bytes[uint8] = %d", got)
+	}
+	if got := Bytes[uint16](); got != 2 {
+		t.Errorf("Bytes[uint16] = %d", got)
+	}
+	if got := Bytes[int32](); got != 4 {
+		t.Errorf("Bytes[int32] = %d", got)
+	}
+}
+
+func TestWidth(t *testing.T) {
+	cases := []struct {
+		w      Width
+		bytes  int
+		suffix string
+	}{
+		{W32, 4, ""},
+		{W16, 2, "/ix16"},
+		{W8, 1, "/ix8"},
+	}
+	for _, c := range cases {
+		if c.w.Bytes() != c.bytes {
+			t.Errorf("%v.Bytes() = %d, want %d", c.w, c.w.Bytes(), c.bytes)
+		}
+		if c.w.Suffix() != c.suffix {
+			t.Errorf("%v.Suffix() = %q, want %q", c.w, c.w.Suffix(), c.suffix)
+		}
+	}
+}
+
+func TestFitsCols(t *testing.T) {
+	cases := []struct {
+		cols int
+		want Width
+	}{
+		{1, W8}, {255, W8}, {256, W8},
+		{257, W16}, {65536, W16},
+		{65537, W32}, {1 << 24, W32},
+	}
+	for _, c := range cases {
+		if got := FitsCols(c.cols); got != c.want {
+			t.Errorf("FitsCols(%d) = %v, want %v", c.cols, got, c.want)
+		}
+	}
+}

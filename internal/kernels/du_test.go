@@ -1,0 +1,141 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/floats"
+)
+
+// randUnit builds one random delta unit of n deltas at the given byte
+// width over a w-element x vector, starting after column col0: the raw
+// stream bytes, the values, and the expected absolute columns.
+func randUnit[T floats.Float](n, width, w int, col0 int32, rng *rand.Rand) (stream []byte, val []T, cols []int32) {
+	maxDelta := int64(1)<<(8*width) - 1
+	stream = make([]byte, n*width)
+	val = make([]T, n)
+	cols = make([]int32, n)
+	col := col0
+	for i := 0; i < n; i++ {
+		// Leave room so columns stay inside x.
+		room := int64(w-1) - int64(col)
+		if room < 1 {
+			room = 0
+		}
+		d := int64(0)
+		if i == 0 && col0 < 0 {
+			d = int64(rng.Intn(w)) // first delta of a row: absolute column
+		} else if room > 0 {
+			lim := room
+			if lim > maxDelta {
+				lim = maxDelta
+			}
+			d = 1 + rng.Int63n(lim)
+		}
+		col += int32(d)
+		cols[i] = col
+		val[i] = T(rng.Float64()*2 - 1)
+		switch width {
+		case 1:
+			stream[i] = byte(d)
+		case 2:
+			binary.LittleEndian.PutUint16(stream[i*2:], uint16(d))
+		case 4:
+			binary.LittleEndian.PutUint32(stream[i*4:], uint32(d))
+		}
+	}
+	return stream, val, cols
+}
+
+// TestDeltaUnitMatchGeneric verifies the generated DU kernels against the
+// loop-based decoder for every width and impl class, both precisions.
+func TestDeltaUnitMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const w = 1 << 17 // exercises all three delta widths
+	x64 := floats.RandVector[float64](w, 11)
+	x32 := floats.RandVector[float32](w, 12)
+	for _, width := range []int{1, 2, 4} {
+		for _, impl := range blocks.Impls() {
+			for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 63, 255} {
+				stream, val, _ := randUnit[float64](n, width, w, 0, rng)
+				k := DeltaUnit[float64](width, impl)
+				ref := DeltaUnitGeneric[float64](width)
+				acc, col := k(val, stream, x64, 0)
+				wantAcc, wantCol := ref(val, stream, x64, 0)
+				if col != wantCol {
+					t.Fatalf("w%d/%v n=%d: col %d, want %d", width, impl, n, col, wantCol)
+				}
+				if diff := acc - wantAcc; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("w%d/%v n=%d: acc %g, want %g", width, impl, n, acc, wantAcc)
+				}
+
+				val32 := make([]float32, n)
+				for i := range val32 {
+					val32[i] = float32(val[i])
+				}
+				k32 := DeltaUnit[float32](width, impl)
+				ref32 := DeltaUnitGeneric[float32](width)
+				acc32, col32 := k32(val32, stream, x32, 0)
+				wantAcc32, wantCol32 := ref32(val32, stream, x32, 0)
+				if col32 != wantCol32 {
+					t.Fatalf("sp w%d/%v n=%d: col %d, want %d", width, impl, n, col32, wantCol32)
+				}
+				if diff := acc32 - wantAcc32; diff > 1e-2 || diff < -1e-2 {
+					t.Fatalf("sp w%d/%v n=%d: acc %g, want %g", width, impl, n, acc32, wantAcc32)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaUnitUnknownWidth pins the nil return for widths outside the
+// generated set.
+func TestDeltaUnitUnknownWidth(t *testing.T) {
+	for _, width := range []int{0, 3, 8} {
+		for _, impl := range blocks.Impls() {
+			if k := DeltaUnit[float64](width, impl); k != nil {
+				t.Errorf("DeltaUnit(%d, %v) != nil", width, impl)
+			}
+		}
+	}
+}
+
+// TestNarrowIndexKernelsMatchInt32 verifies the uint8/uint16
+// instantiations of every generated block kernel agree with the int32
+// instantiation on the same block row.
+func TestNarrowIndexKernelsMatchInt32(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const w = 200 // fits uint8 (indices < 256) so all three widths apply
+	x := floats.RandVector[float64](w, 13)
+	for _, s := range blocks.AllShapes() {
+		for _, impl := range blocks.Impls() {
+			k32 := ForShapeIx[float64, int32](s, impl)
+			k16 := ForShapeIx[float64, uint16](s, impl)
+			k8 := ForShapeIx[float64, uint8](s, impl)
+			for _, n := range []int{0, 1, 3, 17} {
+				bval, bcol := randBlocks[float64](s, n, w, rng)
+				b16 := make([]uint16, n)
+				b8 := make([]uint8, n)
+				for i, c := range bcol {
+					b16[i] = uint16(c)
+					b8[i] = uint8(c)
+				}
+				h := s.R
+				want := make([]float64, h)
+				k32(bval, bcol, x, want)
+				got16 := make([]float64, h)
+				k16(bval, b16, x, got16)
+				got8 := make([]float64, h)
+				k8(bval, b8, x, got8)
+				if !floats.EqualWithin(got16, want, 0) {
+					t.Fatalf("%v/%v n=%d: uint16 %v, want %v", s, impl, n, got16, want)
+				}
+				if !floats.EqualWithin(got8, want, 0) {
+					t.Fatalf("%v/%v n=%d: uint8 %v, want %v", s, impl, n, got8, want)
+				}
+			}
+		}
+	}
+}

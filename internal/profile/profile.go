@@ -22,20 +22,30 @@ import (
 	"blockspmv/internal/bcsr"
 	"blockspmv/internal/blocks"
 	"blockspmv/internal/csr"
+	"blockspmv/internal/csrdu"
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
 	"blockspmv/internal/machine"
 	"blockspmv/internal/mat"
 )
 
-// Key identifies one profiled kernel: a block shape and an implementation
-// class.
+// Key identifies one profiled kernel: a block shape, an implementation
+// class, and the kernel variant (plain explicit-index kernels vs the
+// CSR-DU delta decoder, which shares the 1x1 shape with CSR but has a
+// different per-block cost).
 type Key struct {
-	Shape blocks.Shape
-	Impl  blocks.Impl
+	Shape   blocks.Shape
+	Impl    blocks.Impl
+	Variant blocks.Variant
 }
 
-func (k Key) String() string { return k.Shape.String() + "/" + k.Impl.String() }
+func (k Key) String() string {
+	s := k.Shape.String() + "/" + k.Impl.String()
+	if k.Variant != blocks.Plain {
+		s += "/" + k.Variant.String()
+	}
+	return s
+}
 
 // Entry holds the profiled parameters of one kernel.
 type Entry struct {
@@ -53,9 +63,16 @@ type Table struct {
 	Entries   map[Key]Entry
 }
 
-// Lookup returns the profile entry for a shape and impl.
+// Lookup returns the profile entry for a shape and impl of the plain
+// kernel variant.
 func (t *Table) Lookup(s blocks.Shape, impl blocks.Impl) (Entry, bool) {
-	e, ok := t.Entries[Key{Shape: s, Impl: impl}]
+	return t.LookupVariant(s, impl, blocks.Plain)
+}
+
+// LookupVariant returns the profile entry for a shape, impl and kernel
+// variant.
+func (t *Table) LookupVariant(s blocks.Shape, impl blocks.Impl, v blocks.Variant) (Entry, bool) {
+	e, ok := t.Entries[Key{Shape: s, Impl: impl, Variant: v}]
 	return e, ok
 }
 
@@ -95,6 +112,8 @@ func (o Options) withDefaults(m machine.Machine) Options {
 // buildDense stores the dense matrix d in the format identified by key.
 func buildDense[T floats.Float](d *mat.COO[T], k Key) formats.Instance[T] {
 	switch {
+	case k.Variant == blocks.DU:
+		return csrdu.New(d, k.Impl)
 	case k.Shape.IsUnit():
 		return csr.FromCOO(d, k.Impl)
 	case k.Shape.Kind == blocks.Diag:
@@ -141,6 +160,12 @@ func Collect[T floats.Float](m machine.Machine, opts Options) *Table {
 			t.Entries[k] = profileOne[T](small, big, k, m, opts)
 		}
 	}
+	// The CSR-DU delta decoder: same degenerate 1x1 blocking as CSR, but
+	// its own per-nonzero cost including the unit decode.
+	for _, impl := range blocks.Impls() {
+		k := Key{Shape: blocks.RectShape(1, 1), Impl: impl, Variant: blocks.DU}
+		t.Entries[k] = profileOne[T](small, big, k, m, opts)
+	}
 	return t
 }
 
@@ -174,12 +199,15 @@ func profileOne[T floats.Float](small, big *mat.COO[T], k Key, m machine.Machine
 	return Entry{Tb: tb, Nof: nof}
 }
 
-// jsonEntry is the serialised form of one profile row.
+// jsonEntry is the serialised form of one profile row. Variant is empty
+// for plain kernels so profiles written before the field existed load
+// unchanged.
 type jsonEntry struct {
-	Shape string  `json:"shape"`
-	Impl  string  `json:"impl"`
-	Tb    float64 `json:"tb"`
-	Nof   float64 `json:"nof"`
+	Shape   string  `json:"shape"`
+	Impl    string  `json:"impl"`
+	Variant string  `json:"variant,omitempty"`
+	Tb      float64 `json:"tb"`
+	Nof     float64 `json:"nof"`
 }
 
 type jsonTable struct {
@@ -198,6 +226,14 @@ func (t *Table) Save(w io.Writer) error {
 					Shape: s.String(), Impl: impl.String(), Tb: e.Tb, Nof: e.Nof,
 				})
 			}
+		}
+	}
+	for _, impl := range blocks.Impls() {
+		if e, ok := t.LookupVariant(blocks.RectShape(1, 1), impl, blocks.DU); ok {
+			jt.Entries = append(jt.Entries, jsonEntry{
+				Shape: "1x1", Impl: impl.String(), Variant: blocks.DU.String(),
+				Tb: e.Tb, Nof: e.Nof,
+			})
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -221,7 +257,15 @@ func Load(r io.Reader) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Entries[Key{Shape: s, Impl: impl}] = Entry{Tb: je.Tb, Nof: je.Nof}
+		var variant blocks.Variant
+		switch je.Variant {
+		case "", blocks.Plain.String():
+		case blocks.DU.String():
+			variant = blocks.DU
+		default:
+			return nil, fmt.Errorf("profile: unknown variant %q", je.Variant)
+		}
+		t.Entries[Key{Shape: s, Impl: impl, Variant: variant}] = Entry{Tb: je.Tb, Nof: je.Nof}
 	}
 	return t, nil
 }

@@ -28,9 +28,16 @@ func TestCollectCoversAllKernels(t *testing.T) {
 	if tab.Precision != "dp" {
 		t.Errorf("precision = %q, want dp", tab.Precision)
 	}
-	want := len(blocks.AllShapes()) * len(blocks.Impls())
+	// Every (shape, impl) plain kernel plus the two CSR-DU decoder
+	// variants.
+	want := len(blocks.AllShapes())*len(blocks.Impls()) + len(blocks.Impls())
 	if len(tab.Entries) != want {
 		t.Fatalf("profile has %d entries, want %d", len(tab.Entries), want)
+	}
+	for _, impl := range blocks.Impls() {
+		if _, ok := tab.LookupVariant(blocks.RectShape(1, 1), impl, blocks.DU); !ok {
+			t.Errorf("profile missing CSR-DU %v entry", impl)
+		}
 	}
 	for k, e := range tab.Entries {
 		if e.Tb <= 0 {

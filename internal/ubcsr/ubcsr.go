@@ -253,7 +253,6 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 	}
 	elems := r * c
 	br0, br1 := r0/r, (r1+r-1)/r
-	var scratch [blocks.MaxBlockElems]T
 	for br := br0; br < br1; br++ {
 		lo, hi := int(a.browPtr[br]), int(a.browPtr[br+1])
 		if lo == hi {
@@ -265,11 +264,19 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 		if rowStart+r <= a.rows {
 			a.kernel(bvals, bcols, x, y[rowStart:rowStart+r])
 		} else {
-			sc := scratch[:r]
-			floats.Fill(sc, 0)
-			a.kernel(bvals, bcols, x, sc)
-			for bi := 0; rowStart+bi < a.rows; bi++ {
-				y[rowStart+bi] += sc[bi]
+			// Bottom-edge block row: compute the surviving rows directly
+			// rather than through the kernel, whose scratch output would
+			// escape to the heap and allocate on every MulRange call.
+			for k := range bcols {
+				col := int(bcols[k])
+				v := bvals[k*elems : (k+1)*elems]
+				for bi := 0; rowStart+bi < a.rows; bi++ {
+					var acc T
+					for bj := 0; bj < c; bj++ {
+						acc += v[bi*c+bj] * x[col+bj]
+					}
+					y[rowStart+bi] += acc
+				}
 			}
 		}
 	}
