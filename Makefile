@@ -1,16 +1,19 @@
 # Developer entry points. `make check` is the tier-1 verify referenced
 # from ROADMAP.md; `make race` exercises the concurrent packages (the
-# worker-pool executor, the vector kernels and the solvers built on them)
-# under the race detector.
+# worker-pool executor, the vector kernels, the solvers built on them and
+# the fault-injection harness) under the race detector; `make fuzz` runs a
+# short smoke pass of every fuzz target over the untrusted-input parsers.
 
 GO ?= go
 
 RACE_PKGS = ./internal/workpool ./internal/parallel ./internal/vecops ./internal/solver \
-    ./internal/conformance ./internal/csrdu
+    ./internal/conformance ./internal/csrdu ./internal/faultcheck
 
-.PHONY: check vet build test race bench bench-json
+FUZZTIME ?= 5s
 
-check: vet build test race
+.PHONY: check vet build test race fuzz bench bench-json
+
+check: vet build test race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +26,11 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Go runs one fuzz target per invocation, so each gets its own line.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadMatrixMarket$$' -fuzztime $(FUZZTIME) ./internal/mat
+	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) ./internal/profile
 
 bench:
 	$(GO) test -bench 'MulVecWorkers|SolveCGWorkers' -benchmem \

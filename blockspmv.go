@@ -110,9 +110,27 @@ func NewMatrix[T Float](rows, cols int) *Matrix[T] { return mat.New[T](rows, col
 
 // ReadMatrixMarket parses a matrix in Matrix Market exchange format
 // (coordinate or array; real, integer or pattern; general, symmetric or
-// skew-symmetric).
+// skew-symmetric). It never panics on malformed input: forged sizes,
+// floods past the declared entry count and truncated streams return
+// errors. It applies no size limits; use ReadMatrixMarketLimited for
+// untrusted streams.
 func ReadMatrixMarket[T Float](r io.Reader) (*Matrix[T], error) {
 	return mat.ReadMatrixMarket[T](r)
+}
+
+// MatrixMarketLimits bounds the declared sizes ReadMatrixMarketLimited
+// accepts; zero fields mean unbounded.
+type MatrixMarketLimits = mat.Limits
+
+// ErrMatrixMarketLimit marks a stream whose declared size exceeds the
+// caller's MatrixMarketLimits.
+var ErrMatrixMarketLimit = mat.ErrLimit
+
+// ReadMatrixMarketLimited is ReadMatrixMarket with declared-size limits,
+// checked against the header before anything is allocated. Streams over
+// a limit fail with an error wrapping ErrMatrixMarketLimit.
+func ReadMatrixMarketLimited[T Float](r io.Reader, lim MatrixMarketLimits) (*Matrix[T], error) {
+	return mat.ReadMatrixMarketLimited[T](r, lim)
 }
 
 // WriteMatrixMarket writes a finalized matrix in Matrix Market coordinate
@@ -265,24 +283,69 @@ func ModelByName(name string) (Model, error) { return core.ModelByName(name) }
 // modelled, and a measured CSR-DU can fall far short of its prediction;
 // the fixed-width compact variants carry no such decode cost and are
 // the robust choice there (see EXPERIMENTS.md, index compression).
+// Rank degrades gracefully: when the machine or profile cannot drive the
+// model (bandwidth unmeasured; profile absent, incomplete or invalid), it
+// returns a single scalar-CSR prediction flagged Degraded instead of
+// panicking.
 func Rank[T Float](m *Matrix[T], model Model, mach Machine, prof *Profile) []Prediction {
-	stats := core.EnumerateStatsAll(mat.PatternOf(m), floats.SizeOf[T]())
-	return core.Rank(model, stats, mach, prof)
+	if m == nil {
+		return []Prediction{{Degraded: true, Reason: "nil matrix"}}
+	}
+	m.Finalize()
+	return core.RankSafe(model, safeStats(m), mach, prof)
+}
+
+// safeStats enumerates candidate statistics under a recover backstop: a
+// structurally corrupt matrix yields an empty candidate set (which the
+// safe selection paths turn into a degraded CSR prediction) rather than
+// a crash.
+func safeStats[T Float](m *Matrix[T]) (stats []core.CandidateStats) {
+	defer func() {
+		if recover() != nil {
+			stats = nil
+		}
+	}()
+	return core.EnumerateStatsAll(mat.PatternOf(m), floats.SizeOf[T]())
 }
 
 // Autotune selects the best storage format for the matrix with the
 // OVERLAP model (the paper's most accurate) and returns the constructed
 // format together with the winning prediction.
+//
+// Autotune never panics: when the machine or profile cannot drive the
+// model — bandwidth unmeasured; profile absent, incomplete or carrying
+// invalid timings — it degrades to the always-safe scalar CSR baseline
+// and flags the returned Prediction as Degraded with a Reason. A nil or
+// unconvertible matrix returns a nil format with a degraded Prediction.
 func Autotune[T Float](m *Matrix[T], mach Machine, prof *Profile) (Format[T], Prediction) {
 	return AutotuneWith(m, core.Overlap{}, mach, prof)
 }
 
 // AutotuneWith is Autotune under a caller-chosen model. Like Rank, it
-// selects over the paper's formats and the compressed-index variants.
+// selects over the paper's formats and the compressed-index variants,
+// with the same graceful-degradation contract as Autotune.
 func AutotuneWith[T Float](m *Matrix[T], model Model, mach Machine, prof *Profile) (Format[T], Prediction) {
-	stats := core.EnumerateStatsAll(mat.PatternOf(m), floats.SizeOf[T]())
-	best := core.Select(model, stats, mach, prof)
-	return core.Instantiate(m, best.Cand), best
+	if m == nil {
+		return nil, Prediction{Degraded: true, Reason: "nil matrix"}
+	}
+	m.Finalize()
+	best := core.SelectSafe(model, safeStats(m), mach, prof)
+	f, err := construct(best.Cand.String(), func() Format[T] { return core.Instantiate(m, best.Cand) })
+	if err == nil {
+		return f, best
+	}
+	// The modelled winner would not build; retreat to CSR, which converts
+	// from any structurally sound matrix.
+	best = Prediction{
+		Cand:     core.Candidate{Method: core.CSR, Shape: RectShape(1, 1)},
+		Degraded: true,
+		Reason:   err.Error(),
+	}
+	f, err = construct("CSR", func() Format[T] { return csr.FromCOO(m, Scalar) })
+	if err != nil {
+		return nil, Prediction{Degraded: true, Reason: err.Error()}
+	}
+	return f, best
 }
 
 // Instantiate constructs the storage format a candidate describes, e.g.
@@ -298,7 +361,13 @@ func Instantiate[T Float](m *Matrix[T], c Candidate) Format[T] {
 // (the iterative-solver traffic pattern) pay no per-call goroutine spawns
 // and no allocations, and each worker zero-fills its own slice of y so
 // the output vector stays first-touched by its owning thread. Call Close
-// to retire the pool; MulVec afterwards panics.
+// to retire the pool.
+//
+// MulVec never panics and never deadlocks: dimension mismatches and use
+// after Close return typed errors, and a panic inside a kernel on any
+// worker is recovered and returned as a *PanicError naming the part; the
+// pool is then poisoned and further calls fail fast (see the README's
+// "Error handling & degraded modes").
 type ParallelMul[T Float] = parallel.Mul[T]
 
 // NewParallelMul prepares a multithreaded multiply with the given number
@@ -345,8 +414,9 @@ func SolveBiCGSTAB[T Float](a Format[T], b, x []T, opts SolverOptions) (SolverSt
 type JacobiPreconditioner[T Float] = solver.JacobiPreconditioner[T]
 
 // NewJacobi extracts the inverse diagonal of a finalized square matrix
-// for use with SolvePCG.
-func NewJacobi[T Float](m *Matrix[T]) *JacobiPreconditioner[T] {
+// for use with SolvePCG. Non-square matrices return an error, like every
+// other solver entry point.
+func NewJacobi[T Float](m *Matrix[T]) (*JacobiPreconditioner[T], error) {
 	return solver.NewJacobi(m)
 }
 

@@ -137,12 +137,9 @@ func TestParallelMulPublic(t *testing.T) {
 		}
 	}
 	pm.Close()
-	defer func() {
-		if recover() == nil {
-			t.Error("MulVec after Close did not panic")
-		}
-	}()
-	pm.MulVec(x, got)
+	if err := pm.MulVec(x, got); err == nil {
+		t.Error("MulVec after Close did not return an error")
+	}
 }
 
 func TestParallelSolvePublic(t *testing.T) {

@@ -76,7 +76,10 @@ func main() {
 
 	var pre *blockspmv.JacobiPreconditioner[float64]
 	if *solverName == "pcg" {
-		pre = blockspmv.NewJacobi(m)
+		var err error
+		if pre, err = blockspmv.NewJacobi(m); err != nil {
+			fatal(err)
+		}
 	}
 
 	var t1 float64

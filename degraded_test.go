@@ -1,0 +1,78 @@
+package blockspmv_test
+
+import (
+	"testing"
+
+	"blockspmv"
+)
+
+func TestAutotuneDegradesWithoutProfile(t *testing.T) {
+	m := buildTestMatrix()
+	f, pred := blockspmv.Autotune(m, testMachine(), nil)
+	if !pred.Degraded || pred.Reason == "" {
+		t.Fatalf("prediction %+v, want degraded with reason", pred)
+	}
+	if f == nil || f.Name() != "CSR" {
+		t.Fatalf("fallback format %v, want plain CSR", f)
+	}
+	if pred.Cand.String() != "CSR" {
+		t.Errorf("fallback candidate %q, want CSR", pred.Cand)
+	}
+	// The streaming bound is still computable from the bandwidth alone.
+	if pred.Seconds <= 0 {
+		t.Errorf("degraded prediction has no streaming bound: %+v", pred)
+	}
+	mulAndCompare(t, m, f)
+}
+
+func TestAutotuneDegradesWithoutBandwidth(t *testing.T) {
+	m := buildTestMatrix()
+	f, pred := blockspmv.Autotune(m, blockspmv.Machine{}, testProfile(t))
+	if !pred.Degraded {
+		t.Fatalf("prediction %+v, want degraded", pred)
+	}
+	if f == nil || f.Name() != "CSR" {
+		t.Fatalf("fallback format %v, want plain CSR", f)
+	}
+	mulAndCompare(t, m, f)
+}
+
+func TestAutotuneDegradesOnIncompleteProfile(t *testing.T) {
+	m := buildTestMatrix()
+	prof := testProfile(t)
+	// Remove one plain-variant entry; the DU rows are optional, but every
+	// plain (shape, impl) row is required for a usable profile.
+	for k := range prof.Entries {
+		if k.Variant == 0 {
+			delete(prof.Entries, k)
+			break
+		}
+	}
+	f, pred := blockspmv.Autotune(m, testMachine(), prof)
+	if !pred.Degraded {
+		t.Fatalf("prediction %+v, want degraded", pred)
+	}
+	mulAndCompare(t, m, f)
+}
+
+func TestAutotuneNilMatrix(t *testing.T) {
+	f, pred := blockspmv.Autotune[float64](nil, testMachine(), nil)
+	if f != nil || !pred.Degraded {
+		t.Fatalf("nil matrix: format %v, prediction %+v", f, pred)
+	}
+}
+
+func TestRankDegradesToSinglePrediction(t *testing.T) {
+	m := buildTestMatrix()
+	// OVERLAP needs a profile; without one the ranking collapses to the
+	// degraded CSR prediction instead of panicking.
+	preds := blockspmv.Rank(m, blockspmv.Models()[2], testMachine(), nil)
+	if len(preds) != 1 || !preds[0].Degraded {
+		t.Fatalf("ranked %d predictions (%+v), want 1 degraded", len(preds), preds)
+	}
+	// MEM needs only the bandwidth: no profile is not a degradation.
+	preds = blockspmv.Rank(m, blockspmv.Models()[0], testMachine(), nil)
+	if len(preds) < 2 || preds[0].Degraded {
+		t.Fatalf("MEM without profile: %d predictions, degraded=%v", len(preds), preds[0].Degraded)
+	}
+}

@@ -117,6 +117,32 @@ func (s Shape) String() string {
 // CSR in the models' view.
 func (s Shape) IsUnit() bool { return s.Kind == Rect && s.R == 1 && s.C == 1 }
 
+// ShapeError is the typed form of an unsupported block geometry: a
+// rectangle with non-positive sides or more than MaxBlockElems elements,
+// or a diagonal outside 2..MaxBlockElems.
+type ShapeError struct {
+	Shape Shape
+}
+
+// Error implements error.
+func (e *ShapeError) Error() string {
+	if e.Shape.Kind == Diag {
+		return fmt.Sprintf("blocks: unsupported diagonal length %d (want 2..%d)", e.Shape.R, MaxBlockElems)
+	}
+	return fmt.Sprintf("blocks: unsupported block shape %dx%d (want positive sides, at most %d elements)",
+		e.Shape.R, e.Shape.C, MaxBlockElems)
+}
+
+// Check returns a typed *ShapeError when the shape is not one the kernel
+// set supports, nil otherwise. The error-returning construction paths
+// use it so bad r/c/b arguments surface as errors instead of panics.
+func (s Shape) Check() error {
+	if !s.Valid() {
+		return &ShapeError{Shape: s}
+	}
+	return nil
+}
+
 // Valid reports whether the shape is one the kernel set supports.
 func (s Shape) Valid() bool {
 	switch s.Kind {

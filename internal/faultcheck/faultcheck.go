@@ -1,0 +1,100 @@
+// Package faultcheck is the fault-injection harness behind the library's
+// panic-free execution guarantees. It wraps real format instances with
+// kernels that panic on demand — on a chosen row, or after a countdown of
+// calls — so tests can drive the pooled executor and the solvers into
+// mid-flight kernel failures and assert the documented behaviour: typed
+// errors, no crash, no deadlock, no goroutine leak, poisoned-pool fail
+// fast.
+//
+// The package contains no test assertions itself; it only builds faults.
+// The assertions live in its tests and in the packages that reuse the
+// wrappers.
+package faultcheck
+
+import (
+	"sync/atomic"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+)
+
+// PanicFormat wraps a format instance with kernels that panic under a
+// configured condition. The wrapper is safe for concurrent MulRange calls
+// on disjoint ranges, like the instance it wraps, so it can be handed to
+// the parallel executor unchanged.
+type PanicFormat[T floats.Float] struct {
+	formats.Instance[T]
+
+	// PanicRow makes MulRange panic when its range covers this row, and
+	// Mul panic when the row is in range. Negative disables row
+	// triggering.
+	PanicRow int
+
+	// countdown, when armed (>= 0 stored as n+1), panics once the counter
+	// reaches zero, decrementing atomically per kernel call.
+	countdown atomic.Int64
+
+	// Value is the panic value thrown; defaults to a descriptive string.
+	Value any
+}
+
+// Wrap returns a PanicFormat around inst with no trigger armed.
+func Wrap[T floats.Float](inst formats.Instance[T]) *PanicFormat[T] {
+	return &PanicFormat[T]{Instance: inst, PanicRow: -1}
+}
+
+// FailAfter arms the countdown trigger: the n+1-th kernel call (Mul or
+// MulRange, counted across all goroutines) panics. FailAfter(0) panics on
+// the next call.
+func (p *PanicFormat[T]) FailAfter(n int) *PanicFormat[T] {
+	p.countdown.Store(int64(n) + 1)
+	return p
+}
+
+// FailOnRow arms the row trigger: any kernel call whose row range covers
+// row panics.
+func (p *PanicFormat[T]) FailOnRow(row int) *PanicFormat[T] {
+	p.PanicRow = row
+	return p
+}
+
+func (p *PanicFormat[T]) boom(where string) {
+	v := p.Value
+	if v == nil {
+		v = "faultcheck: injected kernel panic in " + where
+	}
+	panic(v)
+}
+
+func (p *PanicFormat[T]) tick(where string) {
+	if p.countdown.Load() > 0 && p.countdown.Add(-1) == 0 {
+		p.boom(where)
+	}
+}
+
+// Mul implements formats.Instance.
+func (p *PanicFormat[T]) Mul(x, y []T) {
+	p.tick("Mul")
+	if p.PanicRow >= 0 && p.PanicRow < p.Rows() {
+		p.boom("Mul")
+	}
+	p.Instance.Mul(x, y)
+}
+
+// MulRange implements formats.Instance.
+func (p *PanicFormat[T]) MulRange(x, y []T, r0, r1 int) {
+	p.tick("MulRange")
+	if p.PanicRow >= r0 && p.PanicRow < r1 {
+		p.boom("MulRange")
+	}
+	p.Instance.MulRange(x, y, r0, r1)
+}
+
+// WithImpl implements formats.Instance, preserving the fault wrapper (and
+// sharing its countdown) around the re-implemented instance.
+func (p *PanicFormat[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
+	q := &PanicFormat[T]{Instance: p.Instance.WithImpl(impl), PanicRow: p.PanicRow, Value: p.Value}
+	q.countdown.Store(p.countdown.Load())
+	return q
+}

@@ -1,0 +1,285 @@
+package faultcheck
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/leakcheck"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/parallel"
+	"blockspmv/internal/profile"
+	"blockspmv/internal/solver"
+	"blockspmv/internal/workpool"
+)
+
+// spd builds an n x n diagonally dominant tridiagonal system: SPD, so the
+// solvers converge, and large enough to split across several workers.
+func spd(n int) *mat.COO[float64] {
+	m := mat.New[float64](n, n)
+	for i := 0; i < n; i++ {
+		m.Add(int32(i), int32(i), 4)
+		if i+1 < n {
+			m.Add(int32(i), int32(i+1), -1)
+			m.Add(int32(i+1), int32(i), -1)
+		}
+	}
+	m.Finalize()
+	return m
+}
+
+// mulVecGuarded runs pm.MulVec on its own goroutine with a watchdog, so a
+// regression back to the pre-recovery deadlock fails the test instead of
+// hanging the suite.
+func mulVecGuarded(t *testing.T, pm *parallel.Mul[float64], x, y []float64) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- pm.MulVec(x, y) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("MulVec did not return after an injected kernel panic (deadlock)")
+		return nil
+	}
+}
+
+func TestPooledSpMVInjectedPanic(t *testing.T) {
+	leakcheck.Check(t)
+	const n = 512
+	m := spd(n)
+	base := csr.FromCOO(m, blocks.Scalar)
+	x := make([]float64, n)
+	y := make([]float64, n)
+
+	for _, workers := range []int{1, 2, 4, 7} {
+		pf := Wrap[float64](base).FailOnRow(n - 1) // last part's range
+		pm := parallel.NewMul[float64](pf, workers, parallel.BalanceWeights)
+
+		err := mulVecGuarded(t, pm, x, y)
+		var pe *workpool.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *workpool.PanicError", workers, err)
+		}
+		if pe.Part < 0 || pe.Part >= pm.ActiveWorkers() {
+			t.Errorf("workers=%d: panic names part %d of %d", workers, pe.Part, pm.ActiveWorkers())
+		}
+		if want := "faultcheck: injected kernel panic in MulRange"; pe.Value != want {
+			t.Errorf("workers=%d: panic value %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured", workers)
+		}
+
+		// The pool is poisoned: the next call fails fast with the original
+		// panic still reachable.
+		err = mulVecGuarded(t, pm, x, y)
+		if !errors.Is(err, workpool.ErrPoisoned) {
+			t.Errorf("workers=%d: reuse err = %v, want ErrPoisoned", workers, err)
+		}
+		var again *workpool.PanicError
+		if !errors.As(err, &again) || again.Value != pe.Value {
+			t.Errorf("workers=%d: poisoned error lost the first panic: %v", workers, err)
+		}
+
+		// Close still retires every worker (leakcheck asserts this).
+		pm.Close()
+	}
+}
+
+func TestPooledSpMVCustomPanicValue(t *testing.T) {
+	leakcheck.Check(t)
+	const n = 64
+	pf := Wrap[float64](csr.FromCOO(spd(n), blocks.Scalar)).FailOnRow(0)
+	pf.Value = errors.New("disk on fire")
+	pm := parallel.NewMul[float64](pf, 2, parallel.BalanceWeights)
+	defer pm.Close()
+
+	err := mulVecGuarded(t, pm, make([]float64, n), make([]float64, n))
+	var pe *workpool.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *workpool.PanicError", err)
+	}
+	if e, ok := pe.Value.(error); !ok || e.Error() != "disk on fire" {
+		t.Errorf("panic value %v, want the injected error", pe.Value)
+	}
+}
+
+func TestPooledSpMVCountdownPanic(t *testing.T) {
+	leakcheck.Check(t)
+	const n = 256
+	pf := Wrap[float64](csr.FromCOO(spd(n), blocks.Scalar)).FailAfter(2)
+	pm := parallel.NewMul[float64](pf, 3, parallel.BalanceWeights)
+	defer pm.Close()
+	x := make([]float64, n)
+	y := make([]float64, n)
+
+	// The first dispatch issues one MulRange per active worker, so the
+	// armed countdown fires during the first or second MulVec.
+	err := mulVecGuarded(t, pm, x, y)
+	if err == nil {
+		err = mulVecGuarded(t, pm, x, y)
+	}
+	var pe *workpool.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("countdown: err = %v, want *workpool.PanicError", err)
+	}
+}
+
+func TestSolversSurviveKernelPanic(t *testing.T) {
+	leakcheck.Check(t)
+	const n = 200
+	m := spd(n)
+	base := csr.FromCOO(m, blocks.Scalar)
+
+	// A nonzero right-hand side, so the solvers genuinely iterate and the
+	// armed countdown fires mid-recurrence.
+	rhs := func() []float64 {
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 1
+		}
+		return b
+	}
+	solve := map[string]func(a *PanicFormat[float64], opts solver.Options) error{
+		"CG": func(a *PanicFormat[float64], opts solver.Options) error {
+			_, err := solver.CG[float64](a, rhs(), make([]float64, n), opts)
+			return err
+		},
+		"BiCGSTAB": func(a *PanicFormat[float64], opts solver.Options) error {
+			_, err := solver.BiCGSTAB[float64](a, rhs(), make([]float64, n), opts)
+			return err
+		},
+		"PCG": func(a *PanicFormat[float64], opts solver.Options) error {
+			pre, err := solver.NewJacobi(m)
+			if err != nil {
+				return fmt.Errorf("building preconditioner: %w", err)
+			}
+			_, err = solver.PCG[float64](a, pre, rhs(), make([]float64, n), opts)
+			return err
+		},
+	}
+
+	for name, run := range solve {
+		for _, workers := range []int{0, 3} {
+			// Fail a few SpMVs in: the solver is mid-iteration, with both
+			// pools live and vectors half-updated.
+			a := Wrap[float64](base).FailAfter(4)
+			err := run(a, solver.Options{Workers: workers, Tol: 1e-12})
+			if err == nil {
+				t.Fatalf("%s workers=%d: no error after injected panic", name, workers)
+			}
+			if errors.Is(err, solver.ErrNoConvergence) || errors.Is(err, solver.ErrBreakdown) {
+				t.Fatalf("%s workers=%d: panic misreported as %v", name, workers, err)
+			}
+			var pe *workpool.PanicError
+			if !errors.As(err, &pe) && !errors.Is(err, workpool.ErrPoisoned) {
+				t.Errorf("%s workers=%d: err = %v, want a kernel-panic error", name, workers, err)
+			}
+		}
+	}
+
+	// A healthy run through the same harness still converges: the wrapper
+	// itself must not perturb results.
+	a := Wrap[float64](base)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	st, err := solver.CG[float64](a, b, make([]float64, n), solver.Options{Workers: 3})
+	if err != nil || st.Residual > 1e-6 {
+		t.Fatalf("healthy wrapped solve: err=%v residual=%g", err, st.Residual)
+	}
+}
+
+func TestPoisonedTeamDirectReuse(t *testing.T) {
+	leakcheck.Check(t)
+	team := workpool.New(4, func(part int) {
+		if part == 2 {
+			panic("part 2 down")
+		}
+	})
+	defer team.Close()
+
+	err := team.Run()
+	var pe *workpool.PanicError
+	if !errors.As(err, &pe) || pe.Part != 2 {
+		t.Fatalf("err = %v, want *PanicError for part 2", err)
+	}
+	if !team.Poisoned() {
+		t.Fatal("team not poisoned after panic")
+	}
+	for i := 0; i < 3; i++ {
+		if err := team.Run(); !errors.Is(err, workpool.ErrPoisoned) {
+			t.Fatalf("reuse %d: err = %v, want ErrPoisoned", i, err)
+		}
+	}
+}
+
+// errReader yields its payload, then a non-EOF error: a stream truncated
+// by a transport failure rather than a clean end.
+type errReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestCorruptMatrixMarketStreams(t *testing.T) {
+	cases := map[string]string{
+		"binary junk":   "\x00\x01\x02\xff\xfe",
+		"forged dims":   "%%MatrixMarket matrix coordinate real general\n-1 999999999999 5\n",
+		"flood":         "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 1 1\n2 2 2\n3 3 3\n",
+		"truncated":     "%%MatrixMarket matrix coordinate real general\n3 3 9\n1 1 1\n",
+		"header only":   "%%MatrixMarket matrix coordinate real general\n",
+		"huge nnz line": "%%MatrixMarket matrix coordinate real general\n3 3 99999999999999999999999\n",
+	}
+	for name, src := range cases {
+		if _, err := mat.ReadMatrixMarket[float64](strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// A reader that dies mid-stream surfaces the transport error.
+	r := &errReader{
+		data: []byte("%%MatrixMarket matrix coordinate real general\n100 100 200\n1 1 1\n"),
+		err:  errors.New("connection reset"),
+	}
+	if _, err := mat.ReadMatrixMarket[float64](r); err == nil || !strings.Contains(err.Error(), "connection reset") {
+		t.Errorf("mid-stream transport failure: err = %v", err)
+	}
+}
+
+func TestCorruptProfileStreams(t *testing.T) {
+	cases := map[string]string{
+		"binary junk":  "\x89PNG\r\n",
+		"empty":        "",
+		"wrong shape":  `{"entries":[{"shape":"banana","impl":"scalar","tb":1,"nof":1}]}`,
+		"nan via null": `{"entries":[{"shape":"1x1","impl":"scalar","tb":null,"nof":1}]}`,
+		"truncated":    `{"version":1,"entries":[{"shape":"1x1"`,
+		"bad version":  `{"version":7}`,
+	}
+	for name, src := range cases {
+		if _, err := profile.Load(bytes.NewReader([]byte(src))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	r := &errReader{data: []byte(`{"version":1,"ent`), err: io.ErrUnexpectedEOF}
+	if _, err := profile.Load(r); err == nil {
+		t.Error("mid-stream profile failure accepted")
+	}
+}

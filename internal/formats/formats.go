@@ -9,6 +9,8 @@
 package formats
 
 import (
+	"fmt"
+
 	"blockspmv/internal/blocks"
 	"blockspmv/internal/floats"
 )
@@ -104,9 +106,35 @@ func WorkingSetBytes[T floats.Float](inst Instance[T]) int64 {
 	return inst.MatrixBytes() + VectorBytes(inst.Rows(), inst.Cols(), floats.SizeOf[T]())
 }
 
-// CheckDims panics with a uniform message on Mul dimension mismatches.
+// DimError is the typed form of a Mul dimension mismatch: the operand
+// lengths do not match the matrix shape.
+type DimError struct {
+	Format     string // the instance's Name()
+	Rows, Cols int
+	LenX, LenY int
+}
+
+// Error implements error.
+func (e *DimError) Error() string {
+	return fmt.Sprintf("formats: Mul dimension mismatch: %s is %dx%d, x has %d, y has %d",
+		e.Format, e.Rows, e.Cols, e.LenX, e.LenY)
+}
+
+// CheckDims panics with a *DimError on Mul dimension mismatches; the
+// panicking Mul entry points use it directly.
 func CheckDims[T floats.Float](inst Instance[T], x, y []T) {
-	if len(x) != inst.Cols() || len(y) != inst.Rows() {
-		panic("formats: Mul dimension mismatch: " + inst.Name())
+	if err := CheckDimsErr(inst, x, y); err != nil {
+		panic(err)
 	}
+}
+
+// CheckDimsErr returns a typed *DimError when the operand lengths do not
+// match the instance shape, nil otherwise. The error-returning multiply
+// paths (parallel.Mul.MulVec, the checked public API) use it so shape
+// mistakes surface as errors instead of panics.
+func CheckDimsErr[T floats.Float](inst Instance[T], x, y []T) error {
+	if len(x) != inst.Cols() || len(y) != inst.Rows() {
+		return &DimError{Format: inst.Name(), Rows: inst.Rows(), Cols: inst.Cols(), LenX: len(x), LenY: len(y)}
+	}
+	return nil
 }

@@ -1,0 +1,58 @@
+// Package leakcheck provides a goroutine-leak assertion for tests of the
+// worker-pool machinery. The pools promise deterministic retirement:
+// after Close (or after a captured panic plus Close) no worker goroutine
+// may linger. Check snapshots the goroutine count when called and
+// verifies at test cleanup that the count returned to the baseline,
+// retrying briefly to let exiting goroutines unwind.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long Check waits for the goroutine count to drain back to
+// its baseline before declaring a leak.
+const grace = 5 * time.Second
+
+// Check records the current goroutine count and registers a cleanup that
+// fails the test if, by the end of the test, more goroutines are running
+// than at the baseline. Call it at the top of any test that starts
+// pools or teams. Tests using Check must not run in parallel with each
+// other (the count is process-wide).
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutines leaked (baseline %d, now %d)\n%s",
+			n-base, base, n, stacks())
+	})
+}
+
+// stacks formats all goroutine stacks, trimmed to keep failure output
+// readable.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	s := string(buf)
+	if parts := strings.Split(s, "\n\n"); len(parts) > 20 {
+		s = strings.Join(parts[:20], "\n\n") + fmt.Sprintf("\n\n... (%d more goroutines)", len(parts)-20)
+	}
+	return s
+}

@@ -16,6 +16,12 @@ func FuzzReadMatrixMarket(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 7\n")
 	f.Add("% not a header\n1 1 1\n")
 	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 999999999999\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-3 4 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n4 99999999999 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 -7\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n2 2 1\n2 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 NaN\n")
+	f.Add("%%MatrixMarket matrix array real general\n1 2\n+Inf\n0\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		m, err := ReadMatrixMarket[float64](strings.NewReader(src))
 		if err != nil {
@@ -24,6 +30,9 @@ func FuzzReadMatrixMarket(f *testing.F) {
 		// Whatever parsed must satisfy the matrix invariants...
 		if err := PatternOf(m).Validate(); err != nil {
 			t.Fatalf("accepted matrix violates invariants: %v", err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails Validate: %v", err)
 		}
 		// ...and survive a write/read round trip.
 		var buf bytes.Buffer

@@ -1,0 +1,77 @@
+package mat
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketRejectsForgedSizes(t *testing.T) {
+	cases := map[string]string{
+		"negative rows": "%%MatrixMarket matrix coordinate real general\n-2 2 1\n1 1 1.0\n",
+		"negative cols": "%%MatrixMarket matrix coordinate real general\n2 -2 1\n1 1 1.0\n",
+		"huge rows":     "%%MatrixMarket matrix coordinate real general\n9999999999 2 1\n1 1 1.0\n",
+		"huge cols":     "%%MatrixMarket matrix coordinate real general\n2 9999999999 1\n1 1 1.0\n",
+		"negative nnz":  "%%MatrixMarket matrix coordinate real general\n2 2 -1\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMatrixMarket[float64](strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadMatrixMarketRejectsFlood(t *testing.T) {
+	// More entries than the header declares must abort mid-stream, not
+	// accumulate until EOF.
+	src := "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n1 2 1.0\n2 1 1.0\n"
+	if _, err := ReadMatrixMarket[float64](strings.NewReader(src)); err == nil {
+		t.Error("entry flood accepted")
+	}
+	arr := "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n5\n"
+	if _, err := ReadMatrixMarket[float64](strings.NewReader(arr)); err == nil {
+		t.Error("array flood accepted")
+	}
+}
+
+func TestReadMatrixMarketTruncation(t *testing.T) {
+	src := "%%MatrixMarket matrix coordinate real general\n4 4 3\n1 1 1.0\n"
+	_, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated stream: err = %v", err)
+	}
+	arr := "%%MatrixMarket matrix array real general\n2 2\n1\n2\n"
+	_, err = ReadMatrixMarket[float64](strings.NewReader(arr))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated array: err = %v", err)
+	}
+}
+
+func TestReadMatrixMarketLimited(t *testing.T) {
+	src := func() *strings.Reader {
+		return strings.NewReader("%%MatrixMarket matrix coordinate real general\n10 20 3\n1 1 1\n5 5 2\n10 20 3\n")
+	}
+
+	m, err := ReadMatrixMarketLimited[float64](src(), Limits{MaxRows: 10, MaxCols: 20, MaxNNZ: 3})
+	if err != nil {
+		t.Fatalf("within limits: %v", err)
+	}
+	if m.Rows() != 10 || m.Cols() != 20 || m.NNZ() != 3 {
+		t.Fatalf("parsed %dx%d with %d entries", m.Rows(), m.Cols(), m.NNZ())
+	}
+
+	for name, lim := range map[string]Limits{
+		"rows": {MaxRows: 9},
+		"cols": {MaxCols: 19},
+		"nnz":  {MaxNNZ: 2},
+	} {
+		if _, err := ReadMatrixMarketLimited[float64](src(), lim); !errors.Is(err, ErrLimit) {
+			t.Errorf("%s limit: err = %v, want ErrLimit", name, err)
+		}
+	}
+
+	// Zero limits mean unbounded.
+	if _, err := ReadMatrixMarketLimited[float64](src(), Limits{}); err != nil {
+		t.Errorf("unbounded: %v", err)
+	}
+}

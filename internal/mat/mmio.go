@@ -2,8 +2,10 @@ package mat
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -18,11 +20,53 @@ import (
 // and writing the same exchange format so real collection matrices can be
 // dropped into every experiment unchanged.
 
+// Limits bounds what a MatrixMarket parse will accept before allocating
+// or looping, so untrusted streams cannot balloon memory with a forged
+// size line. The zero value of a field means "no bound on this axis";
+// the dimensions are always additionally bounded by the int32 index
+// range the storage formats use.
+type Limits struct {
+	// MaxRows and MaxCols cap the declared matrix dimensions.
+	MaxRows, MaxCols int
+	// MaxNNZ caps the declared entry count (coordinate layout) or the
+	// declared rows*cols value count (array layout).
+	MaxNNZ int64
+}
+
+// ErrLimit marks a MatrixMarket stream whose declared size exceeds the
+// caller's Limits.
+var ErrLimit = errors.New("mat: declared size exceeds configured limit")
+
+func (l Limits) check(rows, cols int, declared int64) error {
+	if l.MaxRows > 0 && rows > l.MaxRows {
+		return fmt.Errorf("%w: %d rows > %d", ErrLimit, rows, l.MaxRows)
+	}
+	if l.MaxCols > 0 && cols > l.MaxCols {
+		return fmt.Errorf("%w: %d columns > %d", ErrLimit, cols, l.MaxCols)
+	}
+	if l.MaxNNZ > 0 && declared > l.MaxNNZ {
+		return fmt.Errorf("%w: %d entries > %d", ErrLimit, declared, l.MaxNNZ)
+	}
+	return nil
+}
+
 // ReadMatrixMarket parses a matrix in Matrix Market coordinate or array
 // format. Supported qualifiers: real/integer/pattern values and
 // general/symmetric/skew-symmetric storage. Pattern entries get value 1.
 // Symmetric (and skew-symmetric) off-diagonal entries are mirrored.
+//
+// The parser never panics on malformed input: forged dimensions, entry
+// floods past the declared count, and truncated streams all come back as
+// errors. It applies no size limits; use ReadMatrixMarketLimited when the
+// stream is untrusted.
 func ReadMatrixMarket[T floats.Float](r io.Reader) (*COO[T], error) {
+	return ReadMatrixMarketLimited[T](r, Limits{})
+}
+
+// ReadMatrixMarketLimited is ReadMatrixMarket with declared-size limits,
+// checked against the header before anything is allocated; streams over a
+// limit fail with an error wrapping ErrLimit.
+func ReadMatrixMarketLimited[T floats.Float](r io.Reader, lim Limits) (*COO[T], error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 
@@ -80,12 +124,22 @@ func ReadMatrixMarket[T floats.Float](r io.Reader) (*COO[T], error) {
 	if err != nil {
 		return nil, fmt.Errorf("mat: bad column count: %w", err)
 	}
-	declared := rows * cols
+	if err := CheckDims(rows, cols); err != nil {
+		return nil, err
+	}
+	declared := int64(rows) * int64(cols)
 	if layout == "coordinate" {
-		declared, err = strconv.Atoi(sizes[2])
+		nnz, err := strconv.ParseInt(sizes[2], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("mat: bad nnz count: %w", err)
 		}
+		if nnz < 0 {
+			return nil, fmt.Errorf("mat: negative nnz count %d", nnz)
+		}
+		declared = nnz
+	}
+	if err := lim.check(rows, cols, declared); err != nil {
+		return nil, err
 	}
 
 	m := New[T](rows, cols)
@@ -101,7 +155,7 @@ func ReadMatrixMarket[T floats.Float](r io.Reader) (*COO[T], error) {
 		}
 	}
 
-	seen := 0
+	seen := int64(0)
 	if layout == "array" {
 		// Column-major dense listing.
 		r, c := 0, 0
@@ -111,9 +165,16 @@ func ReadMatrixMarket[T floats.Float](r io.Reader) (*COO[T], error) {
 				continue
 			}
 			for _, f := range strings.Fields(line) {
+				if seen == declared {
+					// Abort the flood instead of accumulating it.
+					return nil, fmt.Errorf("mat: array values past the declared %d", declared)
+				}
 				v, err := strconv.ParseFloat(f, 64)
 				if err != nil {
 					return nil, fmt.Errorf("mat: bad array value %q: %w", f, err)
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("mat: non-finite array value %q", f)
 				}
 				if v != 0 {
 					add(r, c, v)
@@ -125,14 +186,15 @@ func ReadMatrixMarket[T floats.Float](r io.Reader) (*COO[T], error) {
 				}
 			}
 		}
-		if seen != declared {
-			return nil, fmt.Errorf("mat: array has %d values, header declares %d", seen, declared)
-		}
 	} else {
 		for sc.Scan() {
 			line := strings.TrimSpace(sc.Text())
 			if line == "" || strings.HasPrefix(line, "%") {
 				continue
+			}
+			if seen == declared {
+				// Abort the flood instead of accumulating it.
+				return nil, fmt.Errorf("mat: entries past the declared %d", declared)
 			}
 			fields := strings.Fields(line)
 			want := 3
@@ -159,16 +221,25 @@ func ReadMatrixMarket[T floats.Float](r io.Reader) (*COO[T], error) {
 				if err != nil {
 					return nil, fmt.Errorf("mat: bad value %q: %w", fields[2], err)
 				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("mat: non-finite value %q", fields[2])
+				}
 			}
 			add(ri-1, ci-1, v)
 			seen++
 		}
-		if seen != declared {
-			return nil, fmt.Errorf("mat: stream has %d entries, header declares %d", seen, declared)
-		}
 	}
+	// The scanner error comes first: a stream cut off by a transport
+	// failure should report that failure, not the entry count it caused.
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("mat: reading MatrixMarket: %w", err)
+	}
+	if seen != declared {
+		what := "entries"
+		if layout == "array" {
+			what = "values"
+		}
+		return nil, fmt.Errorf("mat: stream truncated: %d %s, header declares %d", seen, what, declared)
 	}
 	m.Finalize()
 	return m, nil

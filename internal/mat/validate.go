@@ -1,0 +1,84 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blockspmv/internal/floats"
+)
+
+// Sentinel errors for COO structural validation. Validate wraps them
+// with coordinate detail, so callers test with errors.Is.
+var (
+	// ErrDims marks negative or int32-overflowing matrix dimensions.
+	ErrDims = errors.New("mat: invalid dimensions")
+	// ErrIndexRange marks an entry outside the declared matrix shape.
+	ErrIndexRange = errors.New("mat: entry index out of range")
+	// ErrNonFinite marks a NaN or infinite entry value.
+	ErrNonFinite = errors.New("mat: non-finite entry value")
+	// ErrDuplicate marks duplicate coordinates in a finalized matrix
+	// (Finalize sums duplicates, so their presence means the entry slice
+	// was corrupted after finalization).
+	ErrDuplicate = errors.New("mat: duplicate coordinates in finalized matrix")
+	// ErrUnsorted marks a finalized matrix whose entries are not in
+	// row-major order.
+	ErrUnsorted = errors.New("mat: finalized entries not row-major sorted")
+	// ErrNotFinalized marks an operation that requires Finalize first.
+	ErrNotFinalized = errors.New("mat: matrix not finalized")
+)
+
+// CheckDims validates a rows x cols shape against the library's index
+// contract: non-negative and within the int32 range the storage formats
+// use. It is the error-returning twin of the check New panics on.
+func CheckDims(rows, cols int) error {
+	const maxDim = 1 << 31
+	if rows < 0 || cols < 0 || rows >= maxDim || cols >= maxDim {
+		return fmt.Errorf("%w: %dx%d", ErrDims, rows, cols)
+	}
+	return nil
+}
+
+// NewChecked is the error-returning twin of New: it validates the shape
+// instead of panicking on a bad one.
+func NewChecked[T floats.Float](rows, cols int) (*COO[T], error) {
+	if err := CheckDims(rows, cols); err != nil {
+		return nil, err
+	}
+	return New[T](rows, cols), nil
+}
+
+// Validate checks the structural integrity of the matrix: every entry
+// inside the declared shape, every value finite, and — when the matrix
+// is finalized — entries row-major sorted with no duplicate coordinates.
+// It returns a typed error (wrapping one of the sentinel errors above)
+// on the first violation.
+//
+// Validate exists so arbitrary or externally-assembled matrices can be
+// rejected at the construction boundary; the format converters and hot
+// multiply loops stay validation-free and trust their input.
+func (m *COO[T]) Validate() error {
+	if err := CheckDims(m.rows, m.cols); err != nil {
+		return err
+	}
+	for i, e := range m.entries {
+		if e.Row < 0 || int(e.Row) >= m.rows || e.Col < 0 || int(e.Col) >= m.cols {
+			return fmt.Errorf("%w: entry %d at (%d,%d) outside %dx%d",
+				ErrIndexRange, i, e.Row, e.Col, m.rows, m.cols)
+		}
+		if v := float64(e.Val); math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: entry %d at (%d,%d) is %v", ErrNonFinite, i, e.Row, e.Col, v)
+		}
+		if i > 0 && m.finalized {
+			prev := m.entries[i-1]
+			if prev.Row == e.Row && prev.Col == e.Col {
+				return fmt.Errorf("%w: (%d,%d)", ErrDuplicate, e.Row, e.Col)
+			}
+			if prev.Row > e.Row || (prev.Row == e.Row && prev.Col > e.Col) {
+				return fmt.Errorf("%w: entry %d (%d,%d) after (%d,%d)",
+					ErrUnsorted, i, e.Row, e.Col, prev.Row, prev.Col)
+			}
+		}
+	}
+	return nil
+}

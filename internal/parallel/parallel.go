@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -20,6 +21,9 @@ import (
 	"blockspmv/internal/formats"
 	"blockspmv/internal/workpool"
 )
+
+// ErrClosed is returned by MulVec on an executor that has been closed.
+var ErrClosed = errors.New("parallel: MulVec called on a closed Mul")
 
 // Strategy selects how rows are assigned to threads.
 type Strategy int
@@ -140,17 +144,21 @@ type Mul[T floats.Float] struct {
 // defeating the GC cleanup that retires leaked workers.
 type pool[T floats.Float] struct {
 	inst   formats.Instance[T]
-	active [][2]int       // the non-empty row ranges, one worker each
-	team   *workpool.Team // nil when at most one range is non-empty
-	x, y   []T            // operands of the in-flight MulVec
+	active [][2]int             // the non-empty row ranges, one worker each
+	team   *workpool.Team       // nil when at most one range is non-empty
+	x, y   []T                  // operands of the in-flight MulVec
+	fail   *workpool.PanicError // first kernel panic on the serial path (the team tracks its own)
 	closed atomic.Bool
 }
 
 // NewMul prepares a multithreaded multiply over parts workers and starts
 // the pool. Workers are started only for non-empty partition ranges, so
 // asking for more parts than the matrix has aligned row groups does not
-// spawn idle goroutines.
+// spawn idle goroutines. Part counts below 1 are clamped to 1 (serial).
 func NewMul[T floats.Float](inst formats.Instance[T], parts int, strategy Strategy) *Mul[T] {
+	if parts < 1 {
+		parts = 1
+	}
 	ranges := Partition(inst.RowWeights(), inst.RowAlign(), parts, strategy)
 	pl := &pool[T]{inst: inst}
 	for _, rr := range ranges {
@@ -192,24 +200,45 @@ func (p *Mul[T]) PartWeights() []int64 {
 // MulVec computes y = A*x on the pool. The caller's goroutine executes
 // one partition itself while the pinned workers handle the rest; every
 // partition clears its own y range (first touch) before accumulating.
-// MulVec performs no allocations and panics if the executor is closed.
-func (p *Mul[T]) MulVec(x, y []T) {
+// MulVec performs no allocations on the happy path.
+//
+// MulVec never panics and never deadlocks: it returns ErrClosed on a
+// closed executor, a *formats.DimError on operand shape mismatches, and
+// a kernel panic on any partition — worker or the caller's own — is
+// recovered and returned as a typed *workpool.PanicError naming the
+// part. After a kernel panic the executor is poisoned (y may be
+// half-written); further calls fail fast with an error matching
+// workpool.ErrPoisoned, and Close still retires the workers cleanly.
+func (p *Mul[T]) MulVec(x, y []T) error {
 	pl := p.pl
 	if pl.closed.Load() {
-		panic("parallel: MulVec called on a closed Mul (use it before Close)")
+		return ErrClosed
 	}
-	formats.CheckDims[T](pl.inst, x, y)
+	if err := formats.CheckDimsErr[T](pl.inst, x, y); err != nil {
+		return err
+	}
 	if len(pl.active) == 0 {
-		return // 0-row matrix: nothing to compute
+		return nil // 0-row matrix: nothing to compute
 	}
 	pl.x, pl.y = x, y
+	var err error
 	if pl.team == nil {
-		pl.runPart(0)
+		if pl.fail != nil {
+			err = &workpool.PoisonedError{First: pl.fail}
+		} else if pe := workpool.Call(0, pl.run0); pe != nil {
+			pl.fail = pe
+			err = pe
+		}
 	} else {
-		pl.team.Run()
+		err = pl.team.Run()
 	}
 	pl.x, pl.y = nil, nil
+	return err
 }
+
+// run0 adapts runPart(0) to the zero-argument form workpool.Call wants
+// without a per-call closure allocation.
+func (pl *pool[T]) run0() { pl.runPart(0) }
 
 // runPart is the per-worker body: zero the partition's slice of y, then
 // accumulate the partition's rows. Worker k always executes active[k], so
@@ -222,7 +251,8 @@ func (pl *pool[T]) runPart(k int) {
 }
 
 // Close retires the worker goroutines and waits for them to exit. It is
-// idempotent. After Close, MulVec panics.
+// idempotent and works after a kernel panic. After Close, MulVec returns
+// ErrClosed.
 func (p *Mul[T]) Close() {
 	p.cleanup.Stop()
 	p.pl.close()

@@ -1,10 +1,10 @@
 package parallel_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
-	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -16,6 +16,7 @@ import (
 	"blockspmv/internal/dcsr"
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
+	"blockspmv/internal/leakcheck"
 	"blockspmv/internal/multidec"
 	"blockspmv/internal/parallel"
 	"blockspmv/internal/testmat"
@@ -132,6 +133,7 @@ func TestMulMatchesSequential(t *testing.T) {
 // the same kernel and the same accumulation order, so not even the last
 // bit may differ.
 func TestPooledMatchesSerialBitForBit(t *testing.T) {
+	leakcheck.Check(t)
 	corpus := testmat.Corpus[float64]()
 	for name, m := range corpus {
 		insts := map[string]formats.Instance[float64]{
@@ -170,24 +172,34 @@ func TestPooledMatchesSerialBitForBit(t *testing.T) {
 	}
 }
 
-func TestMulVecAfterClosePanics(t *testing.T) {
+func TestMulVecAfterCloseErrors(t *testing.T) {
+	leakcheck.Check(t)
 	m := testmat.Random[float64](64, 64, 0.1, 9)
 	inst := csr.FromCOO(m, blocks.Scalar)
 	pm := parallel.NewMul(inst, 4, parallel.BalanceWeights)
 	pm.Close()
 	pm.Close() // idempotent
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("MulVec after Close did not panic")
-		}
-		if msg := fmt.Sprint(r); !strings.Contains(msg, "Close") {
-			t.Errorf("panic message %q does not mention Close", msg)
-		}
-	}()
 	x := make([]float64, 64)
 	y := make([]float64, 64)
-	pm.MulVec(x, y)
+	if err := pm.MulVec(x, y); !errors.Is(err, parallel.ErrClosed) {
+		t.Fatalf("MulVec after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMulVecDimensionError(t *testing.T) {
+	leakcheck.Check(t)
+	m := testmat.Random[float64](64, 48, 0.1, 21)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	pm := parallel.NewMul(inst, 4, parallel.BalanceWeights)
+	defer pm.Close()
+	err := pm.MulVec(make([]float64, 47), make([]float64, 64))
+	var de *formats.DimError
+	if !errors.As(err, &de) {
+		t.Fatalf("MulVec with short x = %v, want *formats.DimError", err)
+	}
+	if de.Cols != 48 || de.LenX != 47 {
+		t.Errorf("DimError = %+v, want Cols 48, LenX 47", de)
+	}
 }
 
 // goroutinesEventually polls until the goroutine count drops to at most

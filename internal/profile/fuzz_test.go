@@ -1,0 +1,45 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad exercises the profile reader against arbitrary bytes: it must
+// never panic, and any table it accepts must be usable — every entry
+// well-formed — and survive a save/load round trip.
+func FuzzLoad(f *testing.F) {
+	// A valid single-row profile as a structural seed.
+	f.Add([]byte(`{"version":1,"precision":"dp","entries":[{"shape":"2x2","impl":"scalar","tb":1e-9,"nof":0.5}]}`))
+	// A full table as Save writes it.
+	var buf bytes.Buffer
+	if err := fullTable().Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Corruption seeds: future version, bad timings, duplicates, noise.
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"entries":[{"shape":"2x2","impl":"scalar","tb":-1,"nof":1}]}`))
+	f.Add([]byte(`{"entries":[{"shape":"1x1","impl":"scalar","tb":null,"nof":1}]}`))
+	f.Add([]byte(`{"entries":[{"shape":"d4","impl":"simd","tb":1e-9,"nof":1},{"shape":"d4","impl":"simd","tb":1e-9,"nof":1}]}`))
+	f.Add([]byte("\x00\xff{{{"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for k, e := range tab.Entries {
+			if err := checkEntry(k, e); err != nil {
+				t.Fatalf("accepted table holds invalid entry: %v", err)
+			}
+		}
+		var out bytes.Buffer
+		if err := tab.Save(&out); err != nil {
+			t.Fatalf("cannot save accepted table: %v", err)
+		}
+		if _, err := Load(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("cannot reload saved table: %v", err)
+		}
+	})
+}

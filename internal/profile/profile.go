@@ -199,6 +199,46 @@ func profileOne[T floats.Float](small, big *mat.COO[T], k Key, m machine.Machine
 	return Entry{Tb: tb, Nof: nof}
 }
 
+// Version is the profile file format version Save writes. Load accepts
+// files up to this version; files without a version field are the legacy
+// pre-versioning layout and load as version 0.
+const Version = 1
+
+// checkEntry rejects timings a model cannot price with: Tb must be a
+// positive finite time, Nof a finite non-negative factor.
+func checkEntry(k Key, e Entry) error {
+	if math.IsNaN(e.Tb) || math.IsInf(e.Tb, 0) || e.Tb <= 0 {
+		return fmt.Errorf("profile: entry %v has invalid tb %v (want positive finite)", k, e.Tb)
+	}
+	if math.IsNaN(e.Nof) || math.IsInf(e.Nof, 0) || e.Nof < 0 {
+		return fmt.Errorf("profile: entry %v has invalid nof %v (want non-negative finite)", k, e.Nof)
+	}
+	return nil
+}
+
+// Validate reports whether the table can drive the profiled models
+// (MEMCOMP, OVERLAP): a well-formed entry for every plain (shape, impl)
+// combination the candidate space prices. The selection layer uses it to
+// decide between modelled selection and the degraded CSR fallback.
+func (t *Table) Validate() error {
+	if t == nil || t.Entries == nil {
+		return fmt.Errorf("profile: empty table")
+	}
+	for _, s := range blocks.AllShapes() {
+		for _, impl := range blocks.Impls() {
+			k := Key{Shape: s, Impl: impl}
+			e, ok := t.Entries[k]
+			if !ok {
+				return fmt.Errorf("profile: missing entry for %v", k)
+			}
+			if err := checkEntry(k, e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // jsonEntry is the serialised form of one profile row. Variant is empty
 // for plain kernels so profiles written before the field existed load
 // unchanged.
@@ -211,6 +251,7 @@ type jsonEntry struct {
 }
 
 type jsonTable struct {
+	Version   int             `json:"version"`
 	Precision string          `json:"precision"`
 	Machine   machine.Machine `json:"machine"`
 	Entries   []jsonEntry     `json:"entries"`
@@ -218,7 +259,7 @@ type jsonTable struct {
 
 // Save writes the profile as JSON.
 func (t *Table) Save(w io.Writer) error {
-	jt := jsonTable{Precision: t.Precision, Machine: t.Machine}
+	jt := jsonTable{Version: Version, Precision: t.Precision, Machine: t.Machine}
 	for _, s := range blocks.AllShapes() {
 		for _, impl := range blocks.Impls() {
 			if e, ok := t.Lookup(s, impl); ok {
@@ -241,11 +282,21 @@ func (t *Table) Save(w io.Writer) error {
 	return enc.Encode(jt)
 }
 
-// Load reads a profile previously written by Save.
+// Load reads a profile previously written by Save. It is strict: files
+// from a newer format version, rows with unparseable shapes, implementations
+// or variants, duplicate rows, and non-finite or non-positive timings are
+// all rejected with an error rather than silently producing a table that
+// would later derail (or crash) model evaluation. Callers that cannot
+// obtain a valid profile should fall back to selection without one (see
+// core.SelectSafe).
 func Load(r io.Reader) (*Table, error) {
 	var jt jsonTable
 	if err := json.NewDecoder(r).Decode(&jt); err != nil {
 		return nil, fmt.Errorf("profile: decoding: %w", err)
+	}
+	if jt.Version < 0 || jt.Version > Version {
+		return nil, fmt.Errorf("profile: unsupported format version %d (this build reads up to %d)",
+			jt.Version, Version)
 	}
 	t := &Table{Precision: jt.Precision, Machine: jt.Machine, Entries: make(map[Key]Entry)}
 	for _, je := range jt.Entries {
@@ -265,7 +316,15 @@ func Load(r io.Reader) (*Table, error) {
 		default:
 			return nil, fmt.Errorf("profile: unknown variant %q", je.Variant)
 		}
-		t.Entries[Key{Shape: s, Impl: impl, Variant: variant}] = Entry{Tb: je.Tb, Nof: je.Nof}
+		k := Key{Shape: s, Impl: impl, Variant: variant}
+		if _, dup := t.Entries[k]; dup {
+			return nil, fmt.Errorf("profile: duplicate entry for %v", k)
+		}
+		e := Entry{Tb: je.Tb, Nof: je.Nof}
+		if err := checkEntry(k, e); err != nil {
+			return nil, err
+		}
+		t.Entries[k] = e
 	}
 	return t, nil
 }

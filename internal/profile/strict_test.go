@@ -1,0 +1,83 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blockspmv/internal/blocks"
+)
+
+// fullTable builds a synthetic, structurally complete profile without the
+// cost of an actual profiling run.
+func fullTable() *Table {
+	t := &Table{Precision: "dp", Entries: make(map[Key]Entry)}
+	for _, s := range blocks.AllShapes() {
+		for _, impl := range blocks.Impls() {
+			t.Entries[Key{Shape: s, Impl: impl}] = Entry{Tb: 1e-9, Nof: 0.5}
+		}
+	}
+	return t
+}
+
+func TestSaveWritesVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fullTable().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version": 1`) {
+		t.Errorf("saved profile carries no version field:\n%s", buf.String()[:120])
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("reloading own output: %v", err)
+	}
+}
+
+func TestLoadStrict(t *testing.T) {
+	cases := map[string]string{
+		"future version":   `{"version":99,"entries":[]}`,
+		"negative version": `{"version":-1,"entries":[]}`,
+		"zero tb":          `{"entries":[{"shape":"2x2","impl":"scalar","tb":0,"nof":1}]}`,
+		"negative tb":      `{"entries":[{"shape":"2x2","impl":"scalar","tb":-1e-9,"nof":1}]}`,
+		"negative nof":     `{"entries":[{"shape":"2x2","impl":"scalar","tb":1e-9,"nof":-0.5}]}`,
+		"duplicate row": `{"entries":[
+			{"shape":"2x2","impl":"scalar","tb":1e-9,"nof":1},
+			{"shape":"2x2","impl":"scalar","tb":2e-9,"nof":1}]}`,
+		"unknown variant": `{"entries":[{"shape":"1x1","impl":"scalar","variant":"zlib","tb":1e-9,"nof":1}]}`,
+	}
+	for name, src := range cases {
+		if _, err := Load(bytes.NewReader([]byte(src))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Legacy profiles without a version field still load.
+	if _, err := Load(bytes.NewReader([]byte(`{"entries":[{"shape":"2x2","impl":"scalar","tb":1e-9,"nof":1}]}`))); err != nil {
+		t.Errorf("legacy versionless profile rejected: %v", err)
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	if err := fullTable().Validate(); err != nil {
+		t.Fatalf("complete table: %v", err)
+	}
+	var nilTable *Table
+	if err := nilTable.Validate(); err == nil {
+		t.Error("nil table validated")
+	}
+	if err := (&Table{}).Validate(); err == nil {
+		t.Error("empty table validated")
+	}
+
+	missing := fullTable()
+	delete(missing.Entries, Key{Shape: blocks.RectShape(2, 2), Impl: blocks.Vector})
+	if err := missing.Validate(); err == nil {
+		t.Error("incomplete table validated")
+	}
+
+	bad := fullTable()
+	bad.Entries[Key{Shape: blocks.RectShape(1, 1), Impl: blocks.Scalar}] = Entry{Tb: -1, Nof: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("table with negative tb validated")
+	}
+}

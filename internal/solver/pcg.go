@@ -17,10 +17,14 @@ type JacobiPreconditioner[T floats.Float] struct {
 
 // NewJacobi extracts the inverse diagonal of a finalized square matrix.
 // Rows with a zero (or missing) diagonal entry get the identity, keeping
-// the preconditioner well defined on any input.
-func NewJacobi[T floats.Float](m *mat.COO[T]) *JacobiPreconditioner[T] {
+// the preconditioner well defined on any input. Non-square (or nil)
+// matrices return an error, like every other solver entry point.
+func NewJacobi[T floats.Float](m *mat.COO[T]) (*JacobiPreconditioner[T], error) {
+	if m == nil {
+		return nil, fmt.Errorf("solver: Jacobi needs a matrix, have nil")
+	}
 	if m.Rows() != m.Cols() {
-		panic(fmt.Sprintf("solver: Jacobi needs a square matrix, have %dx%d", m.Rows(), m.Cols()))
+		return nil, fmt.Errorf("solver: Jacobi needs a square matrix, have %dx%d", m.Rows(), m.Cols())
 	}
 	inv := make([]T, m.Rows())
 	for i := range inv {
@@ -31,7 +35,7 @@ func NewJacobi[T floats.Float](m *mat.COO[T]) *JacobiPreconditioner[T] {
 			inv[e.Row] = 1 / e.Val
 		}
 	}
-	return &JacobiPreconditioner[T]{invDiag: inv}
+	return &JacobiPreconditioner[T]{invDiag: inv}, nil
 }
 
 // Apply computes z = M⁻¹ r.
@@ -42,11 +46,15 @@ func (p *JacobiPreconditioner[T]) Apply(r, z []T) {
 }
 
 // PCG solves A x = b with Jacobi-preconditioned conjugate gradients for
-// symmetric positive-definite A, overwriting x.
-func PCG[T floats.Float](a formats.Instance[T], pre *JacobiPreconditioner[T], b, x []T, opts Options) (Stats, error) {
+// symmetric positive-definite A, overwriting x. Like CG it converts
+// kernel panics into error returns.
+func PCG[T floats.Float](a formats.Instance[T], pre *JacobiPreconditioner[T], b, x []T, opts Options) (st Stats, err error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		return Stats{}, fmt.Errorf("solver: PCG needs a square matrix, have %dx%d", n, a.Cols())
+	}
+	if pre == nil {
+		return Stats{}, fmt.Errorf("solver: PCG needs a preconditioner, have nil")
 	}
 	if len(b) != n || len(x) != n || len(pre.invDiag) != n {
 		return Stats{}, fmt.Errorf("solver: dimension mismatch")
@@ -55,13 +63,16 @@ func PCG[T floats.Float](a formats.Instance[T], pre *JacobiPreconditioner[T], b,
 	pm, vp := pools(a, n, opts)
 	defer pm.Close()
 	defer vp.Close()
+	defer recoverKernelPanic(&err)
 
 	r := make([]T, n)
 	z := make([]T, n)
 	p := make([]T, n)
 	ap := make([]T, n)
 
-	pm.MulVec(x, ap)
+	if err := pm.MulVec(x, ap); err != nil {
+		return st, fmt.Errorf("solver: SpMV failed: %w", err)
+	}
 	vp.SubScaled(b, 1, ap, r)
 	vp.Hadamard(pre.invDiag, r, z)
 	copy(p, z)
@@ -70,14 +81,16 @@ func PCG[T floats.Float](a formats.Instance[T], pre *JacobiPreconditioner[T], b,
 	if bNorm == 0 {
 		bNorm = 1
 	}
-	st := Stats{SpMVs: 1}
+	st = Stats{SpMVs: 1}
 	rz := vp.Dot(r, z)
 	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
 		st.Residual = vp.Norm2(r) / bNorm
 		if st.Residual <= opts.Tol {
 			return st, nil
 		}
-		pm.MulVec(p, ap)
+		if err := pm.MulVec(p, ap); err != nil {
+			return st, fmt.Errorf("solver: SpMV failed: %w", err)
+		}
 		st.SpMVs++
 		pap := vp.Dot(p, ap)
 		if pap == 0 {

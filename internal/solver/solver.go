@@ -14,6 +14,7 @@ import (
 	"blockspmv/internal/formats"
 	"blockspmv/internal/parallel"
 	"blockspmv/internal/vecops"
+	"blockspmv/internal/workpool"
 )
 
 // ErrNoConvergence is returned when the iteration limit is reached before
@@ -23,6 +24,27 @@ var ErrNoConvergence = errors.New("solver: iteration limit reached without conve
 // ErrBreakdown is returned when an inner product required by the
 // recurrence vanishes (e.g. BiCGSTAB rho = 0).
 var ErrBreakdown = errors.New("solver: recurrence breakdown")
+
+// recoverKernelPanic converts a kernel panic re-raised by the vector
+// pool (a typed *workpool.PanicError, or a *workpool.PoisonedError on a
+// pool already hit by one) into the solver's error return, so a
+// panicking kernel inside a solve surfaces as an ordinary error instead
+// of unwinding through the caller. Any other panic value is a
+// programming error and is re-raised unchanged.
+func recoverKernelPanic(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	switch e := r.(type) {
+	case *workpool.PanicError:
+		*err = fmt.Errorf("solver: kernel panic: %w", e)
+	case *workpool.PoisonedError:
+		*err = fmt.Errorf("solver: kernel panic: %w", e)
+	default:
+		panic(r)
+	}
+}
 
 // Stats reports the work a solve performed.
 type Stats struct {
@@ -78,7 +100,11 @@ func pools[T floats.Float](a formats.Instance[T], n int, opts Options) (*paralle
 // gradient method, overwriting x (whose initial content is the starting
 // guess). One SpMV per iteration: the solver's runtime profile is the
 // paper's kernel.
-func CG[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (Stats, error) {
+//
+// CG never panics on a kernel fault: a panic inside a pooled SpMV or
+// vector kernel is recovered by the worker-pool layer and returned as an
+// error wrapping the typed *workpool.PanicError.
+func CG[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (st Stats, err error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		return Stats{}, fmt.Errorf("solver: CG needs a square matrix, have %dx%d", n, a.Cols())
@@ -90,13 +116,16 @@ func CG[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (Stats, e
 	pm, vp := pools(a, n, opts)
 	defer pm.Close()
 	defer vp.Close()
+	defer recoverKernelPanic(&err)
 
 	r := make([]T, n)
 	p := make([]T, n)
 	ap := make([]T, n)
 
 	// r = b - A*x
-	pm.MulVec(x, ap)
+	if err := pm.MulVec(x, ap); err != nil {
+		return st, fmt.Errorf("solver: SpMV failed: %w", err)
+	}
 	vp.SubScaled(b, 1, ap, r)
 	copy(p, r)
 
@@ -104,14 +133,16 @@ func CG[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (Stats, e
 	if bNorm == 0 {
 		bNorm = 1
 	}
-	st := Stats{SpMVs: 1}
+	st = Stats{SpMVs: 1}
 	rr := vp.Dot(r, r)
 	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
 		st.Residual = math.Sqrt(rr) / bNorm
 		if st.Residual <= opts.Tol {
 			return st, nil
 		}
-		pm.MulVec(p, ap)
+		if err := pm.MulVec(p, ap); err != nil {
+			return st, fmt.Errorf("solver: SpMV failed: %w", err)
+		}
 		st.SpMVs++
 		pap := vp.Dot(p, ap)
 		if pap == 0 {
@@ -133,8 +164,8 @@ func CG[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (Stats, e
 
 // BiCGSTAB solves A x = b for general (nonsymmetric) A with the
 // stabilised bi-conjugate gradient method, overwriting x. Two SpMVs per
-// iteration.
-func BiCGSTAB[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (Stats, error) {
+// iteration. Like CG it converts kernel panics into error returns.
+func BiCGSTAB[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (st Stats, err error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		return Stats{}, fmt.Errorf("solver: BiCGSTAB needs a square matrix, have %dx%d", n, a.Cols())
@@ -146,6 +177,7 @@ func BiCGSTAB[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (St
 	pm, vp := pools(a, n, opts)
 	defer pm.Close()
 	defer vp.Close()
+	defer recoverKernelPanic(&err)
 
 	r := make([]T, n)
 	rHat := make([]T, n)
@@ -154,7 +186,9 @@ func BiCGSTAB[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (St
 	s := make([]T, n)
 	t := make([]T, n)
 
-	pm.MulVec(x, v)
+	if err := pm.MulVec(x, v); err != nil {
+		return st, fmt.Errorf("solver: SpMV failed: %w", err)
+	}
 	vp.SubScaled(b, 1, v, r)
 	copy(rHat, r)
 	floats.Zero(v)
@@ -163,7 +197,7 @@ func BiCGSTAB[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (St
 	if bNorm == 0 {
 		bNorm = 1
 	}
-	st := Stats{SpMVs: 1}
+	st = Stats{SpMVs: 1}
 	rho, alpha, omega := 1.0, 1.0, 1.0
 	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
 		st.Residual = vp.Norm2(r) / bNorm
@@ -177,7 +211,9 @@ func BiCGSTAB[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (St
 		beta := (rhoNew / rho) * (alpha / omega)
 		rho = rhoNew
 		vp.DirUpdate(r, beta, omega, v, p) // p = r + β·(p − ω·v)
-		pm.MulVec(p, v)
+		if err := pm.MulVec(p, v); err != nil {
+			return st, fmt.Errorf("solver: SpMV failed: %w", err)
+		}
 		st.SpMVs++
 		den := vp.Dot(rHat, v)
 		if den == 0 {
@@ -191,7 +227,9 @@ func BiCGSTAB[T floats.Float](a formats.Instance[T], b, x []T, opts Options) (St
 			st.Iterations++
 			return st, nil
 		}
-		pm.MulVec(s, t)
+		if err := pm.MulVec(s, t); err != nil {
+			return st, fmt.Errorf("solver: SpMV failed: %w", err)
+		}
 		st.SpMVs++
 		tt := vp.Dot(t, t)
 		if tt == 0 {

@@ -209,7 +209,11 @@ func TestPCGBeatsCGOnIllConditioned(t *testing.T) {
 		t.Fatalf("CG: %v", err)
 	}
 	x2 := make([]float64, n)
-	pcgStats, err := solver.PCG(a, solver.NewJacobi(m), b, x2, solver.Options{Tol: 1e-10})
+	pre, err := solver.NewJacobi(m)
+	if err != nil {
+		t.Fatalf("NewJacobi: %v", err)
+	}
+	pcgStats, err := solver.PCG(a, pre, b, x2, solver.Options{Tol: 1e-10})
 	if err != nil {
 		t.Fatalf("PCG: %v", err)
 	}
@@ -227,7 +231,11 @@ func TestPCGOnLaplacian(t *testing.T) {
 	a := csr.FromCOO(m, blocks.Scalar)
 	b := floats.RandVector[float64](m.Rows(), 8)
 	x := make([]float64, m.Rows())
-	st, err := solver.PCG(a, solver.NewJacobi(m), b, x, solver.Options{Tol: 1e-10})
+	pre, err := solver.NewJacobi(m)
+	if err != nil {
+		t.Fatalf("NewJacobi: %v", err)
+	}
+	st, err := solver.PCG(a, pre, b, x, solver.Options{Tol: 1e-10})
 	if err != nil {
 		t.Fatalf("PCG: %v (res %g)", err, st.Residual)
 	}
@@ -272,7 +280,10 @@ func TestSolversParallelMatchSerial(t *testing.T) {
 		t.Run(fmt.Sprintf("PCG/workers-%d", workers), func(t *testing.T) {
 			b := floats.RandVector[float64](spd.Rows(), 12)
 			x := make([]float64, spd.Rows())
-			pre := solver.NewJacobi(spd)
+			pre, err := solver.NewJacobi(spd)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if _, err := solver.PCG(aSPD, pre, b, x, solver.Options{Tol: 1e-10, Workers: workers}); err != nil {
 				t.Fatal(err)
 			}
@@ -324,7 +335,10 @@ func TestJacobiZeroDiagonalSafe(t *testing.T) {
 	m.Add(1, 2, 1) // row 1 has no diagonal entry
 	m.Add(2, 2, 4)
 	m.Finalize()
-	p := solver.NewJacobi(m)
+	p, err := solver.NewJacobi(m)
+	if err != nil {
+		t.Fatalf("NewJacobi: %v", err)
+	}
 	r := []float64{2, 3, 8}
 	z := make([]float64, 3)
 	p.Apply(r, z)

@@ -69,6 +69,7 @@ type vpool[T floats.Float] struct {
 	op             opCode
 	a1, a2         float64
 	v1, v2, v3, v4 []T
+	fail           *workpool.PanicError // first kernel panic on the serial path
 	closed         atomic.Bool
 }
 
@@ -138,13 +139,30 @@ func (pl *vpool[T]) check(vs ...[]T) {
 	}
 }
 
+// dispatch hands the prepared operation to the team (or runs it inline)
+// and folds the per-worker partials. A panic inside a kernel — on any
+// worker or the caller's own part — is captured by the workpool layer and
+// re-raised here on the caller's goroutine as a typed error
+// (*workpool.PanicError, or one matching workpool.ErrPoisoned on reuse
+// after a panic), so it can never kill a worker goroutine or deadlock;
+// the solvers recover it into an ordinary error return.
 func (pl *vpool[T]) dispatch(op opCode, a1, a2 float64, v1, v2, v3, v4 []T) float64 {
 	pl.op, pl.a1, pl.a2 = op, a1, a2
 	pl.v1, pl.v2, pl.v3, pl.v4 = v1, v2, v3, v4
+	var err error
 	if pl.team == nil {
-		pl.runPart(0)
+		if pl.fail != nil {
+			err = &workpool.PoisonedError{First: pl.fail}
+		} else if pe := workpool.Call(0, pl.run0); pe != nil {
+			pl.fail = pe
+			err = pe
+		}
 	} else {
-		pl.team.Run()
+		err = pl.team.Run()
+	}
+	if err != nil {
+		pl.v1, pl.v2, pl.v3, pl.v4 = nil, nil, nil, nil
+		panic(err)
 	}
 	var s float64
 	for k := range pl.ranges {
@@ -153,6 +171,10 @@ func (pl *vpool[T]) dispatch(op opCode, a1, a2 float64, v1, v2, v3, v4 []T) floa
 	pl.v1, pl.v2, pl.v3, pl.v4 = nil, nil, nil, nil
 	return s
 }
+
+// run0 adapts runPart(0) to the zero-argument form workpool.Call wants
+// without a per-call closure allocation.
+func (pl *vpool[T]) run0() { pl.runPart(0) }
 
 // runPart executes the current op on range k. Worker k always owns the
 // same element range, preserving first-touch locality across calls.

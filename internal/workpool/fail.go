@@ -1,0 +1,71 @@
+package workpool
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrClosed is returned by Run on a Team that has been closed.
+var ErrClosed = errors.New("workpool: Run called after Close")
+
+// ErrPoisoned matches (via errors.Is) the error Run returns on a Team
+// that captured a panic in an earlier epoch. A poisoned Team fails fast:
+// the workers are alive and parked, Close still retires them cleanly, but
+// no further work is dispatched because a panic may have left the
+// caller's shared state half-written.
+var ErrPoisoned = errors.New("workpool: Team poisoned by an earlier panic")
+
+// PanicError reports a panic captured while running one part of a team
+// dispatch. It is the typed, recoverable form of a kernel panic: instead
+// of crashing the process from a worker goroutine (or deadlocking Run),
+// the first panic of an epoch is returned from Run as a *PanicError.
+type PanicError struct {
+	// Part is the team part (0 = the Run caller's own share) whose run
+	// function panicked.
+	Part int
+	// Value is the value the part panicked with.
+	Value any
+	// Stack is the formatted stack of the panicking goroutine, captured
+	// at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("workpool: part %d panicked: %v", e.Part, e.Value)
+}
+
+// PoisonedError is returned by Run on a poisoned Team. It wraps the
+// first captured PanicError and matches ErrPoisoned via errors.Is.
+type PoisonedError struct {
+	// First is the panic that poisoned the Team.
+	First *PanicError
+}
+
+// Error implements error.
+func (e *PoisonedError) Error() string {
+	return ErrPoisoned.Error() + " (" + e.First.Error() + ")"
+}
+
+// Is reports ErrPoisoned as a match, so callers can test
+// errors.Is(err, workpool.ErrPoisoned).
+func (e *PoisonedError) Is(target error) bool { return target == ErrPoisoned }
+
+// Unwrap exposes the poisoning PanicError to errors.As.
+func (e *PoisonedError) Unwrap() error { return e.First }
+
+// Call runs f and converts a panic into a *PanicError attributed to the
+// given part, instead of letting it unwind further. It is the recovery
+// primitive the Team applies to every part, exported so the serial
+// (team-less) fast paths of the executors can report panics in exactly
+// the same typed form.
+func Call(part int, f func()) (pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = &PanicError{Part: part, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	f()
+	return nil
+}

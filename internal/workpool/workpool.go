@@ -5,10 +5,18 @@
 // per-call goroutine spawns and no per-call allocations. Both the
 // multithreaded SpMV executor (internal/parallel) and the parallel vector
 // kernels (internal/vecops) are built on it.
+//
+// The Team is panic-free towards its process: a panic inside any part —
+// a worker's or the caller's own part 0 — is recovered, never kills the
+// process and never deadlocks Run. The first panic of an epoch is
+// returned from Run as a typed *PanicError carrying the part index and
+// stack, and the Team enters a poisoned fail-fast state (see ErrPoisoned)
+// in which Close still works but no further work is dispatched.
 package workpool
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -32,6 +40,7 @@ type Team struct {
 	epoch     uint64
 	remaining int
 	closed    bool
+	failure   *PanicError // first captured panic; non-nil poisons the Team
 	wg        sync.WaitGroup
 }
 
@@ -55,29 +64,71 @@ func New(parts int, run func(part int)) *Team {
 func (t *Team) Parts() int { return t.parts }
 
 // Run executes run(0..parts-1) concurrently and returns when every part
-// has finished. It performs no allocations.
-func (t *Team) Run() {
-	if t.parts == 1 {
-		t.run(0)
-		return
-	}
+// has finished. It performs no allocations on the happy path.
+//
+// If any part panics, the panic is recovered (the epoch still completes:
+// every other part runs and Run does not deadlock) and the first captured
+// panic is returned as a *PanicError. The Team is then poisoned:
+// subsequent Runs fail fast with a *PoisonedError (errors.Is-matching
+// ErrPoisoned) and only Close remains useful. Run on a closed Team
+// returns ErrClosed.
+func (t *Team) Run() error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		panic("workpool: Run called after Close")
+		return ErrClosed
+	}
+	if t.failure != nil {
+		first := t.failure
+		t.mu.Unlock()
+		return &PoisonedError{First: first}
+	}
+	if t.parts == 1 {
+		t.mu.Unlock()
+		if pe := t.safeRun(0); pe != nil {
+			t.mu.Lock()
+			t.failure = pe
+			t.mu.Unlock()
+			return pe
+		}
+		return nil
 	}
 	t.remaining = t.parts - 1
 	t.epoch++
 	t.mu.Unlock()
 	t.work.Broadcast()
 
-	t.run(0) // the caller's own share
+	pe0 := t.safeRun(0) // the caller's own share
 
 	t.mu.Lock()
 	for t.remaining > 0 {
 		t.done.Wait()
 	}
+	// The epoch is fully drained; collect the verdict. A worker that
+	// panicked recorded the first failure itself; the caller's part 0
+	// poisons the Team only if no worker beat it to it.
+	if pe0 != nil && t.failure == nil {
+		t.failure = pe0
+	}
+	var err error
+	if t.failure != nil {
+		err = t.failure
+	}
 	t.mu.Unlock()
+	return err
+}
+
+// safeRun executes one part, converting a panic into a *PanicError
+// instead of letting it unwind (workers would kill the process, the
+// caller would skip the epoch drain and leave the Team inconsistent).
+func (t *Team) safeRun(part int) (pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = &PanicError{Part: part, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	t.run(part)
+	return nil
 }
 
 func (t *Team) worker(part int) {
@@ -94,8 +145,11 @@ func (t *Team) worker(part int) {
 		}
 		seen = t.epoch
 		t.mu.Unlock()
-		t.run(part)
+		pe := t.safeRun(part)
 		t.mu.Lock()
+		if pe != nil && t.failure == nil {
+			t.failure = pe
+		}
 		t.remaining--
 		if t.remaining == 0 {
 			t.done.Signal()
@@ -103,7 +157,16 @@ func (t *Team) worker(part int) {
 	}
 }
 
-// Close retires the workers and waits for them to exit. It is idempotent
+// Poisoned reports whether an earlier epoch captured a panic, leaving
+// the Team in its fail-fast state.
+func (t *Team) Poisoned() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failure != nil
+}
+
+// Close retires the workers and waits for them to exit. It is idempotent,
+// works on poisoned Teams (their workers survive panics and stay parked),
 // and must not overlap a Run in progress.
 func (t *Team) Close() {
 	t.mu.Lock()

@@ -1,13 +1,16 @@
 package workpool_test
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 
+	"blockspmv/internal/leakcheck"
 	"blockspmv/internal/workpool"
 )
 
 func TestRunCoversAllParts(t *testing.T) {
+	leakcheck.Check(t)
 	for _, parts := range []int{1, 2, 4, 7} {
 		var hits [7]atomic.Int64
 		team := workpool.New(parts, func(part int) { hits[part].Add(1) })
@@ -16,7 +19,9 @@ func TestRunCoversAllParts(t *testing.T) {
 		}
 		const reps = 50
 		for i := 0; i < reps; i++ {
-			team.Run()
+			if err := team.Run(); err != nil {
+				t.Fatalf("parts=%d: Run: %v", parts, err)
+			}
 		}
 		team.Close()
 		for k := 0; k < parts; k++ {
@@ -51,7 +56,9 @@ func TestPartialSumsRace(t *testing.T) {
 	})
 	defer team.Close()
 	for rep := 0; rep < 20; rep++ {
-		team.Run()
+		if err := team.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
 		var total int64
 		for _, s := range part {
 			total += s
@@ -63,27 +70,28 @@ func TestPartialSumsRace(t *testing.T) {
 }
 
 func TestCloseIdempotent(t *testing.T) {
+	leakcheck.Check(t)
 	team := workpool.New(3, func(int) {})
-	team.Run()
+	if err := team.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	team.Close()
 	team.Close() // must not hang or panic
 }
 
-func TestRunAfterClosePanics(t *testing.T) {
+func TestRunAfterCloseErrors(t *testing.T) {
+	leakcheck.Check(t)
 	team := workpool.New(2, func(int) {})
 	team.Close()
-	defer func() {
-		if recover() == nil {
-			t.Error("Run after Close did not panic")
-		}
-	}()
-	team.Run()
+	if err := team.Run(); !errors.Is(err, workpool.ErrClosed) {
+		t.Errorf("Run after Close = %v, want ErrClosed", err)
+	}
 }
 
 func TestRunNoAllocs(t *testing.T) {
 	team := workpool.New(4, func(int) {})
 	defer team.Close()
-	if allocs := testing.AllocsPerRun(100, team.Run); allocs != 0 {
+	if allocs := testing.AllocsPerRun(100, func() { _ = team.Run() }); allocs != 0 {
 		t.Errorf("Run allocates %v times per call, want 0", allocs)
 	}
 }
@@ -95,4 +103,81 @@ func TestBadPartsPanics(t *testing.T) {
 		}
 	}()
 	workpool.New(0, func(int) {})
+}
+
+// TestWorkerPanicSurfaces injects a panic into one worker part and
+// asserts the three-part contract: Run returns (no deadlock), the error
+// is a typed *PanicError naming the part, and the Team poisons rather
+// than crashing the process.
+func TestWorkerPanicSurfaces(t *testing.T) {
+	leakcheck.Check(t)
+	for _, parts := range []int{1, 2, 5} {
+		for bad := 0; bad < parts; bad++ {
+			var ran atomic.Int64
+			team := workpool.New(parts, func(part int) {
+				if part == bad {
+					panic("injected")
+				}
+				ran.Add(1)
+			})
+			err := team.Run()
+			var pe *workpool.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("parts=%d bad=%d: Run = %v, want *PanicError", parts, bad, err)
+			}
+			if pe.Part != bad {
+				t.Errorf("parts=%d: PanicError.Part = %d, want %d", parts, pe.Part, bad)
+			}
+			if pe.Value != "injected" {
+				t.Errorf("PanicError.Value = %v, want %q", pe.Value, "injected")
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("PanicError.Stack is empty")
+			}
+			if got := ran.Load(); got != int64(parts-1) {
+				t.Errorf("parts=%d bad=%d: %d healthy parts ran, want %d", parts, bad, got, parts-1)
+			}
+			if !team.Poisoned() {
+				t.Error("Team not poisoned after a panic")
+			}
+			// Poisoned reuse fails fast with the wrapped first panic.
+			err = team.Run()
+			if !errors.Is(err, workpool.ErrPoisoned) {
+				t.Errorf("Run on poisoned Team = %v, want ErrPoisoned", err)
+			}
+			var again *workpool.PanicError
+			if !errors.As(err, &again) || again.Part != bad {
+				t.Errorf("poisoned error does not unwrap to the first panic: %v", err)
+			}
+			team.Close() // must still retire the workers cleanly
+		}
+	}
+}
+
+// TestAllPartsPanic verifies that simultaneous panics on every part are
+// all recovered and exactly one is reported.
+func TestAllPartsPanic(t *testing.T) {
+	leakcheck.Check(t)
+	team := workpool.New(6, func(part int) { panic(part) })
+	err := team.Run()
+	var pe *workpool.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run = %v, want *PanicError", err)
+	}
+	if pe.Value != pe.Part {
+		t.Errorf("PanicError attributes value %v to part %d", pe.Value, pe.Part)
+	}
+	team.Close()
+}
+
+// TestCallConvertsPanic covers the exported recovery primitive the
+// serial executor paths use.
+func TestCallConvertsPanic(t *testing.T) {
+	if pe := workpool.Call(3, func() {}); pe != nil {
+		t.Errorf("Call with healthy f = %v, want nil", pe)
+	}
+	pe := workpool.Call(3, func() { panic("boom") })
+	if pe == nil || pe.Part != 3 || pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("Call = %+v, want part 3, value boom, non-empty stack", pe)
+	}
 }
