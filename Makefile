@@ -2,7 +2,9 @@
 # from ROADMAP.md; `make race` exercises the concurrent packages (the
 # worker-pool executor, the vector kernels, the solvers built on them and
 # the fault-injection harness) under the race detector; `make fuzz` runs a
-# short smoke pass of every fuzz target over the untrusted-input parsers.
+# short smoke pass of every fuzz target over the untrusted-input parsers;
+# `make gencheck` regenerates the block kernels into a temp dir and fails
+# if the committed *_gen.go files have drifted from the generator.
 
 GO ?= go
 
@@ -11,9 +13,23 @@ RACE_PKGS = ./internal/workpool ./internal/parallel ./internal/vecops ./internal
 
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race fuzz bench bench-json
+.PHONY: check vet build test race fuzz gencheck bench bench-json
 
-check: vet build test race fuzz
+check: vet build test race fuzz gencheck
+
+# gencheck guards against generator drift: the committed *_gen.go kernel
+# sources must match what the generator emits today.
+gencheck:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./internal/kernels/genkernels -out "$$tmp" && \
+	status=0 && \
+	for f in "$$tmp"/*_gen.go; do \
+		if ! diff -u internal/kernels/$$(basename "$$f") "$$f"; then status=1; fi; \
+	done && \
+	if [ $$status -ne 0 ]; then \
+		echo "gencheck: committed *_gen.go files drifted from the generator; run go generate ./internal/kernels"; \
+		exit 1; \
+	fi && echo "gencheck: generated kernels in sync"
 
 vet:
 	$(GO) vet ./...
@@ -36,9 +52,13 @@ bench:
 	$(GO) test -bench 'MulVecWorkers|SolveCGWorkers' -benchmem \
 	    ./internal/parallel ./internal/solver
 
-# bench-json regenerates the tracked BENCH_compress.json artifact: the
-# index-compression experiment (bytes/nnz, measured and MEM-predicted
-# speedup per format) in machine-readable form.
+# bench-json regenerates the tracked machine-readable benchmark
+# artifacts: BENCH_compress.json (index-compression experiment: bytes/nnz,
+# measured and MEM-predicted speedup per format) and BENCH_spmm.json
+# (multi-RHS panel multiply vs independent SpMVs per panel width, with
+# the MEM-with-k predicted speedup).
 bench-json:
 	$(GO) run ./cmd/spmvbench -experiment compress -scale small \
 	    -iterations 20 -json BENCH_compress.json
+	$(GO) run ./cmd/spmvbench -experiment spmm -scale small \
+	    -iterations 20 -cores 1,2,4 -rhs 1,2,4,8 -json BENCH_spmm.json

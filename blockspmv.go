@@ -270,6 +270,16 @@ func Models() []Model { return core.Models() }
 // ModelByName returns the model named "MEM", "MEMCOMP" or "OVERLAP".
 func ModelByName(name string) (Model, error) { return core.ModelByName(name) }
 
+// MulVecs computes y[l] = A*x[l] for every right-hand side in the panel
+// x with a single traversal of the matrix: the vectors are packed into a
+// row-major k-wide panel and multiplied through the format's panel
+// kernels, so the matrix stream — the traffic that dominates SpMV — is
+// paid once for all k vectors instead of k times. Results are bit-for-bit
+// identical to k separate f.Mul calls. Like f.Mul it panics on operand
+// shape mismatches; use MulVecsChecked for untrusted input, or
+// ParallelMul.MulVecs for the pooled multithreaded path.
+func MulVecs[T Float](f Format[T], x, y [][]T) { formats.MulVecs(f, x, y) }
+
 // Rank prices every candidate format for the matrix under the model and
 // returns the predictions sorted fastest-first. The selection space is
 // the paper's (CSR, BCSR, BCSD and their decompositions) plus the
@@ -288,11 +298,21 @@ func ModelByName(name string) (Model, error) { return core.ModelByName(name) }
 // returns a single scalar-CSR prediction flagged Degraded instead of
 // panicking.
 func Rank[T Float](m *Matrix[T], model Model, mach Machine, prof *Profile) []Prediction {
+	return RankRHS(m, model, mach, prof, 1)
+}
+
+// RankRHS is Rank for a k-wide panel of right-hand sides (SpMM, MulVecs):
+// the models charge the matrix stream once but the vector streams and the
+// computational term k times, so the predicted seconds cover the whole
+// panel and the ranking can shift — heavy-storage formats amortize their
+// matrix bytes over k vectors and gain on lighter ones as k grows.
+// rhs values below 1 are priced as the single-vector multiply.
+func RankRHS[T Float](m *Matrix[T], model Model, mach Machine, prof *Profile, rhs int) []Prediction {
 	if m == nil {
 		return []Prediction{{Degraded: true, Reason: "nil matrix"}}
 	}
 	m.Finalize()
-	return core.RankSafe(model, safeStats(m), mach, prof)
+	return core.RankSafe(model, core.WithRHS(safeStats(m), rhs), mach, prof)
 }
 
 // safeStats enumerates candidate statistics under a recover backstop: a
@@ -321,15 +341,28 @@ func Autotune[T Float](m *Matrix[T], mach Machine, prof *Profile) (Format[T], Pr
 	return AutotuneWith(m, core.Overlap{}, mach, prof)
 }
 
+// AutotuneRHS is Autotune for a workload of k-wide panel multiplies
+// (MulVecs with k right-hand sides): candidates are priced with the
+// matrix stream charged once and the vector streams and computation
+// charged k times, so the selected format is the best one for the SpMM
+// traffic pattern rather than the single-vector one.
+func AutotuneRHS[T Float](m *Matrix[T], mach Machine, prof *Profile, rhs int) (Format[T], Prediction) {
+	return autotune(m, core.Overlap{}, mach, prof, rhs)
+}
+
 // AutotuneWith is Autotune under a caller-chosen model. Like Rank, it
 // selects over the paper's formats and the compressed-index variants,
 // with the same graceful-degradation contract as Autotune.
 func AutotuneWith[T Float](m *Matrix[T], model Model, mach Machine, prof *Profile) (Format[T], Prediction) {
+	return autotune(m, model, mach, prof, 1)
+}
+
+func autotune[T Float](m *Matrix[T], model Model, mach Machine, prof *Profile, rhs int) (Format[T], Prediction) {
 	if m == nil {
 		return nil, Prediction{Degraded: true, Reason: "nil matrix"}
 	}
 	m.Finalize()
-	best := core.SelectSafe(model, safeStats(m), mach, prof)
+	best := core.SelectSafe(model, core.WithRHS(safeStats(m), rhs), mach, prof)
 	f, err := construct(best.Cand.String(), func() Format[T] { return core.Instantiate(m, best.Cand) })
 	if err == nil {
 		return f, best

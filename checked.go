@@ -40,6 +40,11 @@ type PoisonedError = workpool.PoisonedError
 // shape, from MulVecChecked or ParallelMul.MulVec.
 type DimError = formats.DimError
 
+// PanelError reports right-hand-side and output panels of different
+// widths passed to MulVecsChecked or ParallelMul.MulVecs (individual
+// vectors of the wrong length surface as *DimError).
+type PanelError = formats.PanelError
+
 // ShapeError reports an unsupported block geometry (r, c or b out of the
 // kernel set's range) passed to a Checked constructor.
 type ShapeError = blocks.ShapeError
@@ -112,6 +117,20 @@ func MulVecChecked[T Float](f Format[T], x, y []T) error {
 		return err
 	}
 	f.Mul(x, y)
+	return nil
+}
+
+// MulVecsChecked is MulVecs with explicit panel checking: mismatched
+// panel widths return a *PanelError and wrong-length vectors a *DimError
+// instead of panicking. An empty panel is a no-op.
+func MulVecsChecked[T Float](f Format[T], x, y [][]T) error {
+	if f == nil {
+		return fmt.Errorf("blockspmv: nil format")
+	}
+	if err := formats.CheckPanelDimsErr(f, x, y); err != nil {
+		return err
+	}
+	formats.MulVecs(f, x, y)
 	return nil
 }
 

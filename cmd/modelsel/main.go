@@ -34,24 +34,29 @@ func main() {
 		topN      = flag.Int("top", 5, "ranked candidates to show per model")
 		explain   = flag.Bool("explain", false, "break each model's selection into memory/compute terms")
 		compress  = flag.Bool("compress", true, "include compressed-index candidates (narrow indices, CSR-DU) in the ranking")
+		rhs       = flag.Int("rhs", 1, "panel width k: rank for a k-wide multi-RHS multiply (MulVecs), charging the matrix stream once and the vectors k times")
 	)
 	flag.Parse()
 	if (*name == "") == (*mtxPath == "") {
 		fmt.Fprintln(os.Stderr, "modelsel: provide exactly one of -matrix or -mtx")
 		os.Exit(2)
 	}
+	if *rhs < 1 {
+		fmt.Fprintln(os.Stderr, "modelsel: -rhs must be at least 1")
+		os.Exit(2)
+	}
 	switch *precision {
 	case "dp":
-		run[float64](*name, *mtxPath, *scaleName, *topN, *explain, *compress)
+		run[float64](*name, *mtxPath, *scaleName, *topN, *explain, *compress, *rhs)
 	case "sp":
-		run[float32](*name, *mtxPath, *scaleName, *topN, *explain, *compress)
+		run[float32](*name, *mtxPath, *scaleName, *topN, *explain, *compress, *rhs)
 	default:
 		fmt.Fprintln(os.Stderr, "modelsel: -precision must be sp or dp")
 		os.Exit(2)
 	}
 }
 
-func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain, compress bool) {
+func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain, compress bool, rhs int) {
 	m := loadMatrix[T](name, mtxPath, scaleName)
 	fmt.Printf("matrix: %dx%d, %d nonzeros, %.2f MiB in CSR\n",
 		m.Rows(), m.Cols(), m.NNZ(),
@@ -71,6 +76,10 @@ func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain, com
 		enumerate = core.EnumerateStatsAll
 	}
 	stats := enumerate(mat.PatternOf(m), floats.SizeOf[T]())
+	if rhs > 1 {
+		stats = core.WithRHS(stats, rhs)
+		fmt.Printf("ranking for a %d-wide panel (predicted times cover all %d right-hand sides)\n", rhs, rhs)
+	}
 	statOf := make(map[core.Candidate]core.CandidateStats, len(stats))
 	for _, cs := range stats {
 		statOf[cs.Cand] = cs

@@ -15,11 +15,15 @@
 // Experiments: table1, table2, table3, fig2, fig3, fig4 (includes
 // table4), latency, fig3x (the OVERLAP+LAT extension), rank (Kendall-tau
 // ordering fidelity), compress (index-compressed CSR variants vs plain
-// CSR: bytes/nnz, measured and MEM-predicted speedup), all. The extra
-// "scaling" experiment (not part of "all") isolates the persistent-pool
-// multithreaded executor: one matrix, one format, growing worker team,
-// GFlop/s and speedup per worker count (worker counts from -cores,
-// matrices from -matrices).
+// CSR: bytes/nnz, measured and MEM-predicted speedup), all. Two extra
+// experiments are not part of "all": "scaling" isolates the
+// persistent-pool multithreaded executor (one matrix, one format,
+// growing worker team; worker counts from -cores, matrices from
+// -matrices), and "spmm" measures the multi-RHS panel multiply — one
+// pooled MulVecs per panel width from -rhs against k independent pooled
+// MulVec calls, plus the t_b(k) panel-kernel profile on the dense
+// L1/LLC matrices (matrices from -matrices, defaulting to a
+// bandwidth-bound subset; workers = the largest -cores entry).
 //
 // Pass -json FILE to additionally write every per-format measurement
 // (GFlop/s, bytes/nnz, ms/SpMV) as a machine-readable report; the
@@ -48,7 +52,7 @@ import (
 
 func main() {
 	var (
-		experiments = flag.String("experiment", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,latency,compress,scaling,all")
+		experiments = flag.String("experiment", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,latency,compress,scaling,spmm,all")
 		scaleName   = flag.String("scale", "small", "suite scale: tiny, small or paper")
 		matrices    = flag.String("matrices", "", "comma-separated matrix ids (default: all 30)")
 		iterations  = flag.Int("iterations", 20, "timed SpMV operations per instance")
@@ -56,6 +60,7 @@ func main() {
 		profileDir  = flag.String("profile-dir", "", "directory to cache kernel profiles in")
 		winners     = flag.Bool("winners", false, "with table2: also print the per-matrix winner drill-down")
 		jsonFile    = flag.String("json", "", "write per-format/per-experiment results (GFlop/s, bytes/nnz, ms/SpMV) as JSON to this file")
+		rhsList     = flag.String("rhs", "1,2,4,8", "comma-separated panel widths for the spmm experiment")
 		sessionFile = flag.String("session", "", "measurement session JSON: loaded if present (skipping re-measurement), written after the run")
 		verbose     = flag.Bool("v", false, "log progress")
 	)
@@ -77,13 +82,13 @@ func main() {
 	known := map[string]bool{
 		"all": true, "table1": true, "table2": true, "table3": true, "table4": true,
 		"fig2": true, "fig3": true, "fig4": true, "latency": true, "fig3x": true, "rank": true,
-		"compress": true, "scaling": true,
+		"compress": true, "scaling": true, "spmm": true,
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiments, ",") {
 		name := strings.TrimSpace(e)
 		if !known[name] {
-			fatal(fmt.Errorf("unknown experiment %q (known: table1 table2 table3 table4 fig2 fig3 fig4 latency fig3x rank compress scaling all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (known: table1 table2 table3 table4 fig2 fig3 fig4 latency fig3x rank compress scaling spmm all)", name))
 		}
 		want[name] = true
 	}
@@ -181,6 +186,26 @@ func main() {
 		bench.PrintScaling(out, res)
 		fmt.Fprintln(out)
 		report.AddScaling(res)
+	}
+	if want["spmm"] {
+		ks, err := parseInts(*rhsList)
+		if err != nil {
+			fatal(fmt.Errorf("bad -rhs: %w", err))
+		}
+		for _, k := range ks {
+			if k < 1 {
+				fatal(fmt.Errorf("bad -rhs: panel width %d (want >= 1)", k))
+			}
+		}
+		workers := 1
+		for _, c := range coreList {
+			workers = max(workers, c)
+		}
+		res := bench.SpMM(cfg, ks, workers)
+		bench.PrintSpMM(out, res)
+		bench.PrintSpMMTb(out, bench.SpMMTb(cfg, ks))
+		fmt.Fprintln(out)
+		report.AddSpMM(res)
 	}
 	if want["fig3"] {
 		for _, prec := range []string{"sp", "dp"} {

@@ -49,6 +49,43 @@ func ExampleFormat_Mul() {
 	// [201 30]
 }
 
+// ExampleMulVecs multiplies one matrix by a panel of right-hand sides in
+// a single pass over the matrix stream; each output column is
+// bit-identical to a separate Mul call on its input column.
+func ExampleMulVecs() {
+	m := blockspmv.NewMatrix[float64](2, 3)
+	m.Add(0, 0, 1)
+	m.Add(0, 2, 2)
+	m.Add(1, 1, 3)
+	m.Finalize()
+	a := blockspmv.NewCSR(m, blockspmv.Scalar)
+
+	x := [][]float64{{1, 10, 100}, {2, 20, 200}}
+	y := [][]float64{make([]float64, 2), make([]float64, 2)}
+	blockspmv.MulVecs(a, x, y)
+	fmt.Println(y[0], y[1])
+	// Output:
+	// [201 30] [402 60]
+}
+
+// ExampleMulVecsChecked validates panel operands instead of panicking:
+// mismatched vector counts surface as a *PanelError.
+func ExampleMulVecsChecked() {
+	m := blockspmv.NewMatrix[float64](2, 2)
+	m.Add(0, 0, 1)
+	m.Add(1, 1, 1)
+	m.Finalize()
+	a := blockspmv.NewCSR(m, blockspmv.Scalar)
+
+	x := [][]float64{{1, 2}, {3, 4}}
+	y := [][]float64{make([]float64, 2)} // one output short
+	if err := blockspmv.MulVecsChecked(a, x, y); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// formats: MulVecs panel mismatch: CSR got 2 right-hand sides but 1 outputs
+}
+
 // ExampleRank prices candidate formats with the MEM model, which depends
 // only on working sets and therefore gives deterministic output.
 func ExampleRank() {

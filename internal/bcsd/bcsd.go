@@ -315,6 +315,66 @@ func (a *Mat[T, I]) MulRange(x, y []T, r0, r1 int) {
 	}
 }
 
+// MulRangeMulti implements formats.Instance: the generated multi-RHS
+// diagonal kernel streams each interior segment once across the k-wide
+// panel; bottom-edge segments and boundary blocks mirror MulRange's
+// clipped loops per panel column, keeping every column bit-identical to
+// a single-vector MulRange.
+func (a *Mat[T, I]) MulRangeMulti(x, y []T, k, r0, r1 int) {
+	if k == 0 {
+		return
+	}
+	b := a.b
+	if r0%b != 0 || (r1%b != 0 && r1 != a.rows) {
+		panic(fmt.Sprintf("bcsd: MulRangeMulti [%d,%d) not aligned to segment size %d", r0, r1, b))
+	}
+	kern := kernels.DiagMultiIx[T, I](b, a.impl, k)
+	if kern == nil {
+		kern = kernels.DiagGenericMultiIx[T, I](b)
+	}
+	seg0, seg1 := r0/b, (r1+b-1)/b
+	for seg := seg0; seg < seg1; seg++ {
+		lo, hi := int(a.browPtr[seg]), int(a.browPtr[seg+1])
+		if lo == hi {
+			continue
+		}
+		bvals := a.bval[lo*b : hi*b]
+		bcols := a.bcol[lo:hi]
+		rowStart := seg * b
+		if rowStart+b <= a.rows {
+			kern(bvals, bcols, x, y[rowStart*k:(rowStart+b)*k], k)
+		} else {
+			// Bottom-edge segment, clipped as in MulRange.
+			for bk := range bcols {
+				col := int(bcols[bk])
+				v := bvals[bk*b : (bk+1)*b]
+				for bi := 0; rowStart+bi < a.rows; bi++ {
+					for l := 0; l < k; l++ {
+						y[(rowStart+bi)*k+l] += v[bi] * x[(col+bi)*k+l]
+					}
+				}
+			}
+		}
+	}
+	for ei, seg := range a.edgeSeg {
+		if int(seg) < seg0 || int(seg) >= seg1 {
+			continue
+		}
+		start := int(a.edgeCol[ei])
+		v := a.edgeVal[ei*b : (ei+1)*b]
+		rowStart := int(seg) * b
+		for d := 0; d < b && rowStart+d < a.rows; d++ {
+			col := start + d
+			if col < 0 || col >= a.cols {
+				continue
+			}
+			for l := 0; l < k; l++ {
+				y[(rowStart+d)*k+l] += v[d] * x[col*k+l]
+			}
+		}
+	}
+}
+
 var (
 	_ formats.Instance[float64] = (*Matrix[float64])(nil)
 	_ formats.Instance[float64] = (*Mat[float64, uint16])(nil)

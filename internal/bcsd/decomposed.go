@@ -172,6 +172,14 @@ func (d *Dec[T, I]) MulRange(x, y []T, r0, r1 int) {
 	d.rem.MulRange(x, y, r0, r1)
 }
 
+// MulRangeMulti implements formats.Instance: both components accumulate
+// into the same output panel in the MulRange order, so every panel
+// column reproduces a single-vector MulRange bit for bit.
+func (d *Dec[T, I]) MulRangeMulti(x, y []T, k, r0, r1 int) {
+	d.blocked.MulRangeMulti(x, y, k, r0, r1)
+	d.rem.MulRangeMulti(x, y, k, r0, r1)
+}
+
 var (
 	_ formats.Instance[float32] = (*Decomposed[float32])(nil)
 	_ formats.Instance[float32] = (*Dec[float32, uint16])(nil)

@@ -175,6 +175,16 @@ func (d *Dec[T, I]) MulRange(x, y []T, r0, r1 int) {
 	d.rem.MulRange(x, y, r0, r1)
 }
 
+// MulRangeMulti implements formats.Instance: both components accumulate
+// into the same output panel in the MulRange order. Each component's
+// multi kernel uses per-row local accumulators with a single add into
+// y per panel column, so the component-accumulation order — and hence
+// the bits — match k sequential MulRange calls.
+func (d *Dec[T, I]) MulRangeMulti(x, y []T, k, r0, r1 int) {
+	d.blocked.MulRangeMulti(x, y, k, r0, r1)
+	d.rem.MulRangeMulti(x, y, k, r0, r1)
+}
+
 var (
 	_ formats.Instance[float64] = (*Decomposed[float64])(nil)
 	_ formats.Instance[float64] = (*Dec[float64, uint16])(nil)

@@ -16,7 +16,10 @@ type ReportRecord struct {
 	Precision  string `json:"precision,omitempty"`
 	Format     string `json:"format"`
 	Workers    int    `json:"workers,omitempty"`
-	NNZ        int64  `json:"nnz,omitempty"`
+	// RHS is the panel width of a multi-RHS measurement (0 for
+	// single-vector experiments).
+	RHS int   `json:"rhs,omitempty"`
+	NNZ int64 `json:"nnz,omitempty"`
 	// BytesPerNNZ is the matrix-stream cost per nonzero (0 when the
 	// experiment does not account storage).
 	BytesPerNNZ float64 `json:"bytes_per_nnz,omitempty"`
@@ -26,6 +29,9 @@ type ReportRecord struct {
 	// experiment: measured vs MEM-model-predicted gain over scalar CSR.
 	SpeedupVsCSR        float64 `json:"speedup_vs_csr,omitempty"`
 	MemPredictedSpeedup float64 `json:"mem_predicted_speedup,omitempty"`
+	// SpeedupVsIndependent is filled by the spmm experiment: one pooled
+	// k-wide MulVecs panel against k independent pooled MulVec calls.
+	SpeedupVsIndependent float64 `json:"speedup_vs_independent,omitempty"`
 }
 
 // Report is the serializable result set of a benchmark run.
@@ -67,6 +73,43 @@ func (r *Report) AddCompress(res []CompressResult) {
 				SpeedupVsCSR:        e.SpeedupVsCSR,
 				MemPredictedSpeedup: e.MemPredictedSpeedup,
 			})
+		}
+	}
+}
+
+// AddSpMM appends the multi-RHS amortization measurements: per panel
+// width one record for the pooled panel multiply (MsPerSpMV is the whole
+// panel, GFlops counts nnz*k) and one for the k independent pooled
+// MulVec calls it is measured against.
+func (r *Report) AddSpMM(res []SpMMResult) {
+	for _, sr := range res {
+		for _, p := range sr.Points {
+			flops := 2 * float64(sr.NNZ) * float64(p.K)
+			r.Records = append(r.Records,
+				ReportRecord{
+					Experiment:           "spmm",
+					Matrix:               sr.Info.Name,
+					Precision:            sr.Precision,
+					Format:               sr.Format + " panel",
+					Workers:              sr.Workers,
+					RHS:                  p.K,
+					NNZ:                  sr.NNZ,
+					MsPerSpMV:            p.PanelSeconds * 1e3,
+					GFlops:               flops / p.PanelSeconds / 1e9,
+					SpeedupVsIndependent: p.Speedup,
+					MemPredictedSpeedup:  p.MemPredictedSpeedup,
+				},
+				ReportRecord{
+					Experiment: "spmm",
+					Matrix:     sr.Info.Name,
+					Precision:  sr.Precision,
+					Format:     sr.Format + " independent",
+					Workers:    sr.Workers,
+					RHS:        p.K,
+					NNZ:        sr.NNZ,
+					MsPerSpMV:  p.IndepSeconds * 1e3,
+					GFlops:     flops / p.IndepSeconds / 1e9,
+				})
 		}
 	}
 }

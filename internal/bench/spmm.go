@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/machine"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/parallel"
+	"blockspmv/internal/suite"
+	"blockspmv/internal/textplot"
+)
+
+// spmmDefaultIDs is the default matrix set of the multi-RHS experiment:
+// the uniform random matrix as the gather-latency-bound contrast, two
+// bandwidth-bound 3-dof FEM matrices whose heavy rows reuse x (the
+// regime where the matrix stream dominates and panel amortization pays),
+// and the short-row 3D stencil where per-row panel overhead caps the
+// gain.
+var spmmDefaultIDs = []int{2, 16, 21, 23}
+
+// SpMMPoint is one panel width's measurement in the multi-RHS experiment.
+type SpMMPoint struct {
+	// K is the panel width (number of right-hand sides).
+	K int
+	// PanelSeconds is one pooled MulVecs over the k-wide panel.
+	PanelSeconds float64
+	// IndepSeconds is k independent pooled MulVec calls on the same pool.
+	IndepSeconds float64
+	// PanelGnnzk and IndepGnnzk are throughputs in 1e9 (nnz * k) / s, the
+	// unit that makes panel widths comparable.
+	PanelGnnzk float64
+	IndepGnnzk float64
+	// Speedup is the measured panel gain: IndepSeconds / PanelSeconds.
+	Speedup float64
+	// MemPredictedSpeedup is the MEM model's prediction with the k
+	// parameter: k independent passes stream k*(matrix+vectors) bytes, the
+	// panel streams matrix+k*vectors, so the ratio (bandwidth cancels) is
+	//
+	//	k*(mb+vb) / (mb+k*vb)
+	//
+	// which is monotone increasing in k with limit (mb+vb)/vb.
+	MemPredictedSpeedup float64
+}
+
+// SpMMResult is the multi-RHS amortization measurement on one matrix.
+type SpMMResult struct {
+	Info       suite.Info
+	Precision  string
+	Rows, Cols int
+	NNZ        int64
+	Format     string
+	Workers    int
+	// ExceedsLLC reports whether the CSR working set misses the last-level
+	// cache — the bandwidth-bound regime where amortizing the matrix
+	// stream pays.
+	ExceedsLLC bool
+	Points     []SpMMPoint
+}
+
+// SpMM measures the multi-RHS panel multiply against independent
+// single-vector multiplies (dp, CSR): for each panel width k, one pooled
+// MulVecs versus k pooled MulVec calls on the same persistent pool, so
+// the only difference is whether the matrix streams once or k times.
+// Alongside each measurement it reports the MEM model's k-parameterized
+// predicted speedup. Workers sets the pool width; matrix ids default to
+// a bandwidth-bound subset plus the random-matrix contrast.
+func SpMM(cfg Config, ks []int, workers int) []SpMMResult {
+	if len(cfg.MatrixIDs) == 0 {
+		cfg.MatrixIDs = spmmDefaultIDs
+	}
+	cfg = cfg.withDefaults()
+	if len(ks) == 0 {
+		ks = []int{1, 2, 4, 8}
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	var out []SpMMResult
+	for _, id := range cfg.MatrixIDs {
+		info, err := suite.InfoByID(id)
+		if err != nil {
+			continue
+		}
+		m := suite.MustBuild[float64](id, cfg.Scale)
+		inst := csr.FromCOO(m, blocks.Scalar)
+		pm := parallel.NewMul[float64](inst, workers, parallel.BalanceWeights)
+
+		maxK := 0
+		for _, k := range ks {
+			maxK = max(maxK, k)
+		}
+		xs := make([][]float64, maxK)
+		ys := make([][]float64, maxK)
+		for l := range xs {
+			xs[l] = floats.RandVector[float64](m.Cols(), int64(301+l))
+			ys[l] = make([]float64, m.Rows())
+		}
+
+		ws := formats.WorkingSetBytes(inst)
+		mb := inst.MatrixBytes()
+		vb := ws - mb
+		res := SpMMResult{
+			Info:      info,
+			Precision: floats.PrecisionName[float64](),
+			Rows:      m.Rows(), Cols: m.Cols(), NNZ: int64(m.NNZ()),
+			Format:  inst.Name(),
+			Workers: pm.ActiveWorkers(),
+			ExceedsLLC: cfg.Machine.LLCBytes > 0 &&
+				ws > cfg.Machine.LLCBytes,
+		}
+		for _, k := range ks {
+			x, y := xs[:k], ys[:k]
+			panelSecs := timeAvg(cfg, func() { pm.MulVecs(x, y) })
+			indepSecs := timeAvg(cfg, func() {
+				for l := 0; l < k; l++ {
+					pm.MulVec(x[l], y[l])
+				}
+			})
+			nnzk := float64(res.NNZ) * float64(k)
+			res.Points = append(res.Points, SpMMPoint{
+				K:            k,
+				PanelSeconds: panelSecs,
+				IndepSeconds: indepSecs,
+				PanelGnnzk:   nnzk / panelSecs / 1e9,
+				IndepGnnzk:   nnzk / indepSecs / 1e9,
+				Speedup:      indepSecs / panelSecs,
+				MemPredictedSpeedup: float64(int64(k)*ws) /
+					float64(mb+int64(k)*vb),
+			})
+		}
+		pm.Close()
+		out = append(out, res)
+		cfg.logf("spmm: %s done", info.Name)
+	}
+	return out
+}
+
+// PrintSpMM renders the multi-RHS amortization measurements.
+func PrintSpMM(w io.Writer, res []SpMMResult) {
+	fmt.Fprintln(w, "Multi-RHS SpMM: pooled k-wide MulVecs vs k independent pooled MulVec calls (dp, CSR)")
+	fmt.Fprintln(w)
+	for _, r := range res {
+		regime := "fits LLC (compute-bound regime)"
+		if r.ExceedsLLC {
+			regime = "exceeds LLC (bandwidth-bound regime)"
+		}
+		fmt.Fprintf(w, "%s: %dx%d, %d nonzeros, %d workers, %s\n",
+			r.Info.Name, r.Rows, r.Cols, r.NNZ, r.Workers, regime)
+		var rows [][]string
+		for _, p := range r.Points {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", p.K),
+				fmt.Sprintf("%.3g", p.PanelSeconds*1e3),
+				fmt.Sprintf("%.3g", p.IndepSeconds*1e3),
+				fmt.Sprintf("%.2f", p.PanelGnnzk),
+				fmt.Sprintf("%.2f", p.IndepGnnzk),
+				fmt.Sprintf("%.2fx", p.Speedup),
+				fmt.Sprintf("%.2fx", p.MemPredictedSpeedup),
+			})
+		}
+		textplot.Table(w, []string{"k", "panel ms", "indep ms", "panel Gnnzk/s", "indep Gnnzk/s", "measured", "MEM-pred"}, rows)
+		fmt.Fprintln(w)
+	}
+}
+
+// TbKPoint is the per-block panel cost at one width in the t_b(k) profile.
+type TbKPoint struct {
+	// K is the panel width.
+	K int
+	// TbL1 and TbLLC are the per-block per-RHS execution times (seconds)
+	// on the L1-resident and the cache-exceeding dense matrix.
+	TbL1, TbLLC float64
+	// L1Amortize and LLCAmortize are tb(1)/tb(k), the per-RHS speedup of
+	// the panel kernel over the single-vector kernel in each regime.
+	L1Amortize, LLCAmortize float64
+}
+
+// TbKResult is the t_b(k) profile of the CSR panel kernel.
+type TbKResult struct {
+	Precision      string
+	SideL1, SideLLC int
+	Points         []TbKPoint
+}
+
+// SpMMTb profiles t_b(k) — the per-block (here per-nonzero) per-RHS cost
+// of the panel kernel — on the same two dense matrices the model profile
+// uses: an L1-resident one isolating the compute cost and a
+// cache-exceeding one dominated by the memory stream. In the L1 regime
+// amortization only reflects kernel efficiency (bounded near 1x); in the
+// streaming regime it grows toward the working-set ratio — the
+// bandwidth-to-compute crossover as k grows.
+func SpMMTb(cfg Config, ks []int) TbKResult {
+	cfg = cfg.withDefaults()
+	if len(ks) == 0 {
+		ks = []int{1, 2, 4, 8}
+	}
+	l1 := cfg.Machine.L1DataBytes / 2
+	if l1 == 0 {
+		l1 = machine.DefaultL1 / 2
+	}
+	llc := machine.DefaultTriadBytes(cfg.Machine.L2Bytes)
+
+	res := TbKResult{Precision: floats.PrecisionName[float64]()}
+	res.SideL1 = denseSideDP(l1)
+	res.SideLLC = denseSideDP(llc)
+
+	tb := func(side, k int) float64 {
+		d := mat.Dense[float64](side, side)
+		inst := csr.FromCOO(d, blocks.Scalar)
+		nb := inst.Components()[0].Blocks
+		px := floats.RandVector[float64](inst.Cols()*k, 17)
+		py := make([]float64, inst.Rows()*k)
+		// The L1-resident matrix multiplies in microseconds; batch enough
+		// repetitions that timer resolution is irrelevant (as the kernel
+		// profile does).
+		iters := cfg.Iterations
+		if side == res.SideL1 {
+			iters = max(iters, 400)
+		}
+		secs := machine.TimeAvg(cfg.Warmup, iters, func() {
+			floats.Zero(py)
+			inst.MulRangeMulti(px, py, k, 0, inst.Rows())
+		})
+		return secs / (float64(nb) * float64(k))
+	}
+
+	var tb1L1, tb1LLC float64
+	for i, k := range ks {
+		p := TbKPoint{K: k, TbL1: tb(res.SideL1, k), TbLLC: tb(res.SideLLC, k)}
+		if i == 0 {
+			tb1L1, tb1LLC = p.TbL1, p.TbLLC
+		}
+		p.L1Amortize = tb1L1 / p.TbL1
+		p.LLCAmortize = tb1LLC / p.TbLLC
+		res.Points = append(res.Points, p)
+		cfg.logf("spmm: t_b(%d) done", k)
+	}
+	return res
+}
+
+// denseSideDP returns the side of a dense dp matrix whose CSR working set
+// is approximately wsBytes (8-byte values + 4-byte column indices).
+func denseSideDP(wsBytes int64) int {
+	side := 16
+	for int64(side+1)*int64(side+1)*12 <= wsBytes {
+		side++
+	}
+	return side
+}
+
+// PrintSpMMTb renders the t_b(k) profile.
+func PrintSpMMTb(w io.Writer, r TbKResult) {
+	fmt.Fprintf(w, "t_b(k): per-nonzero per-RHS CSR panel cost, dense %dx%d (L1-resident) and %dx%d (cache-exceeding), %s\n",
+		r.SideL1, r.SideL1, r.SideLLC, r.SideLLC, r.Precision)
+	fmt.Fprintln(w)
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.K),
+			fmt.Sprintf("%.3g", p.TbL1*1e9),
+			fmt.Sprintf("%.2fx", p.L1Amortize),
+			fmt.Sprintf("%.3g", p.TbLLC*1e9),
+			fmt.Sprintf("%.2fx", p.LLCAmortize),
+		})
+	}
+	textplot.Table(w, []string{"k", "L1 t_b ns", "L1 amortize", "LLC t_b ns", "LLC amortize"}, rows)
+}

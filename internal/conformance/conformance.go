@@ -45,6 +45,32 @@ func Check[T floats.Float](t *testing.T, m *mat.COO[T], inst formats.Instance[T]
 		t.Fatalf("%s: Mul mismatch, max diff %g", inst.Name(), floats.MaxAbsDiff(got, want))
 	}
 
+	// The panel multiply is bit-for-bit k independent single-vector
+	// multiplies: per panel column the kernels must execute the same FMA
+	// order as the single-vector path, so exact equality is required (no
+	// tolerance).
+	for _, k := range []int{0, 1, 2, 4, 8} {
+		xs := make([][]T, k)
+		ys := make([][]T, k)
+		wantCols := make([][]T, k)
+		for l := 0; l < k; l++ {
+			xs[l] = floats.RandVector[T](m.Cols(), int64(100+13*l))
+			ys[l] = make([]T, m.Rows())
+			floats.Fill(ys[l], T(5)) // MulVecs must overwrite, not accumulate
+			wantCols[l] = make([]T, m.Rows())
+			inst.Mul(xs[l], wantCols[l])
+		}
+		formats.MulVecs(inst, xs, ys)
+		for l := 0; l < k; l++ {
+			for i := range ys[l] {
+				if ys[l][i] != wantCols[l][i] {
+					t.Fatalf("%s: MulVecs k=%d column %d row %d = %v, want %v (bit-for-bit)",
+						inst.Name(), k, l, i, ys[l][i], wantCols[l][i])
+				}
+			}
+		}
+	}
+
 	// Row-range multiplies over aligned partitions compose to Mul.
 	// RowAlign may exceed the row count (e.g. an 8-row block on a 1-row
 	// matrix); alignedSplit then degenerates to the full range.

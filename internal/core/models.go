@@ -38,8 +38,10 @@ func (Mem) Predict(cs CandidateStats, m machine.Machine, _ *profile.Table) float
 	// Vector traffic is paid once per component pass: a decomposition
 	// re-streams x and y for every submatrix (Section III: "there is no
 	// temporal or spatial locality (except in the input vector) between
-	// the different k SpMV operations").
-	ws := cs.MatrixBytes() + int64(len(cs.Components))*cs.VectorBytes
+	// the different k SpMV operations"). With a panel of RHS > 1
+	// right-hand sides the matrix stream is read once but each vector
+	// stream is RHS times as wide — the multi-RHS amortization.
+	ws := cs.MatrixBytes() + int64(len(cs.Components))*cs.VectorBytes*cs.rhs()
 	return float64(ws) / m.BandwidthBytesPerSec
 }
 
@@ -62,11 +64,14 @@ func (MemComp) Name() string { return "MEMCOMP" }
 // Predict implements Model.
 func (MemComp) Predict(cs CandidateStats, m machine.Machine, prof *profile.Table) float64 {
 	mustBW(m)
+	k := cs.rhs()
 	var t float64
 	for _, comp := range cs.Components {
 		e := lookup(prof, comp)
-		memBytes := comp.WSBytes + cs.VectorBytes
-		t += float64(memBytes)/m.BandwidthBytesPerSec + float64(comp.Blocks)*e.Tb
+		// Panel of k right-hand sides: matrix bytes stream once, vector
+		// streams and block executions are paid k times.
+		memBytes := comp.WSBytes + cs.VectorBytes*k
+		t += float64(memBytes)/m.BandwidthBytesPerSec + float64(k*comp.Blocks)*e.Tb
 	}
 	return t
 }
@@ -85,11 +90,12 @@ func (Overlap) Name() string { return "OVERLAP" }
 // Predict implements Model.
 func (Overlap) Predict(cs CandidateStats, m machine.Machine, prof *profile.Table) float64 {
 	mustBW(m)
+	k := cs.rhs()
 	var t float64
 	for _, comp := range cs.Components {
 		e := lookup(prof, comp)
-		memBytes := comp.WSBytes + cs.VectorBytes
-		t += float64(memBytes)/m.BandwidthBytesPerSec + e.Nof*float64(comp.Blocks)*e.Tb
+		memBytes := comp.WSBytes + cs.VectorBytes*k
+		t += float64(memBytes)/m.BandwidthBytesPerSec + e.Nof*float64(k*comp.Blocks)*e.Tb
 	}
 	return t
 }

@@ -36,11 +36,38 @@ type CandidateStats struct {
 	VectorBytes int64
 	// Padding is the number of explicit stored zeros of the candidate.
 	Padding int64
+	// RHS is the panel width the prediction is for: the number of
+	// right-hand-side vectors multiplied in one pass (SpMM). 0 and 1 both
+	// mean the single-vector SpMV. For RHS = k > 1 the models charge the
+	// matrix stream once but the vector streams and the computational
+	// term k times, pricing the multi-RHS amortization; the predicted
+	// seconds then cover the whole k-wide panel, not one vector.
+	RHS int
 	// IrregularAccesses is the matrix's likely-missing input-vector access
 	// count (mat.Pattern.IrregularAccesses with IrregularGap); it is a
 	// property of the matrix, identical across candidates, consumed only
 	// by the OVERLAP+LAT extension model.
 	IrregularAccesses int64
+}
+
+// rhs returns the effective panel width: RHS clamped below at 1.
+func (cs CandidateStats) rhs() int64 {
+	if cs.RHS > 1 {
+		return int64(cs.RHS)
+	}
+	return 1
+}
+
+// WithRHS returns a copy of the stats slice with every candidate's RHS
+// set to k, the panel width the models should price (see
+// CandidateStats.RHS).
+func WithRHS(stats []CandidateStats, k int) []CandidateStats {
+	out := make([]CandidateStats, len(stats))
+	for i, cs := range stats {
+		cs.RHS = k
+		out[i] = cs
+	}
+	return out
 }
 
 // MatrixBytes returns the summed matrix bytes of all components.

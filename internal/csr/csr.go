@@ -176,6 +176,176 @@ func (a *Mat[T, I]) mulRangeScalar(x, y []T, r0, r1 int) {
 	}
 }
 
+// MulRangeMulti implements formats.Instance. The scalar path retires
+// the k panel columns of a row inside the nonzero loop (k <= 8 keeps
+// the accumulators in registers via a fixed-size array), so the val and
+// colInd streams — the traffic the MEM model says dominates — are read
+// once regardless of k; wider panels fall back to a per-column walk of
+// the cache-resident row.
+func (a *Mat[T, I]) MulRangeMulti(x, y []T, k, r0, r1 int) {
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		// A 1-wide panel has the exact memory layout of the vectors
+		// themselves, so the single-vector kernels apply directly.
+		a.MulRange(x, y, r0, r1)
+		return
+	}
+	if a.impl == blocks.Vector {
+		a.mulRangeMultiVector(x, y, k, r0, r1)
+		return
+	}
+	switch k {
+	case 2:
+		a.mulRangeMultiScalar2(x, y, r0, r1)
+		return
+	case 4:
+		a.mulRangeMultiScalar4(x, y, r0, r1)
+		return
+	case 8:
+		a.mulRangeMultiScalar8(x, y, r0, r1)
+		return
+	}
+	if k <= 8 {
+		a.mulRangeMultiScalarReg(x, y, k, r0, r1)
+		return
+	}
+	rowPtr, colInd, val := a.rowPtr, a.colInd, a.val
+	for r := r0; r < r1; r++ {
+		start, end := rowPtr[r], rowPtr[r+1]
+		for l := 0; l < k; l++ {
+			var acc T
+			for i := start; i < end; i++ {
+				acc += val[i] * x[int(colInd[i])*k+l]
+			}
+			y[r*k+l] += acc
+		}
+	}
+}
+
+// mulRangeMultiScalarReg is the register-blocked scalar panel kernel
+// for k <= 8: one accumulator per panel column, each fed in the same
+// per-nonzero order as mulRangeScalar, so column l of the result is
+// bit-identical to a single-vector multiply by x column l.
+func (a *Mat[T, I]) mulRangeMultiScalarReg(x, y []T, k, r0, r1 int) {
+	rowPtr, colInd, val := a.rowPtr, a.colInd, a.val
+	var accArr [8]T
+	acc := accArr[:k]
+	for r := r0; r < r1; r++ {
+		for l := range acc {
+			acc[l] = 0
+		}
+		for i := rowPtr[r]; i < rowPtr[r+1]; i++ {
+			v := val[i]
+			xs := x[int(colInd[i])*k : int(colInd[i])*k+k]
+			for l := range acc {
+				acc[l] += v * xs[l]
+			}
+		}
+		ys := y[r*k : r*k+k]
+		for l := range acc {
+			ys[l] += acc[l]
+		}
+	}
+}
+
+// mulRangeMultiScalar2, -4 and -8 are the fully unrolled panel kernels
+// for the register-blocked widths: every accumulator is a named local,
+// so the compiler keeps the whole panel row in registers and the val
+// and colInd streams are read once for all k columns. Per column the
+// FMA order matches mulRangeScalar exactly.
+func (a *Mat[T, I]) mulRangeMultiScalar2(x, y []T, r0, r1 int) {
+	rowPtr, colInd, val := a.rowPtr, a.colInd, a.val
+	for r := r0; r < r1; r++ {
+		var a0, a1 T
+		for i := rowPtr[r]; i < rowPtr[r+1]; i++ {
+			v := val[i]
+			c := int(colInd[i]) * 2
+			xs := x[c : c+2]
+			a0 += v * xs[0]
+			a1 += v * xs[1]
+		}
+		ys := y[r*2 : r*2+2]
+		ys[0] += a0
+		ys[1] += a1
+	}
+}
+
+func (a *Mat[T, I]) mulRangeMultiScalar4(x, y []T, r0, r1 int) {
+	rowPtr, colInd, val := a.rowPtr, a.colInd, a.val
+	for r := r0; r < r1; r++ {
+		var a0, a1, a2, a3 T
+		for i := rowPtr[r]; i < rowPtr[r+1]; i++ {
+			v := val[i]
+			c := int(colInd[i]) * 4
+			xs := x[c : c+4]
+			a0 += v * xs[0]
+			a1 += v * xs[1]
+			a2 += v * xs[2]
+			a3 += v * xs[3]
+		}
+		ys := y[r*4 : r*4+4]
+		ys[0] += a0
+		ys[1] += a1
+		ys[2] += a2
+		ys[3] += a3
+	}
+}
+
+func (a *Mat[T, I]) mulRangeMultiScalar8(x, y []T, r0, r1 int) {
+	rowPtr, colInd, val := a.rowPtr, a.colInd, a.val
+	for r := r0; r < r1; r++ {
+		var a0, a1, a2, a3, a4, a5, a6, a7 T
+		for i := rowPtr[r]; i < rowPtr[r+1]; i++ {
+			v := val[i]
+			c := int(colInd[i]) * 8
+			xs := x[c : c+8]
+			a0 += v * xs[0]
+			a1 += v * xs[1]
+			a2 += v * xs[2]
+			a3 += v * xs[3]
+			a4 += v * xs[4]
+			a5 += v * xs[5]
+			a6 += v * xs[6]
+			a7 += v * xs[7]
+		}
+		ys := y[r*8 : r*8+8]
+		ys[0] += a0
+		ys[1] += a1
+		ys[2] += a2
+		ys[3] += a3
+		ys[4] += a4
+		ys[5] += a5
+		ys[6] += a6
+		ys[7] += a7
+	}
+}
+
+// mulRangeMultiVector replays the lane-structured kernel per panel
+// column; the row's val/colInd entries stay cache-hot across the k
+// passes, so the memory-level matrix stream is still paid once.
+func (a *Mat[T, I]) mulRangeMultiVector(x, y []T, k, r0, r1 int) {
+	rowPtr, colInd, val := a.rowPtr, a.colInd, a.val
+	for r := r0; r < r1; r++ {
+		start, end := int(rowPtr[r]), int(rowPtr[r+1])
+		for l := 0; l < k; l++ {
+			var a0, a1, a2, a3 T
+			i := start
+			for ; i+4 <= end; i += 4 {
+				a0 += val[i] * x[int(colInd[i])*k+l]
+				a1 += val[i+1] * x[int(colInd[i+1])*k+l]
+				a2 += val[i+2] * x[int(colInd[i+2])*k+l]
+				a3 += val[i+3] * x[int(colInd[i+3])*k+l]
+			}
+			for ; i < end; i++ {
+				a0 += val[i] * x[int(colInd[i])*k+l]
+			}
+			y[r*k+l] += a0 + a1 + a2 + a3
+		}
+	}
+}
+
 // mulRangeVector is the lane-structured CSR kernel: four independent
 // accumulator chains per row, the stand-in for the paper's SIMD CSR
 // implementation (see DESIGN.md).

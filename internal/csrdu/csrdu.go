@@ -42,8 +42,9 @@ type Matrix[T floats.Float] struct {
 	units      int64
 	impl       blocks.Impl
 	// kern maps a unit's width code (0, 1, 2 for 1-, 2-, 4-byte deltas)
-	// to its decode+multiply kernel.
-	kern [3]kernels.DeltaUnitKernel[T]
+	// to its decode+multiply kernel; kernMulti holds the panel variants.
+	kern      [3]kernels.DeltaUnitKernel[T]
+	kernMulti [3]kernels.DeltaUnitMultiKernel[T]
 }
 
 // New converts a finalized coordinate matrix to CSR-DU with the given
@@ -94,6 +95,7 @@ func New[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
 func (a *Matrix[T]) setKernels(impl blocks.Impl) {
 	for code := 0; code < 3; code++ {
 		a.kern[code] = kernels.DeltaUnit[T](1<<code, impl)
+		a.kernMulti[code] = kernels.DeltaUnitMulti[T](1<<code, impl)
 	}
 }
 
@@ -252,6 +254,38 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 			si += nb
 		}
 		y[r] += acc
+	}
+}
+
+// MulRangeMulti implements formats.Instance: each row's delta units are
+// re-decoded per panel column — the unit headers and delta bytes stay
+// cache-resident within a row, so the memory-level stream cost is paid
+// once — with the per-column unit kernels reproducing the single-vector
+// decode+multiply order bit for bit.
+func (a *Matrix[T]) MulRangeMulti(x, y []T, k, r0, r1 int) {
+	if k == 0 {
+		return
+	}
+	for r := r0; r < r1; r++ {
+		rowVi, end := int(a.rowPtr[r]), int(a.rowPtr[r+1])
+		rowSi := int(a.rowByte[r])
+		for l := 0; l < k; l++ {
+			vi, si := rowVi, rowSi
+			var col int32
+			var acc T
+			for vi < end {
+				code := a.stream[si]
+				n := int(a.stream[si+1])
+				si += headerBytes
+				nb := n << code
+				part, c := a.kernMulti[code](a.val[vi:vi+n], a.stream[si:si+nb], x, col, k, l)
+				acc += part
+				col = c
+				vi += n
+				si += nb
+			}
+			y[r*k+l] += acc
+		}
 	}
 }
 

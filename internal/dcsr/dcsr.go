@@ -170,6 +170,43 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 	}
 }
 
+// MulRangeMulti implements formats.Instance: each row's delta stream is
+// re-decoded per panel column from the row's saved cursor positions —
+// the stream bytes stay cache-resident within a row, so the
+// memory-level index traffic is paid once — with the per-column decode
+// and accumulation order matching MulRange bit for bit.
+func (a *Matrix[T]) MulRangeMulti(x, y []T, k, r0, r1 int) {
+	if r0 < 0 || r1 > a.rows || r0 > r1 {
+		panic(fmt.Sprintf("dcsr: MulRangeMulti [%d,%d) out of bounds", r0, r1))
+	}
+	if k == 0 {
+		return
+	}
+	val, stream := a.val, a.stream
+	for r := r0; r < r1; r++ {
+		vi0, end := int(a.rowPtr[r]), int(a.rowPtr[r+1])
+		bi0 := int(a.rowByte[r])
+		for l := 0; l < k; l++ {
+			vi, bi := vi0, bi0
+			var acc T
+			col := int32(0)
+			for vi < end {
+				d := stream[bi]
+				bi++
+				delta := int32(d)
+				if d == escape {
+					delta = int32(binary.LittleEndian.Uint32(stream[bi : bi+4]))
+					bi += 4
+				}
+				col += delta
+				acc += val[vi] * x[int(col)*k+l]
+				vi++
+			}
+			y[r*k+l] += acc
+		}
+	}
+}
+
 var _ formats.Instance[float64] = (*Matrix[float64])(nil)
 
 // WithImpl implements formats.Instance. DCSR has a single kernel; the

@@ -84,6 +84,18 @@ type Instance[T floats.Float] interface {
 	// must have zeroed. Boundaries must be RowAlign()-aligned (or Rows()).
 	MulRange(x, y []T, r0, r1 int)
 
+	// MulRangeMulti is the multi-RHS form of MulRange: x is a row-major
+	// panel of k right-hand sides (x[j*k+l] is element j of RHS l,
+	// len(x) = Cols()*k) and y the matching output panel (y[i*k+l],
+	// len(y) = Rows()*k); the caller must have zeroed y[r0*k:r1*k).
+	// The matrix stream is walked once per block row for all k columns,
+	// amortizing the dominant memory traffic, while per panel column the
+	// floating-point accumulation order is exactly that of MulRange —
+	// MulRangeMulti over a k-wide panel is bit-identical to k MulRange
+	// calls. k = 0 is a no-op; alignment and concurrency contracts match
+	// MulRange.
+	MulRangeMulti(x, y []T, k, r0, r1 int)
+
 	// WithImpl returns an instance over the same storage using the given
 	// kernel implementation class; the receiver is unchanged and the
 	// underlying arrays are shared. Formats without distinct
@@ -137,4 +149,77 @@ func CheckDimsErr[T floats.Float](inst Instance[T], x, y []T) error {
 		return &DimError{Format: inst.Name(), Rows: inst.Rows(), Cols: inst.Cols(), LenX: len(x), LenY: len(y)}
 	}
 	return nil
+}
+
+// PanelError reports a multi-RHS operand set whose vector counts do not
+// match: MulVecs needs exactly one output vector per right-hand side.
+type PanelError struct {
+	Format string // the instance's Name()
+	NX, NY int    // number of input and output vectors
+}
+
+// Error implements error.
+func (e *PanelError) Error() string {
+	return fmt.Sprintf("formats: MulVecs panel mismatch: %s got %d right-hand sides but %d outputs",
+		e.Format, e.NX, e.NY)
+}
+
+// CheckPanelDimsErr validates a multi-RHS operand set: as many outputs
+// as inputs (else a *PanelError), and every x[l]/y[l] pair shaped like
+// a MulVec operand pair (else the first offending *DimError).
+func CheckPanelDimsErr[T floats.Float](inst Instance[T], x, y [][]T) error {
+	if len(x) != len(y) {
+		return &PanelError{Format: inst.Name(), NX: len(x), NY: len(y)}
+	}
+	for l := range x {
+		if err := CheckDimsErr(inst, x[l], y[l]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PackPanel interleaves k equal-length vectors into the row-major panel
+// layout MulRangeMulti consumes: dst[j*k+l] = vecs[l][j]. dst must have
+// len(vecs[0])*len(vecs) elements.
+func PackPanel[T floats.Float](dst []T, vecs [][]T) {
+	k := len(vecs)
+	for l, v := range vecs {
+		for j, e := range v {
+			dst[j*k+l] = e
+		}
+	}
+}
+
+// UnpackPanel is the inverse of PackPanel: vecs[l][i] = src[i*k+l],
+// overwriting each destination vector.
+func UnpackPanel[T floats.Float](vecs [][]T, src []T) {
+	k := len(vecs)
+	for l, v := range vecs {
+		for i := range v {
+			v[i] = src[i*k+l]
+		}
+	}
+}
+
+// MulVecs computes y[l] = A*x[l] for every vector of a multi-RHS
+// operand set in one pass over the matrix, overwriting the outputs. It
+// packs the vectors into row-major panels, runs MulRangeMulti over the
+// full row range, and unpacks the result; each y[l] is bit-identical to
+// a Mul call on x[l]. It panics on operand shape mismatches (the typed
+// *PanelError / *DimError); the checked public API and parallel
+// executor validate first and return errors instead. k = 0 is a no-op.
+func MulVecs[T floats.Float](inst Instance[T], x, y [][]T) {
+	if err := CheckPanelDimsErr(inst, x, y); err != nil {
+		panic(err)
+	}
+	k := len(x)
+	if k == 0 {
+		return
+	}
+	xp := make([]T, inst.Cols()*k)
+	yp := make([]T, inst.Rows()*k) // zeroed by make, as MulRangeMulti requires
+	PackPanel(xp, x)
+	inst.MulRangeMulti(xp, yp, k, 0, inst.Rows())
+	UnpackPanel(y, yp)
 }

@@ -16,8 +16,8 @@ func TestGeneratedFilesCurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) != 4 {
-		t.Fatalf("generator produced %d files, want 4", len(files))
+	if len(files) != 7 {
+		t.Fatalf("generator produced %d files, want 7", len(files))
 	}
 	for name, want := range files {
 		got, err := os.ReadFile(name)

@@ -1,25 +1,33 @@
 // Command genkernels writes the generated kernel sources of
-// internal/kernels (rect_gen.go, diag_gen.go, dispatch_gen.go) into the
-// current directory. Run via: go generate ./internal/kernels
+// internal/kernels (rect_gen.go, diag_gen.go, du_gen.go, the *_multi_gen.go
+// panel kernels and dispatch_gen.go) into the current directory. Run via:
+// go generate ./internal/kernels. With -out DIR the files are written to
+// DIR instead, which the Makefile's drift check uses to regenerate into a
+// temp dir and diff against the checked-in sources.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"blockspmv/internal/kernels/gen"
 )
 
 func main() {
+	out := flag.String("out", ".", "directory to write the generated sources into")
+	flag.Parse()
 	files, err := gen.Files()
 	if err != nil {
 		log.Fatal(err)
 	}
 	for name, src := range files {
-		if err := os.WriteFile(name, src, 0o644); err != nil {
-			log.Fatalf("writing %s: %v", name, err)
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
 		}
-		fmt.Printf("wrote %s (%d bytes)\n", name, len(src))
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(src))
 	}
 }

@@ -1,0 +1,124 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/floats"
+)
+
+// packPanel interleaves k vectors of length n into a row-major panel:
+// panel[j*k+l] = vecs[l][j].
+func packPanel[T floats.Float](vecs [][]T, n, k int) []T {
+	p := make([]T, n*k)
+	for l, v := range vecs {
+		for j := 0; j < n; j++ {
+			p[j*k+l] = v[j]
+		}
+	}
+	return p
+}
+
+// TestMultiBitIdentical verifies that every multi-RHS kernel applied to
+// a k-wide panel produces, per panel column, exactly the bits the
+// single-vector kernel of the same impl produces — the contract the
+// conformance suite asserts end to end for the formats.
+func TestMultiBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const w = 100
+	for _, s := range blocks.AllShapes() {
+		for _, impl := range blocks.Impls() {
+			single := ForShape[float64](s, impl)
+			for _, k := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9} {
+				multi := ForShapeMultiIx[float64, int32](s, impl, k)
+				if multi == nil {
+					t.Fatalf("no multi kernel for %v/%v k=%d", s, impl, k)
+				}
+				for _, n := range []int{0, 1, 3, 9, 33} {
+					bval, bcol := randBlocks[float64](s, n, w, rng)
+					xs := make([][]float64, k)
+					want := make([][]float64, k)
+					for l := 0; l < k; l++ {
+						xs[l] = floats.RandVector[float64](w, int64(100*l+n))
+						want[l] = make([]float64, s.R)
+						single(bval, bcol, xs[l], want[l])
+					}
+					xp := packPanel(xs, w, k)
+					yp := make([]float64, s.R*k)
+					multi(bval, bcol, xp, yp, k)
+					for l := 0; l < k; l++ {
+						for i := 0; i < s.R; i++ {
+							if yp[i*k+l] != want[l][i] {
+								t.Fatalf("%v/%v k=%d n=%d: y[%d][%d] = %x, want %x",
+									s, impl, k, n, i, l, yp[i*k+l], want[l][i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiMatchGenericMulti cross-checks the generated multi kernels
+// against the loop-based generic multi baselines.
+func TestMultiMatchGenericMulti(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const w, k = 64, 4
+	for _, s := range blocks.AllShapes() {
+		gen := ForShapeMultiIx[float64, int32](s, blocks.Scalar, k)
+		var ref BlockRowMultiKernel[float64]
+		if s.Kind == blocks.Diag {
+			ref = DiagGenericMultiIx[float64, int32](s.R)
+		} else {
+			ref = RectGenericMultiIx[float64, int32](s.R, s.C)
+		}
+		bval, bcol := randBlocks[float64](s, 17, w, rng)
+		xp := floats.RandVector[float64](w*k, 3)
+		got := make([]float64, s.R*k)
+		want := make([]float64, s.R*k)
+		gen(bval, bcol, xp, got, k)
+		ref(bval, bcol, xp, want, k)
+		if !floats.EqualWithin(got, want, 1e-12) {
+			t.Fatalf("%v: %v, want %v", s, got, want)
+		}
+	}
+}
+
+// TestDeltaUnitMultiBitIdentical verifies the multi DU kernels against
+// the single-vector DU kernels column by column.
+func TestDeltaUnitMultiBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const w = 120
+	for _, width := range []int{1, 2, 4} {
+		for _, impl := range blocks.Impls() {
+			single := DeltaUnit[float64](width, impl)
+			multi := DeltaUnitMulti[float64](width, impl)
+			if single == nil || multi == nil {
+				t.Fatalf("missing DU kernel width=%d impl=%v", width, impl)
+			}
+			for _, n := range []int{0, 1, 2, 5, 13} {
+				val := floats.RandVector[float64](n, int64(n))
+				stream := make([]byte, n*width)
+				for i := 0; i < n; i++ {
+					stream[i*width] = byte(rng.Intn(5)) // small deltas keep columns in range
+				}
+				const k = 3
+				xs := make([][]float64, k)
+				for l := range xs {
+					xs[l] = floats.RandVector[float64](w, int64(l+77))
+				}
+				xp := packPanel(xs, w, k)
+				for l := 0; l < k; l++ {
+					wantAcc, wantCol := single(val, stream, xs[l], 2)
+					gotAcc, gotCol := multi(val, stream, xp, 2, k, l)
+					if gotAcc != wantAcc || gotCol != wantCol {
+						t.Fatalf("width=%d impl=%v n=%d l=%d: (%x,%d), want (%x,%d)",
+							width, impl, n, l, gotAcc, gotCol, wantAcc, wantCol)
+					}
+				}
+			}
+		}
+	}
+}

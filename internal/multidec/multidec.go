@@ -145,6 +145,15 @@ func (d *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 	d.rem.MulRange(x, y, r0, r1)
 }
 
+// MulRangeMulti implements formats.Instance: the three components
+// accumulate into the same output panel in the MulRange order, so every
+// panel column reproduces a single-vector MulRange bit for bit.
+func (d *Matrix[T]) MulRangeMulti(x, y []T, k, r0, r1 int) {
+	d.rect.MulRangeMulti(x, y, k, r0, r1)
+	d.diag.MulRangeMulti(x, y, k, r0, r1)
+	d.rem.MulRangeMulti(x, y, k, r0, r1)
+}
+
 var _ formats.Instance[float64] = (*Matrix[float64])(nil)
 
 // WithImpl implements formats.Instance.

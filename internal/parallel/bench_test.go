@@ -42,3 +42,42 @@ func BenchmarkPartition(b *testing.B) {
 		parallel.Partition(weights, 4, 8, parallel.BalanceWeights)
 	}
 }
+
+// BenchmarkMulVecsRHS measures the multi-RHS amortization: one pooled
+// MulVecs over a k-wide panel versus k independent pooled MulVec calls
+// on the same bandwidth-bound matrix. The nnzk/s metric counts nonzero
+// multiplies per second across the whole panel, so a flat matrix stream
+// shows up as near-linear growth with k.
+func BenchmarkMulVecsRHS(b *testing.B) {
+	m := testmat.Random[float64](60000, 60000, 12.0/60000, 1)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	const workers = 4
+	for _, k := range []int{1, 2, 4, 8} {
+		x := make([][]float64, k)
+		y := make([][]float64, k)
+		for l := 0; l < k; l++ {
+			x[l] = floats.RandVector[float64](60000, int64(2+l))
+			y[l] = make([]float64, 60000)
+		}
+		pm := parallel.NewMul(inst, workers, parallel.BalanceWeights)
+		b.Run(fmt.Sprintf("panel/k-%d", k), func(b *testing.B) {
+			pm.MulVecs(x, y) // grow the persistent panel scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pm.MulVecs(x, y)
+			}
+			b.ReportMetric(float64(inst.NNZ())*float64(k)/1e9/b.Elapsed().Seconds()*float64(b.N), "gnnzk/s")
+		})
+		b.Run(fmt.Sprintf("independent/k-%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for l := 0; l < k; l++ {
+					pm.MulVec(x[l], y[l])
+				}
+			}
+			b.ReportMetric(float64(inst.NNZ())*float64(k)/1e9/b.Elapsed().Seconds()*float64(b.N), "gnnzk/s")
+		})
+		pm.Close()
+	}
+}

@@ -146,7 +146,9 @@ type pool[T floats.Float] struct {
 	inst   formats.Instance[T]
 	active [][2]int             // the non-empty row ranges, one worker each
 	team   *workpool.Team       // nil when at most one range is non-empty
-	x, y   []T                  // operands of the in-flight MulVec
+	x, y   []T                  // operands of the in-flight MulVec / MulVecs
+	k      int                  // panel width of the in-flight MulVecs; 0 for MulVec
+	px, py []T                  // persistent panel scratch, lazily grown by MulVecs
 	fail   *workpool.PanicError // first kernel panic on the serial path (the team tracks its own)
 	closed atomic.Bool
 }
@@ -236,16 +238,78 @@ func (p *Mul[T]) MulVec(x, y []T) error {
 	return err
 }
 
+// MulVecs computes y[l] = A*x[l] for every pair in the panels x and y
+// with a single traversal of the matrix per partition: the vectors are
+// packed row-major into persistent panel scratch, the pool is woken by
+// ONE epoch handoff — not one per vector — and each worker streams its
+// partition's matrix bytes once through MulRangeMulti, amortizing the
+// dominant matrix traffic across the k right-hand sides. Workers
+// zero-fill their own slice of the output panel (first touch), exactly
+// as MulVec does for the vector.
+//
+// The panel scratch is grown lazily and retained across calls, so after
+// the first call at a given width MulVecs performs no allocations.
+// Results are bit-for-bit identical to k sequential MulVec calls. A
+// zero-width panel (len(x) == 0) is a no-op. Error and poisoning
+// behaviour matches MulVec, with a *formats.PanelError for panel-level
+// shape mismatches.
+func (p *Mul[T]) MulVecs(x, y [][]T) error {
+	pl := p.pl
+	if pl.closed.Load() {
+		return ErrClosed
+	}
+	if err := formats.CheckPanelDimsErr[T](pl.inst, x, y); err != nil {
+		return err
+	}
+	k := len(x)
+	if k == 0 || len(pl.active) == 0 {
+		return nil // empty panel or 0-row matrix: nothing to compute
+	}
+	nx, ny := pl.inst.Cols()*k, pl.inst.Rows()*k
+	if cap(pl.px) < nx {
+		pl.px = make([]T, nx)
+	}
+	if cap(pl.py) < ny {
+		pl.py = make([]T, ny)
+	}
+	px, py := pl.px[:nx], pl.py[:ny]
+	formats.PackPanel(px, x)
+	pl.x, pl.y, pl.k = px, py, k
+	var err error
+	if pl.team == nil {
+		if pl.fail != nil {
+			err = &workpool.PoisonedError{First: pl.fail}
+		} else if pe := workpool.Call(0, pl.run0); pe != nil {
+			pl.fail = pe
+			err = pe
+		}
+	} else {
+		err = pl.team.Run()
+	}
+	pl.x, pl.y, pl.k = nil, nil, 0
+	if err != nil {
+		return err
+	}
+	formats.UnpackPanel(y, py)
+	return nil
+}
+
 // run0 adapts runPart(0) to the zero-argument form workpool.Call wants
 // without a per-call closure allocation.
 func (pl *pool[T]) run0() { pl.runPart(0) }
 
-// runPart is the per-worker body: zero the partition's slice of y, then
-// accumulate the partition's rows. Worker k always executes active[k], so
-// the same thread touches the same y rows every call.
-func (pl *pool[T]) runPart(k int) {
-	rr := pl.active[k]
+// runPart is the per-worker body: zero the partition's slice of the
+// output (vector or panel), then accumulate the partition's rows.
+// Worker i always executes active[i], so the same thread touches the
+// same y rows every call.
+func (pl *pool[T]) runPart(i int) {
+	rr := pl.active[i]
 	x, y := pl.x, pl.y
+	if k := pl.k; k > 0 {
+		floats.Zero(y[rr[0]*k : rr[1]*k])
+		pl.inst.MulRangeMulti(x, y, k, rr[0], rr[1])
+		return
+	}
 	floats.Zero(y[rr[0]:rr[1]])
 	pl.inst.MulRange(x, y, rr[0], rr[1])
 }

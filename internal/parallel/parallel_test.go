@@ -35,13 +35,19 @@ func TestPartitionInvariants(t *testing.T) {
 		for i := range weights {
 			weights[i] = int64(rng.Intn(50))
 		}
+		var total int64
+		for _, w := range weights {
+			total += w
+		}
 		for _, strategy := range []parallel.Strategy{parallel.BalanceWeights, parallel.EqualRows} {
 			ranges := parallel.Partition(weights, align, parts, strategy)
 			if len(ranges) != parts {
 				return false
 			}
-			// Contiguous cover of [0, rows) with aligned boundaries.
+			// Contiguous cover of [0, rows) with aligned boundaries: the
+			// cuts are monotone and every row lands in exactly one part.
 			pos := 0
+			var covered int64
 			for _, rr := range ranges {
 				if rr[0] != pos || rr[1] < rr[0] {
 					return false
@@ -49,9 +55,16 @@ func TestPartitionInvariants(t *testing.T) {
 				if rr[1]%align != 0 && rr[1] != rows {
 					return false
 				}
+				for r := rr[0]; r < rr[1]; r++ {
+					covered += weights[r]
+				}
 				pos = rr[1]
 			}
 			if pos != rows {
+				return false
+			}
+			// Weight conservation: the parts carry the whole matrix.
+			if covered != total {
 				return false
 			}
 		}
@@ -378,5 +391,128 @@ func TestMorePartsThanRows(t *testing.T) {
 	m.MulVec(x, want)
 	if !floats.EqualWithin(got, want, 1e-12) {
 		t.Error("oversubscribed parallel multiply wrong")
+	}
+}
+
+// TestMulVecsMatchesMulVecBitForBit is the panel-path correctness
+// property: for every format family and panel width, the pooled MulVecs
+// must reproduce k pooled MulVec calls exactly — each panel column runs
+// the same kernels in the same accumulation order, so not even the last
+// bit may differ.
+func TestMulVecsMatchesMulVecBitForBit(t *testing.T) {
+	leakcheck.Check(t)
+	corpus := testmat.Corpus[float64]()
+	for name, m := range corpus {
+		insts := map[string]formats.Instance[float64]{
+			"CSR":       csr.FromCOO(m, blocks.Scalar),
+			"BCSR(2x3)": bcsr.New(m, 2, 3, blocks.Vector),
+			"BCSR-DEC":  bcsr.NewDecomposed(m, 4, 2, blocks.Scalar),
+			"UBCSR":     ubcsr.New(m, 2, 2, blocks.Scalar),
+			"BCSD(d4)":  bcsd.New(m, 4, blocks.Scalar),
+			"BCSD-DEC":  bcsd.NewDecomposed(m, 4, blocks.Vector),
+			"1D-VBL":    vbl.New(m, blocks.Scalar),
+			"VBR":       vbr.New(m, blocks.Scalar),
+			"DCSR":      dcsr.New(m),
+			"MultiDec":  multidec.New(m, 2, 2, 4, blocks.Scalar),
+		}
+		for iname, inst := range insts {
+			for _, k := range []int{1, 2, 3, 8} {
+				x := make([][]float64, k)
+				want := make([][]float64, k)
+				got := make([][]float64, k)
+				for l := 0; l < k; l++ {
+					x[l] = floats.RandVector[float64](m.Cols(), int64(101+l))
+					want[l] = make([]float64, m.Rows())
+					got[l] = make([]float64, m.Rows())
+				}
+				for _, parts := range []int{1, 4} {
+					t.Run(fmt.Sprintf("%s/%s/k%d/p%d", name, iname, k, parts), func(t *testing.T) {
+						pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+						defer pm.Close()
+						for l := range x {
+							if err := pm.MulVec(x[l], want[l]); err != nil {
+								t.Fatal(err)
+							}
+						}
+						// Twice: the panel scratch must be reusable.
+						if err := pm.MulVecs(x, got); err != nil {
+							t.Fatal(err)
+						}
+						if err := pm.MulVecs(x, got); err != nil {
+							t.Fatal(err)
+						}
+						for l := range want {
+							for i := range want[l] {
+								if got[l][i] != want[l][i] {
+									t.Fatalf("y[%d][%d] = %x, MulVec %x: panel result not bit-identical",
+										l, i, got[l][i], want[l][i])
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestMulVecsEdgeCases covers the degenerate panels: an empty panel is a
+// no-op, and panel shape mismatches surface as typed errors rather than
+// panics.
+func TestMulVecsEdgeCases(t *testing.T) {
+	m := testmat.Random[float64](40, 30, 0.1, 41)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	pm := parallel.NewMul(inst, 2, parallel.BalanceWeights)
+	defer pm.Close()
+
+	if err := pm.MulVecs(nil, nil); err != nil {
+		t.Errorf("empty panel: %v, want nil", err)
+	}
+	x := [][]float64{floats.RandVector[float64](30, 42)}
+	y := [][]float64{make([]float64, 40), make([]float64, 40)}
+	var pe *formats.PanelError
+	if err := pm.MulVecs(x, y); !errors.As(err, &pe) {
+		t.Errorf("mismatched panel widths: %v, want *formats.PanelError", err)
+	}
+	bad := [][]float64{make([]float64, 39)}
+	var de *formats.DimError
+	if err := pm.MulVecs(x, bad); !errors.As(err, &de) {
+		t.Errorf("short output vector: %v, want *formats.DimError", err)
+	}
+}
+
+// TestMulVecsAfterCloseErrors mirrors TestMulVecAfterCloseErrors for the
+// panel path.
+func TestMulVecsAfterCloseErrors(t *testing.T) {
+	m := testmat.Random[float64](40, 40, 0.1, 43)
+	pm := parallel.NewMul(csr.FromCOO(m, blocks.Scalar), 2, parallel.BalanceWeights)
+	pm.Close()
+	x := [][]float64{make([]float64, 40)}
+	y := [][]float64{make([]float64, 40)}
+	if err := pm.MulVecs(x, y); !errors.Is(err, parallel.ErrClosed) {
+		t.Errorf("MulVecs after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestMulVecsZeroAllocs is the panel analogue of TestMulVecZeroAllocs:
+// after the first call grows the persistent panel scratch, repeated
+// pooled MulVecs calls must not allocate.
+func TestMulVecsZeroAllocs(t *testing.T) {
+	m := testmat.Random[float64](8000, 8000, 0.002, 21)
+	inst := csr.FromCOO(m, blocks.Scalar)
+	const k = 8
+	x := make([][]float64, k)
+	y := make([][]float64, k)
+	for l := 0; l < k; l++ {
+		x[l] = floats.RandVector[float64](8000, int64(50+l))
+		y[l] = make([]float64, 8000)
+	}
+	for _, parts := range []int{1, 4} {
+		pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+		pm.MulVecs(x, y) // warm up the panel scratch
+		if allocs := testing.AllocsPerRun(100, func() { pm.MulVecs(x, y) }); allocs != 0 {
+			t.Errorf("parts=%d: MulVecs allocates %v times per call, want 0", parts, allocs)
+		}
+		pm.Close()
 	}
 }

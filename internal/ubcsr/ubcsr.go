@@ -297,6 +297,69 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 	}
 }
 
+// MulRangeMulti implements formats.Instance, mirroring MulRange with
+// the generated multi-RHS kernel on interior block rows and per-column
+// clipped loops on the edges; every panel column is bit-identical to a
+// single-vector MulRange.
+func (a *Matrix[T]) MulRangeMulti(x, y []T, k, r0, r1 int) {
+	if k == 0 {
+		return
+	}
+	r, c := a.r, a.c
+	if r0%r != 0 || (r1%r != 0 && r1 != a.rows) {
+		panic(fmt.Sprintf("ubcsr: MulRangeMulti [%d,%d) not aligned to block height %d", r0, r1, r))
+	}
+	kern := kernels.RectMultiIx[T, int32](r, c, a.impl, k)
+	if kern == nil {
+		kern = kernels.RectGenericMultiIx[T, int32](r, c)
+	}
+	elems := r * c
+	br0, br1 := r0/r, (r1+r-1)/r
+	for br := br0; br < br1; br++ {
+		lo, hi := int(a.browPtr[br]), int(a.browPtr[br+1])
+		if lo == hi {
+			continue
+		}
+		bvals := a.bval[lo*elems : hi*elems]
+		bcols := a.bcol[lo:hi]
+		rowStart := br * r
+		if rowStart+r <= a.rows {
+			kern(bvals, bcols, x, y[rowStart*k:(rowStart+r)*k], k)
+		} else {
+			for b := range bcols {
+				col := int(bcols[b])
+				v := bvals[b*elems : (b+1)*elems]
+				for bi := 0; rowStart+bi < a.rows; bi++ {
+					for l := 0; l < k; l++ {
+						var acc T
+						for bj := 0; bj < c; bj++ {
+							acc += v[bi*c+bj] * x[(col+bj)*k+l]
+						}
+						y[(rowStart+bi)*k+l] += acc
+					}
+				}
+			}
+		}
+	}
+	for ei, br := range a.edgeBRow {
+		if int(br) < br0 || int(br) >= br1 {
+			continue
+		}
+		col := int(a.edgeCol[ei])
+		v := a.edgeVal[ei*elems : (ei+1)*elems]
+		rowStart := int(br) * r
+		for bi := 0; bi < r && rowStart+bi < a.rows; bi++ {
+			for l := 0; l < k; l++ {
+				var acc T
+				for bj := 0; bj < c && col+bj < a.cols; bj++ {
+					acc += v[bi*c+bj] * x[(col+bj)*k+l]
+				}
+				y[(rowStart+bi)*k+l] += acc
+			}
+		}
+	}
+}
+
 var _ formats.Instance[float64] = (*Matrix[float64])(nil)
 
 func sortUnique(a *[]int32) {

@@ -245,6 +245,49 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 	}
 }
 
+// MulRangeMulti implements formats.Instance: each row's block walk is
+// replayed per panel column from the row's saved cursors (val and block
+// metadata stay cache-resident within a row), reproducing MulRange's
+// four-chain accumulation order per column bit for bit with strided
+// panel gathers.
+func (a *Matrix[T]) MulRangeMulti(x, y []T, k, r0, r1 int) {
+	if r0 < 0 || r1 > a.rows || r0 > r1 {
+		panic(fmt.Sprintf("vbl: MulRangeMulti [%d,%d) out of bounds", r0, r1))
+	}
+	if k == 0 {
+		return
+	}
+	val, bcol := a.val, a.bcol
+	for r := r0; r < r1; r++ {
+		vi0, end := int(a.rowPtr[r]), int(a.rowPtr[r+1])
+		bi0 := int(a.rowBlk[r])
+		for l := 0; l < k; l++ {
+			vi, bi := vi0, bi0
+			var acc T
+			for vi < end {
+				c := int(bcol[bi])
+				n := a.blockLen(bi)
+				bi++
+				v := val[vi : vi+n]
+				j := 0
+				var a0, a1, a2, a3 T
+				for ; j+4 <= n; j += 4 {
+					a0 += v[j] * x[(c+j)*k+l]
+					a1 += v[j+1] * x[(c+j+1)*k+l]
+					a2 += v[j+2] * x[(c+j+2)*k+l]
+					a3 += v[j+3] * x[(c+j+3)*k+l]
+				}
+				for ; j < n; j++ {
+					a0 += v[j] * x[(c+j)*k+l]
+				}
+				acc += a0 + a1 + a2 + a3
+				vi += n
+			}
+			y[r*k+l] += acc
+		}
+	}
+}
+
 var _ formats.Instance[float64] = (*Matrix[float64])(nil)
 
 // WithImpl implements formats.Instance. 1D-VBL has a single kernel; the

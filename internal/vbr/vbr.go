@@ -193,8 +193,9 @@ func (a *Matrix[T]) Components() []formats.Component {
 
 // RowAlign implements formats.Instance. VBR row ranges must respect the
 // pattern partition, which is data-dependent; the executor treats VBR as
-// unsplittable by returning the full row count.
-func (a *Matrix[T]) RowAlign() int { return a.rows }
+// unsplittable by returning the full row count (floored at 1 so an empty
+// matrix still reports a valid alignment).
+func (a *Matrix[T]) RowAlign() int { return max(a.rows, 1) }
 
 // RowWeights implements formats.Instance.
 func (a *Matrix[T]) RowWeights() []int64 {
@@ -248,6 +249,38 @@ func (a *Matrix[T]) MulRange(x, y []T, r0, r1 int) {
 				col := block[c*h : c*h+h]
 				for r := 0; r < h; r++ {
 					y[rowStart+r] += col[r] * xv
+				}
+			}
+		}
+	}
+}
+
+// MulRangeMulti implements formats.Instance. Only the full range is
+// supported (see RowAlign). Like MulRange, blocks accumulate term by
+// term directly into the output panel; for each panel column the
+// per-element order matches MulRange bit for bit.
+func (a *Matrix[T]) MulRangeMulti(x, y []T, k, r0, r1 int) {
+	if r0 != 0 || r1 != a.rows {
+		panic("vbr: MulRangeMulti supports only the full row range")
+	}
+	if k == 0 {
+		return
+	}
+	for bi := 0; bi+1 < len(a.rpntr); bi++ {
+		rowStart := int(a.rpntr[bi])
+		h := int(a.rpntr[bi+1]) - rowStart
+		for blk := a.browPtr[bi]; blk < a.browPtr[bi+1]; blk++ {
+			bj := a.bcolInd[blk]
+			colStart := int(a.cpntr[bj])
+			w := int(a.cpntr[bj+1]) - colStart
+			block := a.val[a.valPtr[blk]:a.valPtr[blk+1]]
+			for c := 0; c < w; c++ {
+				col := block[c*h : c*h+h]
+				for l := 0; l < k; l++ {
+					xv := x[(colStart+c)*k+l]
+					for r := 0; r < h; r++ {
+						y[(rowStart+r)*k+l] += col[r] * xv
+					}
 				}
 			}
 		}
