@@ -9,7 +9,8 @@
 GO ?= go
 
 RACE_PKGS = ./internal/workpool ./internal/parallel ./internal/vecops ./internal/solver \
-    ./internal/conformance ./internal/csrdu ./internal/faultcheck
+    ./internal/conformance ./internal/csrdu ./internal/faultcheck \
+    ./internal/server ./internal/metrics
 
 FUZZTIME ?= 5s
 
@@ -47,6 +48,8 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadMatrixMarket$$' -fuzztime $(FUZZTIME) ./internal/mat
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) ./internal/profile
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeVector$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/server
 
 bench:
 	$(GO) test -bench 'MulVecWorkers|SolveCGWorkers' -benchmem \
@@ -54,11 +57,15 @@ bench:
 
 # bench-json regenerates the tracked machine-readable benchmark
 # artifacts: BENCH_compress.json (index-compression experiment: bytes/nnz,
-# measured and MEM-predicted speedup per format) and BENCH_spmm.json
+# measured and MEM-predicted speedup per format), BENCH_spmm.json
 # (multi-RHS panel multiply vs independent SpMVs per panel width, with
-# the MEM-with-k predicted speedup).
+# the MEM-with-k predicted speedup) and BENCH_serve.json (spmvd request
+# coalescing: closed-loop throughput/latency batched vs unbatched).
 bench-json:
 	$(GO) run ./cmd/spmvbench -experiment compress -scale small \
 	    -iterations 20 -json BENCH_compress.json
 	$(GO) run ./cmd/spmvbench -experiment spmm -scale small \
 	    -iterations 20 -cores 1,2,4 -rhs 1,2,4,8 -json BENCH_spmm.json
+	$(GO) run ./cmd/spmvload -clients 8 -duration 2s -batch 8 \
+	    -n 16384 -density 0.008 -workers 1 -window 3ms -detect=false \
+	    -json BENCH_serve.json

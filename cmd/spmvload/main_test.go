@@ -1,0 +1,86 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"blockspmv/internal/bench"
+)
+
+// TestSelfhostSmoke runs a miniature self-hosted measurement: both
+// phases complete over real HTTP, the batched phase reports a server
+// mean panel width, and the -json report round-trips through the bench
+// report schema.
+func TestSelfhostSmoke(t *testing.T) {
+	res, mach, err := run(options{
+		clients: 4, duration: 100 * time.Millisecond, warmup: 20 * time.Millisecond,
+		batch: 4, workers: 2, window: 100 * time.Microsecond,
+		n: 96, density: 0.05, seed: 7,
+		log: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("phases = %d, want 2 (unbatched + batched)", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Requests == 0 || pt.QPS <= 0 || pt.P50 <= 0 || pt.P99 < pt.P50 {
+			t.Errorf("%s phase stats implausible: %+v", pt.Mode, pt)
+		}
+	}
+	if mb := res.Points[1].MeanBatch; mb < 1 {
+		t.Errorf("batched phase mean batch = %v, want >= 1 (scraped from /metrics)", mb)
+	}
+	if res.Speedup <= 0 {
+		t.Errorf("speedup = %v, want > 0", res.Speedup)
+	}
+
+	path := filepath.Join(t.TempDir(), "serve.json")
+	rep := &bench.Report{Machine: mach, Scale: "serve"}
+	rep.AddServe(res)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := bench.LoadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("report records = %d, want 2", len(got.Records))
+	}
+	for _, rec := range got.Records {
+		if rec.Experiment != "serve" || rec.QPS <= 0 || rec.Clients != 4 {
+			t.Errorf("record implausible: %+v", rec)
+		}
+	}
+	if got.Records[1].Format != "batched" || got.Records[1].SpeedupVsUnbatched <= 0 {
+		t.Errorf("batched record missing speedup: %+v", got.Records[1])
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	lats := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 4 * time.Millisecond}
+	if q := quantile(lats, 0.5); q != (2 * time.Millisecond).Seconds() {
+		t.Errorf("p50 = %v", q)
+	}
+	if q := quantile(lats, 1.0); q != (4 * time.Millisecond).Seconds() {
+		t.Errorf("p100 = %v", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}

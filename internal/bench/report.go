@@ -32,6 +32,19 @@ type ReportRecord struct {
 	// SpeedupVsIndependent is filled by the spmm experiment: one pooled
 	// k-wide MulVecs panel against k independent pooled MulVec calls.
 	SpeedupVsIndependent float64 `json:"speedup_vs_independent,omitempty"`
+	// The serve experiment (cmd/spmvload against a spmvd instance) fills
+	// the fields below: closed-loop client throughput and latency with
+	// the server coalescing concurrent requests into SpMM panels.
+	Clients   int     `json:"clients,omitempty"`
+	QPS       float64 `json:"qps,omitempty"`
+	P50Ms     float64 `json:"p50_ms,omitempty"`
+	P95Ms     float64 `json:"p95_ms,omitempty"`
+	P99Ms     float64 `json:"p99_ms,omitempty"`
+	MeanBatch float64 `json:"mean_batch,omitempty"`
+	ShedRate  float64 `json:"shed_rate,omitempty"`
+	// SpeedupVsUnbatched compares batched throughput against the same
+	// load served with coalescing disabled (-batch=1).
+	SpeedupVsUnbatched float64 `json:"speedup_vs_unbatched,omitempty"`
 }
 
 // Report is the serializable result set of a benchmark run.

@@ -1,0 +1,67 @@
+package bench
+
+// ServePoint is one load-generator phase against a running spmvd: a
+// closed loop of Clients concurrent callers issuing MulVec requests
+// against one matrix, with the server's batch window either open
+// (coalescing into SpMM panels) or pinned to 1.
+type ServePoint struct {
+	// Mode labels the phase: "batched" or "unbatched".
+	Mode    string
+	Clients int
+	// Requests is the number of completed (2xx) requests in the phase.
+	Requests int
+	// Shed counts requests the server refused with 503 overloaded.
+	Shed    int
+	Seconds float64
+	QPS     float64
+	// P50/P95/P99 are client-observed request latencies in seconds.
+	P50, P95, P99 float64
+	// MeanBatch is the server-reported mean panel width k over the
+	// phase (from the spmvd_batch_size histogram delta).
+	MeanBatch float64
+}
+
+// ServeResult is one spmvload run: the batched and unbatched phases
+// over the same matrix and client count.
+type ServeResult struct {
+	Matrix  string
+	Rows    int
+	NNZ     int64
+	Points  []ServePoint
+	Speedup float64 // batched QPS / unbatched QPS
+}
+
+// AddServe appends the serving experiment's measurements: one record
+// per phase, with the batched record carrying the throughput gain over
+// the unbatched phase.
+func (r *Report) AddServe(res ServeResult) {
+	for _, p := range res.Points {
+		shedRate := 0.0
+		if total := p.Requests + p.Shed; total > 0 {
+			shedRate = float64(p.Shed) / float64(total)
+		}
+		rec := ReportRecord{
+			Experiment: "serve",
+			Matrix:     res.Matrix,
+			Precision:  "dp",
+			Format:     p.Mode,
+			NNZ:        res.NNZ,
+			Clients:    p.Clients,
+			QPS:        p.QPS,
+			P50Ms:      p.P50 * 1e3,
+			P95Ms:      p.P95 * 1e3,
+			P99Ms:      p.P99 * 1e3,
+			MeanBatch:  p.MeanBatch,
+			ShedRate:   shedRate,
+			// One SpMV per request: GFlops follows throughput.
+			GFlops: 2 * float64(res.NNZ) * p.QPS / 1e9,
+		}
+		if p.QPS > 0 {
+			rec.MsPerSpMV = 1e3 / p.QPS
+		}
+		if p.Mode == "batched" {
+			rec.SpeedupVsUnbatched = res.Speedup
+		}
+		r.Records = append(r.Records, rec)
+	}
+}

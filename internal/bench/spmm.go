@@ -182,9 +182,9 @@ type TbKPoint struct {
 
 // TbKResult is the t_b(k) profile of the CSR panel kernel.
 type TbKResult struct {
-	Precision      string
+	Precision       string
 	SideL1, SideLLC int
-	Points         []TbKPoint
+	Points          []TbKPoint
 }
 
 // SpMMTb profiles t_b(k) — the per-block (here per-nonzero) per-RHS cost

@@ -127,6 +127,9 @@ func ReadMatrixMarketLimited[T floats.Float](r io.Reader, lim Limits) (*COO[T], 
 	if err := CheckDims(rows, cols); err != nil {
 		return nil, err
 	}
+	if symmetry != "general" && rows != cols {
+		return nil, fmt.Errorf("mat: %s matrix must be square, got %dx%d", symmetry, rows, cols)
+	}
 	declared := int64(rows) * int64(cols)
 	if layout == "coordinate" {
 		nnz, err := strconv.ParseInt(sizes[2], 10, 64)

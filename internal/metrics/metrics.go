@@ -1,0 +1,190 @@
+// Package metrics is a dependency-free instrumentation kit for the
+// serving subsystem: counters, gauges and latency histograms with atomic
+// hot paths, collected in a Registry that renders the Prometheus text
+// exposition format and a JSON-friendly snapshot for expvar.
+//
+// The write paths — Counter.Inc/Add, Gauge.Set/Add, Histogram.Observe —
+// are safe for concurrent use from any number of goroutines and perform
+// no allocations, so they can sit on the per-request hot path of the
+// SpMV service without perturbing the latencies they measure.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value (queue depth, cached bytes).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// kind tags a registered metric for the exposition writers.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind kind
+	m    any
+}
+
+// Registry is a named collection of metrics. Registration methods are
+// idempotent: asking for a name again returns the existing metric, and
+// asking for it with a different kind panics (a programming error, like
+// a duplicate flag). The zero Registry is ready to use.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(name, help string, k kind, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entries == nil {
+		r.entries = make(map[string]*entry)
+	}
+	if e, ok := r.entries[name]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("metrics: %q re-registered with a different kind", name))
+		}
+		return e.m
+	}
+	e := &entry{name: name, help: help, kind: k, m: mk()}
+	r.entries[name] = e
+	r.order = append(r.order, name)
+	return e.m
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (nil selects
+// DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, help, kindHistogram, func() any { return NewHistogram(bounds) }).(*Histogram)
+}
+
+// snapshot returns the entries in registration order without holding the
+// lock during rendering.
+func (r *Registry) ordered() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.entries[name])
+	}
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, e := range r.ordered() {
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				e.name, e.help, e.name, e.name, e.m.(*Counter).Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+				e.name, e.help, e.name, e.name, e.m.(*Gauge).Value())
+		case kindHistogram:
+			err = e.m.(*Histogram).writePrometheus(w, e.name, e.help)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HistogramSnapshot is the JSON-friendly summary of a histogram exposed
+// through Snapshot (and from there through /debug/vars).
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot returns every metric as a JSON-marshalable value keyed by
+// name: counters and gauges as numbers, histograms as
+// HistogramSnapshot. The serving layer publishes this through expvar.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, e := range r.ordered() {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = e.m.(*Counter).Value()
+		case kindGauge:
+			out[e.name] = e.m.(*Gauge).Value()
+		case kindHistogram:
+			h := e.m.(*Histogram)
+			out[e.name] = HistogramSnapshot{
+				Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
+				P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+			}
+		}
+	}
+	return out
+}
+
+// Names returns the registered metric names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	sort.Strings(out)
+	return out
+}

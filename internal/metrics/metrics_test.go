@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var r Registry
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	var r Registry
+	a := r.Counter("c", "help")
+	b := r.Counter("c", "help")
+	if a != b {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("c", "help")
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-106.5) > 1e-12 {
+		t.Fatalf("sum = %g, want 106.5", got)
+	}
+	if got := h.Mean(); math.Abs(got-21.3) > 1e-12 {
+		t.Fatalf("mean = %g, want 21.3", got)
+	}
+	// 3 of 5 observations are <= 2, so the median sits in the (1,2] bucket.
+	if q := h.Quantile(0.5); q <= 1 || q > 2 {
+		t.Fatalf("p50 = %g, want in (1, 2]", q)
+	}
+	// The +Inf bucket reports the largest finite bound.
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %g, want 8", q)
+	}
+	if q := NewHistogram(nil).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	for i := 0; i < 100; i++ {
+		h.Observe(5) // all in the first bucket
+	}
+	// Interpolation walks the (0,10] bucket linearly.
+	if q := h.Quantile(0.5); math.Abs(q-5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 5", q)
+	}
+}
+
+func TestObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram(nil)
+	c := new(Counter)
+	g := new(Gauge)
+	if n := testing.AllocsPerRun(100, func() {
+		h.Observe(3e-3)
+		c.Inc()
+		g.Add(1)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v times per op, want 0", n)
+	}
+}
+
+// TestConcurrentWriters hammers every metric type from many goroutines;
+// correctness of the totals plus the race detector (make race) cover the
+// atomic hot paths.
+func TestConcurrentWriters(t *testing.T) {
+	var r Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	const workers, each = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%5) + 0.5)
+			}
+		}(w)
+	}
+	// Concurrent readers must be safe too.
+	for i := 0; i < 100; i++ {
+		_ = h.Quantile(0.95)
+		_ = r.Snapshot()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if got := g.Value(); got != workers*each {
+		t.Fatalf("gauge = %d, want %d", got, workers*each)
+	}
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("histogram count = %d, want %d", got, workers*each)
+	}
+	wantSum := float64(workers) * (10000.0 / 5.0) * (0.5 + 1.5 + 2.5 + 3.5 + 4.5)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum {
+		t.Fatalf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var r Registry
+	r.Counter("spmvd_requests_total", "served requests").Add(3)
+	r.Gauge("spmvd_queue_depth", "queued requests").Set(2)
+	h := r.Histogram("spmvd_request_seconds", "request latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(7)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE spmvd_requests_total counter",
+		"spmvd_requests_total 3",
+		"# TYPE spmvd_queue_depth gauge",
+		"spmvd_queue_depth 2",
+		"# TYPE spmvd_request_seconds histogram",
+		`spmvd_request_seconds_bucket{le="0.01"} 1`,
+		`spmvd_request_seconds_bucket{le="0.1"} 2`,
+		`spmvd_request_seconds_bucket{le="+Inf"} 3`,
+		"spmvd_request_seconds_sum 7.055",
+		"spmvd_request_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	var r Registry
+	r.Counter("c", "").Add(2)
+	h := r.Histogram("h", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	snap := r.Snapshot()
+	if got := snap["c"].(uint64); got != 2 {
+		t.Fatalf("snapshot counter = %v, want 2", got)
+	}
+	hs := snap["h"].(HistogramSnapshot)
+	if hs.Count != 2 || math.Abs(hs.Sum-5.5) > 1e-12 {
+		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+}

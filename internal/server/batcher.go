@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"blockspmv/internal/formats"
+	"blockspmv/internal/parallel"
+)
+
+// request is one admitted MulVec request travelling through a batcher.
+type request struct {
+	ctx context.Context
+	x   []float64
+	y   []float64 // result, written by the batch loop before done is signalled
+	enq time.Time
+	// done carries the request's outcome. Buffered so the batch loop
+	// never blocks on a caller that gave up (cancellation mid-batch).
+	done chan error
+}
+
+// batcher coalesces concurrent single-vector MulVec requests against one
+// matrix into k-wide panels and dispatches them through the pooled
+// MulVecs path, so the matrix stream — the resource SpMV saturates — is
+// paid once per panel instead of once per request.
+//
+// Requests enter through a bounded channel (the admission queue); a full
+// queue sheds with ErrOverloaded instead of building an unbounded
+// backlog. A single loop goroutine owns the parallel.Mul pool (whose
+// MulVec/MulVecs contract is single-caller): it takes the first waiting
+// request, then gathers more for at most window — or until max are in
+// hand — and dispatches the batch as one panel. Under low load the
+// window expires with one request in hand and the loop falls back to the
+// plain single-vector MulVec, paying no panel pack/unpack.
+//
+// close drains rather than aborts: the in-flight batch completes and
+// replies normally, every request still queued is shed with
+// ErrOverloaded, then the pool is retired. A request whose context is
+// canceled while queued is dropped at dispatch time (its submit already
+// returned ctx.Err()); the shared panel is never poisoned by
+// cancellation — only a kernel panic poisons the pool, and that reaches
+// every requester of this matrix as a typed error without affecting
+// other matrices, which own their own pools.
+type batcher struct {
+	pool   *parallel.Mul[float64]
+	rows   int
+	max    int           // panel width cap; 1 disables coalescing
+	window time.Duration // how long to hold the first request while gathering
+
+	ch   chan *request
+	stop chan struct{}
+	done chan struct{} // loop exited
+
+	mu     sync.RWMutex // guards closed against in-flight submits
+	closed bool
+
+	in *instruments
+
+	// batch scratch, reused by the loop goroutine only.
+	batch []*request
+	xs    [][]float64
+	ys    [][]float64
+}
+
+// newBatcher starts the batch loop over a freshly built pool. depth is
+// the admission-queue bound, max the panel-width cap, window the
+// gathering timeout; all are already defaulted by the caller.
+func newBatcher(pool *parallel.Mul[float64], max int, window time.Duration, depth int, in *instruments) *batcher {
+	b := &batcher{
+		pool:   pool,
+		rows:   pool.Instance().Rows(),
+		max:    max,
+		window: window,
+		ch:     make(chan *request, depth),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		in:     in,
+	}
+	go b.loop()
+	return b
+}
+
+// submit admits one request and blocks until it is answered or ctx is
+// done. The returned vector is freshly allocated per request (responses
+// race with subsequent batches otherwise). Shedding — queue full or
+// batcher draining — fails fast with ErrOverloaded.
+func (b *batcher) submit(ctx context.Context, x []float64) ([]float64, error) {
+	b.in.reqTotal.Inc()
+	r := &request{ctx: ctx, x: x, y: make([]float64, b.rows), enq: time.Now(), done: make(chan error, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		b.in.reqShed.Inc()
+		return nil, ErrOverloaded
+	}
+	select {
+	case b.ch <- r:
+		b.mu.RUnlock()
+		b.in.queueDepth.Add(1)
+	default:
+		b.mu.RUnlock()
+		b.in.reqShed.Inc()
+		return nil, ErrOverloaded
+	}
+	select {
+	case err := <-r.done:
+		b.observeReply(r, err)
+		if err != nil {
+			return nil, err
+		}
+		return r.y, nil
+	case <-ctx.Done():
+		b.in.reqCanceled.Inc()
+		return nil, ctx.Err()
+	}
+}
+
+// observeReply classifies a loop-delivered outcome for the counters.
+func (b *batcher) observeReply(r *request, err error) {
+	b.in.reqTime.Observe(time.Since(r.enq).Seconds())
+	switch {
+	case err == nil:
+		b.in.reqOK.Inc()
+	case err == ErrOverloaded:
+		b.in.reqShed.Inc()
+	case err == context.Canceled || err == context.DeadlineExceeded:
+		b.in.reqCanceled.Inc()
+	default:
+		b.in.reqPanic.Inc()
+	}
+}
+
+// loop is the single goroutine that owns the pool: gather, dispatch,
+// reply, forever — until stop, when it sheds the remaining queue.
+func (b *batcher) loop() {
+	defer close(b.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		// Prefer the stop signal over more work: once draining begins the
+		// queue is shed, not served (select alone would pick at random).
+		select {
+		case <-b.stop:
+			b.shedQueued()
+			return
+		default:
+		}
+		select {
+		case <-b.stop:
+			b.shedQueued()
+			return
+		case r := <-b.ch:
+			b.in.queueDepth.Add(-1)
+			b.gather(r, timer)
+			b.execute()
+		}
+	}
+}
+
+// gather fills b.batch with the first request plus whatever else arrives
+// within the window, up to max. A stop signal ends gathering early but
+// the gathered batch still executes (those requests are in flight, and
+// the drain contract completes in-flight work).
+func (b *batcher) gather(first *request, timer *time.Timer) {
+	b.batch = append(b.batch[:0], first)
+	if b.max <= 1 || b.window <= 0 {
+		return
+	}
+	timer.Reset(b.window)
+	defer func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}()
+	for len(b.batch) < b.max {
+		select {
+		case r := <-b.ch:
+			b.in.queueDepth.Add(-1)
+			b.batch = append(b.batch, r)
+		case <-timer.C:
+			return
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+// execute dispatches the gathered batch: canceled requests are dropped
+// (their submit already returned), one live request goes through the
+// single-vector path, several go through one MulVecs panel. Every live
+// request receives the dispatch error — nil, or the typed pool error.
+func (b *batcher) execute() {
+	now := time.Now()
+	live := b.batch[:0]
+	for _, r := range b.batch {
+		if r.ctx.Err() != nil {
+			r.done <- r.ctx.Err() // nobody may be listening; buffered
+			continue
+		}
+		b.in.queueWait.Observe(now.Sub(r.enq).Seconds())
+		live = append(live, r)
+	}
+	b.batch = live
+	if len(live) == 0 {
+		return
+	}
+	b.in.batchSize.Observe(float64(len(live)))
+	var err error
+	start := time.Now()
+	if len(live) == 1 {
+		err = b.pool.MulVec(live[0].x, live[0].y)
+	} else {
+		b.xs, b.ys = b.xs[:0], b.ys[:0]
+		for _, r := range live {
+			b.xs = append(b.xs, r.x)
+			b.ys = append(b.ys, r.y)
+		}
+		err = b.pool.MulVecs(b.xs, b.ys)
+	}
+	b.in.execTime.Observe(time.Since(start).Seconds())
+	for _, r := range live {
+		r.done <- err
+	}
+}
+
+// shedQueued replies ErrOverloaded to everything still in the queue.
+// It runs after the close flag is set under the write lock, so no new
+// submit can enqueue afterwards and draining to empty is final.
+func (b *batcher) shedQueued() {
+	for {
+		select {
+		case r := <-b.ch:
+			b.in.queueDepth.Add(-1)
+			r.done <- ErrOverloaded
+		default:
+			return
+		}
+	}
+}
+
+// close drains and retires the batcher: new submits shed immediately,
+// the loop finishes its in-flight batch, sheds the queue and exits, and
+// the pool workers are closed. Idempotent.
+func (b *batcher) close() {
+	b.mu.Lock()
+	already := b.closed
+	b.closed = true
+	b.mu.Unlock()
+	if !already {
+		close(b.stop)
+	}
+	<-b.done
+	b.pool.Close()
+}
+
+// poolFor builds the pooled executor the batcher dispatches through.
+func poolFor(inst formats.Instance[float64], workers int) *parallel.Mul[float64] {
+	return parallel.NewMul(inst, workers, parallel.BalanceWeights)
+}

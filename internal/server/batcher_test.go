@@ -1,0 +1,291 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/leakcheck"
+	"blockspmv/internal/testmat"
+)
+
+// slowInst wraps a format with kernels that sleep, so tests can hold a
+// batch in flight long enough to observe queueing, shedding and drain.
+type slowInst[T floats.Float] struct {
+	formats.Instance[T]
+	d time.Duration
+}
+
+func (s *slowInst[T]) Mul(x, y []T) {
+	time.Sleep(s.d)
+	s.Instance.Mul(x, y)
+}
+
+func (s *slowInst[T]) MulRange(x, y []T, r0, r1 int) {
+	time.Sleep(s.d)
+	s.Instance.MulRange(x, y, r0, r1)
+}
+
+func (s *slowInst[T]) MulRangeMulti(x, y []T, k, r0, r1 int) {
+	time.Sleep(s.d)
+	s.Instance.MulRangeMulti(x, y, k, r0, r1)
+}
+
+// TestBatcherCoalesces fires a burst of concurrent requests and checks
+// that (a) every result is exact and (b) the batch-size metric proves
+// k>1 panels actually formed.
+func TestBatcherCoalesces(t *testing.T) {
+	leakcheck.Check(t)
+	g := NewRegistry(Config{
+		Workers:     2,
+		BatchMax:    8,
+		BatchWindow: 5 * time.Millisecond,
+		QueueDepth:  64,
+	}, nil)
+	defer g.Close()
+	m := testmat.Random[float64](80, 60, 0.15, 7)
+	if _, err := g.RegisterMatrix("m", m); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	results := make([][]float64, clients)
+	xs := make([][]float64, clients)
+	for c := 0; c < clients; c++ {
+		x := testVec(60)
+		x[0] = float64(c + 1) // distinct inputs: cross-request mixups must show
+		xs[c] = x
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c], errs[c] = g.MulVec(context.Background(), "m", xs[c])
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			t.Fatalf("client %d: %v", c, errs[c])
+		}
+		want := refMul(m, xs[c])
+		for i := range want {
+			if math.Abs(results[c][i]-want[i]) > 1e-12 {
+				t.Fatalf("client %d: y[%d] = %g, want %g", c, i, results[c][i], want[i])
+			}
+		}
+	}
+	if mean := g.in.MeanBatch(); mean <= 1 {
+		t.Fatalf("mean batch size = %g: no coalescing happened", mean)
+	}
+	if ok := g.in.reqOK.Value(); ok != clients {
+		t.Fatalf("reqOK = %d, want %d", ok, clients)
+	}
+}
+
+// TestBatcherSingleUnderLowLoad checks the low-load fallback: strictly
+// sequential requests never wait out a full window with company, and
+// every dispatch is a single-vector multiply.
+func TestBatcherSingleUnderLowLoad(t *testing.T) {
+	leakcheck.Check(t)
+	g := NewRegistry(Config{Workers: 2, BatchMax: 8, BatchWindow: time.Millisecond}, nil)
+	defer g.Close()
+	m := testmat.Random[float64](30, 30, 0.2, 8)
+	if _, err := g.RegisterMatrix("m", m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := g.MulVec(context.Background(), "m", testVec(30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mean := g.in.MeanBatch(); mean != 1 {
+		t.Fatalf("mean batch size = %g under sequential load, want exactly 1", mean)
+	}
+}
+
+// TestBatcherSheds fills the bounded queue behind a slow kernel and
+// checks admission control: excess requests fail fast with
+// ErrOverloaded and the shed counter records them.
+func TestBatcherSheds(t *testing.T) {
+	leakcheck.Check(t)
+	g := NewRegistry(Config{Workers: 1, BatchMax: 1, QueueDepth: 2}, nil)
+	defer g.Close()
+	m := testmat.Random[float64](20, 20, 0.3, 9)
+	inst, err := buildCSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RegisterInstance("slow", &slowInst[float64]{Instance: inst, d: 50 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 12
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			_, errs[c] = g.MulVec(context.Background(), "slow", testVec(20))
+		}(c)
+	}
+	wg.Wait()
+	var ok, shed int
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrOverloaded):
+			shed++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("ok = %d, shed = %d: want both nonzero (queue depth 2, %d clients)", ok, shed, clients)
+	}
+	if got := g.in.reqShed.Value(); got != uint64(shed) {
+		t.Fatalf("shed counter = %d, want %d", got, shed)
+	}
+}
+
+// TestBatcherCancellationMidBatch cancels one request while the batcher
+// is still gathering its panel: the canceled request returns
+// context.Canceled immediately, the surviving requests in the same
+// window compute exact results, and the pool is not poisoned for later
+// traffic.
+func TestBatcherCancellationMidBatch(t *testing.T) {
+	leakcheck.Check(t)
+	g := NewRegistry(Config{
+		Workers:     2,
+		BatchMax:    4,
+		BatchWindow: 100 * time.Millisecond, // long: the test controls dispatch timing
+		QueueDepth:  16,
+	}, nil)
+	defer g.Close()
+	m := testmat.Random[float64](50, 40, 0.2, 10)
+	if _, err := g.RegisterMatrix("m", m); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	canceledErr := make(chan error, 1)
+	go func() {
+		_, err := g.MulVec(ctx, "m", testVec(40))
+		canceledErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // request is now held in the gathering window
+	cancel()
+	if err := <-canceledErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled request: err = %v, want context.Canceled", err)
+	}
+
+	// Three survivors fill the rest of the window and must be exact.
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	results := make([][]float64, 3)
+	xs := make([][]float64, 3)
+	for c := range errs {
+		xs[c] = testVec(40)
+		xs[c][1] = float64(100 + c)
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c], errs[c] = g.MulVec(context.Background(), "m", xs[c])
+		}(c)
+	}
+	wg.Wait()
+	for c := range errs {
+		if errs[c] != nil {
+			t.Fatalf("survivor %d: %v", c, errs[c])
+		}
+		want := refMul(m, xs[c])
+		for i := range want {
+			if math.Abs(results[c][i]-want[i]) > 1e-12 {
+				t.Fatalf("survivor %d: y[%d] = %g, want %g", c, i, results[c][i], want[i])
+			}
+		}
+	}
+	if n := g.in.reqCanceled.Value(); n == 0 {
+		t.Fatal("canceled counter not incremented")
+	}
+
+	// The shared panel path is still healthy.
+	if _, err := g.MulVec(context.Background(), "m", testVec(40)); err != nil {
+		t.Fatalf("pool poisoned by cancellation: %v", err)
+	}
+}
+
+// TestBatcherExpiredDeadlineDropped submits with an already-expired
+// context: the request must come back with the deadline error, not a
+// computed result, and must not occupy a panel slot.
+func TestBatcherExpiredDeadlineDropped(t *testing.T) {
+	leakcheck.Check(t)
+	g := NewRegistry(Config{Workers: 1, BatchMax: 4, BatchWindow: time.Millisecond}, nil)
+	defer g.Close()
+	m := testmat.Random[float64](20, 20, 0.3, 12)
+	if _, err := g.RegisterMatrix("m", m); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := g.MulVec(ctx, "m", testVec(20)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestBatcherDrainShedsQueue is the shutdown contract at the batcher
+// level: the in-flight batch completes with real results, everything
+// still queued is shed with ErrOverloaded, and close leaves no
+// goroutines (leakcheck).
+func TestBatcherDrainShedsQueue(t *testing.T) {
+	leakcheck.Check(t)
+	g := NewRegistry(Config{Workers: 2, BatchMax: 1, QueueDepth: 8}, nil)
+	m := testmat.Random[float64](30, 30, 0.2, 13)
+	inst, err := buildCSR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RegisterInstance("slow", &slowInst[float64]{Instance: inst, d: 60 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	firstErr := make(chan error, 1)
+	go func() {
+		_, err := g.MulVec(context.Background(), "slow", testVec(30))
+		firstErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // first request is now executing
+
+	const queued = 3
+	var wg sync.WaitGroup
+	queuedErrs := make([]error, queued)
+	for c := 0; c < queued; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			_, queuedErrs[c] = g.MulVec(context.Background(), "slow", testVec(30))
+		}(c)
+	}
+	time.Sleep(10 * time.Millisecond) // they are enqueued behind the slow batch
+	g.Close()
+	wg.Wait()
+
+	if err := <-firstErr; err != nil {
+		t.Fatalf("in-flight request not drained: %v", err)
+	}
+	for c, err := range queuedErrs {
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("queued request %d: err = %v, want ErrOverloaded", c, err)
+		}
+	}
+	if d := g.in.queueDepth.Value(); d != 0 {
+		t.Fatalf("queue depth after drain = %d, want 0", d)
+	}
+}

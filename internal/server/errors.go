@@ -1,0 +1,25 @@
+package server
+
+import "errors"
+
+// ErrOverloaded marks a request shed by admission control: the matrix's
+// bounded request queue was full, or the server was draining at submit
+// time. Clients should back off and retry; the HTTP layer maps it to
+// 503 with a Retry-After header.
+var ErrOverloaded = errors.New("server: overloaded: request shed by admission control")
+
+// ErrNotFound marks a request against a matrix name the registry does
+// not hold.
+var ErrNotFound = errors.New("server: matrix not found")
+
+// ErrCacheFull marks a registration the registry rejected because the
+// new matrix would not fit under the size cap even after evicting every
+// idle entry.
+var ErrCacheFull = errors.New("server: matrix cache full")
+
+// ErrClosed marks an operation on a registry that has been shut down.
+var ErrClosed = errors.New("server: registry closed")
+
+// errBadRequest wraps client mistakes the wire/JSON/header parsers
+// surface, so the HTTP layer can map them all to 400.
+var errBadRequest = errors.New("server: bad request")

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeVector drives the wire codec with arbitrary bytes: decoding
+// must never panic, must never accept a payload whose re-encoding
+// differs (the codec is canonical), and must bound its allocation by
+// the actual body length rather than the declared count.
+func FuzzDecodeVector(f *testing.F) {
+	f.Add(EncodeVector(nil))
+	f.Add(EncodeVector([]float64{1, 2, 3}))
+	f.Add(EncodeVector([]float64{math.NaN(), math.Inf(-1)}))
+	f.Add([]byte("SpV1 not a real payload"))
+	f.Add([]byte{'S', 'p', 'V', '1', 1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	short := EncodeVector([]float64{4, 5})
+	f.Add(short[:len(short)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := DecodeVector(data, 1<<16)
+		if err != nil {
+			return
+		}
+		// Accepted payloads are canonical: re-encoding reproduces the
+		// input bit for bit.
+		if re := EncodeVector(x); !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in %x\nout %x", data, re)
+		}
+	})
+}
+
+// FuzzWireRoundTrip generates vectors from fuzz bytes and asserts the
+// encode/decode round trip is bit-exact, including NaN payloads and
+// negative zero.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		x := make([]float64, len(raw)/8)
+		for i := range x {
+			x[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		got, err := DecodeVector(EncodeVector(x), len(x))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		for i := range x {
+			if math.Float64bits(got[i]) != math.Float64bits(x[i]) {
+				t.Fatalf("element %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(x[i]))
+			}
+		}
+	})
+}

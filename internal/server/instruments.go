@@ -1,0 +1,66 @@
+package server
+
+import "blockspmv/internal/metrics"
+
+// batchSizeBuckets resolves the panel widths the batcher can form
+// (1..BatchMax, in practice <= 16).
+var batchSizeBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16}
+
+// instruments is the full metric set of the serving subsystem, carved
+// out of one metrics.Registry so /metrics and /debug/vars expose every
+// stage of the request lifecycle: admission, queueing, batching,
+// execution, and the registry cache.
+type instruments struct {
+	reg *metrics.Registry
+
+	reqTotal    *metrics.Counter // every MulVec request admitted or shed
+	reqOK       *metrics.Counter
+	reqShed     *metrics.Counter // ErrOverloaded (queue full or draining)
+	reqCanceled *metrics.Counter // context canceled or deadline exceeded
+	reqPanic    *metrics.Counter // kernel panic / poisoned pool
+	reqBad      *metrics.Counter // malformed payloads, shape mismatches
+
+	queueDepth *metrics.Gauge
+	batchSize  *metrics.Histogram // panel width k of each dispatched batch
+	queueWait  *metrics.Histogram // seconds from admission to dispatch
+	execTime   *metrics.Histogram // seconds per dispatched panel/vector
+	reqTime    *metrics.Histogram // seconds from admission to reply
+
+	matrices      *metrics.Gauge
+	cacheBytes    *metrics.Gauge
+	registrations *metrics.Counter
+	evictions     *metrics.Counter
+}
+
+func newInstruments(reg *metrics.Registry) *instruments {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &instruments{
+		reg:         reg,
+		reqTotal:    reg.Counter("spmvd_requests_total", "MulVec requests received"),
+		reqOK:       reg.Counter("spmvd_requests_ok_total", "MulVec requests answered successfully"),
+		reqShed:     reg.Counter("spmvd_requests_shed_total", "requests shed by admission control (queue full or draining)"),
+		reqCanceled: reg.Counter("spmvd_requests_canceled_total", "requests abandoned by context cancellation or deadline"),
+		reqPanic:    reg.Counter("spmvd_requests_panic_total", "requests failed by a recovered kernel panic or poisoned pool"),
+		reqBad:      reg.Counter("spmvd_requests_bad_total", "requests rejected as malformed"),
+		queueDepth:  reg.Gauge("spmvd_queue_depth", "requests waiting in batcher queues"),
+		batchSize: reg.Histogram("spmvd_batch_size",
+			"panel width k of each dispatched multiply", batchSizeBuckets),
+		queueWait: reg.Histogram("spmvd_queue_wait_seconds",
+			"seconds a request waited from admission to dispatch", nil),
+		execTime: reg.Histogram("spmvd_exec_seconds",
+			"seconds per dispatched panel or single-vector multiply", nil),
+		reqTime: reg.Histogram("spmvd_request_seconds",
+			"seconds from admission to reply", nil),
+		matrices:      reg.Gauge("spmvd_matrices", "matrices resident in the registry"),
+		cacheBytes:    reg.Gauge("spmvd_cache_bytes", "matrix bytes resident in the registry"),
+		registrations: reg.Counter("spmvd_registrations_total", "matrices registered"),
+		evictions:     reg.Counter("spmvd_evictions_total", "matrices evicted or removed"),
+	}
+}
+
+// MeanBatch reports the mean panel width of every dispatched multiply —
+// the "did coalescing actually happen" number the load generator and
+// the acceptance tests read.
+func (in *instruments) MeanBatch() float64 { return in.batchSize.Mean() }

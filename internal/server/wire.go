@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The binary vector payload is the compact request/response body of the
+// MulVec endpoint: a fixed 12-byte header followed by the elements as
+// little-endian float64 bits. It exists because JSON-encoding a
+// dense float64 vector costs more than the SpMV it requests.
+//
+//	offset  size  field
+//	0       4     magic "SpV1"
+//	4       2     element kind, little-endian (1 = float64)
+//	6       2     reserved, must be zero
+//	8       4     element count n, little-endian
+//	12      8*n   elements, little-endian IEEE-754 bits
+//
+// Decoding is strict: wrong magic, unknown kind, non-zero reserved
+// bytes, a count above the caller's cap, truncated payloads and
+// trailing garbage all fail with typed errors. Malformed input never
+// panics and never allocates proportionally to a forged count — the
+// count is validated against both the cap and the actual body length
+// before the element slice is allocated.
+
+// wireMagic identifies a binary vector payload.
+var wireMagic = [4]byte{'S', 'p', 'V', '1'}
+
+const (
+	wireHeaderLen = 12
+	wireKindF64   = 1
+	// ContentTypeVector is the MIME type of the binary vector payload.
+	ContentTypeVector = "application/x-spmv-vector"
+)
+
+// Typed wire-codec errors; HTTP maps all of them to 400.
+var (
+	ErrWireMagic     = errors.New("server: wire: bad magic")
+	ErrWireKind      = errors.New("server: wire: unsupported element kind")
+	ErrWireReserved  = errors.New("server: wire: non-zero reserved bytes")
+	ErrWireTooLarge  = errors.New("server: wire: vector longer than permitted")
+	ErrWireTruncated = errors.New("server: wire: truncated payload")
+	ErrWireTrailing  = errors.New("server: wire: trailing bytes after payload")
+)
+
+// AppendVector appends the binary encoding of x to dst and returns the
+// extended slice.
+func AppendVector(dst []byte, x []float64) []byte {
+	dst = append(dst, wireMagic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, wireKindF64)
+	dst = binary.LittleEndian.AppendUint16(dst, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x)))
+	for _, v := range x {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// EncodeVector returns the binary encoding of x.
+func EncodeVector(x []float64) []byte {
+	return AppendVector(make([]byte, 0, wireHeaderLen+8*len(x)), x)
+}
+
+// DecodeVector parses a binary vector payload. maxN caps the declared
+// element count (<= 0 means reject every non-empty vector), protecting
+// the server from forged-count allocation floods the same way
+// mat.Limits protects the MatrixMarket reader.
+func DecodeVector(data []byte, maxN int) ([]float64, error) {
+	if len(data) < wireHeaderLen {
+		return nil, fmt.Errorf("%w: %d header bytes of %d", ErrWireTruncated, len(data), wireHeaderLen)
+	}
+	if [4]byte(data[:4]) != wireMagic {
+		return nil, fmt.Errorf("%w: % x", ErrWireMagic, data[:4])
+	}
+	if kind := binary.LittleEndian.Uint16(data[4:6]); kind != wireKindF64 {
+		return nil, fmt.Errorf("%w: kind %d", ErrWireKind, kind)
+	}
+	if rsv := binary.LittleEndian.Uint16(data[6:8]); rsv != 0 {
+		return nil, fmt.Errorf("%w: %#04x", ErrWireReserved, rsv)
+	}
+	n := binary.LittleEndian.Uint32(data[8:12])
+	if int64(n) > int64(maxN) {
+		return nil, fmt.Errorf("%w: %d elements > %d", ErrWireTooLarge, n, max(maxN, 0))
+	}
+	body := data[wireHeaderLen:]
+	if int64(len(body)) < 8*int64(n) {
+		return nil, fmt.Errorf("%w: %d body bytes for %d elements", ErrWireTruncated, len(body), n)
+	}
+	if int64(len(body)) > 8*int64(n) {
+		return nil, fmt.Errorf("%w: %d extra", ErrWireTrailing, int64(len(body))-8*int64(n))
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return x, nil
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, x := range [][]float64{
+		nil,
+		{},
+		{1.5},
+		{0, -1, math.Pi, math.Inf(1), math.NaN(), -0.0},
+	} {
+		data := EncodeVector(x)
+		got, err := DecodeVector(data, len(x))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", x, err)
+		}
+		if len(got) != len(x) {
+			t.Fatalf("decode(%v) = %v", x, got)
+		}
+		for i := range x {
+			if math.Float64bits(got[i]) != math.Float64bits(x[i]) {
+				t.Fatalf("element %d: %v != %v (bit-level)", i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestWireErrors(t *testing.T) {
+	valid := EncodeVector([]float64{1, 2, 3})
+	cases := []struct {
+		name string
+		data []byte
+		maxN int
+		want error
+	}{
+		{"empty", nil, 8, ErrWireTruncated},
+		{"short header", valid[:7], 8, ErrWireTruncated},
+		{"bad magic", append([]byte("NOPE"), valid[4:]...), 8, ErrWireMagic},
+		{"bad kind", append(append([]byte{}, valid[:4]...), append([]byte{9, 0}, valid[6:]...)...), 8, ErrWireKind},
+		{"reserved set", append(append([]byte{}, valid[:6]...), append([]byte{1, 0}, valid[8:]...)...), 8, ErrWireReserved},
+		{"oversized", valid, 2, ErrWireTooLarge},
+		{"oversized zero cap", valid, 0, ErrWireTooLarge},
+		{"truncated body", valid[:len(valid)-1], 8, ErrWireTruncated},
+		{"trailing bytes", append(append([]byte{}, valid...), 0), 8, ErrWireTrailing},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeVector(tc.data, tc.maxN); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWireForgedCount checks that a forged element count cannot drive a
+// large allocation: the count is validated against the body length
+// before the element slice exists.
+func TestWireForgedCount(t *testing.T) {
+	data := EncodeVector([]float64{1})
+	data[8], data[9], data[10], data[11] = 0xff, 0xff, 0x00, 0x00
+	if _, err := DecodeVector(data, 1<<30); !errors.Is(err, ErrWireTruncated) {
+		t.Fatalf("forged count: err = %v, want ErrWireTruncated", err)
+	}
+}
