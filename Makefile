@@ -50,6 +50,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) ./internal/profile
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeVector$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzVBRPartition$$' -fuzztime $(FUZZTIME) ./internal/partition
+	$(GO) test -run '^$$' -fuzz '^FuzzVBLRowBlocks$$' -fuzztime $(FUZZTIME) ./internal/partition
 
 bench:
 	$(GO) test -bench 'MulVecWorkers|SolveCGWorkers' -benchmem \
@@ -57,13 +59,18 @@ bench:
 
 # bench-json regenerates the tracked machine-readable benchmark
 # artifacts: BENCH_compress.json (index-compression experiment: bytes/nnz,
-# measured and MEM-predicted speedup per format), BENCH_spmm.json
-# (multi-RHS panel multiply vs independent SpMVs per panel width, with
-# the MEM-with-k predicted speedup) and BENCH_serve.json (spmvd request
-# coalescing: closed-loop throughput/latency batched vs unbatched).
+# measured and MEM-predicted speedup per format), BENCH_vbr.json
+# (cost-model-driven variable-block partitioning: DP-aggregated VBR/VBL
+# vs run-detection blocks vs CSR on the shared-sparsity archetypes),
+# BENCH_spmm.json (multi-RHS panel multiply vs independent SpMVs per
+# panel width, with the MEM-with-k predicted speedup) and
+# BENCH_serve.json (spmvd request coalescing: closed-loop
+# throughput/latency batched vs unbatched).
 bench-json:
 	$(GO) run ./cmd/spmvbench -experiment compress -scale small \
 	    -iterations 20 -json BENCH_compress.json
+	$(GO) run ./cmd/spmvbench -experiment vbr -scale small \
+	    -iterations 20 -json BENCH_vbr.json
 	$(GO) run ./cmd/spmvbench -experiment spmm -scale small \
 	    -iterations 20 -cores 1,2,4 -rhs 1,2,4,8 -json BENCH_spmm.json
 	$(GO) run ./cmd/spmvload -clients 8 -duration 2s -batch 8 \

@@ -198,12 +198,31 @@ func NewBCSDDec[T Float](m *Matrix[T], b int, impl Impl) Format[T] {
 }
 
 // NewVBL converts a finalized matrix to 1D-VBL (variable-length
-// horizontal blocks, Pinar & Heath).
+// horizontal blocks, Pinar & Heath). Blocks are the maximal runs of
+// adjacent nonzeros in each row.
 func NewVBL[T Float](m *Matrix[T], impl Impl) Format[T] { return vbl.New(m, impl) }
 
+// NewVBLDP converts a finalized matrix to 1D-VBL with blocks chosen by a
+// per-row dynamic program that minimizes the exact stored-byte footprint,
+// merging nearby runs (padding the gap with explicit zeros) whenever the
+// merge shrinks the stream the MEM model charges for. The result is never
+// larger than NewVBL's.
+func NewVBLDP[T Float](m *Matrix[T], impl Impl) Format[T] { return vbl.NewDP(m, impl) }
+
 // NewVBR converts a finalized matrix to VBR (two-dimensional variable
-// blocks over a pattern-consistent row/column partition, SPARSKIT).
+// blocks over a pattern-consistent row/column partition, SPARSKIT). The
+// partition groups adjacent rows and columns with identical sparsity
+// patterns, so no block carries fill.
 func NewVBR[T Float](m *Matrix[T], impl Impl) Format[T] { return vbr.New(m, impl) }
+
+// NewVBRDP converts a finalized matrix to VBR over a cost-model-driven
+// partition: a dynamic program (after Ahrens & Boman) aggregates rows and
+// columns with merely similar patterns into block rows and columns,
+// accepting zero fill inside blocks whenever the exact priced stream —
+// values plus every VBR index array — shrinks. The result is never larger
+// than NewVBR's, and on matrices with near-shared row sparsity (FEM-style
+// multi-dof problems) it is substantially smaller.
+func NewVBRDP[T Float](m *Matrix[T], impl Impl) Format[T] { return vbr.NewDP(m, impl) }
 
 // NewMultiDec converts a finalized matrix to the k=3 multi-pattern
 // decomposition of Agarwal et al.: completely dense aligned r x c blocks,

@@ -96,10 +96,12 @@ func TestRankCoversSelectionSpace(t *testing.T) {
 	for _, model := range blockspmv.Models() {
 		preds := blockspmv.Rank(m, model, testMachine(), prof)
 		// The paper's 106-candidate space plus the compressed-index
-		// variants a 64-column matrix admits: the uint8 mirror of all 106
-		// and the two CSR-DU candidates.
-		if len(preds) != 214 {
-			t.Fatalf("%s: ranked %d candidates, want 214", model.Name(), len(preds))
+		// variants a 64-column matrix admits (the uint8 mirror of all 106
+		// and the two CSR-DU candidates) plus the eight variable-block
+		// candidates (VBR and 1D-VBL, heuristic and DP partitions, scalar
+		// and simd).
+		if len(preds) != 222 {
+			t.Fatalf("%s: ranked %d candidates, want 222", model.Name(), len(preds))
 		}
 		seen := make(map[string]bool)
 		for i := 1; i < len(preds); i++ {

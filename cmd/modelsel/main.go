@@ -34,6 +34,7 @@ func main() {
 		topN      = flag.Int("top", 5, "ranked candidates to show per model")
 		explain   = flag.Bool("explain", false, "break each model's selection into memory/compute terms")
 		compress  = flag.Bool("compress", true, "include compressed-index candidates (narrow indices, CSR-DU) in the ranking")
+		vbrFlag   = flag.Bool("vbr", true, "include variable-block candidates (VBR, 1D-VBL and their DP-partitioned variants) in the ranking")
 		rhs       = flag.Int("rhs", 1, "panel width k: rank for a k-wide multi-RHS multiply (MulVecs), charging the matrix stream once and the vectors k times")
 	)
 	flag.Parse()
@@ -47,16 +48,16 @@ func main() {
 	}
 	switch *precision {
 	case "dp":
-		run[float64](*name, *mtxPath, *scaleName, *topN, *explain, *compress, *rhs)
+		run[float64](*name, *mtxPath, *scaleName, *topN, *explain, *compress, *vbrFlag, *rhs)
 	case "sp":
-		run[float32](*name, *mtxPath, *scaleName, *topN, *explain, *compress, *rhs)
+		run[float32](*name, *mtxPath, *scaleName, *topN, *explain, *compress, *vbrFlag, *rhs)
 	default:
 		fmt.Fprintln(os.Stderr, "modelsel: -precision must be sp or dp")
 		os.Exit(2)
 	}
 }
 
-func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain, compress bool, rhs int) {
+func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain, compress, vbr bool, rhs int) {
 	m := loadMatrix[T](name, mtxPath, scaleName)
 	fmt.Printf("matrix: %dx%d, %d nonzeros, %.2f MiB in CSR\n",
 		m.Rows(), m.Cols(), m.NNZ(),
@@ -69,13 +70,24 @@ func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain, com
 	fmt.Println("profiling kernels...")
 	prof := profile.Collect[T](mach, profile.Options{})
 
-	// With -compress the selection space gains the narrow-index mirrors
-	// and CSR-DU, priced by their exact (smaller) working sets.
+	// With -compress the selection space gains the narrow-index mirrors,
+	// CSR-DU and the variable-block candidates, priced by their exact
+	// working sets; -vbr=false drops the variable-block family from the
+	// ranking (the DP aggregation is the costliest enumeration step).
 	enumerate := core.EnumerateStats
 	if compress {
 		enumerate = core.EnumerateStatsAll
 	}
 	stats := enumerate(mat.PatternOf(m), floats.SizeOf[T]())
+	if !vbr {
+		kept := stats[:0]
+		for _, cs := range stats {
+			if cs.Cand.Method != core.VBR && cs.Cand.Method != core.VBL {
+				kept = append(kept, cs)
+			}
+		}
+		stats = kept
+	}
 	if rhs > 1 {
 		stats = core.WithRHS(stats, rhs)
 		fmt.Printf("ranking for a %d-wide panel (predicted times cover all %d right-hand sides)\n", rhs, rhs)

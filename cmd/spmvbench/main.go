@@ -23,7 +23,11 @@
 // pooled MulVecs per panel width from -rhs against k independent pooled
 // MulVec calls, plus the t_b(k) panel-kernel profile on the dense
 // L1/LLC matrices (matrices from -matrices, defaulting to a
-// bandwidth-bound subset; workers = the largest -cores entry).
+// bandwidth-bound subset; workers = the largest -cores entry), and
+// "vbr" measures cost-model-driven variable-block partitioning — the
+// DP-aggregated VBR/1D-VBL against their run-detection counterparts and
+// CSR on the shared-sparsity FEM archetypes plus two scatter-dominated
+// negatives (matrices from -matrices, defaulting to that set).
 //
 // Pass -json FILE to additionally write every per-format measurement
 // (GFlop/s, bytes/nnz, ms/SpMV) as a machine-readable report; the
@@ -52,7 +56,7 @@ import (
 
 func main() {
 	var (
-		experiments = flag.String("experiment", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,latency,compress,scaling,spmm,all")
+		experiments = flag.String("experiment", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,latency,compress,scaling,spmm,vbr,all")
 		scaleName   = flag.String("scale", "small", "suite scale: tiny, small or paper")
 		matrices    = flag.String("matrices", "", "comma-separated matrix ids (default: all 30)")
 		iterations  = flag.Int("iterations", 20, "timed SpMV operations per instance")
@@ -82,13 +86,13 @@ func main() {
 	known := map[string]bool{
 		"all": true, "table1": true, "table2": true, "table3": true, "table4": true,
 		"fig2": true, "fig3": true, "fig4": true, "latency": true, "fig3x": true, "rank": true,
-		"compress": true, "scaling": true, "spmm": true,
+		"compress": true, "scaling": true, "spmm": true, "vbr": true,
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiments, ",") {
 		name := strings.TrimSpace(e)
 		if !known[name] {
-			fatal(fmt.Errorf("unknown experiment %q (known: table1 table2 table3 table4 fig2 fig3 fig4 latency fig3x rank compress scaling spmm all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (known: table1 table2 table3 table4 fig2 fig3 fig4 latency fig3x rank compress scaling spmm vbr all)", name))
 		}
 		want[name] = true
 	}
@@ -180,6 +184,11 @@ func main() {
 		res := bench.Compress(cfg)
 		bench.PrintCompress(out, res)
 		report.AddCompress(res)
+	}
+	if want["vbr"] {
+		res := bench.VBRPart(cfg)
+		bench.PrintVBRPart(out, res)
+		report.AddVBRPart(res)
 	}
 	if want["scaling"] {
 		res := bench.Scaling(cfg)

@@ -90,6 +90,26 @@ func (r *Report) AddCompress(res []CompressResult) {
 	}
 }
 
+// AddVBRPart appends the variable-block partitioning measurements.
+func (r *Report) AddVBRPart(res []VBRPartResult) {
+	for _, vr := range res {
+		for _, e := range vr.Entries {
+			r.Records = append(r.Records, ReportRecord{
+				Experiment:          "vbr",
+				Matrix:              vr.Info.Name,
+				Precision:           vr.Precision,
+				Format:              e.Format,
+				NNZ:                 vr.NNZ,
+				BytesPerNNZ:         e.BytesPerNNZ,
+				MsPerSpMV:           e.Seconds * 1e3,
+				GFlops:              e.GFlops,
+				SpeedupVsCSR:        e.SpeedupVsCSR,
+				MemPredictedSpeedup: e.MemPredictedSpeedup,
+			})
+		}
+	}
+}
+
 // AddSpMM appends the multi-RHS amortization measurements: per panel
 // width one record for the pooled panel multiply (MsPerSpMV is the whole
 // panel, GFlops counts nnz*k) and one for the k independent pooled

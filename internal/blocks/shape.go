@@ -70,6 +70,12 @@ const (
 	Plain Variant = iota
 	// DU decodes the variable-width column-delta units of CSR-DU.
 	DU
+	// VBR walks variable-size dense blocks through the rpntr/cpntr
+	// indirection of the Variable Block Row format (internal/vbr).
+	VBR
+	// VBL walks the variable-length horizontal blocks of 1D-VBL
+	// (internal/vbl), one bcol/bsize pair per block.
+	VBL
 )
 
 func (v Variant) String() string {
@@ -78,6 +84,10 @@ func (v Variant) String() string {
 		return "plain"
 	case DU:
 		return "du"
+	case VBR:
+		return "vbr"
+	case VBL:
+		return "vbl"
 	default:
 		return fmt.Sprintf("Variant(%d)", uint8(v))
 	}

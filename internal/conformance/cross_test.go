@@ -55,7 +55,9 @@ func TestAllFormatsAgreeQuick(t *testing.T) {
 			bcsd.NewDecomposed(m, 4, blocks.Scalar),
 			vbl.New(m, blocks.Scalar),
 			vbl.NewWide(m, blocks.Scalar),
+			vbl.NewDP(m, blocks.Scalar),
 			vbr.New(m, blocks.Scalar),
+			vbr.NewDP(m, blocks.Scalar),
 			csr.NewCompact(m, blocks.Scalar),
 			csrdu.New(m, blocks.Scalar),
 			csrdu.New(m, blocks.Vector),

@@ -43,7 +43,9 @@ func panelInstances(m *mat.COO[float64]) []formats.Instance[float64] {
 		bcsd.NewCompact(m, 4, blocks.Scalar),
 		vbl.New(m, blocks.Scalar),
 		vbl.NewWide(m, blocks.Scalar),
+		vbl.NewDP(m, blocks.Scalar),
 		vbr.New(m, blocks.Scalar),
+		vbr.NewDP(m, blocks.Scalar),
 		csrdu.New(m, blocks.Scalar),
 		csrdu.New(m, blocks.Vector),
 		dcsr.New(m),

@@ -1,0 +1,95 @@
+package conformance_test
+
+import (
+	"fmt"
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/conformance"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/parallel"
+	"blockspmv/internal/testmat"
+	"blockspmv/internal/vbl"
+	"blockspmv/internal/vbr"
+)
+
+// partitionedBuilders constructs the variable-block storage variants the
+// cost-model partitioner produces, alongside their run-detection
+// counterparts. These are modelled candidates (EnumerateStatsAll), so
+// they must satisfy exactly the same contract as every other format.
+func partitionedBuilders(m *mat.COO[float64]) map[string]formats.Instance[float64] {
+	return map[string]formats.Instance[float64]{
+		"VBR":         vbr.New(m, blocks.Scalar),
+		"VBR-DP":      vbr.NewDP(m, blocks.Scalar),
+		"VBR-DP/simd": vbr.NewDP(m, blocks.Vector),
+		"1D-VBL":      vbl.New(m, blocks.Scalar),
+		"1D-VBL-DP":   vbl.NewDP(m, blocks.Scalar),
+	}
+}
+
+// TestPartitionedVariantsConform runs every partitioned variant through
+// the full conformance suite on the shared corpus.
+func TestPartitionedVariantsConform(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		for bname, inst := range partitionedBuilders(m) {
+			t.Run(name+"/"+bname, func(t *testing.T) {
+				conformance.Check(t, m, inst)
+			})
+		}
+	}
+}
+
+// TestPartitionedPooledMatchesSerialBitForBit extends the pool
+// correctness property to the partitioned variants: the pooled MulVec
+// must reproduce the serial Mul exactly, bit for bit. VBR is
+// unsplittable (RowAlign = rows), so its pooled runs degenerate to one
+// range — the property still must hold.
+func TestPartitionedPooledMatchesSerialBitForBit(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		x := floats.RandVector[float64](m.Cols(), 19)
+		for iname, inst := range partitionedBuilders(m) {
+			want := make([]float64, m.Rows())
+			inst.Mul(x, want)
+			for _, parts := range []int{1, 3} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", name, iname, parts), func(t *testing.T) {
+					pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+					defer pm.Close()
+					got := make([]float64, m.Rows())
+					pm.MulVec(x, got)
+					pm.MulVec(x, got)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("y[%d] = %x, serial %x: pooled result not bit-identical",
+								i, got[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPartitionedMulVecZeroAllocs asserts the steady-state allocation
+// contract on the partitioned variants: after construction, neither the
+// serial Mul nor the pooled MulVec may allocate.
+func TestPartitionedMulVecZeroAllocs(t *testing.T) {
+	m := testmat.Random[float64](2000, 2000, 0.004, 23)
+	x := floats.RandVector[float64](m.Cols(), 24)
+	y := make([]float64, m.Rows())
+	for iname, inst := range partitionedBuilders(m) {
+		inst.Mul(x, y)
+		if allocs := testing.AllocsPerRun(100, func() { inst.Mul(x, y) }); allocs != 0 {
+			t.Errorf("%s: serial Mul allocates %v times per call, want 0", iname, allocs)
+		}
+		for _, parts := range []int{1, 4} {
+			pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+			if allocs := testing.AllocsPerRun(100, func() { pm.MulVec(x, y) }); allocs != 0 {
+				t.Errorf("%s parts=%d: pooled MulVec allocates %v times per call, want 0",
+					iname, parts, allocs)
+			}
+			pm.Close()
+		}
+	}
+}

@@ -18,9 +18,13 @@ import (
 )
 
 // Method enumerates the storage methods the models choose between. The
-// variable-size formats (1D-VBL, VBR) are deliberately absent: the paper
-// excludes them from modelling after finding them uncompetitive
-// (Section IV: "We do not consider variable size blocking methods").
+// paper excludes the variable-size formats from modelling (Section IV:
+// "We do not consider variable size blocking methods"); this library
+// extends the candidate space with them anyway — VBR and VBL carry exact
+// construction-free byte accounting (internal/partition), so the models
+// can rank them like any fixed-shape method. They appear only in the
+// extended enumeration (CandidatesPartitioned / EnumerateStatsAll), never
+// in the paper-faithful baseline Candidates().
 type Method int
 
 const (
@@ -39,6 +43,14 @@ const (
 	// encoded column stream in place of explicit indices and the DU
 	// decoder's profiled block time.
 	CSRDU
+	// VBR is the Variable Block Row format (internal/vbr): variable-size
+	// dense blocks over a row/column partition, modelled as 1x1 blocking
+	// with nb = stored scalars and the vbr kernel variant's block time.
+	VBR
+	// VBL is the 1D Variable Block Length format (internal/vbl):
+	// variable-length horizontal blocks, modelled like VBR with the vbl
+	// kernel variant.
+	VBL
 )
 
 func (m Method) String() string {
@@ -55,6 +67,10 @@ func (m Method) String() string {
 		return "BCSD-DEC"
 	case CSRDU:
 		return "CSR-DU"
+	case VBR:
+		return "VBR"
+	case VBL:
+		return "1D-VBL"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -63,27 +79,55 @@ func (m Method) String() string {
 // Methods lists all modelled methods in evaluation order.
 func Methods() []Method { return []Method{CSR, BCSR, BCSRDec, BCSD, BCSDDec} }
 
+// Part selects how a variable-block candidate's block boundaries are
+// chosen. It is meaningful only for the VBR and VBL methods; the
+// fixed-shape methods leave it at the zero PartNone.
+type Part uint8
+
+const (
+	// PartNone marks the fixed-shape methods, which have no partition
+	// choice.
+	PartNone Part = iota
+	// PartRuns is the run-detection heuristic: identical-pattern row and
+	// column groups for VBR, maximal horizontal runs for VBL.
+	PartRuns
+	// PartDP is the cost-model dynamic program of internal/partition,
+	// which minimizes the exact streamed footprint and is never worse
+	// than PartRuns.
+	PartDP
+)
+
 // Candidate is one point of the selection space: a method, its block
-// shape (meaningless for CSR and CSR-DU), the kernel implementation
-// class, and the column-index storage width. The zero Width is the
-// paper's 4-byte baseline, so pre-existing candidates are unchanged;
-// narrow widths describe the compressed-index variants and CSR-DU
-// ignores the field (its indices are delta-encoded, not fixed-width).
+// shape (meaningless for CSR, CSR-DU and the variable-block methods),
+// the kernel implementation class, the column-index storage width, and
+// the partitioning strategy (variable-block methods only). The zero
+// Width is the paper's 4-byte baseline, so pre-existing candidates are
+// unchanged; narrow widths describe the compressed-index variants and
+// CSR-DU ignores the field (its indices are delta-encoded, not
+// fixed-width).
 type Candidate struct {
 	Method Method
 	Shape  blocks.Shape
 	Impl   blocks.Impl
 	Width  idx.Width
+	Part   Part
 }
 
 // String renders the candidate like the format instances name themselves:
-// "BCSR(2x3)/simd", "CSR", "BCSD(d4)/ix16", "CSR-DU/simd".
+// "BCSR(2x3)/simd", "CSR", "BCSD(d4)/ix16", "CSR-DU/simd", "VBR-DP",
+// "1D-VBL/simd".
 func (c Candidate) String() string {
 	s := c.Method.String()
-	if c.Method != CSR && c.Method != CSRDU {
+	switch c.Method {
+	case VBR, VBL:
+		if c.Part == PartDP {
+			s += "-DP"
+		}
+	case CSRDU:
+	case CSR:
+		s += c.Width.Suffix()
+	default:
 		s += "(" + c.Shape.String() + ")"
-	}
-	if c.Method != CSRDU {
 		s += c.Width.Suffix()
 	}
 	if c.Impl == blocks.Vector {
@@ -136,6 +180,26 @@ func CandidatesCompressed(cols int) []Candidate {
 		for _, s := range blocks.DiagShapes() {
 			out = append(out, Candidate{Method: BCSD, Shape: s, Impl: impl, Width: w})
 			out = append(out, Candidate{Method: BCSDDec, Shape: s, Impl: impl, Width: w})
+		}
+	}
+	return out
+}
+
+// CandidatesPartitioned enumerates the variable-block candidates: VBR and
+// 1D-VBL, each with the run-detection heuristic partition and the
+// cost-model DP partition, in scalar and simd variants. Scalar precedes
+// simd and the heuristic precedes the DP, so models that cannot separate
+// them (MEM prices scalar and simd identically, and the DP ties the
+// heuristic when aggregation finds nothing to merge) resolve ties to the
+// simpler candidate. Like CandidatesCompressed, this is an extension
+// space: append it to Candidates() or use EnumerateStatsAll.
+func CandidatesPartitioned() []Candidate {
+	var out []Candidate
+	for _, impl := range blocks.Impls() {
+		for _, m := range []Method{VBR, VBL} {
+			for _, pt := range []Part{PartRuns, PartDP} {
+				out = append(out, Candidate{Method: m, Shape: blocks.RectShape(1, 1), Impl: impl, Part: pt})
+			}
 		}
 	}
 	return out

@@ -11,6 +11,8 @@ import (
 	"blockspmv/internal/formats"
 	"blockspmv/internal/idx"
 	"blockspmv/internal/mat"
+	"blockspmv/internal/vbl"
+	"blockspmv/internal/vbr"
 )
 
 // Instantiate constructs the storage format a candidate describes for the
@@ -19,8 +21,19 @@ import (
 // the matrix admits (idx.FitsCols), which is how CandidatesCompressed
 // produces them; the compact constructors then select that same width.
 func Instantiate[T floats.Float](m *mat.COO[T], c Candidate) formats.Instance[T] {
-	if c.Method == CSRDU {
+	switch c.Method {
+	case CSRDU:
 		return csrdu.New(m, c.Impl)
+	case VBR:
+		if c.Part == PartDP {
+			return vbr.NewDP(m, c.Impl)
+		}
+		return vbr.New(m, c.Impl)
+	case VBL:
+		if c.Part == PartDP {
+			return vbl.NewDP(m, c.Impl)
+		}
+		return vbl.New(m, c.Impl)
 	}
 	if c.Width != idx.W32 {
 		if w := idx.FitsCols(m.Cols()); w != c.Width {

@@ -1,0 +1,163 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/core"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/machine"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/testmat"
+)
+
+func TestCandidatesPartitionedEnumeration(t *testing.T) {
+	cands := core.CandidatesPartitioned()
+	if len(cands) != 8 {
+		t.Fatalf("enumerated %d partitioned candidates, want 8", len(cands))
+	}
+	for i, c := range cands[:4] {
+		if c.Impl != blocks.Scalar {
+			t.Fatalf("candidate %d (%v) is not scalar", i, c)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, c := range cands {
+		s := c.String()
+		if seen[s] {
+			t.Errorf("duplicate candidate %s", s)
+		}
+		seen[s] = true
+	}
+	for _, want := range []string{"VBR", "VBR-DP", "1D-VBL", "1D-VBL-DP", "VBR-DP/simd", "1D-VBL/simd"} {
+		if !seen[want] {
+			t.Errorf("expected candidate %s missing", want)
+		}
+	}
+}
+
+// TestPartitionedStatsMatchInstancesExactly is stricter than the shared
+// tolerance check of TestCompressedStatsMatchInstances: for the
+// variable-block candidates the construction-free pricing is exact, so
+// stats and built instances must agree to the byte.
+func TestPartitionedStatsMatchInstancesExactly(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		p := mat.PatternOf(m)
+		for _, c := range core.CandidatesPartitioned() {
+			cs := core.StatsFor(p, c, 8)
+			inst := core.Instantiate(m, c)
+			if inst.Name() != c.String() {
+				t.Errorf("%s: instance name %q != candidate %q", name, inst.Name(), c.String())
+			}
+			if cs.MatrixBytes() != inst.MatrixBytes() {
+				t.Errorf("%s %s: stats ws %d != instance ws %d", name, c, cs.MatrixBytes(), inst.MatrixBytes())
+			}
+			if cs.Components[0].Blocks != inst.StoredScalars() {
+				t.Errorf("%s %s: stats nb %d != stored scalars %d",
+					name, c, cs.Components[0].Blocks, inst.StoredScalars())
+			}
+			if cs.Padding != inst.StoredScalars()-inst.NNZ() {
+				t.Errorf("%s %s: stats padding %d != instance fill %d",
+					name, c, cs.Padding, inst.StoredScalars()-inst.NNZ())
+			}
+		}
+	}
+}
+
+// sharedSparsityMatrix builds the acceptance archetype: FEM-style
+// shared sparsity. Row groups of varying height (9-14, so they never
+// align with a fixed block grid) each touch a handful of 3-column "dof
+// nodes", with a few entries dropped per row so plain run detection
+// fragments while the DP can aggregate whole groups with a little fill.
+// The column space is too wide for narrow indices, so the compressed
+// fixed-shape mirrors are absent and CSR keeps 4-byte indices.
+func sharedSparsityMatrix() *mat.COO[float64] {
+	const (
+		rows, cols = 600, 70000
+		nodes      = 4 // column nodes per row group
+		nodeCols   = 3 // adjacent columns per node (3-dof FEM)
+	)
+	rng := rand.New(rand.NewSource(77))
+	m := mat.New[float64](rows, cols)
+	for r0 := 0; r0 < rows; {
+		h := 9 + rng.Intn(6)
+		base := make([]int32, 0, nodes*nodeCols)
+		for n := 0; n < nodes; n++ {
+			c0 := int32(rng.Intn(cols - nodeCols))
+			for j := 0; j < nodeCols; j++ {
+				base = append(base, c0+int32(j))
+			}
+		}
+		for r := r0; r < r0+h && r < rows; r++ {
+			for _, c := range base {
+				if rng.Float64() < 0.04 {
+					continue
+				}
+				m.Add(int32(r), c, rng.Float64()+0.5)
+			}
+		}
+		r0 += h
+	}
+	m.Finalize()
+	return m
+}
+
+// TestSelectPicksDPVBROnSharedSparsity is the acceptance criterion: on a
+// shared-sparsity archetype the MEM model over EnumerateStatsAll must
+// select the DP-partitioned VBR candidate, beating both the heuristic
+// VBR and CSR on stream bytes, and the built instance must confirm the
+// priced footprint and the product.
+func TestSelectPicksDPVBROnSharedSparsity(t *testing.T) {
+	m := sharedSparsityMatrix()
+	p := mat.PatternOf(m)
+	stats := core.EnumerateStatsAll(p, 8)
+
+	var csrBytes, vbrBytes, dpBytes int64
+	for _, cs := range stats {
+		if cs.Cand.Impl != blocks.Scalar {
+			continue
+		}
+		switch {
+		case cs.Cand.Method == core.CSR && cs.Cand.Width == 0:
+			csrBytes = cs.MatrixBytes()
+		case cs.Cand.Method == core.VBR && cs.Cand.Part == core.PartRuns:
+			vbrBytes = cs.MatrixBytes()
+		case cs.Cand.Method == core.VBR && cs.Cand.Part == core.PartDP:
+			dpBytes = cs.MatrixBytes()
+		}
+	}
+	if csrBytes == 0 || vbrBytes == 0 || dpBytes == 0 {
+		t.Fatalf("missing candidates: csr=%d vbr=%d dp=%d", csrBytes, vbrBytes, dpBytes)
+	}
+	if dpBytes >= csrBytes {
+		t.Errorf("DP-VBR stream %d bytes, CSR %d: expected reduction", dpBytes, csrBytes)
+	}
+	if dpBytes >= vbrBytes {
+		t.Errorf("DP-VBR stream %d bytes, heuristic VBR %d: expected reduction", dpBytes, vbrBytes)
+	}
+
+	mach := machine.Machine{Cores: 1, BandwidthBytesPerSec: 10e9}
+	pred := core.SelectSafe(core.Mem{}, stats, mach, nil)
+	if pred.Degraded {
+		t.Fatalf("selection degraded: %s", pred.Reason)
+	}
+	if pred.Cand.Method != core.VBR || pred.Cand.Part != core.PartDP {
+		t.Fatalf("MEM selected %s, want VBR-DP", pred.Cand)
+	}
+
+	inst := core.Instantiate(m, pred.Cand)
+	if inst.MatrixBytes() != dpBytes {
+		t.Errorf("built instance streams %d bytes, priced %d", inst.MatrixBytes(), dpBytes)
+	}
+	x := floats.RandVector[float64](m.Cols(), 5)
+	want := make([]float64, m.Rows())
+	got := make([]float64, m.Rows())
+	m.MulVec(x, want)
+	inst.Mul(x, got)
+	for i := range got {
+		if d := got[i] - want[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("selected instance product mismatch at row %d", i)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"blockspmv/internal/blocks"
 	"blockspmv/internal/csrdu"
 	"blockspmv/internal/mat"
+	"blockspmv/internal/partition"
 )
 
 // ComponentStats describes one decomposition component of a candidate for
@@ -108,11 +109,62 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // candidates additionally walk the pattern once to size the encoded
 // delta stream exactly (csrdu.StreamBytes).
 func StatsFor(p *mat.Pattern, c Candidate, valSize int) CandidateStats {
-	if c.Method == CSRDU {
+	switch c.Method {
+	case CSRDU:
 		return duStats(p, c, valSize, csrdu.StreamBytes(p), p.IrregularAccesses(IrregularGap))
+	case VBR, VBL:
+		return partitionedStats(p, c, valSize, partitionStats(p, c, valSize), p.IrregularAccesses(IrregularGap))
 	}
 	cnt := blocks.CountForShape(p, c.Shape)
 	return statsFromCount(p, c, valSize, cnt, p.IrregularAccesses(IrregularGap))
+}
+
+// partitionStats prices the partition a variable-block candidate implies,
+// construction-free (internal/partition).
+func partitionStats(p *mat.Pattern, c Candidate, valSize int) partition.Stats {
+	switch {
+	case c.Method == VBL:
+		return partition.VBLStats(p, valSize, c.Part == PartDP)
+	case c.Part == PartDP:
+		st, err := partition.VBRStats(p, partition.AggregateVBR(p, valSize), valSize)
+		if err != nil {
+			panic("core: " + err.Error())
+		}
+		return st
+	default:
+		st, err := partition.VBRStats(p, partition.Identity(p), valSize)
+		if err != nil {
+			panic("core: " + err.Error())
+		}
+		return st
+	}
+}
+
+// partitionedStats assembles CandidateStats for a variable-block
+// candidate from a precomputed partition pricing, so EnumerateStatsAll
+// can share one partitioning pass between the scalar and simd
+// candidates. Like CSR, the component is the degenerate 1x1 shape; nb is
+// the stored scalar count (the per-scalar normalization the profiling
+// layer uses for the vbr/vbl kernel variants) and the stored zero fill
+// of a DP partition is reported as Padding.
+func partitionedStats(p *mat.Pattern, c Candidate, valSize int, st partition.Stats, irregular int64) CandidateStats {
+	nnz := int64(p.NNZ())
+	variant := blocks.VBR
+	if c.Method == VBL {
+		variant = blocks.VBL
+	}
+	return CandidateStats{
+		Cand: c, Rows: p.Rows, Cols: p.Cols, NNZ: nnz,
+		VectorBytes:       int64(p.Rows+p.Cols) * int64(valSize),
+		IrregularAccesses: irregular,
+		Padding:           st.Stored - nnz,
+		Components: []ComponentStats{{
+			Shape: blocks.RectShape(1, 1), Impl: c.Impl,
+			Blocks:  st.Stored,
+			WSBytes: st.Bytes,
+			Variant: variant,
+		}},
+	}
 }
 
 // duStats assembles CandidateStats for a CSR-DU candidate from a
@@ -205,11 +257,13 @@ func EnumerateStats(p *mat.Pattern, valSize int) []CandidateStats {
 }
 
 // EnumerateStatsAll extends EnumerateStats with the compressed-index
-// candidates the matrix admits (CandidatesCompressed): the superset the
+// candidates the matrix admits (CandidatesCompressed) and the
+// variable-block candidates (CandidatesPartitioned): the superset the
 // facade and the compression experiments rank, with the paper's baseline
 // space as a stable prefix. The CSR-DU stream is sized once and shared
 // between its scalar and simd candidates; block counts are shared with
-// the baseline enumeration.
+// the baseline enumeration; each variable-block partition is priced once
+// and shared across implementations.
 func EnumerateStatsAll(p *mat.Pattern, valSize int) []CandidateStats {
 	counts := make(map[blocks.Shape]blocks.Count)
 	shapeCount := func(s blocks.Shape) blocks.Count {
@@ -222,16 +276,28 @@ func EnumerateStatsAll(p *mat.Pattern, valSize int) []CandidateStats {
 	}
 	irregular := p.IrregularAccesses(IrregularGap)
 	streamBytes := int64(-1)
+	partStats := make(map[Candidate]partition.Stats)
 	var out []CandidateStats
-	for _, c := range append(Candidates(), CandidatesCompressed(p.Cols)...) {
-		if c.Method == CSRDU {
+	cands := append(Candidates(), CandidatesCompressed(p.Cols)...)
+	cands = append(cands, CandidatesPartitioned()...)
+	for _, c := range cands {
+		switch c.Method {
+		case CSRDU:
 			if streamBytes < 0 {
 				streamBytes = csrdu.StreamBytes(p)
 			}
 			out = append(out, duStats(p, c, valSize, streamBytes, irregular))
-			continue
+		case VBR, VBL:
+			key := Candidate{Method: c.Method, Part: c.Part}
+			st, ok := partStats[key]
+			if !ok {
+				st = partitionStats(p, c, valSize)
+				partStats[key] = st
+			}
+			out = append(out, partitionedStats(p, c, valSize, st, irregular))
+		default:
+			out = append(out, statsFromCount(p, c, valSize, shapeCount(c.Shape), irregular))
 		}
-		out = append(out, statsFromCount(p, c, valSize, shapeCount(c.Shape), irregular))
 	}
 	return out
 }

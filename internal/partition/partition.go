@@ -1,0 +1,395 @@
+// Package partition chooses block boundaries for the variable-block
+// formats (internal/vbr, internal/vbl) by minimizing the modeled matrix
+// stream, the quantity the paper's MEM model says governs SpMV time.
+//
+// The row/column aggregation follows Ahrens & Boman ("On Optimal
+// Partitioning For Sparse Matrices In Variable Block Row Format"): a
+// linear-time dynamic program over candidate block boundaries whose
+// objective is the exact byte footprint of the partitioned matrix, per
+// Langr's accounting ("On Memory Footprints of Partitioned Sparse
+// Matrices"). Everything here is construction-free: partitions are priced
+// from the sparsity pattern alone, without materializing a format
+// instance — VBRStats on a candidate partition returns exactly the
+// MatrixBytes/StoredScalars/Blocks the constructed vbr.Matrix would
+// report (the conformance suite audits this bit for bit).
+//
+// This package must not import the format packages (they import it); the
+// import direction is the compile-time guarantee that pricing never
+// builds a matrix.
+package partition
+
+import (
+	"fmt"
+
+	"blockspmv/internal/mat"
+)
+
+// MaxMerge bounds the dynamic program's merge window: a block row (or
+// block column) aggregates at most this many pattern-distinct atoms. The
+// window keeps the DP linear in the number of atoms; since every group of
+// identical-pattern rows is a single atom, the window limits pattern
+// diversity inside a block, not block height.
+const MaxMerge = 16
+
+// vbrBlockBytes is the per-block index overhead of the VBR layout: one
+// 4-byte bcolInd entry plus one 4-byte valPtr entry.
+const vbrBlockBytes = 8
+
+// vbrBlockRowBytes is the per-block-row overhead: one 4-byte rpntr entry
+// plus one 4-byte browPtr entry.
+const vbrBlockRowBytes = 8
+
+// vbrBlockColBytes is the per-block-column overhead: one 4-byte cpntr
+// entry.
+const vbrBlockColBytes = 4
+
+// VBRPartition is a candidate two-dimensional partition for the VBR
+// format: block-row boundaries Rpntr (len nBlockRows+1, Rpntr[0] = 0,
+// Rpntr[last] = rows, non-decreasing) and block-column boundaries Cpntr
+// with the same shape over the columns.
+type VBRPartition struct {
+	Rpntr []int32
+	Cpntr []int32
+}
+
+// Validate checks the partition against a rows x cols matrix: both
+// pointer arrays must be non-empty, start at 0, end at the dimension, and
+// be non-decreasing (empty blocks are permitted, matching the degenerate
+// partitions the identity heuristic emits for empty matrices).
+func (pt VBRPartition) Validate(rows, cols int) error {
+	if err := validateBounds("rpntr", pt.Rpntr, rows); err != nil {
+		return err
+	}
+	return validateBounds("cpntr", pt.Cpntr, cols)
+}
+
+func validateBounds(name string, b []int32, n int) error {
+	if len(b) < 2 {
+		return fmt.Errorf("partition: %s has %d entries, want at least 2", name, len(b))
+	}
+	if b[0] != 0 {
+		return fmt.Errorf("partition: %s[0] = %d, want 0", name, b[0])
+	}
+	if int(b[len(b)-1]) != n {
+		return fmt.Errorf("partition: %s ends at %d, want %d", name, b[len(b)-1], n)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			return fmt.Errorf("partition: %s[%d] = %d < %s[%d] = %d (non-monotone)",
+				name, i, b[i], name, i-1, b[i-1])
+		}
+	}
+	return nil
+}
+
+// Stats is the construction-free price of a partitioned format: exactly
+// the Blocks/StoredScalars/MatrixBytes the built instance reports.
+type Stats struct {
+	// BlockRows and BlockCols are the partition dimensions (zero for the
+	// one-dimensional 1D-VBL pricing, which has no column partition).
+	BlockRows, BlockCols int
+	// Blocks is the number of stored variable-size blocks.
+	Blocks int64
+	// Stored is the number of stored scalars including zero fill.
+	Stored int64
+	// Bytes is the exact streamed matrix footprint: values plus every
+	// index array of the format's layout.
+	Bytes int64
+}
+
+// Identity returns the run-detection heuristic partition the original
+// vbr.New used: consecutive rows (and columns) with identical sparsity
+// patterns are grouped, so every stored block is completely dense and no
+// fill is ever introduced.
+func Identity(p *mat.Pattern) VBRPartition {
+	return VBRPartition{
+		Rpntr: boundsByPattern(p),
+		Cpntr: boundsByPattern(Transpose(p)),
+	}
+}
+
+// boundsByPattern returns block boundaries grouping consecutive rows of p
+// with identical column patterns.
+func boundsByPattern(p *mat.Pattern) []int32 {
+	bounds := []int32{0}
+	for r := 1; r < p.Rows; r++ {
+		if !equalInt32(p.RowCols(r), p.RowCols(r-1)) {
+			bounds = append(bounds, int32(r))
+		}
+	}
+	bounds = append(bounds, int32(p.Rows))
+	return bounds
+}
+
+// Transpose returns the transposed sparsity pattern (CSC view of p).
+func Transpose(p *mat.Pattern) *mat.Pattern {
+	t := &mat.Pattern{
+		Rows:   p.Cols,
+		Cols:   p.Rows,
+		RowPtr: make([]int32, p.Cols+1),
+		ColInd: make([]int32, p.NNZ()),
+	}
+	for _, c := range p.ColInd {
+		t.RowPtr[c+1]++
+	}
+	for c := 0; c < p.Cols; c++ {
+		t.RowPtr[c+1] += t.RowPtr[c]
+	}
+	cursor := make([]int32, p.Cols)
+	copy(cursor, t.RowPtr[:p.Cols])
+	for r := 0; r < p.Rows; r++ {
+		for _, c := range p.RowCols(r) {
+			t.ColInd[cursor[c]] = int32(r)
+			cursor[c]++
+		}
+	}
+	return t
+}
+
+// colBlockOf maps every column to its block column under cpntr.
+func colBlockOf(cpntr []int32, cols int) []int32 {
+	colBlock := make([]int32, cols)
+	for bj := 0; bj+1 < len(cpntr); bj++ {
+		for c := cpntr[bj]; c < cpntr[bj+1]; c++ {
+			colBlock[c] = int32(bj)
+		}
+	}
+	return colBlock
+}
+
+// VBRStats prices a candidate partition exactly, without constructing the
+// format: Stored counts every scalar of the dense blocks the partition
+// induces (a block is stored iff any of its positions is nonzero, and
+// then stored fully), Blocks counts those blocks, and Bytes is the full
+// VBR footprint
+//
+//	stored*valSize + 4*(len(rpntr)+len(cpntr)+len(browPtr)+len(bcolInd)+len(valPtr)).
+//
+// It returns an error if the partition does not validate against p.
+func VBRStats(p *mat.Pattern, pt VBRPartition, valSize int) (Stats, error) {
+	if err := pt.Validate(p.Rows, p.Cols); err != nil {
+		return Stats{}, err
+	}
+	nbr := len(pt.Rpntr) - 1
+	nbc := len(pt.Cpntr) - 1
+	colBlock := colBlockOf(pt.Cpntr, p.Cols)
+	seen := make([]int32, nbc)
+	for i := range seen {
+		seen[i] = -1
+	}
+	st := Stats{BlockRows: nbr, BlockCols: nbc}
+	for bi := 0; bi < nbr; bi++ {
+		var width, dist int64
+		for r := pt.Rpntr[bi]; r < pt.Rpntr[bi+1]; r++ {
+			prev := int32(-1)
+			for _, c := range p.RowCols(int(r)) {
+				bj := colBlock[c]
+				if bj == prev {
+					continue
+				}
+				prev = bj
+				if seen[bj] != int32(bi) {
+					seen[bj] = int32(bi)
+					dist++
+					width += int64(pt.Cpntr[bj+1] - pt.Cpntr[bj])
+				}
+			}
+		}
+		h := int64(pt.Rpntr[bi+1] - pt.Rpntr[bi])
+		st.Stored += h * width
+		st.Blocks += dist
+	}
+	st.Bytes = st.Stored*int64(valSize) +
+		int64(nbr+1)*4 + int64(nbc+1)*4 + // rpntr, cpntr
+		int64(nbr+1)*4 + // browPtr
+		st.Blocks*4 + (st.Blocks+1)*4 // bcolInd, valPtr
+	return st, nil
+}
+
+// VBRStreamBytes is VBRStats reduced to the byte objective.
+func VBRStreamBytes(p *mat.Pattern, pt VBRPartition, valSize int) (int64, error) {
+	st, err := VBRStats(p, pt, valSize)
+	return st.Bytes, err
+}
+
+// AggregateVBR runs the Ahrens & Boman aggregation: columns first (a
+// one-dimensional DP over identical-pattern column atoms with a
+// per-row-touch cost), then rows against the chosen column partition
+// (exact group costs), each minimizing the modeled stream bytes. The
+// result is guaranteed never worse than Identity(p): both the identity
+// partition and the row-DP against the identity columns are priced
+// exactly alongside the aggregated candidate, and the cheapest wins.
+func AggregateVBR(p *mat.Pattern, valSize int) VBRPartition {
+	id := Identity(p)
+	if p.Rows == 0 || p.Cols == 0 || p.NNZ() == 0 {
+		return id
+	}
+	t := Transpose(p)
+	cDP := aggregateCols(p, t, valSize)
+
+	candidates := []VBRPartition{
+		id,
+		{Rpntr: aggregateRows(p, id.Cpntr, valSize), Cpntr: id.Cpntr},
+		{Rpntr: aggregateRows(p, cDP, valSize), Cpntr: cDP},
+	}
+	best := candidates[0]
+	bestBytes := int64(-1)
+	for _, cand := range candidates {
+		b, err := VBRStreamBytes(p, cand, valSize)
+		if err != nil {
+			panic("partition: internal candidate failed validation: " + err.Error())
+		}
+		if bestBytes < 0 || b < bestBytes {
+			best, bestBytes = cand, b
+		}
+	}
+	return best
+}
+
+// atoms returns the identical-pattern row-group boundaries of p plus, for
+// the DP, a guarantee that each boundary interval is non-empty.
+func atoms(p *mat.Pattern) []int32 { return boundsByPattern(p) }
+
+// aggregateRows runs the forward DP over identical-pattern row atoms for
+// a fixed column partition. The cost of a block row grouping atoms
+// [a..b) is exact:
+//
+//	h * W * valSize  +  D * (bcolInd + valPtr)  +  (rpntr + browPtr)
+//
+// where h is the group height, D the number of distinct block columns its
+// rows touch and W their total width — precisely this group's
+// contribution to VBRStats. The partition-independent "+1" array entries
+// cancel when comparing partitions, so minimizing the DP sum minimizes
+// the exact footprint over all partitions refining the atom boundaries;
+// the identity partition (every atom its own block row) is in that space,
+// so the result is never worse than the heuristic for this cpntr.
+func aggregateRows(p *mat.Pattern, cpntr []int32, valSize int) []int32 {
+	at := atoms(p)
+	n := len(at) - 1 // number of atoms
+	if n <= 1 {
+		return at
+	}
+	nbc := len(cpntr) - 1
+	colBlock := colBlockOf(cpntr, p.Cols)
+	seen := make([]int32, nbc)
+	for i := range seen {
+		seen[i] = -1
+	}
+
+	const inf = int64(1) << 62
+	opt := make([]int64, n+1)
+	parent := make([]int32, n+1)
+	for i := 1; i <= n; i++ {
+		opt[i] = inf
+	}
+	for a := 0; a < n; a++ {
+		if opt[a] == inf {
+			continue
+		}
+		var width, dist int64
+		limit := min(a+MaxMerge, n)
+		for b := a + 1; b <= limit; b++ {
+			// Extend the running block-column union with atom b-1's
+			// pattern (all rows of an atom share it; the first suffices).
+			prev := int32(-1)
+			for _, c := range p.RowCols(int(at[b-1])) {
+				bj := colBlock[c]
+				if bj == prev {
+					continue
+				}
+				prev = bj
+				if seen[bj] != int32(a) {
+					seen[bj] = int32(a)
+					dist++
+					width += int64(cpntr[bj+1] - cpntr[bj])
+				}
+			}
+			h := int64(at[b] - at[a])
+			cost := opt[a] + h*width*int64(valSize) + dist*vbrBlockBytes + vbrBlockRowBytes
+			if cost < opt[b] {
+				opt[b] = cost
+				parent[b] = int32(a)
+			}
+		}
+		// Reset the epoch marker namespace for the next start: the marker
+		// is the start index a, unique per iteration, so nothing to clear.
+	}
+	return reconstruct(at, parent, n)
+}
+
+// aggregateCols runs the same DP over identical-pattern column atoms of
+// the transpose t. Without a fixed row partition the exact block count is
+// unknown, so the cost charges each (row, block column) incidence as one
+// block — the unit-row-partition upper bound:
+//
+//	T * (w * valSize + bcolInd + valPtr)  +  cpntr
+//
+// where T is the number of distinct rows touching the group and w its
+// width. The final exact pricing in AggregateVBR keeps this phase honest.
+func aggregateCols(p, t *mat.Pattern, valSize int) []int32 {
+	at := atoms(t)
+	n := len(at) - 1
+	if n <= 1 {
+		return at
+	}
+	seen := make([]int32, p.Rows)
+	for i := range seen {
+		seen[i] = -1
+	}
+
+	const inf = int64(1) << 62
+	opt := make([]int64, n+1)
+	parent := make([]int32, n+1)
+	for i := 1; i <= n; i++ {
+		opt[i] = inf
+	}
+	for a := 0; a < n; a++ {
+		if opt[a] == inf {
+			continue
+		}
+		var touch int64
+		limit := min(a+MaxMerge, n)
+		for b := a + 1; b <= limit; b++ {
+			for _, r := range t.RowCols(int(at[b-1])) {
+				if seen[r] != int32(a) {
+					seen[r] = int32(a)
+					touch++
+				}
+			}
+			w := int64(at[b] - at[a])
+			cost := opt[a] + touch*(w*int64(valSize)+vbrBlockBytes) + vbrBlockColBytes
+			if cost < opt[b] {
+				opt[b] = cost
+				parent[b] = int32(a)
+			}
+		}
+	}
+	return reconstruct(at, parent, n)
+}
+
+// reconstruct walks the DP parent chain from atom n back to 0 and returns
+// the chosen boundaries in ascending order.
+func reconstruct(at []int32, parent []int32, n int) []int32 {
+	var rev []int32
+	for b := n; b > 0; b = int(parent[b]) {
+		rev = append(rev, at[b])
+	}
+	out := make([]int32, 0, len(rev)+1)
+	out = append(out, 0)
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

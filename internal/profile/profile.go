@@ -27,6 +27,9 @@ import (
 	"blockspmv/internal/formats"
 	"blockspmv/internal/machine"
 	"blockspmv/internal/mat"
+	"blockspmv/internal/partition"
+	"blockspmv/internal/vbl"
+	"blockspmv/internal/vbr"
 )
 
 // Key identifies one profiled kernel: a block shape, an implementation
@@ -114,6 +117,21 @@ func buildDense[T floats.Float](d *mat.COO[T], k Key) formats.Instance[T] {
 	switch {
 	case k.Variant == blocks.DU:
 		return csrdu.New(d, k.Impl)
+	case k.Variant == blocks.VBR:
+		// On a dense matrix run detection would collapse to one giant
+		// block and under-price the per-block walk; a uniform partition
+		// of modest blocks exercises the real VBR streaming pattern.
+		pt := partition.VBRPartition{
+			Rpntr: uniformBounds(d.Rows(), profileVBRBlock),
+			Cpntr: uniformBounds(d.Cols(), profileVBRBlock),
+		}
+		a, err := vbr.NewPartitioned(d, pt, k.Impl)
+		if err != nil {
+			panic("profile: " + err.Error())
+		}
+		return a
+	case k.Variant == blocks.VBL:
+		return vbl.New(d, k.Impl)
 	case k.Shape.IsUnit():
 		return csr.FromCOO(d, k.Impl)
 	case k.Shape.Kind == blocks.Diag:
@@ -121,6 +139,20 @@ func buildDense[T floats.Float](d *mat.COO[T], k Key) formats.Instance[T] {
 	default:
 		return bcsr.New(d, k.Shape.R, k.Shape.C, k.Impl)
 	}
+}
+
+// profileVBRBlock is the uniform block side used to profile the VBR
+// kernel variant on the dense matrices.
+const profileVBRBlock = 8
+
+// uniformBounds returns partition boundaries 0, step, 2*step, ..., n.
+func uniformBounds(n, step int) []int32 {
+	b := []int32{0}
+	for v := step; v < n; v += step {
+		b = append(b, int32(v))
+	}
+	b = append(b, int32(n))
+	return b
 }
 
 // denseSide returns the side length of a dense matrix whose CSR working
@@ -160,13 +192,22 @@ func Collect[T floats.Float](m machine.Machine, opts Options) *Table {
 			t.Entries[k] = profileOne[T](small, big, k, m, opts)
 		}
 	}
-	// The CSR-DU delta decoder: same degenerate 1x1 blocking as CSR, but
-	// its own per-nonzero cost including the unit decode.
-	for _, impl := range blocks.Impls() {
-		k := Key{Shape: blocks.RectShape(1, 1), Impl: impl, Variant: blocks.DU}
-		t.Entries[k] = profileOne[T](small, big, k, m, opts)
+	// The variant kernels share the degenerate 1x1 shape with CSR but
+	// have their own per-unit cost: CSR-DU per nonzero including the
+	// delta decode, VBR and 1D-VBL per stored scalar of their
+	// variable-size block walks.
+	for _, v := range variantKernels() {
+		for _, impl := range blocks.Impls() {
+			k := Key{Shape: blocks.RectShape(1, 1), Impl: impl, Variant: v}
+			t.Entries[k] = profileOne[T](small, big, k, m, opts)
+		}
 	}
 	return t
+}
+
+// variantKernels lists the non-plain kernel variants the profile covers.
+func variantKernels() []blocks.Variant {
+	return []blocks.Variant{blocks.DU, blocks.VBR, blocks.VBL}
 }
 
 // profileOne measures Tb on the L1-resident matrix and Nof on the
@@ -269,12 +310,14 @@ func (t *Table) Save(w io.Writer) error {
 			}
 		}
 	}
-	for _, impl := range blocks.Impls() {
-		if e, ok := t.LookupVariant(blocks.RectShape(1, 1), impl, blocks.DU); ok {
-			jt.Entries = append(jt.Entries, jsonEntry{
-				Shape: "1x1", Impl: impl.String(), Variant: blocks.DU.String(),
-				Tb: e.Tb, Nof: e.Nof,
-			})
+	for _, v := range variantKernels() {
+		for _, impl := range blocks.Impls() {
+			if e, ok := t.LookupVariant(blocks.RectShape(1, 1), impl, v); ok {
+				jt.Entries = append(jt.Entries, jsonEntry{
+					Shape: "1x1", Impl: impl.String(), Variant: v.String(),
+					Tb: e.Tb, Nof: e.Nof,
+				})
+			}
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -313,6 +356,10 @@ func Load(r io.Reader) (*Table, error) {
 		case "", blocks.Plain.String():
 		case blocks.DU.String():
 			variant = blocks.DU
+		case blocks.VBR.String():
+			variant = blocks.VBR
+		case blocks.VBL.String():
+			variant = blocks.VBL
 		default:
 			return nil, fmt.Errorf("profile: unknown variant %q", je.Variant)
 		}

@@ -2,12 +2,16 @@
 // of Pinar & Heath [12].
 //
 // 1D-VBL stores maximal horizontal runs of consecutive nonzeros as
-// variable-size blocks. Four arrays hold the matrix, as in the paper: val
-// (the nonzero values, exactly nnz of them — no padding), rowPtr (n+1
-// 4-byte pointers into val, as in CSR), bcol (the 4-byte starting column of
-// each block) and bsize (the size of each block in a single byte). The
+// variable-size blocks. The paper's four arrays hold the matrix: val (the
+// nonzero values), rowPtr (n+1 4-byte pointers into val, as in CSR), bcol
+// (the 4-byte starting column of each block) and bsize (the size of each
+// block in a single byte), plus a rowBlk seed index (first block of each
+// row) that lets the parallel executor start a multiply at any row. The
 // 1-byte size limits blocks to 255 elements; longer runs are split into
-// 255-element chunks, which the paper notes is rare.
+// 255-element chunks, which the paper notes is rare. NewDP replaces run
+// detection with the per-row cost-model DP of internal/partition, which
+// may merge runs across small gaps (storing explicit zero fill) when that
+// shrinks the exact stream.
 package vbl
 
 import (
@@ -17,6 +21,7 @@ import (
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
 	"blockspmv/internal/mat"
+	"blockspmv/internal/partition"
 )
 
 // MaxBlockLen is the largest representable block: sizes are stored in one
@@ -37,12 +42,22 @@ type Matrix[T floats.Float] struct {
 	// see NewWide.
 	wideSize []int32
 
-	// rowBlk is an auxiliary index (first block of each row) used only to
-	// seed MulRange at partition boundaries; the sequential multiply
-	// streams blocks with a running cursor and never reads it, so it is
-	// not part of the streamed working set (MatrixBytes), matching the
-	// four-array layout of the paper.
+	// rowBlk is an auxiliary index (first block of each row) that seeds
+	// MulRange at partition boundaries. The sequential multiply streams
+	// blocks with a running cursor and rarely reads it, but it is resident
+	// state the structure carries, so MatrixBytes counts it (the paper's
+	// four-array layout predates the range-parallel executor that needs
+	// the seed index).
 	rowBlk []int32
+
+	// nnz is the original nonzero count; val may additionally hold
+	// explicit zero fill when the DP partition merges runs across small
+	// gaps (NewDP).
+	nnz int64
+
+	// dp marks instances whose blocks come from the cost-model DP of
+	// internal/partition rather than run detection.
+	dp bool
 
 	impl blocks.Impl
 }
@@ -61,6 +76,63 @@ func NewWide[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
 	return build(m, impl, true)
 }
 
+// NewDP converts a finalized coordinate matrix to 1D-VBL with block
+// boundaries chosen by the per-row dynamic program of internal/partition,
+// which minimizes each row's exact stream bytes: runs may be merged
+// across small gaps (storing explicit zero fill) when the fill costs less
+// than the saved per-block indices — never worse than New's run
+// detection, and only actually different for small scalar types.
+func NewDP[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
+	if !m.Finalized() {
+		panic("vbl: matrix must be finalized")
+	}
+	a := &Matrix[T]{
+		rows:   m.Rows(),
+		cols:   m.Cols(),
+		val:    make([]T, 0, m.NNZ()),
+		rowPtr: make([]int32, m.Rows()+1),
+		rowBlk: make([]int32, m.Rows()+1),
+		nnz:    int64(m.NNZ()),
+		dp:     true,
+		impl:   impl,
+	}
+	valSize := floats.SizeOf[T]()
+	entries := m.Entries()
+	cols := make([]int32, 0, 64)
+	vals := make([]T, 0, 64)
+	for lo := 0; lo < len(entries); {
+		row := entries[lo].Row
+		hi := lo
+		cols, vals = cols[:0], vals[:0]
+		for hi < len(entries) && entries[hi].Row == row {
+			cols = append(cols, entries[hi].Col)
+			vals = append(vals, entries[hi].Val)
+			hi++
+		}
+		cursor := 0
+		partition.VBLRowBlocks(cols, valSize, func(start, span int32) {
+			a.bcol = append(a.bcol, start)
+			a.bsize = append(a.bsize, uint8(span))
+			base := len(a.val)
+			a.val = append(a.val, make([]T, span)...)
+			for cursor < len(cols) && cols[cursor] < start+span {
+				a.val[base+int(cols[cursor]-start)] = vals[cursor]
+				cursor++
+			}
+		})
+		a.rowPtr[row+1] = int32(len(a.val))
+		a.rowBlk[row+1] = int32(len(a.bcol))
+		lo = hi
+	}
+	for r := 0; r < a.rows; r++ {
+		if a.rowPtr[r+1] < a.rowPtr[r] {
+			a.rowPtr[r+1] = a.rowPtr[r]
+			a.rowBlk[r+1] = a.rowBlk[r]
+		}
+	}
+	return a
+}
+
 func build[T floats.Float](m *mat.COO[T], impl blocks.Impl, wide bool) *Matrix[T] {
 	if !m.Finalized() {
 		panic("vbl: matrix must be finalized")
@@ -71,6 +143,7 @@ func build[T floats.Float](m *mat.COO[T], impl blocks.Impl, wide bool) *Matrix[T
 		val:    make([]T, 0, m.NNZ()),
 		rowPtr: make([]int32, m.Rows()+1),
 		rowBlk: make([]int32, m.Rows()+1),
+		nnz:    int64(m.NNZ()),
 		impl:   impl,
 	}
 	addBlock := func(col int32, n int) {
@@ -150,6 +223,9 @@ func (a *Matrix[T]) Name() string {
 	if a.wideSize != nil {
 		n += "-wide"
 	}
+	if a.dp {
+		n += "-DP"
+	}
 	if a.impl == blocks.Vector {
 		n += "/simd"
 	}
@@ -163,31 +239,35 @@ func (a *Matrix[T]) Rows() int { return a.rows }
 func (a *Matrix[T]) Cols() int { return a.cols }
 
 // NNZ implements formats.Instance.
-func (a *Matrix[T]) NNZ() int64 { return int64(len(a.val)) }
+func (a *Matrix[T]) NNZ() int64 { return a.nnz }
 
-// StoredScalars implements formats.Instance; 1D-VBL stores no padding.
+// StoredScalars implements formats.Instance: the stored values including
+// any zero fill a DP partition introduced (run detection stores exactly
+// NNZ).
 func (a *Matrix[T]) StoredScalars() int64 { return int64(len(a.val)) }
 
-// MatrixBytes implements formats.Instance. It covers the four arrays the
-// kernel streams: val, rowPtr, bcol and the block sizes (1 byte each, or
-// 4 for the wide variant).
+// MatrixBytes implements formats.Instance. It covers every array of the
+// structure: val, rowPtr, bcol, the block sizes (1 byte each, or 4 for
+// the wide variant) and the rowBlk seed index.
 func (a *Matrix[T]) MatrixBytes() int64 {
 	s := int64(floats.SizeOf[T]())
 	return int64(len(a.val))*s + int64(len(a.rowPtr))*4 +
-		int64(len(a.bcol))*4 + int64(len(a.bsize)) + int64(len(a.wideSize))*4
+		int64(len(a.bcol))*4 + int64(len(a.bsize)) + int64(len(a.wideSize))*4 +
+		int64(len(a.rowBlk))*4
 }
 
 // Components implements formats.Instance. Variable-size blocks have no
-// fixed shape; the models in this library do not cost 1D-VBL (the paper
-// excludes variable-size blocking from its models for lack of competitive
-// performance), so the component reports the degenerate 1x1 shape with the
-// block count.
+// fixed shape, so the component reports the degenerate 1x1 shape with
+// Blocks equal to the stored scalars — the per-scalar normalization the
+// profiling layer uses for the VBL kernel variant, mirroring how CSR is
+// modelled as 1x1 blocking with nb = nnz.
 func (a *Matrix[T]) Components() []formats.Component {
 	return []formats.Component{{
 		Shape:   blocks.RectShape(1, 1),
 		Impl:    a.impl,
-		Blocks:  a.Blocks(),
+		Blocks:  a.StoredScalars(),
 		WSBytes: a.MatrixBytes(),
+		Variant: blocks.VBL,
 	}}
 }
 

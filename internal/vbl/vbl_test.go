@@ -68,9 +68,9 @@ func TestDenseMatrixFormsOneBlockPerRow(t *testing.T) {
 func TestMatrixBytesFourArrays(t *testing.T) {
 	m := testmat.Runs[float64](10, 400, 3)
 	a := vbl.New(m, blocks.Scalar)
-	want := a.NNZ()*8 + int64(m.Rows()+1)*4 + a.Blocks()*4 + a.Blocks()
+	want := a.NNZ()*8 + int64(m.Rows()+1)*8 + a.Blocks()*4 + a.Blocks()
 	if got := a.MatrixBytes(); got != want {
-		t.Errorf("MatrixBytes = %d, want %d (val + rowPtr + bcol + 1-byte bsize)", got, want)
+		t.Errorf("MatrixBytes = %d, want %d (val + rowPtr + rowBlk + bcol + 1-byte bsize)", got, want)
 	}
 }
 

@@ -1,23 +1,30 @@
 // Package vbr implements the Variable Block Row format of SPARSKIT
 // (Saad [13]), the two-dimensional variable-block format Section II
 // describes. The paper surveys VBR but does not evaluate it (its extra
-// indexing makes it uncompetitive, like 1D-VBL); it is provided here for
-// completeness of the format survey and as a structural diagnostic.
+// indexing makes it uncompetitive, like 1D-VBL); this library goes one
+// step further and makes VBR a modelled candidate by choosing its block
+// boundaries with the cost-model-driven aggregation of
+// internal/partition.
 //
-// VBR partitions the rows and the columns so that every resulting block is
-// either completely dense or completely empty, then stores the dense blocks
-// column-major per block, as SPARSKIT does. The canonical partition groups
-// consecutive rows with identical sparsity patterns (and likewise for
-// columns); with that choice the dense/empty dichotomy is guaranteed.
+// VBR partitions the rows and the columns; every block that contains at
+// least one nonzero is stored as a fully dense column-major tile (zeros
+// are filled in), as SPARSKIT does. Two partition choices are provided:
+// New groups consecutive rows/columns with identical sparsity patterns
+// (the classic run-detection heuristic — every stored block is dense, no
+// fill), and NewDP uses the Ahrens & Boman dynamic program to minimize
+// the exact streamed footprint, trading a little fill for much smaller
+// index arrays on shared-sparsity matrices.
 package vbr
 
 import (
 	"fmt"
+	"sort"
 
 	"blockspmv/internal/blocks"
 	"blockspmv/internal/floats"
 	"blockspmv/internal/formats"
 	"blockspmv/internal/mat"
+	"blockspmv/internal/partition"
 )
 
 // Matrix is a sparse matrix in VBR format.
@@ -31,22 +38,56 @@ type Matrix[T floats.Float] struct {
 	val        []T
 
 	nnz  int64
+	dp   bool // partition chosen by the cost-model DP, not run detection
 	impl blocks.Impl
 }
 
-// New converts a finalized coordinate matrix to VBR.
+// New converts a finalized coordinate matrix to VBR using the
+// run-detection heuristic partition (identical-pattern row and column
+// groups): every stored block is completely dense, no fill.
 func New[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
 	if !m.Finalized() {
 		panic("vbr: matrix must be finalized")
 	}
-	p := mat.PatternOf(m)
-	rpntr := partitionByPattern(p)
-	cpntr := partitionByPattern(transposePattern(p))
+	return fromPartition(m, partition.Identity(mat.PatternOf(m)), impl, false)
+}
 
+// NewDP converts a finalized coordinate matrix to VBR using the
+// cost-model-driven partition of partition.AggregateVBR, which minimizes
+// the exact streamed footprint and is never worse than New's heuristic.
+func NewDP[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
+	if !m.Finalized() {
+		panic("vbr: matrix must be finalized")
+	}
+	pt := partition.AggregateVBR(mat.PatternOf(m), floats.SizeOf[T]())
+	a := fromPartition(m, pt, impl, true)
+	return a
+}
+
+// NewPartitioned converts a finalized coordinate matrix to VBR using a
+// caller-supplied partition, validating it first. Blocks containing any
+// nonzero are stored fully dense with zero fill, so any valid partition
+// produces a correct matrix; partition.VBRStats prices the result
+// exactly before construction.
+func NewPartitioned[T floats.Float](m *mat.COO[T], pt partition.VBRPartition, impl blocks.Impl) (*Matrix[T], error) {
+	if !m.Finalized() {
+		return nil, fmt.Errorf("vbr: matrix must be finalized")
+	}
+	if err := pt.Validate(m.Rows(), m.Cols()); err != nil {
+		return nil, err
+	}
+	return fromPartition(m, pt, impl, true), nil
+}
+
+// fromPartition builds the VBR arrays for a valid partition. Every block
+// with at least one nonzero is stored fully dense (column-major), with
+// zero fill where the pattern has no entry.
+func fromPartition[T floats.Float](m *mat.COO[T], pt partition.VBRPartition, impl blocks.Impl, dp bool) *Matrix[T] {
+	rpntr, cpntr := pt.Rpntr, pt.Cpntr
 	a := &Matrix[T]{
 		rows: m.Rows(), cols: m.Cols(),
 		rpntr: rpntr, cpntr: cpntr,
-		nnz: int64(m.NNZ()), impl: impl,
+		nnz: int64(m.NNZ()), dp: dp, impl: impl,
 	}
 
 	// Map each column to its block column.
@@ -58,8 +99,14 @@ func New[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
 	}
 
 	nBlockRows := len(rpntr) - 1
+	nBlockCols := len(cpntr) - 1
 	a.browPtr = make([]int32, nBlockRows+1)
 	a.valPtr = append(a.valPtr, 0)
+
+	mark := make([]int32, nBlockCols)
+	for i := range mark {
+		mark[i] = -1
+	}
 
 	entries := m.Entries()
 	lo := 0
@@ -69,18 +116,17 @@ func New[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
 		for hi < len(entries) && entries[hi].Row < rowEnd {
 			hi++
 		}
-		// Distinct block columns of this block row, from the first row's
-		// pattern (all rows in the group share it).
+		// Distinct block columns touched by any row of this block row.
 		var bcols []int32
-		if lo < hi {
-			first := entries[lo].Row
-			for i := lo; i < hi && entries[i].Row == first; i++ {
-				bj := colBlock[entries[i].Col]
-				if len(bcols) == 0 || bcols[len(bcols)-1] != bj {
-					bcols = append(bcols, bj)
-				}
+		for i := lo; i < hi; i++ {
+			bj := colBlock[entries[i].Col]
+			if mark[bj] != int32(bi) {
+				mark[bj] = int32(bi)
+				bcols = append(bcols, bj)
 			}
 		}
+		sort.Slice(bcols, func(i, j int) bool { return bcols[i] < bcols[j] })
+
 		blockBase := len(a.bcolInd)
 		a.bcolInd = append(a.bcolInd, bcols...)
 		brHeight := int(rpntr[bi+1] - rpntr[bi])
@@ -96,10 +142,8 @@ func New[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
 			bj := colBlock[e.Col]
 			k, ok := searchInt32(bcols, bj)
 			if !ok {
-				panic(fmt.Sprintf("vbr: block (%d,%d) missing: partition not pattern-consistent", bi, bj))
+				panic(fmt.Sprintf("vbr: block (%d,%d) missing from block-column union", bi, bj))
 			}
-			bw := int(cpntr[bj+1] - cpntr[bj])
-			_ = bw
 			localR := int(e.Row - rpntr[bi])
 			localC := int(e.Col - cpntr[bj])
 			off := int(a.valPtr[blockBase+k]) + localC*brHeight + localR
@@ -109,43 +153,6 @@ func New[T floats.Float](m *mat.COO[T], impl blocks.Impl) *Matrix[T] {
 		lo = hi
 	}
 	return a
-}
-
-// partitionByPattern returns block boundaries grouping consecutive rows of
-// p with identical column patterns.
-func partitionByPattern(p *mat.Pattern) []int32 {
-	bounds := []int32{0}
-	for r := 1; r < p.Rows; r++ {
-		if !equalInt32(p.RowCols(r), p.RowCols(r-1)) {
-			bounds = append(bounds, int32(r))
-		}
-	}
-	bounds = append(bounds, int32(p.Rows))
-	return bounds
-}
-
-func transposePattern(p *mat.Pattern) *mat.Pattern {
-	t := &mat.Pattern{
-		Rows:   p.Cols,
-		Cols:   p.Rows,
-		RowPtr: make([]int32, p.Cols+1),
-		ColInd: make([]int32, p.NNZ()),
-	}
-	for _, c := range p.ColInd {
-		t.RowPtr[c+1]++
-	}
-	for c := 0; c < p.Cols; c++ {
-		t.RowPtr[c+1] += t.RowPtr[c]
-	}
-	cursor := make([]int32, p.Cols)
-	copy(cursor, t.RowPtr[:p.Cols])
-	for r := 0; r < p.Rows; r++ {
-		for _, c := range p.RowCols(r) {
-			t.ColInd[cursor[c]] = int32(r)
-			cursor[c]++
-		}
-	}
-	return t
 }
 
 // Blocks returns the number of stored dense blocks.
@@ -158,7 +165,16 @@ func (a *Matrix[T]) BlockRows() int { return len(a.rpntr) - 1 }
 func (a *Matrix[T]) BlockCols() int { return len(a.cpntr) - 1 }
 
 // Name implements formats.Instance.
-func (a *Matrix[T]) Name() string { return "VBR" }
+func (a *Matrix[T]) Name() string {
+	n := "VBR"
+	if a.dp {
+		n += "-DP"
+	}
+	if a.impl == blocks.Vector {
+		n += "/simd"
+	}
+	return n
+}
 
 // Rows implements formats.Instance.
 func (a *Matrix[T]) Rows() int { return a.rows }
@@ -169,8 +185,9 @@ func (a *Matrix[T]) Cols() int { return a.cols }
 // NNZ implements formats.Instance.
 func (a *Matrix[T]) NNZ() int64 { return a.nnz }
 
-// StoredScalars implements formats.Instance; with a pattern-consistent
-// partition every stored block is dense, so no padding is stored.
+// StoredScalars implements formats.Instance: the dense-block scalars
+// including any zero fill a DP partition introduced (the run-detection
+// partition stores exactly NNZ).
 func (a *Matrix[T]) StoredScalars() int64 { return int64(len(a.val)) }
 
 // MatrixBytes implements formats.Instance.
@@ -180,19 +197,23 @@ func (a *Matrix[T]) MatrixBytes() int64 {
 		int64(len(a.rpntr)+len(a.cpntr)+len(a.browPtr)+len(a.bcolInd)+len(a.valPtr))*4
 }
 
-// Components implements formats.Instance; like 1D-VBL, VBR has no fixed
-// shape and is not costed by the models.
+// Components implements formats.Instance. Variable-size blocks have no
+// fixed shape, so the component reports the degenerate 1x1 shape with
+// Blocks equal to the stored scalars — the per-scalar normalization the
+// profiling layer uses for the VBR kernel variant, mirroring how CSR is
+// modelled as 1x1 blocking with nb = nnz.
 func (a *Matrix[T]) Components() []formats.Component {
 	return []formats.Component{{
 		Shape:   blocks.RectShape(1, 1),
 		Impl:    a.impl,
-		Blocks:  a.Blocks(),
+		Blocks:  a.StoredScalars(),
 		WSBytes: a.MatrixBytes(),
+		Variant: blocks.VBR,
 	}}
 }
 
 // RowAlign implements formats.Instance. VBR row ranges must respect the
-// pattern partition, which is data-dependent; the executor treats VBR as
+// partition, which is data-dependent; the executor treats VBR as
 // unsplittable by returning the full row count (floored at 1 so an empty
 // matrix still reports a valid alignment).
 func (a *Matrix[T]) RowAlign() int { return max(a.rows, 1) }
@@ -289,18 +310,6 @@ func (a *Matrix[T]) MulRangeMulti(x, y []T, k, r0, r1 int) {
 
 var _ formats.Instance[float64] = (*Matrix[float64])(nil)
 
-func equalInt32(a, b []int32) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
 func searchInt32(s []int32, v int32) (int, bool) {
 	lo, hi := 0, len(s)
 	for lo < hi {
@@ -317,7 +326,8 @@ func searchInt32(s []int32, v int32) (int, bool) {
 	return 0, false
 }
 
-// WithImpl implements formats.Instance. VBR has a single kernel.
+// WithImpl implements formats.Instance. VBR has a single kernel; the
+// class only affects the instance name.
 func (a *Matrix[T]) WithImpl(impl blocks.Impl) formats.Instance[T] {
 	b := *a
 	b.impl = impl
