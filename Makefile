@@ -10,7 +10,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/workpool ./internal/parallel ./internal/vecops ./internal/solver \
     ./internal/conformance ./internal/csrdu ./internal/faultcheck \
-    ./internal/server ./internal/metrics
+    ./internal/server ./internal/metrics ./internal/sell
 
 FUZZTIME ?= 5s
 
@@ -52,6 +52,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzVBRPartition$$' -fuzztime $(FUZZTIME) ./internal/partition
 	$(GO) test -run '^$$' -fuzz '^FuzzVBLRowBlocks$$' -fuzztime $(FUZZTIME) ./internal/partition
+	$(GO) test -run '^$$' -fuzz '^FuzzSELLConstruction$$' -fuzztime $(FUZZTIME) ./internal/sell
 
 bench:
 	$(GO) test -bench 'MulVecWorkers|SolveCGWorkers' -benchmem \
@@ -63,7 +64,10 @@ bench:
 # (cost-model-driven variable-block partitioning: DP-aggregated VBR/VBL
 # vs run-detection blocks vs CSR on the shared-sparsity archetypes),
 # BENCH_spmm.json (multi-RHS panel multiply vs independent SpMVs per
-# panel width, with the MEM-with-k predicted speedup) and
+# panel width, with the MEM-with-k predicted speedup), BENCH_sell.json
+# (SELL-C-σ sweep vs scalar CSR on the scatter archetypes: padding
+# ratio, MEM band, selection outcomes; the spmvbench run itself exits
+# non-zero if the experiment's selection assertions fail) and
 # BENCH_serve.json (spmvd request coalescing: closed-loop
 # throughput/latency batched vs unbatched).
 bench-json:
@@ -71,6 +75,8 @@ bench-json:
 	    -iterations 20 -json BENCH_compress.json
 	$(GO) run ./cmd/spmvbench -experiment vbr -scale small \
 	    -iterations 20 -json BENCH_vbr.json
+	$(GO) run ./cmd/spmvbench -experiment sell -scale small \
+	    -iterations 20 -json BENCH_sell.json
 	$(GO) run ./cmd/spmvbench -experiment spmm -scale small \
 	    -iterations 20 -cores 1,2,4 -rhs 1,2,4,8 -json BENCH_spmm.json
 	$(GO) run ./cmd/spmvload -clients 8 -duration 2s -batch 8 \

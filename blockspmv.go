@@ -59,6 +59,7 @@ import (
 	"blockspmv/internal/parallel"
 	"blockspmv/internal/profile"
 	"blockspmv/internal/reorder"
+	"blockspmv/internal/sell"
 	"blockspmv/internal/solver"
 	"blockspmv/internal/ubcsr"
 	"blockspmv/internal/vbl"
@@ -223,6 +224,25 @@ func NewVBR[T Float](m *Matrix[T], impl Impl) Format[T] { return vbr.New(m, impl
 // than NewVBR's, and on matrices with near-shared row sparsity (FEM-style
 // multi-dof problems) it is substantially smaller.
 func NewVBRDP[T Float](m *Matrix[T], impl Impl) Format[T] { return vbr.NewDP(m, impl) }
+
+// NewSELL converts a finalized matrix to SELL-C-σ (sorted sliced
+// ELLPACK): rows sorted by descending length inside scopes of sigma
+// rows (1 keeps the natural order, 0 or >= rows sorts the whole
+// matrix), grouped into slices of chunk rows, each slice padded to its
+// own longest row and stored column-major. The row permutation is
+// applied on output, so results stay bit-for-bit identical to CSR. The
+// format needs no nonzero adjacency at all, making it the candidate
+// class for scatter-dominated matrices (uniform random, power-law
+// graphs, LP constraints) where every blocked format loses to CSR.
+func NewSELL[T Float](m *Matrix[T], chunk, sigma int, impl Impl) Format[T] {
+	return sell.New(m, chunk, sigma, impl)
+}
+
+// NewSELLCompact is NewSELL with the narrowest column-index type the
+// matrix width admits; wide matrices fall back to the 4-byte layout.
+func NewSELLCompact[T Float](m *Matrix[T], chunk, sigma int, impl Impl) Format[T] {
+	return sell.NewCompact(m, chunk, sigma, impl)
+}
 
 // NewMultiDec converts a finalized matrix to the k=3 multi-pattern
 // decomposition of Agarwal et al.: completely dense aligned r x c blocks,

@@ -99,9 +99,10 @@ func TestRankCoversSelectionSpace(t *testing.T) {
 		// variants a 64-column matrix admits (the uint8 mirror of all 106
 		// and the two CSR-DU candidates) plus the eight variable-block
 		// candidates (VBR and 1D-VBL, heuristic and DP partitions, scalar
-		// and simd).
-		if len(preds) != 222 {
-			t.Fatalf("%s: ranked %d candidates, want 222", model.Name(), len(preds))
+		// and simd) plus the 24 SELL-C-σ candidates (3 chunks x 2 sigmas
+		// x 2 impls, mirrored at the admitted narrow width).
+		if len(preds) != 246 {
+			t.Fatalf("%s: ranked %d candidates, want 246", model.Name(), len(preds))
 		}
 		seen := make(map[string]bool)
 		for i := 1; i < len(preds); i++ {

@@ -14,6 +14,7 @@ import (
 	"blockspmv/internal/mat"
 	"blockspmv/internal/multidec"
 	"blockspmv/internal/parallel"
+	"blockspmv/internal/sell"
 	"blockspmv/internal/ubcsr"
 	"blockspmv/internal/vbl"
 	"blockspmv/internal/vbr"
@@ -283,6 +284,21 @@ func NewVBRChecked[T Float](m *Matrix[T], impl Impl) (Format[T], error) {
 		return nil, err
 	}
 	return construct("VBR", func() Format[T] { return vbr.New(m, impl) })
+}
+
+// NewSELLChecked is NewSELL over validated input: a non-positive chunk
+// height or a matrix too wide for the requested layout comes back as an
+// error instead of a panic. Any sigma is accepted (non-positive means
+// whole-matrix sorting).
+func NewSELLChecked[T Float](m *Matrix[T], chunk, sigma int, impl Impl) (Format[T], error) {
+	if chunk < 1 {
+		return nil, fmt.Errorf("blockspmv: SELL chunk height %d (want >= 1)", chunk)
+	}
+	if err := checkedInput(m); err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("SELL-%d-%s", chunk, sell.SigmaName(sigma))
+	return construct(name, func() Format[T] { return sell.New(m, chunk, sigma, impl) })
 }
 
 // NewMultiDecChecked is NewMultiDec over validated input; bad r, c or b

@@ -45,6 +45,9 @@ func checkedConstructors() map[string]func(*blockspmv.Matrix[float64]) (blockspm
 		"1D-VBL": func(m *blockspmv.Matrix[float64]) (blockspmv.Format[float64], error) {
 			return blockspmv.NewVBLChecked(m, blockspmv.Scalar)
 		},
+		"SELL": func(m *blockspmv.Matrix[float64]) (blockspmv.Format[float64], error) {
+			return blockspmv.NewSELLChecked(m, 8, 0, blockspmv.Scalar)
+		},
 		"VBR": func(m *blockspmv.Matrix[float64]) (blockspmv.Format[float64], error) {
 			return blockspmv.NewVBRChecked(m, blockspmv.Scalar)
 		},
@@ -128,6 +131,11 @@ func TestCheckedConstructorsRejectBadShapes(t *testing.T) {
 		}
 		if _, err := blockspmv.NewMultiDecChecked(m, rc[0], rc[1], 2, blockspmv.Scalar); !errors.As(err, &se) {
 			t.Errorf("MultiDec rect %dx%d: err = %v, want *ShapeError", rc[0], rc[1], err)
+		}
+	}
+	for _, c := range []int{-4, 0} {
+		if _, err := blockspmv.NewSELLChecked(m, c, 1, blockspmv.Scalar); err == nil {
+			t.Errorf("SELL chunk %d: accepted, want error", c)
 		}
 	}
 	for _, b := range []int{-3, 0, 1, 9, 1 << 30} {

@@ -6,6 +6,13 @@
 //	matgen -matrix rajat31 -stats         # structure statistics
 //	matgen -matrix 23.fdiff -o fdiff.mtx  # export as Matrix Market
 //	matgen -matrix 5 -scale tiny -hist    # row-length histogram
+//
+// Beyond the fixed suite, -gen builds the two scatter-dominated
+// archetypes at any size, for exercising formats whose interesting
+// regime starts where blocking stops paying off:
+//
+//	matgen -gen powerlaw -rows 100000 -avg 12 -alpha 1.6 -hist
+//	matgen -gen lp -rows 20000 -cols 60000 -avg 8 -o lp.mtx
 package main
 
 import (
@@ -29,6 +36,12 @@ func main() {
 		hist      = flag.Bool("hist", false, "print the row-length histogram")
 		blockinfo = flag.Bool("blocks", false, "print block/padding counts for every shape")
 		out       = flag.String("o", "", "write the matrix in MatrixMarket format to this file")
+		gen       = flag.String("gen", "", "generate a standalone archetype instead of a suite matrix: powerlaw or lp")
+		rows      = flag.Int("rows", 10000, "rows for -gen")
+		cols      = flag.Int("cols", 0, "columns for -gen lp (defaults to 3x rows)")
+		avg       = flag.Int("avg", 12, "average nonzeros per row for -gen")
+		alpha     = flag.Float64("alpha", 1.6, "tail exponent for -gen powerlaw")
+		seed      = flag.Int64("seed", 1, "random seed for -gen")
 	)
 	flag.Parse()
 
@@ -44,24 +57,44 @@ func main() {
 		textplot.Table(os.Stdout, []string{"Matrix", "Domain", "2D/3D", "Archetype"}, rows)
 		return
 	}
-	if *name == "" {
+	var m *mat.COO[float64]
+	switch {
+	case *gen != "":
+		switch *gen {
+		case "powerlaw":
+			fmt.Printf("powerlaw: %d rows, avg %d nnz/row, alpha %.2f, seed %d\n", *rows, *avg, *alpha, *seed)
+			m = suite.PowerLaw[float64](*rows, *avg, *alpha, *seed)
+		case "lp":
+			c := *cols
+			if c <= 0 {
+				c = 3 * *rows
+			}
+			fmt.Printf("lp: %dx%d constraint matrix, avg %d nnz/row, seed %d\n", *rows, c, *avg, *seed)
+			m = suite.LP[float64](*rows, c, *avg, *seed)
+		default:
+			fatal(fmt.Errorf("unknown -gen archetype %q (want powerlaw or lp)", *gen))
+		}
+		fmt.Printf("generated: %dx%d, %d nonzeros, %.2f MiB in CSR (dp)\n",
+			m.Rows(), m.Cols(), m.NNZ(),
+			float64(mat.CSRWorkingSetBytes(m.Rows(), m.NNZ(), 8))/(1<<20))
+	case *name != "":
+		scale, err := suite.ParseScale(*scaleName)
+		if err != nil {
+			fatal(err)
+		}
+		info, err := lookup(*name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s (%s): %s\n", info.Name, info.Domain, info.Archetype)
+		m = suite.MustBuild[float64](info.ID, scale)
+		fmt.Printf("generated at %s scale: %dx%d, %d nonzeros, %.2f MiB in CSR (dp)\n",
+			scale, m.Rows(), m.Cols(), m.NNZ(),
+			float64(mat.CSRWorkingSetBytes(m.Rows(), m.NNZ(), 8))/(1<<20))
+	default:
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	scale, err := suite.ParseScale(*scaleName)
-	if err != nil {
-		fatal(err)
-	}
-	info, err := lookup(*name)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("%s (%s): %s\n", info.Name, info.Domain, info.Archetype)
-	m := suite.MustBuild[float64](info.ID, scale)
-	fmt.Printf("generated at %s scale: %dx%d, %d nonzeros, %.2f MiB in CSR (dp)\n",
-		scale, m.Rows(), m.Cols(), m.NNZ(),
-		float64(mat.CSRWorkingSetBytes(m.Rows(), m.NNZ(), 8))/(1<<20))
 
 	if *stats {
 		fmt.Printf("\nstructure: %s\n", mat.ComputeStats(m))

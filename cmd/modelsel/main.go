@@ -35,6 +35,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "break each model's selection into memory/compute terms")
 		compress  = flag.Bool("compress", true, "include compressed-index candidates (narrow indices, CSR-DU) in the ranking")
 		vbrFlag   = flag.Bool("vbr", true, "include variable-block candidates (VBR, 1D-VBL and their DP-partitioned variants) in the ranking")
+		sellFlag  = flag.Bool("sell", true, "include SELL-C-σ candidates (sorted sliced ELLPACK) in the ranking")
 		rhs       = flag.Int("rhs", 1, "panel width k: rank for a k-wide multi-RHS multiply (MulVecs), charging the matrix stream once and the vectors k times")
 	)
 	flag.Parse()
@@ -48,16 +49,16 @@ func main() {
 	}
 	switch *precision {
 	case "dp":
-		run[float64](*name, *mtxPath, *scaleName, *topN, *explain, *compress, *vbrFlag, *rhs)
+		run[float64](*name, *mtxPath, *scaleName, *topN, *explain, *compress, *vbrFlag, *sellFlag, *rhs)
 	case "sp":
-		run[float32](*name, *mtxPath, *scaleName, *topN, *explain, *compress, *vbrFlag, *rhs)
+		run[float32](*name, *mtxPath, *scaleName, *topN, *explain, *compress, *vbrFlag, *sellFlag, *rhs)
 	default:
 		fmt.Fprintln(os.Stderr, "modelsel: -precision must be sp or dp")
 		os.Exit(2)
 	}
 }
 
-func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain, compress, vbr bool, rhs int) {
+func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain, compress, vbr, sellOK bool, rhs int) {
 	m := loadMatrix[T](name, mtxPath, scaleName)
 	fmt.Printf("matrix: %dx%d, %d nonzeros, %.2f MiB in CSR\n",
 		m.Rows(), m.Cols(), m.NNZ(),
@@ -79,12 +80,16 @@ func run[T floats.Float](name, mtxPath, scaleName string, topN int, explain, com
 		enumerate = core.EnumerateStatsAll
 	}
 	stats := enumerate(mat.PatternOf(m), floats.SizeOf[T]())
-	if !vbr {
+	if !vbr || !sellOK {
 		kept := stats[:0]
 		for _, cs := range stats {
-			if cs.Cand.Method != core.VBR && cs.Cand.Method != core.VBL {
-				kept = append(kept, cs)
+			if !vbr && (cs.Cand.Method == core.VBR || cs.Cand.Method == core.VBL) {
+				continue
 			}
+			if !sellOK && cs.Cand.Method == core.SELL {
+				continue
+			}
+			kept = append(kept, cs)
 		}
 		stats = kept
 	}

@@ -27,7 +27,11 @@
 // "vbr" measures cost-model-driven variable-block partitioning — the
 // DP-aggregated VBR/1D-VBL against their run-detection counterparts and
 // CSR on the shared-sparsity FEM archetypes plus two scatter-dominated
-// negatives (matrices from -matrices, defaulting to that set).
+// negatives (matrices from -matrices, defaulting to that set), and
+// "sell" sweeps SELL-C-σ (C in {4,8,32}, σ in {1,C,n}) against scalar
+// CSR on the scatter-dominated archetypes, reporting padding ratio,
+// the MEM lower bound and both selection outcomes; the run exits
+// non-zero if MEM ever selects SELL or no SELL variant wins measurably.
 //
 // Pass -json FILE to additionally write every per-format measurement
 // (GFlop/s, bytes/nnz, ms/SpMV) as a machine-readable report; the
@@ -56,7 +60,7 @@ import (
 
 func main() {
 	var (
-		experiments = flag.String("experiment", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,latency,compress,scaling,spmm,vbr,all")
+		experiments = flag.String("experiment", "all", "comma-separated experiments: table1,table2,table3,fig2,fig3,fig4,latency,compress,scaling,spmm,vbr,sell,all")
 		scaleName   = flag.String("scale", "small", "suite scale: tiny, small or paper")
 		matrices    = flag.String("matrices", "", "comma-separated matrix ids (default: all 30)")
 		iterations  = flag.Int("iterations", 20, "timed SpMV operations per instance")
@@ -86,13 +90,13 @@ func main() {
 	known := map[string]bool{
 		"all": true, "table1": true, "table2": true, "table3": true, "table4": true,
 		"fig2": true, "fig3": true, "fig4": true, "latency": true, "fig3x": true, "rank": true,
-		"compress": true, "scaling": true, "spmm": true, "vbr": true,
+		"compress": true, "scaling": true, "spmm": true, "vbr": true, "sell": true,
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiments, ",") {
 		name := strings.TrimSpace(e)
 		if !known[name] {
-			fatal(fmt.Errorf("unknown experiment %q (known: table1 table2 table3 table4 fig2 fig3 fig4 latency fig3x rank compress scaling spmm vbr all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (known: table1 table2 table3 table4 fig2 fig3 fig4 latency fig3x rank compress scaling spmm vbr sell all)", name))
 		}
 		want[name] = true
 	}
@@ -189,6 +193,18 @@ func main() {
 		res := bench.VBRPart(cfg)
 		bench.PrintVBRPart(out, res)
 		report.AddVBRPart(res)
+	}
+	if want["sell"] {
+		res := bench.Sell(cfg)
+		bench.PrintSell(out, res)
+		report.AddSell(res)
+		// The tracked artifact must carry the experiment's story: MEM
+		// never selects a padded stream, and the slice kernel's win is
+		// real on at least one scatter archetype. Fail the run loudly
+		// otherwise so a broken artifact can't be committed silently.
+		if err := bench.CheckSell(res); err != nil {
+			fatal(err)
+		}
 	}
 	if want["scaling"] {
 		res := bench.Scaling(cfg)

@@ -71,6 +71,12 @@ func allConstructors() map[string]func(*blockspmv.Matrix[float64]) blockspmv.For
 		"1D-VBL": func(m *blockspmv.Matrix[float64]) blockspmv.Format[float64] {
 			return blockspmv.NewVBL(m, blockspmv.Scalar)
 		},
+		"SELL": func(m *blockspmv.Matrix[float64]) blockspmv.Format[float64] {
+			return blockspmv.NewSELL(m, 8, 0, blockspmv.Scalar)
+		},
+		"SELL/compact": func(m *blockspmv.Matrix[float64]) blockspmv.Format[float64] {
+			return blockspmv.NewSELLCompact(m, 4, 1, blockspmv.Scalar)
+		},
 		"VBR": func(m *blockspmv.Matrix[float64]) blockspmv.Format[float64] {
 			return blockspmv.NewVBR(m, blockspmv.Scalar)
 		},

@@ -3,7 +3,11 @@
 // by timing the top candidates. A second act perturbs the FEM structure —
 // dropping a few entries per row, as real assembly does — and shows the
 // selection switch to the DP-partitioned VBR, whose cost-model-driven
-// partitioner aggregates rows with merely similar patterns.
+// partitioner aggregates rows with merely similar patterns. A third act
+// moves to a power-law graph — no adjacency at all, the regime where
+// every blocked format loses to CSR — and shows the profiled selection
+// pick SELL-C-σ while the pure MEM model, blind to the computational
+// term, still insists on CSR.
 //
 // Run with: go run ./examples/autotune
 package main
@@ -70,6 +74,61 @@ func main() {
 	heur := blockspmv.NewVBR(m2, blockspmv.Scalar)
 	fmt.Printf("run-detection VBR would stream %.2f B/nnz — worse than CSR\n",
 		float64(heur.MatrixBytes())/float64(m2.NNZ()))
+
+	// Act three: scatter-dominated rows. A power-law graph has no nonzero
+	// adjacency to block, so the whole blocked family loses to CSR and the
+	// only remaining lever is the kernel itself. SELL-C-σ sorts rows by
+	// length, pads C-row slices to their own longest row and drives the C
+	// rows in lockstep — the profiled OVERLAP model prices that lower
+	// per-scalar time and selects it, while MEM (bytes only) must refuse:
+	// a padded stream plus a stored permutation always exceeds CSR's bytes.
+	m3 := powerLawGraph(60000, 12)
+	fmt.Printf("\npower-law graph: %dx%d, %d nonzeros\n", m3.Rows(), m3.Cols(), m3.NNZ())
+	format3, pred3 := blockspmv.Autotune(m3, mach, prof)
+	csr3 := blockspmv.NewCSR(m3, blockspmv.Scalar)
+	fmt.Printf("OVERLAP model selected: %s (predicted %.3g ms; %.2f B/nnz vs CSR's %.2f)\n",
+		format3.Name(), pred3.Seconds*1e3,
+		float64(format3.MatrixBytes())/float64(m3.NNZ()),
+		float64(csr3.MatrixBytes())/float64(m3.NNZ()))
+	format3mem, _ := blockspmv.AutotuneWith(m3, memModel, mach, nil)
+	fmt.Printf("MEM model selected: %s — blind to the compute term SELL wins on\n",
+		format3mem.Name())
+	for _, inst := range []blockspmv.Format[float64]{csr3, format3} {
+		x3 := make([]float64, m3.Cols())
+		y3 := make([]float64, m3.Rows())
+		inst.Mul(x3, y3) // warm up
+		start := time.Now()
+		const reps = 20
+		for r := 0; r < reps; r++ {
+			inst.Mul(x3, y3)
+		}
+		fmt.Printf("  %-20s measured %.3g ms\n", inst.Name(),
+			time.Since(start).Seconds()/reps*1e3)
+	}
+}
+
+// powerLawGraph builds a graph whose out-degrees follow a heavy-tailed
+// distribution with scattered targets — the scatter archetype SELL-C-σ
+// is built for.
+func powerLawGraph(n, avg int) *blockspmv.Matrix[float64] {
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.6, 1, uint64(8*avg))
+	m := blockspmv.NewMatrix[float64](n, n)
+	seen := map[[2]int32]bool{}
+	for r := 0; r < n; r++ {
+		deg := int(zipf.Uint64()) + 1
+		for k := 0; k < deg; k++ {
+			c := int32(rng.Intn(n))
+			key := [2]int32{int32(r), c}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			m.Add(int32(r), c, rng.Float64()+0.5)
+		}
+	}
+	m.Finalize()
+	return m
 }
 
 // perturbedFEM builds row groups of varying height sharing four 3-column

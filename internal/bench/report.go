@@ -29,6 +29,12 @@ type ReportRecord struct {
 	// experiment: measured vs MEM-model-predicted gain over scalar CSR.
 	SpeedupVsCSR        float64 `json:"speedup_vs_csr,omitempty"`
 	MemPredictedSpeedup float64 `json:"mem_predicted_speedup,omitempty"`
+	// PaddingRatio is filled by the sell experiment: explicit padding
+	// zeros over nonzeros in the slice layout.
+	PaddingRatio float64 `json:"padding_ratio,omitempty"`
+	// MemBoundMs is filled by the sell experiment: the MEM lower bound
+	// for the instance's full streaming working set.
+	MemBoundMs float64 `json:"mem_bound_ms,omitempty"`
 	// SpeedupVsIndependent is filled by the spmm experiment: one pooled
 	// k-wide MulVecs panel against k independent pooled MulVec calls.
 	SpeedupVsIndependent float64 `json:"speedup_vs_independent,omitempty"`
@@ -101,6 +107,28 @@ func (r *Report) AddVBRPart(res []VBRPartResult) {
 				Format:              e.Format,
 				NNZ:                 vr.NNZ,
 				BytesPerNNZ:         e.BytesPerNNZ,
+				MsPerSpMV:           e.Seconds * 1e3,
+				GFlops:              e.GFlops,
+				SpeedupVsCSR:        e.SpeedupVsCSR,
+				MemPredictedSpeedup: e.MemPredictedSpeedup,
+			})
+		}
+	}
+}
+
+// AddSell appends the SELL-C-σ sweep measurements.
+func (r *Report) AddSell(res []SellResult) {
+	for _, sr := range res {
+		for _, e := range sr.Entries {
+			r.Records = append(r.Records, ReportRecord{
+				Experiment:          "sell",
+				Matrix:              sr.Info.Name,
+				Precision:           sr.Precision,
+				Format:              e.Format,
+				NNZ:                 sr.NNZ,
+				BytesPerNNZ:         e.BytesPerNNZ,
+				PaddingRatio:        e.PaddingRatio,
+				MemBoundMs:          e.MemBoundMs,
 				MsPerSpMV:           e.Seconds * 1e3,
 				GFlops:              e.GFlops,
 				SpeedupVsCSR:        e.SpeedupVsCSR,

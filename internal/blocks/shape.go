@@ -76,6 +76,10 @@ const (
 	// VBL walks the variable-length horizontal blocks of 1D-VBL
 	// (internal/vbl), one bcol/bsize pair per block.
 	VBL
+	// SELL walks the column-major padded slices of SELL-C-σ
+	// (internal/sell): C lane accumulators per slice, scattered through
+	// the row permutation on output.
+	SELL
 )
 
 func (v Variant) String() string {
@@ -88,6 +92,8 @@ func (v Variant) String() string {
 		return "vbr"
 	case VBL:
 		return "vbl"
+	case SELL:
+		return "sell"
 	default:
 		return fmt.Sprintf("Variant(%d)", uint8(v))
 	}

@@ -14,6 +14,7 @@ import (
 	"blockspmv/internal/mat"
 	"blockspmv/internal/multidec"
 	"blockspmv/internal/parallel"
+	"blockspmv/internal/sell"
 	"blockspmv/internal/testmat"
 	"blockspmv/internal/ubcsr"
 	"blockspmv/internal/vbl"
@@ -46,6 +47,10 @@ func panelInstances(m *mat.COO[float64]) []formats.Instance[float64] {
 		vbl.NewDP(m, blocks.Scalar),
 		vbr.New(m, blocks.Scalar),
 		vbr.NewDP(m, blocks.Scalar),
+		sell.New(m, 4, 1, blocks.Scalar),
+		sell.New(m, 8, 0, blocks.Vector),
+		sell.NewCompact(m, 32, 0, blocks.Scalar),
+		sell.New(m, 3, 0, blocks.Scalar),
 		csrdu.New(m, blocks.Scalar),
 		csrdu.New(m, blocks.Vector),
 		dcsr.New(m),

@@ -1,0 +1,96 @@
+package conformance_test
+
+import (
+	"fmt"
+	"testing"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/conformance"
+	"blockspmv/internal/floats"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/parallel"
+	"blockspmv/internal/sell"
+	"blockspmv/internal/testmat"
+)
+
+// sellBuilders constructs the SELL-C-σ variants the selection space
+// enumerates, across chunk heights, sorting scopes, kernel classes and
+// index widths, plus a chunk the generated kernels don't cover so the
+// generic fallback stays honest.
+func sellBuilders(m *mat.COO[float64]) map[string]formats.Instance[float64] {
+	return map[string]formats.Instance[float64]{
+		"SELL-4-1":        sell.New(m, 4, 1, blocks.Scalar),
+		"SELL-4-n":        sell.New(m, 4, 0, blocks.Scalar),
+		"SELL-8-n":        sell.New(m, 8, 0, blocks.Scalar),
+		"SELL-8-n/simd":   sell.New(m, 8, 0, blocks.Vector),
+		"SELL-8-64":       sell.New(m, 8, 64, blocks.Scalar),
+		"SELL-32-n":       sell.New(m, 32, 0, blocks.Scalar),
+		"SELL-8-n/narrow": sell.NewCompact(m, 8, 0, blocks.Scalar),
+		"SELL-3-n":        sell.New(m, 3, 0, blocks.Scalar), // generic fallback
+	}
+}
+
+// TestSELLVariantsConform runs every SELL variant through the full
+// conformance suite on the shared corpus.
+func TestSELLVariantsConform(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		for bname, inst := range sellBuilders(m) {
+			t.Run(name+"/"+bname, func(t *testing.T) {
+				conformance.Check(t, m, inst)
+			})
+		}
+	}
+}
+
+// TestSELLPooledMatchesSerialBitForBit extends the pool correctness
+// property to SELL: the pooled MulVec must reproduce the serial Mul
+// exactly, bit for bit. Pooled ranges split on scope boundaries
+// (RowAlign = scope), so the permutation scatter never crosses a range.
+func TestSELLPooledMatchesSerialBitForBit(t *testing.T) {
+	for name, m := range testmat.Corpus[float64]() {
+		x := floats.RandVector[float64](m.Cols(), 19)
+		for iname, inst := range sellBuilders(m) {
+			want := make([]float64, m.Rows())
+			inst.Mul(x, want)
+			for _, parts := range []int{1, 3} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", name, iname, parts), func(t *testing.T) {
+					pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+					defer pm.Close()
+					got := make([]float64, m.Rows())
+					pm.MulVec(x, got)
+					pm.MulVec(x, got)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("y[%d] = %x, serial %x: pooled result not bit-identical",
+								i, got[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSELLMulVecZeroAllocs asserts the steady-state allocation contract:
+// the slice kernels scatter through the permutation directly into y, so
+// neither the serial Mul nor the pooled MulVec may allocate.
+func TestSELLMulVecZeroAllocs(t *testing.T) {
+	m := testmat.Random[float64](2000, 2000, 0.004, 23)
+	x := floats.RandVector[float64](m.Cols(), 24)
+	y := make([]float64, m.Rows())
+	for iname, inst := range sellBuilders(m) {
+		inst.Mul(x, y)
+		if allocs := testing.AllocsPerRun(100, func() { inst.Mul(x, y) }); allocs != 0 {
+			t.Errorf("%s: serial Mul allocates %v times per call, want 0", iname, allocs)
+		}
+		for _, parts := range []int{1, 4} {
+			pm := parallel.NewMul(inst, parts, parallel.BalanceWeights)
+			if allocs := testing.AllocsPerRun(100, func() { pm.MulVec(x, y) }); allocs != 0 {
+				t.Errorf("%s parts=%d: pooled MulVec allocates %v times per call, want 0",
+					iname, parts, allocs)
+			}
+			pm.Close()
+		}
+	}
+}

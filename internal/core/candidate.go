@@ -15,6 +15,7 @@ import (
 
 	"blockspmv/internal/blocks"
 	"blockspmv/internal/idx"
+	"blockspmv/internal/sell"
 )
 
 // Method enumerates the storage methods the models choose between. The
@@ -51,6 +52,13 @@ const (
 	// variable-length horizontal blocks, modelled like VBR with the vbl
 	// kernel variant.
 	VBL
+	// SELL is the sorted sliced ELLPACK format SELL-C-σ (internal/sell):
+	// slices of C rows padded to the slice's longest row, rows σ-sorted
+	// by length to shrink the padding. Modelled as 1x1 blocking with
+	// nb = stored scalars (padding included) and the sell kernel
+	// variant's block time; the padded stream is priced exactly and
+	// construction-free (sell.StreamBytes).
+	SELL
 )
 
 func (m Method) String() string {
@@ -71,6 +79,8 @@ func (m Method) String() string {
 		return "VBR"
 	case VBL:
 		return "1D-VBL"
+	case SELL:
+		return "SELL"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -99,23 +109,28 @@ const (
 
 // Candidate is one point of the selection space: a method, its block
 // shape (meaningless for CSR, CSR-DU and the variable-block methods),
-// the kernel implementation class, the column-index storage width, and
-// the partitioning strategy (variable-block methods only). The zero
-// Width is the paper's 4-byte baseline, so pre-existing candidates are
-// unchanged; narrow widths describe the compressed-index variants and
-// CSR-DU ignores the field (its indices are delta-encoded, not
-// fixed-width).
+// the kernel implementation class, the column-index storage width, the
+// partitioning strategy (variable-block methods only), and the slice
+// height and sorting scope (SELL only). The zero Width is the paper's
+// 4-byte baseline, so pre-existing candidates are unchanged; narrow
+// widths describe the compressed-index variants and CSR-DU ignores the
+// field (its indices are delta-encoded, not fixed-width). Chunk and
+// Sigma are zero for every non-SELL method; for SELL, Sigma follows
+// the sell package convention that a non-positive value means
+// whole-matrix sorting ("n").
 type Candidate struct {
 	Method Method
 	Shape  blocks.Shape
 	Impl   blocks.Impl
 	Width  idx.Width
 	Part   Part
+	Chunk  int
+	Sigma  int
 }
 
 // String renders the candidate like the format instances name themselves:
 // "BCSR(2x3)/simd", "CSR", "BCSD(d4)/ix16", "CSR-DU/simd", "VBR-DP",
-// "1D-VBL/simd".
+// "1D-VBL/simd", "SELL-8-n/ix16".
 func (c Candidate) String() string {
 	s := c.Method.String()
 	switch c.Method {
@@ -123,6 +138,9 @@ func (c Candidate) String() string {
 		if c.Part == PartDP {
 			s += "-DP"
 		}
+	case SELL:
+		s = fmt.Sprintf("SELL-%d-%s", c.Chunk, sell.SigmaName(c.Sigma))
+		s += c.Width.Suffix()
 	case CSRDU:
 	case CSR:
 		s += c.Width.Suffix()
@@ -199,6 +217,37 @@ func CandidatesPartitioned() []Candidate {
 		for _, m := range []Method{VBR, VBL} {
 			for _, pt := range []Part{PartRuns, PartDP} {
 				out = append(out, Candidate{Method: m, Shape: blocks.RectShape(1, 1), Impl: impl, Part: pt})
+			}
+		}
+	}
+	return out
+}
+
+// SellChunks lists the slice heights of the SELL candidate space; they
+// match the generated kernel set (internal/kernels/gen).
+func SellChunks() []int { return []int{4, 8, 32} }
+
+// CandidatesSell enumerates the SELL-C-σ candidates a matrix of the
+// given width admits: every slice height of SellChunks(), unsorted
+// (σ=1) and whole-matrix sorted (σ=n, encoded Sigma=0), at the 4-byte
+// baseline index width plus the narrow width the column count fits.
+// Scalar precedes simd and unsorted precedes sorted, so models blind to
+// a distinction (MEM prices scalar and simd identically, and σ cannot
+// reduce padding on uniform row lengths) resolve ties to the simpler
+// candidate. Like the other extension spaces, append this to
+// Candidates() or use EnumerateStatsAll.
+func CandidatesSell(cols int) []Candidate {
+	var out []Candidate
+	w := idx.FitsCols(cols)
+	for _, impl := range blocks.Impls() {
+		for _, c := range SellChunks() {
+			for _, sigma := range []int{1, 0} {
+				cand := Candidate{Method: SELL, Shape: blocks.RectShape(1, 1), Impl: impl, Chunk: c, Sigma: sigma}
+				out = append(out, cand)
+				if w != idx.W32 {
+					cand.Width = w
+					out = append(out, cand)
+				}
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"blockspmv/internal/formats"
 	"blockspmv/internal/idx"
 	"blockspmv/internal/mat"
+	"blockspmv/internal/sell"
 	"blockspmv/internal/vbl"
 	"blockspmv/internal/vbr"
 )
@@ -42,6 +43,8 @@ func Instantiate[T floats.Float](m *mat.COO[T], c Candidate) formats.Instance[T]
 		switch c.Method {
 		case CSR:
 			return csr.NewCompact(m, c.Impl)
+		case SELL:
+			return sell.NewCompact(m, c.Chunk, c.Sigma, c.Impl)
 		case BCSR:
 			return bcsr.NewCompact(m, c.Shape.R, c.Shape.C, c.Impl)
 		case BCSRDec:
@@ -55,6 +58,8 @@ func Instantiate[T floats.Float](m *mat.COO[T], c Candidate) formats.Instance[T]
 	switch c.Method {
 	case CSR:
 		return csr.FromCOO(m, c.Impl)
+	case SELL:
+		return sell.New(m, c.Chunk, c.Sigma, c.Impl)
 	case BCSR:
 		return bcsr.New(m, c.Shape.R, c.Shape.C, c.Impl)
 	case BCSRDec:

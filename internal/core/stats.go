@@ -7,6 +7,7 @@ import (
 	"blockspmv/internal/csrdu"
 	"blockspmv/internal/mat"
 	"blockspmv/internal/partition"
+	"blockspmv/internal/sell"
 )
 
 // ComponentStats describes one decomposition component of a candidate for
@@ -114,6 +115,8 @@ func StatsFor(p *mat.Pattern, c Candidate, valSize int) CandidateStats {
 		return duStats(p, c, valSize, csrdu.StreamBytes(p), p.IrregularAccesses(IrregularGap))
 	case VBR, VBL:
 		return partitionedStats(p, c, valSize, partitionStats(p, c, valSize), p.IrregularAccesses(IrregularGap))
+	case SELL:
+		return sellStats(p, c, valSize, sell.LayoutOf(p, c.Chunk, c.Sigma), p.IrregularAccesses(IrregularGap))
 	}
 	cnt := blocks.CountForShape(p, c.Shape)
 	return statsFromCount(p, c, valSize, cnt, p.IrregularAccesses(IrregularGap))
@@ -163,6 +166,30 @@ func partitionedStats(p *mat.Pattern, c Candidate, valSize int, st partition.Sta
 			Blocks:  st.Stored,
 			WSBytes: st.Bytes,
 			Variant: variant,
+		}},
+	}
+}
+
+// sellStats assembles CandidateStats for a SELL candidate from a
+// precomputed padded layout, so EnumerateStatsAll can share one σ-sort
+// pass per (C, σ) across implementations and index widths (the layout
+// depends only on the pattern; widths scale only the index bytes). Like
+// the variable-block methods, the component is the degenerate 1x1 shape
+// with nb = stored scalars (the per-scalar normalization the profiling
+// layer uses for the sell kernel variant); the slice padding is
+// reported as Padding so the models price the real padded stream.
+func sellStats(p *mat.Pattern, c Candidate, valSize int, l sell.Layout, irregular int64) CandidateStats {
+	nnz := int64(p.NNZ())
+	return CandidateStats{
+		Cand: c, Rows: p.Rows, Cols: p.Cols, NNZ: nnz,
+		VectorBytes:       int64(p.Rows+p.Cols) * int64(valSize),
+		IrregularAccesses: irregular,
+		Padding:           l.Padded - nnz,
+		Components: []ComponentStats{{
+			Shape: blocks.RectShape(1, 1), Impl: c.Impl,
+			Blocks:  l.Padded,
+			WSBytes: l.StreamBytes(p.Rows, valSize, c.Width.Bytes()),
+			Variant: blocks.SELL,
 		}},
 	}
 }
@@ -257,13 +284,15 @@ func EnumerateStats(p *mat.Pattern, valSize int) []CandidateStats {
 }
 
 // EnumerateStatsAll extends EnumerateStats with the compressed-index
-// candidates the matrix admits (CandidatesCompressed) and the
-// variable-block candidates (CandidatesPartitioned): the superset the
-// facade and the compression experiments rank, with the paper's baseline
-// space as a stable prefix. The CSR-DU stream is sized once and shared
+// candidates the matrix admits (CandidatesCompressed), the
+// variable-block candidates (CandidatesPartitioned) and the sorted
+// sliced ELLPACK candidates (CandidatesSell): the superset the facade
+// and the compression experiments rank, with the paper's baseline space
+// as a stable prefix. The CSR-DU stream is sized once and shared
 // between its scalar and simd candidates; block counts are shared with
-// the baseline enumeration; each variable-block partition is priced once
-// and shared across implementations.
+// the baseline enumeration; each variable-block partition and each
+// SELL (C, σ) layout is priced once and shared across implementations
+// and index widths.
 func EnumerateStatsAll(p *mat.Pattern, valSize int) []CandidateStats {
 	counts := make(map[blocks.Shape]blocks.Count)
 	shapeCount := func(s blocks.Shape) blocks.Count {
@@ -277,9 +306,11 @@ func EnumerateStatsAll(p *mat.Pattern, valSize int) []CandidateStats {
 	irregular := p.IrregularAccesses(IrregularGap)
 	streamBytes := int64(-1)
 	partStats := make(map[Candidate]partition.Stats)
+	sellLayouts := make(map[[2]int]sell.Layout)
 	var out []CandidateStats
 	cands := append(Candidates(), CandidatesCompressed(p.Cols)...)
 	cands = append(cands, CandidatesPartitioned()...)
+	cands = append(cands, CandidatesSell(p.Cols)...)
 	for _, c := range cands {
 		switch c.Method {
 		case CSRDU:
@@ -295,6 +326,14 @@ func EnumerateStatsAll(p *mat.Pattern, valSize int) []CandidateStats {
 				partStats[key] = st
 			}
 			out = append(out, partitionedStats(p, c, valSize, st, irregular))
+		case SELL:
+			key := [2]int{c.Chunk, c.Sigma}
+			l, ok := sellLayouts[key]
+			if !ok {
+				l = sell.LayoutOf(p, c.Chunk, c.Sigma)
+				sellLayouts[key] = l
+			}
+			out = append(out, sellStats(p, c, valSize, l, irregular))
 		default:
 			out = append(out, statsFromCount(p, c, valSize, shapeCount(c.Shape), irregular))
 		}

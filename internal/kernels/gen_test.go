@@ -16,8 +16,8 @@ func TestGeneratedFilesCurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) != 7 {
-		t.Fatalf("generator produced %d files, want 7", len(files))
+	if len(files) != 9 {
+		t.Fatalf("generator produced %d files, want 9", len(files))
 	}
 	for name, want := range files {
 		got, err := os.ReadFile(name)

@@ -28,6 +28,7 @@ import (
 	"blockspmv/internal/machine"
 	"blockspmv/internal/mat"
 	"blockspmv/internal/partition"
+	"blockspmv/internal/sell"
 	"blockspmv/internal/vbl"
 	"blockspmv/internal/vbr"
 )
@@ -132,6 +133,11 @@ func buildDense[T floats.Float](d *mat.COO[T], k Key) formats.Instance[T] {
 		return a
 	case k.Variant == blocks.VBL:
 		return vbl.New(d, k.Impl)
+	case k.Variant == blocks.SELL:
+		// Dense rows are uniform, so any σ gives a padding-free layout;
+		// σ=1 skips the pointless sort. C=8 is the mid-size generated
+		// slice height.
+		return sell.New(d, profileSellChunk, 1, k.Impl)
 	case k.Shape.IsUnit():
 		return csr.FromCOO(d, k.Impl)
 	case k.Shape.Kind == blocks.Diag:
@@ -144,6 +150,10 @@ func buildDense[T floats.Float](d *mat.COO[T], k Key) formats.Instance[T] {
 // profileVBRBlock is the uniform block side used to profile the VBR
 // kernel variant on the dense matrices.
 const profileVBRBlock = 8
+
+// profileSellChunk is the slice height used to profile the SELL kernel
+// variant on the dense matrices.
+const profileSellChunk = 8
 
 // uniformBounds returns partition boundaries 0, step, 2*step, ..., n.
 func uniformBounds(n, step int) []int32 {
@@ -207,7 +217,7 @@ func Collect[T floats.Float](m machine.Machine, opts Options) *Table {
 
 // variantKernels lists the non-plain kernel variants the profile covers.
 func variantKernels() []blocks.Variant {
-	return []blocks.Variant{blocks.DU, blocks.VBR, blocks.VBL}
+	return []blocks.Variant{blocks.DU, blocks.VBR, blocks.VBL, blocks.SELL}
 }
 
 // profileOne measures Tb on the L1-resident matrix and Nof on the
@@ -360,6 +370,8 @@ func Load(r io.Reader) (*Table, error) {
 			variant = blocks.VBR
 		case blocks.VBL.String():
 			variant = blocks.VBL
+		case blocks.SELL.String():
+			variant = blocks.SELL
 		default:
 			return nil, fmt.Errorf("profile: unknown variant %q", je.Variant)
 		}

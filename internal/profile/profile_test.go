@@ -28,13 +28,13 @@ func TestCollectCoversAllKernels(t *testing.T) {
 	if tab.Precision != "dp" {
 		t.Errorf("precision = %q, want dp", tab.Precision)
 	}
-	// Every (shape, impl) plain kernel plus the CSR-DU decoder, VBR and
-	// 1D-VBL variant kernels.
-	want := len(blocks.AllShapes())*len(blocks.Impls()) + 3*len(blocks.Impls())
+	// Every (shape, impl) plain kernel plus the CSR-DU decoder, VBR,
+	// 1D-VBL and SELL variant kernels.
+	want := len(blocks.AllShapes())*len(blocks.Impls()) + 4*len(blocks.Impls())
 	if len(tab.Entries) != want {
 		t.Fatalf("profile has %d entries, want %d", len(tab.Entries), want)
 	}
-	for _, v := range []blocks.Variant{blocks.DU, blocks.VBR, blocks.VBL} {
+	for _, v := range []blocks.Variant{blocks.DU, blocks.VBR, blocks.VBL, blocks.SELL} {
 		for _, impl := range blocks.Impls() {
 			if _, ok := tab.LookupVariant(blocks.RectShape(1, 1), impl, v); !ok {
 				t.Errorf("profile missing %v %v entry", v, impl)

@@ -216,6 +216,14 @@ func genPowerLaw[T floats.Float](n, avg int, alpha float64, seed int64) *mat.COO
 	return m
 }
 
+// PowerLaw exposes the scale-free graph archetype to standalone tooling
+// (cmd/matgen) and to tests that need a scatter-dominated matrix without
+// going through the suite runner: n x n with heavy-tailed row degrees
+// (lognormal around avg) and Zipf(alpha)-skewed scattered targets.
+func PowerLaw[T floats.Float](n, avg int, alpha float64, seed int64) *mat.COO[T] {
+	return genPowerLaw[T](n, avg, alpha, seed)
+}
+
 // genLP generates a linear-programming constraint-matrix archetype:
 // rectangular, with each row's entries clustered into a few contiguous
 // column bands (the 1D-VBL-friendly horizontal-run structure), plus
@@ -243,6 +251,13 @@ func genLP[T floats.Float](rows, cols, avg int, seed int64) *mat.COO[T] {
 	}
 	m.Finalize()
 	return m
+}
+
+// LP exposes the linear-programming constraint archetype to standalone
+// tooling (cmd/matgen) and tests: rows x cols with each row's entries
+// clustered into a few contiguous column bands around avg nonzeros.
+func LP[T floats.Float](rows, cols, avg int, seed int64) *mat.COO[T] {
+	return genLP[T](rows, cols, avg, seed)
 }
 
 // genDenseRows generates a matrix whose rows are long contiguous dense
