@@ -10,7 +10,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/workpool ./internal/parallel ./internal/vecops ./internal/solver \
     ./internal/conformance ./internal/csrdu ./internal/faultcheck \
-    ./internal/server ./internal/metrics ./internal/sell
+    ./internal/server ./internal/metrics ./internal/sell ./internal/shard
 
 FUZZTIME ?= 5s
 
@@ -50,6 +50,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) ./internal/profile
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeVector$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzShardFrame$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzVBRPartition$$' -fuzztime $(FUZZTIME) ./internal/partition
 	$(GO) test -run '^$$' -fuzz '^FuzzVBLRowBlocks$$' -fuzztime $(FUZZTIME) ./internal/partition
 	$(GO) test -run '^$$' -fuzz '^FuzzSELLConstruction$$' -fuzztime $(FUZZTIME) ./internal/sell
@@ -67,9 +68,12 @@ bench:
 # panel width, with the MEM-with-k predicted speedup), BENCH_sell.json
 # (SELL-C-σ sweep vs scalar CSR on the scatter archetypes: padding
 # ratio, MEM band, selection outcomes; the spmvbench run itself exits
-# non-zero if the experiment's selection assertions fail) and
+# non-zero if the experiment's selection assertions fail),
 # BENCH_serve.json (spmvd request coalescing: closed-loop
-# throughput/latency batched vs unbatched).
+# throughput/latency batched vs unbatched) and BENCH_shard.json (the
+# row-shard coordinator swept over shard counts behind chaos proxies:
+# throughput that survives wire faults, retry counts, fan-out cost vs
+# one shard).
 bench-json:
 	$(GO) run ./cmd/spmvbench -experiment compress -scale small \
 	    -iterations 20 -json BENCH_compress.json
@@ -82,3 +86,5 @@ bench-json:
 	$(GO) run ./cmd/spmvload -clients 8 -duration 2s -batch 8 \
 	    -n 16384 -density 0.008 -workers 1 -window 3ms -detect=false \
 	    -json BENCH_serve.json
+	$(GO) run ./cmd/spmvload -shards 1,2,4 -chaos -clients 8 -duration 2s \
+	    -n 8192 -density 0.008 -detect=false -json BENCH_shard.json

@@ -49,6 +49,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 		profPath   = flag.String("profile", "", "kernel profile JSON (enables the OVERLAP model)")
 		load       = flag.String("load", "", "comma-separated name=path MatrixMarket files to preload")
+		shardMode  = flag.Bool("shard", false, "enable the shard-worker endpoints (PUT /v1/shard/{name}, POST /v1/shard/{name}/mulvec) so a coordinator can scatter row blocks here")
 		detect     = flag.Bool("detect", true, "run STREAM machine detection at startup (false degrades selection to scalar CSR)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	)
@@ -61,6 +62,7 @@ func main() {
 		QueueDepth:     *queue,
 		MaxCacheBytes:  *cacheBytes,
 		RequestTimeout: *timeout,
+		EnableShard:    *shardMode,
 	}
 	if *detect {
 		log.Printf("characterising machine (STREAM triad)...")
@@ -92,8 +94,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
-	log.Printf("spmvd listening on %s (workers=%d batch=%d window=%v queue=%d)",
-		l.Addr(), *workers, *batch, *window, *queue)
+	mode := ""
+	if *shardMode {
+		mode = " shard-worker"
+	}
+	log.Printf("spmvd%s listening on %s (workers=%d batch=%d window=%v queue=%d)",
+		mode, l.Addr(), *workers, *batch, *window, *queue)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

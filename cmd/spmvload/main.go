@@ -10,6 +10,12 @@
 // printed speedup isolates what request coalescing buys. With -addr it
 // drives one phase against an already-running daemon.
 //
+// With -shards it instead sweeps the row-shard coordinator: per shard
+// count it self-hosts that many shard workers, scatters the matrix with
+// the balanced row plan, and drives Coordinator.MulVec closed-loop;
+// -chaos injects wire faults through proxies and -node-cap caps each
+// worker's matrix cache to demonstrate the capacity motive.
+//
 // Usage:
 //
 //	spmvload [flags]
@@ -19,6 +25,7 @@
 //	spmvload -clients 8 -duration 2s
 //	spmvload -n 8192 -density 0.004 -batch 16 -json BENCH_serve.json
 //	spmvload -addr localhost:8472 -matrix cant -clients 16
+//	spmvload -shards 1,2,4 -chaos -json BENCH_shard.json
 package main
 
 import (
@@ -61,6 +68,9 @@ type options struct {
 	seed     int64
 	detect   bool
 	jsonPath string
+	shards   string
+	chaos    bool
+	nodeCap  int64
 	log      io.Writer
 }
 
@@ -79,16 +89,29 @@ func main() {
 	flag.Int64Var(&opts.seed, "seed", 1, "self-hosted matrix seed")
 	flag.BoolVar(&opts.detect, "detect", true, "run STREAM machine detection (for the report and format selection)")
 	flag.StringVar(&opts.jsonPath, "json", "", "write a bench report (internal/bench schema) to this file")
+	flag.StringVar(&opts.shards, "shards", "", "comma-separated shard counts (e.g. 1,2,4): run the row-shard coordinator sweep instead of the serve phases")
+	flag.BoolVar(&opts.chaos, "chaos", false, "front every shard worker with a fault-injecting proxy (drops, truncation, corruption)")
+	flag.Int64Var(&opts.nodeCap, "node-cap", 0, "per-worker matrix cache cap in bytes for the shard sweep (>0 also probes that one node rejects the full matrix)")
 	flag.Parse()
 	opts.log = os.Stdout
 
-	res, mach, err := run(opts)
-	if err != nil {
-		log.Fatal(err)
+	rep := &bench.Report{Scale: "serve"}
+	if opts.shards != "" {
+		res, mach, err := runShardSweep(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Machine, rep.Scale = mach, "shard"
+		rep.AddShard(res)
+	} else {
+		res, mach, err := run(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Machine = mach
+		rep.AddServe(res)
 	}
 	if opts.jsonPath != "" {
-		rep := &bench.Report{Machine: mach, Scale: "serve"}
-		rep.AddServe(res)
 		f, err := os.Create(opts.jsonPath)
 		if err != nil {
 			log.Fatal(err)
@@ -220,7 +243,10 @@ func drive(base, name, mode string, cols int, opts options) (bench.ServePoint, e
 	for i := range x {
 		x[i] = math.Sin(float64(i + 1))
 	}
-	body := server.EncodeVector(x)
+	body, err := server.EncodeVector(x)
+	if err != nil {
+		return bench.ServePoint{}, err
+	}
 	url := base + "/v1/matrix/" + name + "/mulvec"
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        opts.clients * 2,

@@ -1,0 +1,297 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"blockspmv/internal/bench"
+	"blockspmv/internal/faultcheck"
+	"blockspmv/internal/machine"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/server"
+	"blockspmv/internal/shard"
+	"blockspmv/internal/testmat"
+)
+
+// runShardSweep measures the row-shard coordinator over a sweep of
+// shard counts: for each count it self-hosts that many shard workers,
+// scatters the matrix with the stored-scalar-balanced plan, and drives
+// the coordinator closed-loop. With -chaos every worker sits behind a
+// fault-injecting proxy, so the reported throughput is what survives
+// drops, truncation and corruption on the wire.
+func runShardSweep(opts options) (bench.ShardResult, machine.Machine, error) {
+	var mach machine.Machine
+	if opts.detect {
+		fmt.Fprintln(opts.log, "characterising machine (STREAM triad)...")
+		mach = machine.Detect()
+	}
+	m := testmat.Random[float64](opts.n, opts.n, opts.density, opts.seed)
+	m.Finalize()
+	res := bench.ShardResult{Matrix: fmt.Sprintf("random-%d", opts.n), Rows: opts.n, NNZ: int64(m.NNZ())}
+	fmt.Fprintf(opts.log, "matrix: %dx%d nnz=%d, %d clients, %v per phase, chaos=%v\n",
+		opts.n, opts.n, m.NNZ(), opts.clients, opts.duration, opts.chaos)
+
+	counts, err := parseShardCounts(opts.shards)
+	if err != nil {
+		return res, mach, err
+	}
+	if opts.nodeCap > 0 {
+		if err := probeNodeCap(opts, mach, m); err != nil {
+			return res, mach, err
+		}
+	}
+	for _, k := range counts {
+		pt, err := driveShards(m, k, opts, mach)
+		if errors.Is(err, server.ErrCacheFull) {
+			// The honest capacity outcome: this few workers cannot hold
+			// their slices under -node-cap. Skip the point, keep sweeping.
+			fmt.Fprintf(opts.log, "shards=%-2d  slices do not fit under node cap %d B, skipped (%v)\n",
+				k, opts.nodeCap, err)
+			continue
+		}
+		if err != nil {
+			return res, mach, fmt.Errorf("shards=%d: %w", k, err)
+		}
+		res.Points = append(res.Points, pt)
+		printShardPoint(opts.log, pt)
+	}
+	if len(res.Points) > 1 && res.Points[0].Shards == 1 && res.Points[0].QPS > 0 {
+		for _, p := range res.Points[1:] {
+			fmt.Fprintf(opts.log, "shards=%d vs 1: %.2fx throughput\n", p.Shards, p.QPS/res.Points[0].QPS)
+		}
+	}
+	return res, mach, nil
+}
+
+func parseShardCounts(spec string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q (want positive shard counts)", f)
+		}
+		counts = append(counts, k)
+	}
+	return counts, nil
+}
+
+// probeNodeCap demonstrates the capacity motive for sharding: with a
+// per-worker cache cap below the matrix footprint, a single node must
+// reject the full matrix (ErrCacheFull) even though each row slice of
+// the sweep fits.
+func probeNodeCap(opts options, mach machine.Machine, m *mat.COO[float64]) error {
+	s := server.New(server.Config{Mach: mach, Workers: 1, MaxCacheBytes: opts.nodeCap})
+	defer s.Close()
+	info, err := s.Registry().RegisterMatrix("full", m)
+	switch {
+	case errors.Is(err, server.ErrCacheFull):
+		fmt.Fprintf(opts.log, "node cap %d B: one worker rejects the full matrix (%v) — sharding is the only way to serve it\n",
+			opts.nodeCap, err)
+		return nil
+	case err != nil:
+		return err
+	default:
+		fmt.Fprintf(opts.log, "node cap %d B: the full matrix fits one worker (%d B); raise -n or lower -node-cap to force the capacity case\n",
+			opts.nodeCap, info.Bytes)
+		return nil
+	}
+}
+
+// chaosSchedule is the per-connection fault plan for one worker's
+// proxy: roughly 7%% of connections are faulted, cycling through drops,
+// truncation and payload corruption, with a clean tail so a run longer
+// than the schedule degrades to a clean wire instead of repeating the
+// last fault forever.
+func chaosSchedule() []faultcheck.Plan {
+	plans := make([]faultcheck.Plan, 4096)
+	for i := range plans {
+		switch {
+		case i%31 == 3:
+			plans[i].Drop = true
+		case i%37 == 5:
+			plans[i].TruncateAfter = 300
+		case i%41 == 7:
+			plans[i].CorruptAt = 600
+		}
+	}
+	return plans
+}
+
+// driveShards runs one point of the sweep: k workers, one coordinator,
+// opts.clients closed-loop callers of Coordinator.MulVec.
+func driveShards(m *mat.COO[float64], k int, opts options, mach machine.Machine) (bench.ShardPoint, error) {
+	pt := bench.ShardPoint{Shards: k, Chaos: opts.chaos, Clients: opts.clients}
+
+	// Workers: single-threaded, unbatched, shard endpoints on. The
+	// per-worker cache cap (if any) is the point of -node-cap: each
+	// worker holds only its row slice.
+	var (
+		servers []*server.Server
+		dones   []chan error
+		addrs   []string // direct worker addresses (registration path)
+		proxies []*faultcheck.Proxy
+	)
+	defer func() {
+		for _, p := range proxies {
+			p.Close()
+		}
+		for i, s := range servers {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			s.Shutdown(ctx)
+			cancel()
+			<-dones[i]
+		}
+	}()
+	for i := 0; i < k; i++ {
+		s := server.New(server.Config{
+			Mach: mach, Workers: 1, BatchMax: 1,
+			EnableShard: true, MaxCacheBytes: opts.nodeCap,
+		})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			return pt, err
+		}
+		done := make(chan error, 1)
+		go func() { done <- s.Serve(l) }()
+		servers = append(servers, s)
+		dones = append(dones, done)
+		addrs = append(addrs, l.Addr().String())
+	}
+
+	// Registration goes over the direct addresses; only MulVec traffic
+	// pays the chaos schedule.
+	specs, err := shard.RegisterShards(http.DefaultClient, m, opts.matrix, addrs, shard.Plan(m, k))
+	if err != nil {
+		return pt, err
+	}
+	if opts.chaos {
+		for i := range specs {
+			for j, rep := range specs[i].Replicas {
+				p, err := faultcheck.NewProxy(rep.Addr, chaosSchedule()...)
+				if err != nil {
+					return pt, err
+				}
+				proxies = append(proxies, p)
+				specs[i].Replicas[j].Addr = p.Addr()
+			}
+		}
+	}
+
+	copts := shard.Options{
+		Timeout:        10 * time.Second,
+		AttemptTimeout: time.Second,
+		MaxAttempts:    4,
+		RetryBase:      time.Millisecond,
+		RetryMax:       20 * time.Millisecond,
+	}
+	if opts.chaos {
+		// Without keep-alives every request opens a fresh connection, so
+		// the per-connection fault schedule translates into a per-request
+		// fault rate.
+		copts.Transport = &http.Transport{DisableKeepAlives: true}
+	}
+	coord, err := shard.New(m.Cols(), specs, copts)
+	if err != nil {
+		return pt, err
+	}
+	defer coord.Close()
+
+	x := make([]float64, m.Cols())
+	for i := range x {
+		x[i] = math.Sin(float64(i + 1))
+	}
+
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(opts.warmup)
+	for c := 0; c < opts.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stopAt) {
+				coord.MulVec(context.Background(), x)
+			}
+		}()
+	}
+	wg.Wait()
+
+	retries0, hedges0 := recoveryCounters(coord)
+	type clientStats struct {
+		lats []time.Duration
+		err  error
+	}
+	stats := make([]clientStats, opts.clients)
+	start := time.Now()
+	stopAt = start.Add(opts.duration)
+	for c := 0; c < opts.clients; c++ {
+		wg.Add(1)
+		go func(cs *clientStats) {
+			defer wg.Done()
+			for time.Now().Before(stopAt) {
+				t0 := time.Now()
+				if _, err := coord.MulVec(context.Background(), x); err != nil {
+					cs.err = err
+					return
+				}
+				cs.lats = append(cs.lats, time.Since(t0))
+			}
+		}(&stats[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	retries1, hedges1 := recoveryCounters(coord)
+
+	var lats []time.Duration
+	for _, cs := range stats {
+		if cs.err != nil {
+			return pt, fmt.Errorf("client error: %w", cs.err)
+		}
+		pt.Requests += len(cs.lats)
+		lats = append(lats, cs.lats...)
+	}
+	if pt.Requests == 0 {
+		return pt, errors.New("phase completed no requests")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pt.Seconds = elapsed.Seconds()
+	pt.QPS = float64(pt.Requests) / elapsed.Seconds()
+	pt.P50 = quantile(lats, 0.50) * 1e3
+	pt.P95 = quantile(lats, 0.95) * 1e3
+	pt.P99 = quantile(lats, 0.99) * 1e3
+	pt.Retries = retries1 - retries0
+	pt.Hedges = hedges1 - hedges0
+	return pt, nil
+}
+
+// recoveryCounters sums the coordinator's per-shard retry and hedge
+// counters across all shard labels.
+func recoveryCounters(c *shard.Coordinator) (retries, hedges uint64) {
+	for id, v := range c.Metrics().Snapshot() {
+		n, ok := v.(uint64)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(id, "spmv_shard_retries_total{"):
+			retries += n
+		case strings.HasPrefix(id, "spmv_shard_hedges_total{"):
+			hedges += n
+		}
+	}
+	return retries, hedges
+}
+
+func printShardPoint(w io.Writer, pt bench.ShardPoint) {
+	fmt.Fprintf(w, "shards=%-2d  %d clients: %7.0f req/s  p50 %6.3f ms  p95 %6.3f ms  p99 %6.3f ms  retries %d  hedges %d\n",
+		pt.Shards, pt.Clients, pt.QPS, pt.P50, pt.P95, pt.P99, pt.Retries, pt.Hedges)
+}

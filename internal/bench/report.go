@@ -51,6 +51,18 @@ type ReportRecord struct {
 	// SpeedupVsUnbatched compares batched throughput against the same
 	// load served with coalescing disabled (-batch=1).
 	SpeedupVsUnbatched float64 `json:"speedup_vs_unbatched,omitempty"`
+	// The shard experiment (cmd/spmvload -shards, coordinator scattering
+	// over row-shard workers) fills the fields below.
+	Shards int `json:"shards,omitempty"`
+	// Retries and Hedges are the coordinator's recovery counters over the
+	// phase — nonzero only under -chaos, where they prove the measured
+	// throughput absorbed injected faults rather than dodging them.
+	Retries uint64 `json:"retries,omitempty"`
+	Hedges  uint64 `json:"hedges,omitempty"`
+	// SpeedupVsOneShard compares against the single-shard phase of the
+	// same run (below 1.0 means sharding cost throughput — expected on a
+	// single-core host, where sharding buys capacity, not speed).
+	SpeedupVsOneShard float64 `json:"speedup_vs_one_shard,omitempty"`
 }
 
 // Report is the serializable result set of a benchmark run.

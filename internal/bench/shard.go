@@ -1,0 +1,73 @@
+package bench
+
+// ShardPoint is one closed-loop measurement of the row-shard
+// coordinator scattering MulVec calls over a fixed number of shard
+// workers.
+type ShardPoint struct {
+	// Shards is how many workers the rows were partitioned across.
+	Shards int `json:"shards"`
+	// Chaos records whether the workers sat behind fault-injecting
+	// proxies for this point.
+	Chaos bool `json:"chaos,omitempty"`
+	// Clients is the closed-loop client count.
+	Clients int `json:"clients"`
+	// Requests is the number of completed calls in the measured window.
+	Requests int `json:"requests"`
+	// Seconds is the measured wall-clock window.
+	Seconds float64 `json:"seconds"`
+	// QPS is Requests/Seconds.
+	QPS float64 `json:"qps"`
+	// P50, P95, P99 are call latencies in milliseconds.
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	// Retries and Hedges are the coordinator's recovery counters summed
+	// over the measured window (zero on a clean wire).
+	Retries uint64 `json:"retries,omitempty"`
+	Hedges  uint64 `json:"hedges,omitempty"`
+}
+
+// ShardResult is the shard-count scaling sweep for one matrix.
+type ShardResult struct {
+	Matrix string       `json:"matrix"`
+	Rows   int          `json:"rows"`
+	NNZ    int64        `json:"nnz"`
+	Points []ShardPoint `json:"points"`
+}
+
+// AddShard appends the shard experiment's measurements. Each point's
+// throughput is compared against the single-shard point measured under
+// the same chaos setting, so SpeedupVsOneShard isolates the cost of
+// the scatter/gather fan-out from the cost of the fault schedule.
+func (r *Report) AddShard(res ShardResult) {
+	base := map[bool]float64{}
+	for _, p := range res.Points {
+		if p.Shards == 1 && base[p.Chaos] == 0 {
+			base[p.Chaos] = p.QPS
+		}
+	}
+	for _, p := range res.Points {
+		mode := "sharded"
+		if p.Chaos {
+			mode = "sharded-chaos"
+		}
+		rec := ReportRecord{
+			Experiment: "shard",
+			Matrix:     res.Matrix,
+			Format:     mode,
+			Shards:     p.Shards,
+			NNZ:        res.NNZ,
+			Clients:    p.Clients,
+			QPS:        p.QPS,
+			P50Ms:      p.P50,
+			P95Ms:      p.P95,
+			P99Ms:      p.P99,
+			Retries:    p.Retries,
+			Hedges:     p.Hedges,
+		}
+		if b := base[p.Chaos]; b > 0 && p.Shards != 1 {
+			rec.SpeedupVsOneShard = p.QPS / b
+		}
+		r.Records = append(r.Records, rec)
+	}
+}

@@ -1,0 +1,231 @@
+package faultcheck
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a wire-level chaos harness: a TCP relay placed between a
+// client and a backend that injects the failure modes a network really
+// produces — refused and dropped connections, delays that outlive
+// deadlines, truncated streams, flipped bytes, and mid-body hangs. It
+// complements PanicFormat the level below: PanicFormat breaks kernels,
+// Proxy breaks the wire, and together they cover the fault surface the
+// sharded serving layer promises to survive.
+//
+// Faults are scheduled per accepted connection: connection i consumes
+// Plan()[i] (the last plan repeats for i beyond the schedule, and an
+// empty schedule relays cleanly). With HTTP keep-alives disabled on the
+// client, connection index ≈ attempt index, so a test can script "first
+// attempt corrupted, second clean" deterministically.
+//
+// Close stops the accept loop, severs every open relay and waits for
+// their goroutines, so leakcheck'd tests can assert nothing lingers.
+type Proxy struct {
+	backend string
+	ln      net.Listener
+
+	mu    sync.Mutex
+	plans []Plan
+
+	conns atomic.Int64 // accepted connections (schedule cursor)
+
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// track open conns so Close can sever mid-relay blocking copies.
+	cmu  sync.Mutex
+	open map[net.Conn]struct{}
+}
+
+// Plan is the fault script of one proxied connection. The zero value
+// relays cleanly.
+type Plan struct {
+	// Drop closes the connection immediately on accept, before any bytes
+	// flow — the TCP face of a crashed process.
+	Drop bool
+	// Delay sleeps before relaying any response bytes toward the client;
+	// set it past the client's deadline to simulate a hung server that
+	// eventually answers.
+	Delay time.Duration
+	// TruncateAfter severs the connection after relaying this many
+	// response bytes toward the client (0 = disabled). The client sees a
+	// mid-body EOF.
+	TruncateAfter int64
+	// CorruptAt XORs 0xFF into the response byte at this offset
+	// (0 = disabled; offset 0 is an HTTP status byte, never payload).
+	// Headers parse, the frame arrives complete — only the payload lies,
+	// which is exactly what a CRC must catch.
+	CorruptAt int64
+	// HangAfter stops relaying after this many response bytes without
+	// closing the connection (0 = disabled): the stall a half-dead peer
+	// produces, breakable only by the client's deadline.
+	HangAfter int64
+}
+
+// NewProxy starts a chaos proxy in front of backend (a host:port) on a
+// loopback listener, applying plans to successive connections.
+func NewProxy(backend string, plans ...Plan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultcheck: proxy listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Proxy{
+		backend: backend, ln: ln, plans: plans,
+		ctx: ctx, cancel: cancel,
+		open: make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the proxy's listen address; point the client here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Conns returns how many connections the proxy has accepted.
+func (p *Proxy) Conns() int64 { return p.conns.Load() }
+
+// SetPlans replaces the fault schedule and resets the connection cursor,
+// so one proxy can be re-scripted between test phases.
+func (p *Proxy) SetPlans(plans ...Plan) {
+	p.mu.Lock()
+	p.plans = plans
+	p.mu.Unlock()
+	p.conns.Store(0)
+}
+
+// planFor returns the plan of connection i under the current schedule.
+func (p *Proxy) planFor(i int64) Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.plans) == 0 {
+		return Plan{}
+	}
+	if i >= int64(len(p.plans)) {
+		i = int64(len(p.plans)) - 1
+	}
+	return p.plans[i]
+}
+
+// Close stops accepting, severs every open relay, and waits for all
+// proxy goroutines to exit.
+func (p *Proxy) Close() {
+	p.cancel()
+	p.ln.Close()
+	p.cmu.Lock()
+	for c := range p.open {
+		c.Close()
+	}
+	p.cmu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		plan := p.planFor(p.conns.Add(1) - 1)
+		if plan.Drop {
+			conn.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.relay(conn, plan)
+	}
+}
+
+// track registers c for severing on Close; the returned func untracks.
+func (p *Proxy) track(c net.Conn) func() {
+	p.cmu.Lock()
+	p.open[c] = struct{}{}
+	p.cmu.Unlock()
+	return func() {
+		p.cmu.Lock()
+		delete(p.open, c)
+		p.cmu.Unlock()
+		c.Close()
+	}
+}
+
+// relay shuttles bytes between the client and a fresh backend
+// connection, applying the plan to the response direction only: requests
+// pass clean, because these faults model a sick server, not a sick
+// client, and the sharded coordinator is the client under test.
+func (p *Proxy) relay(client net.Conn, plan Plan) {
+	defer p.wg.Done()
+	defer p.track(client)()
+
+	backend, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return // client sees an abrupt close
+	}
+	defer p.track(backend)()
+
+	// Request direction, clean.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		io.Copy(backend, client)
+		// Half-close toward the backend so it sees request EOF; severing
+		// fully would kill the response mid-flight.
+		if tc, ok := backend.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+
+	// Response direction, through the fault plan.
+	if plan.Delay > 0 {
+		select {
+		case <-time.After(plan.Delay):
+		case <-p.ctx.Done():
+			return
+		}
+	}
+	if plan.TruncateAfter == 0 && plan.CorruptAt <= 0 && plan.HangAfter == 0 {
+		io.Copy(client, backend)
+		return
+	}
+
+	var relayed int64
+	buf := make([]byte, 4096)
+	for {
+		// Clamp the read so fault offsets land exactly on a chunk edge.
+		limit := int64(len(buf))
+		for _, cut := range []int64{plan.TruncateAfter, plan.HangAfter} {
+			if cut > relayed && cut-relayed < limit {
+				limit = cut - relayed
+			}
+		}
+		n, err := backend.Read(buf[:limit])
+		if n > 0 {
+			if plan.CorruptAt > 0 && plan.CorruptAt >= relayed && plan.CorruptAt < relayed+int64(n) {
+				buf[plan.CorruptAt-relayed] ^= 0xFF
+			}
+			if _, werr := client.Write(buf[:n]); werr != nil {
+				return
+			}
+			relayed += int64(n)
+			if plan.TruncateAfter > 0 && relayed >= plan.TruncateAfter {
+				return // defers sever both sides: mid-body EOF
+			}
+			if plan.HangAfter > 0 && relayed >= plan.HangAfter {
+				<-p.ctx.Done() // stall, holding the connection open
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package faultcheck
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"blockspmv/internal/leakcheck"
+)
+
+// chaosClient disables keep-alives so each request opens a fresh proxied
+// connection — connection index equals request index, making the fault
+// schedule deterministic.
+func chaosClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+}
+
+// startBackend serves a fixed body over real TCP behind the proxy.
+func startBackend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(s.Close)
+	return s
+}
+
+func proxyFor(t *testing.T, backend *httptest.Server, plans ...Plan) *Proxy {
+	t.Helper()
+	p, err := NewProxy(strings.TrimPrefix(backend.URL, "http://"), plans...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestProxyCleanRelay(t *testing.T) {
+	leakcheck.Check(t)
+	backend := startBackend(t, "hello from the backend")
+	p := proxyFor(t, backend)
+	client := chaosClient()
+	defer client.CloseIdleConnections()
+
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get("http://" + p.Addr() + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(data) != "hello from the backend" {
+			t.Fatalf("relay %d: %q, %v", i, data, err)
+		}
+	}
+	if p.Conns() != 3 {
+		t.Fatalf("Conns() = %d, want 3", p.Conns())
+	}
+}
+
+func TestProxyDropThenClean(t *testing.T) {
+	leakcheck.Check(t)
+	backend := startBackend(t, "ok")
+	p := proxyFor(t, backend, Plan{Drop: true}, Plan{})
+	client := chaosClient()
+	defer client.CloseIdleConnections()
+
+	if _, err := client.Get("http://" + p.Addr() + "/"); err == nil {
+		t.Fatal("dropped connection did not error")
+	}
+	resp, err := client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatalf("second connection (clean plan): %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(data) != "ok" {
+		t.Fatalf("after drop: %q", data)
+	}
+}
+
+func TestProxyTruncateAndHang(t *testing.T) {
+	leakcheck.Check(t)
+	body := strings.Repeat("x", 4<<10)
+	backend := startBackend(t, body)
+	p := proxyFor(t, backend, Plan{TruncateAfter: 100}, Plan{HangAfter: 100})
+	client := chaosClient()
+	defer client.CloseIdleConnections()
+
+	// Truncation: mid-body EOF surfaces as a read error.
+	resp, err := client.Get("http://" + p.Addr() + "/")
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("truncated response read cleanly")
+	}
+
+	// Hang: the connection stalls; only the client's deadline breaks it.
+	hung := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   200 * time.Millisecond,
+	}
+	defer hung.CloseIdleConnections()
+	resp, err = hung.Get("http://" + p.Addr() + "/")
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("hung response completed")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("hang error = %v, want a timeout", err)
+	}
+}
+
+func TestProxyCorrupt(t *testing.T) {
+	leakcheck.Check(t)
+	body := strings.Repeat("A", 256)
+	backend := startBackend(t, body)
+	p := proxyFor(t, backend, Plan{CorruptAt: 200}, Plan{})
+	client := chaosClient()
+	defer client.CloseIdleConnections()
+
+	resp, err := client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one byte differs from the reference, XOR'd with 0xFF. The
+	// offset counts from the start of the HTTP response (headers
+	// included), so locate the flip rather than assume its position.
+	flips := 0
+	for _, b := range got {
+		if b != 'A' {
+			if b != 'A'^0xFF {
+				t.Fatalf("unexpected corruption byte %#x", b)
+			}
+			flips++
+		}
+	}
+	if flips != 1 {
+		t.Fatalf("%d corrupted bytes, want 1", flips)
+	}
+
+	// Schedule re-script: the same proxy relays clean again.
+	p.SetPlans(Plan{})
+	resp, err = client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(got, []byte(body)) {
+		t.Fatal("re-scripted proxy still corrupting")
+	}
+}
+
+func TestProxyDelay(t *testing.T) {
+	leakcheck.Check(t)
+	backend := startBackend(t, "slow")
+	p := proxyFor(t, backend, Plan{Delay: 150 * time.Millisecond})
+	client := chaosClient()
+	defer client.CloseIdleConnections()
+
+	start := time.Now()
+	resp, err := client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(start); d < 150*time.Millisecond {
+		t.Fatalf("delayed response arrived in %v", d)
+	}
+
+	// A client deadline shorter than the delay times out instead.
+	quick := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   30 * time.Millisecond,
+	}
+	defer quick.CloseIdleConnections()
+	if _, err := quick.Get("http://" + p.Addr() + "/"); err == nil {
+		t.Fatal("deadline did not fire under Delay")
+	}
+}
+
+// TestProxyCloseSeversHang pins the teardown contract: Close returns
+// even while a relay is parked in a hang, severing it, and leakcheck
+// confirms no proxy goroutine survives.
+func TestProxyCloseSeversHang(t *testing.T) {
+	leakcheck.Check(t)
+	backend := startBackend(t, strings.Repeat("y", 4<<10))
+	p, err := NewProxy(strings.TrimPrefix(backend.URL, "http://"), Plan{HangAfter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := chaosClient()
+	defer client.CloseIdleConnections()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := client.Get("http://" + p.Addr() + "/")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	// Wait until the relay has accepted and started hanging.
+	for p.Conns() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client still blocked after proxy Close")
+	}
+}

@@ -54,12 +54,24 @@ const (
 	kindHistogram
 )
 
-// entry is one registered metric.
+// entry is one registered metric series. labels is the rendered label
+// set ("" for plain series, `shard="0"` for labeled ones); series
+// sharing a name form one metric family and are rendered under one
+// HELP/TYPE block.
 type entry struct {
-	name string
-	help string
-	kind kind
-	m    any
+	name   string
+	labels string
+	help   string
+	kind   kind
+	m      any
+}
+
+// id is the series identity: the name, plus the label set when present.
+func (e *entry) id() string {
+	if e.labels == "" {
+		return e.name
+	}
+	return e.name + "{" + e.labels + "}"
 }
 
 // Registry is a named collection of metrics. Registration methods are
@@ -75,41 +87,65 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
-func (r *Registry) register(name, help string, k kind, mk func() any) any {
+func (r *Registry) register(name, labels, help string, k kind, mk func() any) any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.entries == nil {
 		r.entries = make(map[string]*entry)
 	}
-	if e, ok := r.entries[name]; ok {
-		if e.kind != k {
+	e := &entry{name: name, labels: labels, help: help, kind: k}
+	id := e.id()
+	if old, ok := r.entries[id]; ok {
+		if old.kind != k {
+			panic(fmt.Sprintf("metrics: %q re-registered with a different kind", id))
+		}
+		return old.m
+	}
+	// All series of one family must agree on kind, or the grouped
+	// exposition would lie about the family type.
+	for _, old := range r.entries {
+		if old.name == name && old.kind != k {
 			panic(fmt.Sprintf("metrics: %q re-registered with a different kind", name))
 		}
-		return e.m
 	}
-	e := &entry{name: name, help: help, kind: k, m: mk()}
-	r.entries[name] = e
-	r.order = append(r.order, name)
+	e.m = mk()
+	r.entries[id] = e
+	r.order = append(r.order, id)
 	return e.m
 }
 
 // Counter returns the counter registered under name, creating it on
 // first use.
 func (r *Registry) Counter(name, help string) *Counter {
-	return r.register(name, help, kindCounter, func() any { return new(Counter) }).(*Counter)
+	return r.register(name, "", help, kindCounter, func() any { return new(Counter) }).(*Counter)
+}
+
+// LabeledCounter returns the counter series name{labels}, creating it on
+// first use. labels is a rendered Prometheus label set without braces,
+// e.g. `shard="3",replica="127.0.0.1:9001"`; series sharing a name form
+// one family and render under a single HELP/TYPE block. The serving
+// layer uses it for per-shard retry/hedge/breaker counters.
+func (r *Registry) LabeledCounter(name, labels, help string) *Counter {
+	return r.register(name, labels, help, kindCounter, func() any { return new(Counter) }).(*Counter)
 }
 
 // Gauge returns the gauge registered under name, creating it on first
 // use.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	return r.register(name, help, kindGauge, func() any { return new(Gauge) }).(*Gauge)
+	return r.register(name, "", help, kindGauge, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// LabeledGauge returns the gauge series name{labels}, creating it on
+// first use; see LabeledCounter for the labels form.
+func (r *Registry) LabeledGauge(name, labels, help string) *Gauge {
+	return r.register(name, labels, help, kindGauge, func() any { return new(Gauge) }).(*Gauge)
 }
 
 // Histogram returns the histogram registered under name, creating it
 // with the given bucket upper bounds on first use (nil selects
-// DefLatencyBuckets).
+// DefLatencyBuckets). Histograms do not support labels.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	return r.register(name, help, kindHistogram, func() any { return NewHistogram(bounds) }).(*Histogram)
+	return r.register(name, "", help, kindHistogram, func() any { return NewHistogram(bounds) }).(*Histogram)
 }
 
 // snapshot returns the entries in registration order without holding the
@@ -118,29 +154,52 @@ func (r *Registry) ordered() []*entry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]*entry, 0, len(r.order))
-	for _, name := range r.order {
-		out = append(out, r.entries[name])
+	for _, id := range r.order {
+		out = append(out, r.entries[id])
 	}
 	return out
 }
 
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format (version 0.0.4), in registration order.
+// format (version 0.0.4). Families keep the order their first series was
+// registered in, and labeled series of one family are grouped under a
+// single HELP/TYPE block as the format requires.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	for _, e := range r.ordered() {
-		var err error
-		switch e.kind {
-		case kindCounter:
-			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
-				e.name, e.help, e.name, e.name, e.m.(*Counter).Value())
-		case kindGauge:
-			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
-				e.name, e.help, e.name, e.name, e.m.(*Gauge).Value())
-		case kindHistogram:
-			err = e.m.(*Histogram).writePrometheus(w, e.name, e.help)
+	entries := r.ordered()
+	byName := make(map[string][]*entry, len(entries))
+	var names []string
+	for _, e := range entries {
+		if _, seen := byName[e.name]; !seen {
+			names = append(names, e.name)
 		}
-		if err != nil {
+		byName[e.name] = append(byName[e.name], e)
+	}
+	for _, name := range names {
+		fam := byName[name]
+		typ := "counter"
+		switch fam[0].kind {
+		case kindGauge:
+			typ = "gauge"
+		case kindHistogram:
+			// Histograms are unlabeled: one series per family.
+			if err := fam[0].m.(*Histogram).writePrometheus(w, name, fam[0].help); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, fam[0].help, name, typ); err != nil {
 			return err
+		}
+		for _, e := range fam {
+			var err error
+			if e.kind == kindCounter {
+				_, err = fmt.Fprintf(w, "%s %d\n", e.id(), e.m.(*Counter).Value())
+			} else {
+				_, err = fmt.Fprintf(w, "%s %d\n", e.id(), e.m.(*Gauge).Value())
+			}
+			if err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -158,19 +217,20 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot returns every metric as a JSON-marshalable value keyed by
-// name: counters and gauges as numbers, histograms as
-// HistogramSnapshot. The serving layer publishes this through expvar.
+// series id (the name, plus the label set for labeled series): counters
+// and gauges as numbers, histograms as HistogramSnapshot. The serving
+// layer publishes this through expvar.
 func (r *Registry) Snapshot() map[string]any {
 	out := make(map[string]any)
 	for _, e := range r.ordered() {
 		switch e.kind {
 		case kindCounter:
-			out[e.name] = e.m.(*Counter).Value()
+			out[e.id()] = e.m.(*Counter).Value()
 		case kindGauge:
-			out[e.name] = e.m.(*Gauge).Value()
+			out[e.id()] = e.m.(*Gauge).Value()
 		case kindHistogram:
 			h := e.m.(*Histogram)
-			out[e.name] = HistogramSnapshot{
+			out[e.id()] = HistogramSnapshot{
 				Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
 				P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 			}
@@ -179,7 +239,7 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
-// Names returns the registered metric names in registration order.
+// Names returns the registered series ids in registration order.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -176,5 +177,85 @@ func TestSnapshot(t *testing.T) {
 	hs := snap["h"].(HistogramSnapshot)
 	if hs.Count != 2 || math.Abs(hs.Sum-5.5) > 1e-12 {
 		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+}
+
+// TestLabeledSeries covers the per-shard serving counters: labeled
+// series share one HELP/TYPE block per family, keep independent values,
+// and snapshot under their full series id.
+func TestLabeledSeries(t *testing.T) {
+	var r Registry
+	a := r.LabeledCounter("shard_retries_total", `shard="0"`, "retries per shard")
+	b := r.LabeledCounter("shard_retries_total", `shard="1"`, "retries per shard")
+	if a == b {
+		t.Fatal("distinct label sets returned the same counter")
+	}
+	if again := r.LabeledCounter("shard_retries_total", `shard="0"`, "retries per shard"); again != a {
+		t.Fatal("re-registration did not return the existing series")
+	}
+	a.Add(3)
+	b.Inc()
+	r.LabeledGauge("shard_breaker_open", `shard="0"`, "breaker state").Set(1)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE shard_retries_total counter",
+		`shard_retries_total{shard="0"} 3`,
+		`shard_retries_total{shard="1"} 1`,
+		`shard_breaker_open{shard="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE shard_retries_total"); n != 1 {
+		t.Errorf("family TYPE block emitted %d times, want 1:\n%s", n, out)
+	}
+	snap := r.Snapshot()
+	if got := snap[`shard_retries_total{shard="0"}`].(uint64); got != 3 {
+		t.Fatalf("labeled snapshot = %v, want 3", got)
+	}
+
+	// A family must not mix kinds, labeled or not.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixing kinds within one family did not panic")
+		}
+	}()
+	r.LabeledGauge("shard_retries_total", `shard="2"`, "wrong kind")
+}
+
+// TestLabeledConcurrent hammers two series of one family from racing
+// writers while a reader renders, for the -race pass.
+func TestLabeledConcurrent(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.LabeledCounter("hits_total", fmt.Sprintf("worker=%q", fmt.Sprint(w%2)), "hits")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var sb strings.Builder
+		r.WritePrometheus(&sb)
+	}()
+	wg.Wait()
+	var total uint64
+	for _, id := range r.Names() {
+		total += r.Snapshot()[id].(uint64)
+	}
+	if total != 4000 {
+		t.Fatalf("lost increments: total = %d, want 4000", total)
 	}
 }

@@ -12,12 +12,12 @@ import (
 // differs (the codec is canonical), and must bound its allocation by
 // the actual body length rather than the declared count.
 func FuzzDecodeVector(f *testing.F) {
-	f.Add(EncodeVector(nil))
-	f.Add(EncodeVector([]float64{1, 2, 3}))
-	f.Add(EncodeVector([]float64{math.NaN(), math.Inf(-1)}))
+	f.Add(mustEncode(f, nil))
+	f.Add(mustEncode(f, []float64{1, 2, 3}))
+	f.Add(mustEncode(f, []float64{math.NaN(), math.Inf(-1)}))
 	f.Add([]byte("SpV1 not a real payload"))
 	f.Add([]byte{'S', 'p', 'V', '1', 1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
-	short := EncodeVector([]float64{4, 5})
+	short := mustEncode(f, []float64{4, 5})
 	f.Add(short[:len(short)-3])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -27,8 +27,48 @@ func FuzzDecodeVector(f *testing.F) {
 		}
 		// Accepted payloads are canonical: re-encoding reproduces the
 		// input bit for bit.
-		if re := EncodeVector(x); !bytes.Equal(re, data) {
+		if re := mustEncode(t, x); !bytes.Equal(re, data) {
 			t.Fatalf("decode/encode not canonical:\n in %x\nout %x", data, re)
+		}
+	})
+}
+
+// FuzzShardFrame drives both shard-frame decoders with arbitrary bytes:
+// neither may panic, allocation is bounded by the real body length, and
+// any accepted frame must be canonical — re-encoding the decoded range
+// and elements reproduces the input bit for bit (which also proves the
+// stored CRC is the one the encoder would compute).
+func FuzzShardFrame(f *testing.F) {
+	f.Add(mustEncodeShardReq(f, 0, 4, []float64{1, 2, 3}))
+	f.Add(mustEncodeShardReq(f, 9, 9, nil))
+	f.Add(mustEncodePartial(f, 3, 6, []float64{math.NaN(), math.Inf(-1), -0.0}))
+	f.Add(mustEncodePartial(f, 0, 0, nil))
+	f.Add([]byte("SpS1 not a real payload, far too short"))
+	f.Add([]byte("SpP1 not a real payload, far too short"))
+	hole := mustEncodeShardReq(f, 1, 5, []float64{4, 5})
+	f.Add(hole[:len(hole)-3])
+	bad := mustEncodePartial(f, 0, 2, []float64{6, 7})
+	bad[partialHeaderLen] ^= 0x01 // CRC now stale
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r0, r1, x, err := DecodeShardRequestInto(nil, data, 1<<16); err == nil {
+			re, err := EncodeShardRequest(r0, r1, x)
+			if err != nil {
+				t.Fatalf("re-encode accepted request: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("request not canonical:\n in %x\nout %x", data, re)
+			}
+		}
+		if r0, r1, y, err := DecodePartialInto(nil, data, 1<<16); err == nil {
+			re, err := EncodePartial(r0, r1, y)
+			if err != nil {
+				t.Fatalf("re-encode accepted partial: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("partial not canonical:\n in %x\nout %x", data, re)
+			}
 		}
 	})
 }
@@ -44,7 +84,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 		for i := range x {
 			x[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
 		}
-		got, err := DecodeVector(EncodeVector(x), len(x))
+		got, err := DecodeVector(mustEncode(t, x), len(x))
 		if err != nil {
 			t.Fatalf("round trip rejected: %v", err)
 		}

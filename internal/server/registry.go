@@ -60,6 +60,12 @@ type Config struct {
 	// Metrics receives the serving instrumentation; nil creates a private
 	// registry (reachable via Server.Metrics).
 	Metrics *metrics.Registry
+
+	// EnableShard exposes the row-shard endpoints (PUT /v1/shard/{name},
+	// POST /v1/shard/{name}/mulvec), turning this node into a shard worker
+	// a coordinator can scatter to. Off by default: a standalone daemon
+	// has no business accepting partial-matrix registrations.
+	EnableShard bool
 }
 
 // DefaultLimits bounds uploaded matrices when Config.Limits is zero:
@@ -114,6 +120,13 @@ type Info struct {
 	// Degraded marks a fallback selection; Reason says why.
 	Degraded bool   `json:"degraded,omitempty"`
 	Reason   string `json:"reason,omitempty"`
+	// Sharded marks a row-shard registration: the resident matrix holds
+	// the rows [ShardRow0, ShardRow1) of a larger matrix (Rows is the
+	// local row count ShardRow1-ShardRow0; Cols is the full column
+	// dimension, because SpMV needs all of x).
+	Sharded   bool `json:"sharded,omitempty"`
+	ShardRow0 int  `json:"shard_row0,omitempty"`
+	ShardRow1 int  `json:"shard_row1,omitempty"`
 }
 
 // mentry is one resident matrix: the autotuned instance, its pooled
@@ -168,6 +181,16 @@ func (g *Registry) Register(name string, r io.Reader) (Info, error) {
 
 // RegisterMatrix autotunes and installs an assembled matrix.
 func (g *Registry) RegisterMatrix(name string, m *mat.COO[float64]) (Info, error) {
+	info, inst, err := g.tune(name, m)
+	if err != nil {
+		return Info{}, err
+	}
+	return info, g.install(name, info, inst)
+}
+
+// tune runs format selection for one matrix and instantiates the winner
+// (CSR fallback included), returning its description without installing.
+func (g *Registry) tune(name string, m *mat.COO[float64]) (Info, formats.Instance[float64], error) {
 	m.Finalize()
 	// Price candidates for the traffic the batcher creates: the matrix
 	// stream once per panel of up to BatchMax vectors.
@@ -177,7 +200,7 @@ func (g *Registry) RegisterMatrix(name string, m *mat.COO[float64]) (Info, error
 	if err != nil {
 		pred = core.Prediction{Degraded: true, Reason: err.Error()}
 		if inst, err = buildCSR(m); err != nil {
-			return Info{}, fmt.Errorf("server: matrix %q unconvertible: %w", name, err)
+			return Info{}, nil, fmt.Errorf("server: matrix %q unconvertible: %w", name, err)
 		}
 	}
 	info := Info{
@@ -185,6 +208,61 @@ func (g *Registry) RegisterMatrix(name string, m *mat.COO[float64]) (Info, error
 		Format: inst.Name(), Bytes: inst.MatrixBytes(),
 		PredictedMs: pred.Seconds / float64(max(rhs, 1)) * 1e3,
 		Degraded:    pred.Degraded, Reason: pred.Reason,
+	}
+	return info, inst, nil
+}
+
+// checkShardShape validates a shard registration: an ordered range whose
+// width matches the sub-matrix's local row count.
+func checkShardShape(rows, row0, row1 int) error {
+	if err := checkWireRange(row0, row1); err != nil {
+		return err
+	}
+	if rows != row1-row0 {
+		return fmt.Errorf("%w: %d local rows for range [%d, %d)", ErrWireRange, rows, row0, row1)
+	}
+	return nil
+}
+
+// RegisterShard parses a MatrixMarket stream holding the local rows of a
+// shard and installs it as the global row range [row0, row1).
+func (g *Registry) RegisterShard(name string, r io.Reader, row0, row1 int) (Info, error) {
+	m, err := mat.ReadMatrixMarketLimited[float64](r, g.cfg.Limits)
+	if err != nil {
+		return Info{}, err
+	}
+	return g.RegisterShardMatrix(name, m, row0, row1)
+}
+
+// RegisterShardMatrix autotunes and installs an assembled sub-matrix as
+// a row shard: m holds rows [row0, row1) of a larger matrix, renumbered
+// to local rows 0..row1-row0, with the full column dimension. Shards are
+// autotuned independently — each node picks the format its own row
+// block's structure favours.
+func (g *Registry) RegisterShardMatrix(name string, m *mat.COO[float64], row0, row1 int) (Info, error) {
+	if err := checkShardShape(m.Rows(), row0, row1); err != nil {
+		return Info{}, err
+	}
+	info, inst, err := g.tune(name, m)
+	if err != nil {
+		return Info{}, err
+	}
+	info.Sharded, info.ShardRow0, info.ShardRow1 = true, row0, row1
+	return info, g.install(name, info, inst)
+}
+
+// RegisterShardInstance installs a prebuilt format instance as a row
+// shard, bypassing autotuning — the chaos tests use it to pin one format
+// across shards and the single-node reference so results can be compared
+// bit for bit.
+func (g *Registry) RegisterShardInstance(name string, inst formats.Instance[float64], row0, row1 int) (Info, error) {
+	if err := checkShardShape(inst.Rows(), row0, row1); err != nil {
+		return Info{}, err
+	}
+	info := Info{
+		Name: name, Rows: inst.Rows(), Cols: inst.Cols(), NNZ: inst.NNZ(),
+		Format: inst.Name(), Bytes: inst.MatrixBytes(),
+		Sharded: true, ShardRow0: row0, ShardRow1: row1,
 	}
 	return info, g.install(name, info, inst)
 }

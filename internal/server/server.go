@@ -66,6 +66,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/matrix/{name}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/matrices", s.handleList)
 	s.mux.HandleFunc("POST /v1/matrix/{name}/mulvec", s.handleMulVec)
+	if cfg.EnableShard {
+		s.mux.HandleFunc("PUT /v1/shard/{name}", s.handleShardRegister)
+		s.mux.HandleFunc("POST /v1/shard/{name}/mulvec", s.handleShardMulVec)
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -153,7 +157,7 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 		status, kind = http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):
 		status, kind = statusClientClosedRequest, "canceled"
-	case errors.As(err, &dim), errors.Is(err, errBadRequest), isWireErr(err):
+	case errors.As(err, &dim), errors.Is(err, errBadRequest), isShardWireErr(err):
 		status, kind = http.StatusBadRequest, "bad_request"
 	case errors.As(err, &pan), errors.As(err, &poi):
 		status, kind = http.StatusInternalServerError, "kernel_panic"
@@ -269,8 +273,13 @@ func (s *Server) handleMulVec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if binaryReq {
+		out, err := EncodeVector(y)
+		if err != nil {
+			s.writeErr(w, err)
+			return
+		}
 		w.Header().Set("Content-Type", ContentTypeVector)
-		w.Write(EncodeVector(y))
+		w.Write(out)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -123,7 +123,7 @@ func TestServerLifecycle(t *testing.T) {
 	}
 
 	// Binary data plane.
-	req, _ := http.NewRequest(http.MethodPost, base+"/v1/matrix/demo/mulvec", bytes.NewReader(EncodeVector(x)))
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/matrix/demo/mulvec", bytes.NewReader(mustEncode(t, x)))
 	req.Header.Set("Content-Type", ContentTypeVector)
 	resp, err := client.Do(req)
 	if err != nil {

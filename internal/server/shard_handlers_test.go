@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"testing"
+
+	"blockspmv/internal/leakcheck"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/testmat"
+)
+
+// sliceRows extracts rows [row0, row1) of m as a standalone sub-matrix
+// with local row numbering and the full column dimension.
+func sliceRows(m *mat.COO[float64], row0, row1 int) *mat.COO[float64] {
+	sub := mat.New[float64](row1-row0, m.Cols())
+	for _, e := range m.Entries() {
+		if int(e.Row) >= row0 && int(e.Row) < row1 {
+			sub.Add(e.Row-int32(row0), e.Col, e.Val)
+		}
+	}
+	sub.Finalize()
+	return sub
+}
+
+// TestShardEndpoints walks the worker face of the sharded data plane:
+// register a row block over HTTP, multiply through the SpS1/SpP1 frames,
+// and confirm the partial equals the matching slice of the single-node
+// reference bit for bit.
+func TestShardEndpoints(t *testing.T) {
+	leakcheck.Check(t)
+	_, base, client, stop := startServer(t, Config{Workers: 2, EnableShard: true})
+	defer stop()
+
+	m := testmat.Random[float64](60, 40, 0.15, 7)
+	m.Finalize()
+	const row0, row1 = 20, 50
+	sub := sliceRows(m, row0, row1)
+
+	var info Info
+	status, body := doJSON(t, client, http.MethodPut,
+		base+"/v1/shard/demo?row0=20&row1=50", mmBody(t, sub), &info)
+	if status != http.StatusCreated {
+		t.Fatalf("shard register: %d %s", status, body)
+	}
+	if !info.Sharded || info.ShardRow0 != row0 || info.ShardRow1 != row1 || info.Rows != row1-row0 || info.Cols != 40 {
+		t.Fatalf("shard info = %+v", info)
+	}
+
+	x := testVec(40)
+	frame := mustEncodeShardReq(t, row0, row1, x)
+	resp, err := client.Post(base+"/v1/shard/demo/mulvec", ContentTypeShardRequest, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard mulvec: %d %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypePartial {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	r0, r1, y, err := DecodePartialInto(nil, data, row1-row0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != row0 || r1 != row1 {
+		t.Fatalf("partial range [%d, %d)", r0, r1)
+	}
+	want := refMul(sub, x)
+	for i := range want {
+		if math.Float64bits(y[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("y[%d] = %g, want %g (bit-level)", i, y[i], want[i])
+		}
+	}
+}
+
+// TestShardEndpointErrors covers the rejection paths: range mismatches
+// (frame routed to the wrong worker), corrupted frames, bad
+// registrations, and the gate — shard routes absent unless EnableShard.
+func TestShardEndpointErrors(t *testing.T) {
+	leakcheck.Check(t)
+	_, base, client, stop := startServer(t, Config{EnableShard: true})
+	defer stop()
+
+	m := testmat.Random[float64](30, 20, 0.2, 8)
+	m.Finalize()
+	sub := sliceRows(m, 10, 30)
+
+	// Registration with a range that disagrees with the body's row count.
+	if status, body := doJSON(t, client, http.MethodPut,
+		base+"/v1/shard/bad?row0=0&row1=5", mmBody(t, sub), nil); status != http.StatusBadRequest {
+		t.Fatalf("mismatched registration: %d %s", status, body)
+	}
+	// Missing query parameters.
+	if status, body := doJSON(t, client, http.MethodPut,
+		base+"/v1/shard/bad", mmBody(t, sub), nil); status != http.StatusBadRequest {
+		t.Fatalf("missing range: %d %s", status, body)
+	}
+	if status, body := doJSON(t, client, http.MethodPut,
+		base+"/v1/shard/ok?row0=10&row1=30", mmBody(t, sub), nil); status != http.StatusCreated {
+		t.Fatalf("register: %d %s", status, body)
+	}
+
+	x := testVec(20)
+	post := func(frame []byte) (int, []byte) {
+		t.Helper()
+		resp, err := client.Post(base+"/v1/shard/ok/mulvec", ContentTypeShardRequest, bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, readAll(t, resp)
+	}
+
+	// A frame claiming a different row range than the resident shard.
+	if status, body := post(mustEncodeShardReq(t, 0, 20, x)); status != http.StatusBadRequest {
+		t.Fatalf("range mismatch: %d %s", status, body)
+	}
+	// A frame with one corrupted element byte: checksum rejection.
+	frame := mustEncodeShardReq(t, 10, 30, x)
+	frame[shardReqHeaderLen+3] ^= 0x10
+	if status, body := post(frame); status != http.StatusBadRequest {
+		t.Fatalf("corrupted frame: %d %s", status, body)
+	}
+	// And a valid frame still succeeds after the rejections.
+	if status, body := post(mustEncodeShardReq(t, 10, 30, x)); status != http.StatusOK {
+		t.Fatalf("valid frame: %d %s", status, body)
+	}
+
+	// Gate: a server without EnableShard has no shard routes.
+	_, base2, client2, stop2 := startServer(t, Config{})
+	defer stop2()
+	if status, body := doJSON(t, client2, http.MethodPut,
+		base2+"/v1/shard/x?row0=0&row1=20", mmBody(t, sub), nil); status != http.StatusNotFound {
+		t.Fatalf("gated register: %d %s", status, body)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// The shard wire extends the SpV1 vector codec with the two frames of
+// the row-sharded data plane. Both carry the global row range so a
+// response can never be attributed to the wrong rows, and both carry a
+// CRC-32C of the element bytes so a frame corrupted in flight — the
+// chaos harness flips bytes mid-stream — is detected and retried
+// instead of silently contributing wrong values to the gathered result.
+//
+// Shard request (coordinator -> shard worker), magic "SpS1":
+//
+//	offset  size        field
+//	0       4           magic "SpS1"
+//	4       2           element kind, little-endian (1 = float64)
+//	6       2           reserved, must be zero
+//	8       4           row0, little-endian (global first row of the shard)
+//	12      4           row1, little-endian (global one-past-last row)
+//	16      4           element count n of the x vector
+//	20      4           CRC-32C (Castagnoli) of the element bytes
+//	24      8*n         x elements, little-endian IEEE-754 bits
+//
+// Partial result (shard worker -> coordinator), magic "SpP1":
+//
+//	offset  size        field
+//	0       4           magic "SpP1"
+//	4       2           element kind, little-endian (1 = float64)
+//	6       2           reserved, must be zero
+//	8       4           row0, little-endian
+//	12      4           row1, little-endian
+//	16      4           CRC-32C of the element bytes
+//	20      8*(row1-row0)  y elements for rows [row0, row1)
+//
+// Decoding is strict in the same way DecodeVector is: wrong magic,
+// unknown kind, reserved bytes, inverted or oversized ranges, counts
+// above the caller's cap, truncation, trailing garbage and checksum
+// mismatches all fail with typed errors, without panicking and without
+// allocating proportionally to a forged count.
+
+var (
+	shardReqMagic = [4]byte{'S', 'p', 'S', '1'}
+	partialMagic  = [4]byte{'S', 'p', 'P', '1'}
+)
+
+const (
+	shardReqHeaderLen = 24
+	partialHeaderLen  = 20
+	// ContentTypeShardRequest and ContentTypePartial are the MIME types
+	// of the two shard frames.
+	ContentTypeShardRequest = "application/x-spmv-shard-request"
+	ContentTypePartial      = "application/x-spmv-partial"
+)
+
+// Typed shard-wire errors, joining the SpV1 set.
+var (
+	// ErrWireRange marks a frame whose row range is inverted, does not fit
+	// 32 bits, or does not match the range the receiver expected.
+	ErrWireRange = errors.New("server: wire: bad shard row range")
+	// ErrWireChecksum marks a frame whose element bytes fail the CRC-32C —
+	// the signature of mid-stream corruption.
+	ErrWireChecksum = errors.New("server: wire: element checksum mismatch")
+)
+
+// castagnoli is the CRC-32C table shared by both shard frames.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checkWireRange guards the encoder side of both shard frames: rows must
+// be ordered and fit the 32-bit range fields.
+func checkWireRange(row0, row1 int) error {
+	if row0 < 0 || row1 < row0 || uint64(row1) > maxWireCount {
+		return fmt.Errorf("%w: [%d, %d)", ErrWireRange, row0, row1)
+	}
+	return nil
+}
+
+// appendElems appends the little-endian bits of x and returns the
+// extended slice plus the CRC-32C of the appended bytes.
+func appendElems(dst []byte, x []float64) ([]byte, uint32) {
+	start := len(dst)
+	for _, v := range x {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst, crc32.Checksum(dst[start:], castagnoli)
+}
+
+// AppendShardRequest appends the binary shard-request frame for the row
+// range [row0, row1) and the scattered x vector, returning the extended
+// slice. Ranges and counts that do not fit the frame fail with typed
+// errors before any bytes are written.
+func AppendShardRequest(dst []byte, row0, row1 int, x []float64) ([]byte, error) {
+	if err := checkWireRange(row0, row1); err != nil {
+		return nil, err
+	}
+	if err := checkWireCount(len(x)); err != nil {
+		return nil, err
+	}
+	dst = append(dst, shardReqMagic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, wireKindF64)
+	dst = binary.LittleEndian.AppendUint16(dst, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(row0))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(row1))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(x)))
+	crcAt := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	dst, crc := appendElems(dst, x)
+	binary.LittleEndian.PutUint32(dst[crcAt:], crc)
+	return dst, nil
+}
+
+// EncodeShardRequest returns the binary shard-request frame.
+func EncodeShardRequest(row0, row1 int, x []float64) ([]byte, error) {
+	return AppendShardRequest(make([]byte, 0, shardReqHeaderLen+8*len(x)), row0, row1, x)
+}
+
+// DecodeShardRequestInto parses a shard-request frame, reusing dst for
+// the x vector the way DecodeVectorInto does. maxN caps the declared
+// element count. Returns the declared global row range and the vector.
+func DecodeShardRequestInto(dst []float64, data []byte, maxN int) (row0, row1 int, x []float64, err error) {
+	if len(data) < shardReqHeaderLen {
+		return 0, 0, nil, fmt.Errorf("%w: %d header bytes of %d", ErrWireTruncated, len(data), shardReqHeaderLen)
+	}
+	if [4]byte(data[:4]) != shardReqMagic {
+		return 0, 0, nil, fmt.Errorf("%w: % x", ErrWireMagic, data[:4])
+	}
+	if kind := binary.LittleEndian.Uint16(data[4:6]); kind != wireKindF64 {
+		return 0, 0, nil, fmt.Errorf("%w: kind %d", ErrWireKind, kind)
+	}
+	if rsv := binary.LittleEndian.Uint16(data[6:8]); rsv != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %#04x", ErrWireReserved, rsv)
+	}
+	r0 := binary.LittleEndian.Uint32(data[8:12])
+	r1 := binary.LittleEndian.Uint32(data[12:16])
+	if r1 < r0 {
+		return 0, 0, nil, fmt.Errorf("%w: [%d, %d)", ErrWireRange, r0, r1)
+	}
+	n := binary.LittleEndian.Uint32(data[16:20])
+	if int64(n) > int64(maxN) {
+		return 0, 0, nil, fmt.Errorf("%w: %d elements > %d", ErrWireTooLarge, n, max(maxN, 0))
+	}
+	want := binary.LittleEndian.Uint32(data[20:24])
+	body := data[shardReqHeaderLen:]
+	if int64(len(body)) < 8*int64(n) {
+		return 0, 0, nil, fmt.Errorf("%w: %d body bytes for %d elements", ErrWireTruncated, len(body), n)
+	}
+	if int64(len(body)) > 8*int64(n) {
+		return 0, 0, nil, fmt.Errorf("%w: %d extra", ErrWireTrailing, int64(len(body))-8*int64(n))
+	}
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return 0, 0, nil, fmt.Errorf("%w: %08x != %08x", ErrWireChecksum, got, want)
+	}
+	x = growVec(dst, int(n))
+	for i := range x {
+		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return int(r0), int(r1), x, nil
+}
+
+// AppendPartial appends the binary partial-result frame carrying y for
+// the global row range [row0, row1); len(y) must equal row1-row0 (the
+// range is the element count — a partial frame can never claim rows it
+// does not carry).
+func AppendPartial(dst []byte, row0, row1 int, y []float64) ([]byte, error) {
+	if err := checkWireRange(row0, row1); err != nil {
+		return nil, err
+	}
+	if len(y) != row1-row0 {
+		return nil, fmt.Errorf("%w: [%d, %d) with %d elements", ErrWireRange, row0, row1, len(y))
+	}
+	dst = append(dst, partialMagic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, wireKindF64)
+	dst = binary.LittleEndian.AppendUint16(dst, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(row0))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(row1))
+	crcAt := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	dst, crc := appendElems(dst, y)
+	binary.LittleEndian.PutUint32(dst[crcAt:], crc)
+	return dst, nil
+}
+
+// EncodePartial returns the binary partial-result frame.
+func EncodePartial(row0, row1 int, y []float64) ([]byte, error) {
+	return AppendPartial(make([]byte, 0, partialHeaderLen+8*len(y)), row0, row1, y)
+}
+
+// DecodePartialInto parses a partial-result frame, reusing dst for the
+// y slice. maxRows caps the declared row count (forged-range allocation
+// guard). Returns the declared global row range and the row values.
+func DecodePartialInto(dst []float64, data []byte, maxRows int) (row0, row1 int, y []float64, err error) {
+	if len(data) < partialHeaderLen {
+		return 0, 0, nil, fmt.Errorf("%w: %d header bytes of %d", ErrWireTruncated, len(data), partialHeaderLen)
+	}
+	if [4]byte(data[:4]) != partialMagic {
+		return 0, 0, nil, fmt.Errorf("%w: % x", ErrWireMagic, data[:4])
+	}
+	if kind := binary.LittleEndian.Uint16(data[4:6]); kind != wireKindF64 {
+		return 0, 0, nil, fmt.Errorf("%w: kind %d", ErrWireKind, kind)
+	}
+	if rsv := binary.LittleEndian.Uint16(data[6:8]); rsv != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %#04x", ErrWireReserved, rsv)
+	}
+	r0 := binary.LittleEndian.Uint32(data[8:12])
+	r1 := binary.LittleEndian.Uint32(data[12:16])
+	if r1 < r0 {
+		return 0, 0, nil, fmt.Errorf("%w: [%d, %d)", ErrWireRange, r0, r1)
+	}
+	n := uint64(r1 - r0)
+	if n > uint64(max(maxRows, 0)) {
+		return 0, 0, nil, fmt.Errorf("%w: %d rows > %d", ErrWireTooLarge, n, max(maxRows, 0))
+	}
+	want := binary.LittleEndian.Uint32(data[16:20])
+	body := data[partialHeaderLen:]
+	if uint64(len(body)) < 8*n {
+		return 0, 0, nil, fmt.Errorf("%w: %d body bytes for %d rows", ErrWireTruncated, len(body), n)
+	}
+	if uint64(len(body)) > 8*n {
+		return 0, 0, nil, fmt.Errorf("%w: %d extra", ErrWireTrailing, uint64(len(body))-8*n)
+	}
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return 0, 0, nil, fmt.Errorf("%w: %08x != %08x", ErrWireChecksum, got, want)
+	}
+	y = growVec(dst, int(n))
+	for i := range y {
+		y[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return int(r0), int(r1), y, nil
+}
+
+// isWireErr widens the SpV1 helper to the shard frames.
+func isShardWireErr(err error) bool {
+	return isWireErr(err) || errors.Is(err, ErrWireRange) || errors.Is(err, ErrWireChecksum)
+}

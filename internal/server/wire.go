@@ -44,11 +44,33 @@ var (
 	ErrWireTooLarge  = errors.New("server: wire: vector longer than permitted")
 	ErrWireTruncated = errors.New("server: wire: truncated payload")
 	ErrWireTrailing  = errors.New("server: wire: trailing bytes after payload")
+	// ErrWireTooLong marks an encode of a vector whose length does not fit
+	// the frame's 32-bit count field. Without the guard, uint32(len(x))
+	// would silently wrap and our own encoder would produce a forged-length
+	// frame that decodes into the wrong vector.
+	ErrWireTooLong = errors.New("server: wire: vector length exceeds the frame's 32-bit count")
 )
 
+// maxWireCount is the largest element count a frame can declare.
+const maxWireCount = math.MaxUint32
+
+// checkWireCount is the encoder-side length guard behind ErrWireTooLong.
+// It exists as a function of the count alone so the guard is testable
+// without allocating a 4-billion-element vector.
+func checkWireCount(n int) error {
+	if uint64(n) > maxWireCount {
+		return fmt.Errorf("%w: %d elements", ErrWireTooLong, n)
+	}
+	return nil
+}
+
 // AppendVector appends the binary encoding of x to dst and returns the
-// extended slice.
-func AppendVector(dst []byte, x []float64) []byte {
+// extended slice. Vectors whose length does not fit the 32-bit count
+// field fail with ErrWireTooLong instead of wrapping.
+func AppendVector(dst []byte, x []float64) ([]byte, error) {
+	if err := checkWireCount(len(x)); err != nil {
+		return nil, err
+	}
 	dst = append(dst, wireMagic[:]...)
 	dst = binary.LittleEndian.AppendUint16(dst, wireKindF64)
 	dst = binary.LittleEndian.AppendUint16(dst, 0)
@@ -56,11 +78,12 @@ func AppendVector(dst []byte, x []float64) []byte {
 	for _, v := range x {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
-	return dst
+	return dst, nil
 }
 
-// EncodeVector returns the binary encoding of x.
-func EncodeVector(x []float64) []byte {
+// EncodeVector returns the binary encoding of x, or ErrWireTooLong when
+// the length does not fit the frame.
+func EncodeVector(x []float64) ([]byte, error) {
 	return AppendVector(make([]byte, 0, wireHeaderLen+8*len(x)), x)
 }
 
@@ -69,6 +92,15 @@ func EncodeVector(x []float64) []byte {
 // the server from forged-count allocation floods the same way
 // mat.Limits protects the MatrixMarket reader.
 func DecodeVector(data []byte, maxN int) ([]float64, error) {
+	return DecodeVectorInto(nil, data, maxN)
+}
+
+// DecodeVectorInto is the pooled form of DecodeVector: the decoded
+// vector reuses dst's backing array when its capacity suffices, so
+// steady-state request decoding on the shard hot path performs no
+// allocations. Validation is identical to DecodeVector; dst's contents
+// are irrelevant on entry and the returned slice aliases it.
+func DecodeVectorInto(dst []float64, data []byte, maxN int) ([]float64, error) {
 	if len(data) < wireHeaderLen {
 		return nil, fmt.Errorf("%w: %d header bytes of %d", ErrWireTruncated, len(data), wireHeaderLen)
 	}
@@ -92,9 +124,18 @@ func DecodeVector(data []byte, maxN int) ([]float64, error) {
 	if int64(len(body)) > 8*int64(n) {
 		return nil, fmt.Errorf("%w: %d extra", ErrWireTrailing, int64(len(body))-8*int64(n))
 	}
-	x := make([]float64, n)
+	x := growVec(dst, int(n))
 	for i := range x {
 		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
 	}
 	return x, nil
+}
+
+// growVec returns a length-n slice over dst's backing array, allocating
+// only when the capacity falls short.
+func growVec(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
 }

@@ -6,6 +6,17 @@ import (
 	"testing"
 )
 
+// mustEncode encodes x, failing the test on the (impossible for test
+// sizes) length-guard error.
+func mustEncode(tb testing.TB, x []float64) []byte {
+	tb.Helper()
+	data, err := EncodeVector(x)
+	if err != nil {
+		tb.Fatalf("EncodeVector(%d elements): %v", len(x), err)
+	}
+	return data
+}
+
 func TestWireRoundTrip(t *testing.T) {
 	for _, x := range [][]float64{
 		nil,
@@ -13,7 +24,7 @@ func TestWireRoundTrip(t *testing.T) {
 		{1.5},
 		{0, -1, math.Pi, math.Inf(1), math.NaN(), -0.0},
 	} {
-		data := EncodeVector(x)
+		data := mustEncode(t, x)
 		got, err := DecodeVector(data, len(x))
 		if err != nil {
 			t.Fatalf("decode(%v): %v", x, err)
@@ -30,7 +41,7 @@ func TestWireRoundTrip(t *testing.T) {
 }
 
 func TestWireErrors(t *testing.T) {
-	valid := EncodeVector([]float64{1, 2, 3})
+	valid := mustEncode(t, []float64{1, 2, 3})
 	cases := []struct {
 		name string
 		data []byte
@@ -58,9 +69,57 @@ func TestWireErrors(t *testing.T) {
 // large allocation: the count is validated against the body length
 // before the element slice exists.
 func TestWireForgedCount(t *testing.T) {
-	data := EncodeVector([]float64{1})
+	data := mustEncode(t, []float64{1})
 	data[8], data[9], data[10], data[11] = 0xff, 0xff, 0x00, 0x00
 	if _, err := DecodeVector(data, 1<<30); !errors.Is(err, ErrWireTruncated) {
 		t.Fatalf("forged count: err = %v, want ErrWireTruncated", err)
+	}
+}
+
+// TestWireEncodeLengthGuard exercises the encoder-side count guard. The
+// guard is checked as a function of the length alone — allocating a
+// 2^32-element vector to provoke it for real would need 32 GiB.
+func TestWireEncodeLengthGuard(t *testing.T) {
+	if err := checkWireCount(maxWireCount); err != nil {
+		t.Fatalf("count at the limit rejected: %v", err)
+	}
+	if err := checkWireCount(maxWireCount + 1); !errors.Is(err, ErrWireTooLong) {
+		t.Fatalf("count past the limit: err = %v, want ErrWireTooLong", err)
+	}
+}
+
+// TestDecodeVectorInto covers the pooled decode path: capacity reuse,
+// allocation fallback, and zero allocations at steady state.
+func TestDecodeVectorInto(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	data := mustEncode(t, x)
+
+	scratch := make([]float64, 0, 8)
+	got, err := DecodeVectorInto(scratch, data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Error("decode with sufficient capacity did not reuse the backing array")
+	}
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("got[%d] = %g, want %g", i, got[i], x[i])
+		}
+	}
+
+	// Too-small capacity still decodes correctly, into a fresh slice.
+	small := make([]float64, 0, 2)
+	got, err = DecodeVectorInto(small, data, 8)
+	if err != nil || len(got) != 5 {
+		t.Fatalf("decode into small scratch: %v (len %d)", err, len(got))
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeVectorInto(scratch, data, 8); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("steady-state DecodeVectorInto allocates %.1f/op, want 0", allocs)
 	}
 }

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-replica circuit breaker. Closed, it admits every
+// request. After a run of consecutive failures it opens: requests are
+// refused without touching the network, so a dead replica costs the
+// coordinator nothing while its siblings serve. After the cooldown one
+// probe is admitted (half-open); its success closes the breaker, its
+// failure reopens it for another cooldown.
+type breaker struct {
+	after    int           // consecutive failures that open the breaker
+	cooldown time.Duration // open duration before the half-open probe
+
+	mu      sync.Mutex
+	consec  int       // consecutive failures while closed
+	openAt  time.Time // when the breaker last opened
+	open    bool
+	probing bool // a half-open probe is in flight
+}
+
+func newBreaker(after int, cooldown time.Duration) *breaker {
+	return &breaker{after: after, cooldown: cooldown}
+}
+
+// allow reports whether a request may proceed, admitting the half-open
+// probe when the cooldown has elapsed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing || time.Since(b.openAt) < b.cooldown {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success records a completed request: the breaker closes and the
+// failure run resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.open, b.probing, b.consec = false, false, 0
+	b.mu.Unlock()
+}
+
+// failure records a failed request, opening the breaker after the
+// configured run — immediately when it was a half-open probe. It
+// reports whether this call opened the breaker (for the metrics).
+func (b *breaker) failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.open && b.probing {
+		b.probing = false
+		b.openAt = time.Now()
+		return false // reopened, not newly opened
+	}
+	if b.open {
+		return false
+	}
+	b.consec++
+	if b.consec < b.after {
+		return false
+	}
+	b.open, b.openAt, b.consec = true, time.Now(), 0
+	return true
+}

@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"blockspmv/internal/server"
+)
+
+// ErrShardDown is the errors.Is target of every DownError: a shard's
+// rows could not be computed within the call's budget.
+var ErrShardDown = errors.New("shard: shard unavailable")
+
+// ErrClosed marks a MulVec against a coordinator after Close.
+var ErrClosed = errors.New("shard: coordinator closed")
+
+// errBreakersOpen marks an attempt refused because every replica's
+// circuit breaker was open — no network traffic was generated.
+var errBreakersOpen = errors.New("shard: every replica's breaker is open")
+
+// DownError reports the failure of one shard after the retry budget is
+// exhausted. It names the global rows that were NOT computed — the
+// coordinator never returns a y with silently missing contributions —
+// and carries the last per-attempt error for diagnosis.
+type DownError struct {
+	Row0, Row1 int   // global rows the caller did not get
+	Attempts   int   // attempts spent (hedges not counted separately)
+	Last       error // the final attempt's error
+}
+
+func (e *DownError) Error() string {
+	return fmt.Sprintf("shard: rows [%d, %d) unavailable after %d attempts: %v",
+		e.Row0, e.Row1, e.Attempts, e.Last)
+}
+
+// Is matches ErrShardDown, so errors.Is(err, shard.ErrShardDown) works
+// without unwrapping to the concrete type.
+func (e *DownError) Is(target error) bool { return target == ErrShardDown }
+
+// Unwrap exposes the last attempt error, so typed causes (for example
+// server.ErrOverloaded through a RemoteError) stay reachable.
+func (e *DownError) Unwrap() error { return e.Last }
+
+// RemoteError is a non-200 reply from a shard worker, carrying the
+// worker's machine-readable error kind.
+type RemoteError struct {
+	Status int    // HTTP status
+	Kind   string // the apiError kind field ("overloaded", "bad_request", ...)
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("shard: remote %d (%s): %s", e.Status, e.Kind, e.Msg)
+}
+
+// Is maps the remote's typed kinds back onto this process's sentinel
+// errors: a worker that shed with ErrOverloaded stays
+// errors.Is(err, server.ErrOverloaded) across the wire, and a slice
+// rejected by a capped cache stays errors.Is(err, server.ErrCacheFull).
+func (e *RemoteError) Is(target error) bool {
+	switch e.Kind {
+	case "overloaded":
+		return target == server.ErrOverloaded
+	case "cache_full":
+		return target == server.ErrCacheFull
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+package shard
+
+import (
+	"fmt"
+
+	"blockspmv/internal/metrics"
+)
+
+// instruments is the coordinator's metric set. The per-shard families
+// are labeled series (one per shard index), so a dashboard can tell
+// which row range is retrying or tripping its breaker.
+type instruments struct {
+	reg *metrics.Registry
+
+	calls  *metrics.Counter // MulVec calls
+	ok     *metrics.Counter // fully gathered results
+	failed *metrics.Counter // calls returning an error
+
+	retries  []*metrics.Counter // per shard: attempts after the first
+	hedges   []*metrics.Counter // per shard: hedge requests launched
+	breakers []*metrics.Counter // per shard: breaker open transitions
+}
+
+func newInstruments(reg *metrics.Registry, shards int) *instruments {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	in := &instruments{
+		reg:    reg,
+		calls:  reg.Counter("spmv_shard_mulvec_total", "sharded MulVec calls"),
+		ok:     reg.Counter("spmv_shard_mulvec_ok_total", "sharded MulVec calls fully gathered"),
+		failed: reg.Counter("spmv_shard_mulvec_failed_total", "sharded MulVec calls returning an error"),
+	}
+	for i := 0; i < shards; i++ {
+		l := fmt.Sprintf("shard=%q", fmt.Sprint(i))
+		in.retries = append(in.retries, reg.LabeledCounter("spmv_shard_retries_total", l,
+			"retry attempts beyond the first, per shard"))
+		in.hedges = append(in.hedges, reg.LabeledCounter("spmv_shard_hedges_total", l,
+			"hedged requests launched against stragglers, per shard"))
+		in.breakers = append(in.breakers, reg.LabeledCounter("spmv_shard_breaker_open_total", l,
+			"circuit-breaker open transitions, per shard"))
+	}
+	return in
+}

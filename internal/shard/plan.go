@@ -1,0 +1,54 @@
+// Package shard is the fault-tolerant row-sharded serving layer: a
+// coordinator that splits a matrix across shard-worker daemons by row
+// range, scatters the input vector over the CRC-protected shard wire,
+// and gathers the partial results into the full y — returning either a
+// result bit-for-bit identical to a single node's, or a typed error
+// naming the rows it could not compute. Never a silently wrong vector.
+//
+// The paper's analysis makes row sharding the natural axis: SpMV is
+// bandwidth-bound, so a matrix that exceeds one node's memory budget
+// scales by splitting the matrix stream, and the split must balance
+// stored scalars (the stream), not rows. Plan reuses the same
+// stored-scalar-balanced partitioner the in-process pool uses, promoted
+// from threads to nodes.
+//
+// Robustness envelope per shard call: deadline propagation (the
+// remaining budget rides the Spmvd-Timeout header), bounded retries
+// with exponential backoff and jitter, optional hedged requests for
+// stragglers, replica failover, and a per-replica circuit breaker so a
+// dead node costs one failed probe per cooldown instead of a timeout
+// per request.
+package shard
+
+import (
+	"blockspmv/internal/mat"
+	"blockspmv/internal/parallel"
+)
+
+// Plan computes the row partition of an n_rows matrix across parts
+// shards, balancing the summed row lengths (stored scalars — the matrix
+// stream each shard must pay per multiply) rather than row counts.
+// Returned ranges are contiguous, cover [0, rows), and may be empty for
+// parts > rows.
+func Plan(m *mat.COO[float64], parts int) [][2]int {
+	lens := m.RowLengths()
+	weights := make([]int64, len(lens))
+	for i, l := range lens {
+		weights[i] = int64(l)
+	}
+	return parallel.Partition(weights, 1, parts, parallel.BalanceWeights)
+}
+
+// SliceRows extracts rows [row0, row1) of m as a standalone sub-matrix:
+// local row numbering, full column dimension (every shard needs all of
+// x). The slice is finalized and ready to register on a shard worker.
+func SliceRows(m *mat.COO[float64], row0, row1 int) *mat.COO[float64] {
+	sub := mat.New[float64](row1-row0, m.Cols())
+	for _, e := range m.Entries() {
+		if int(e.Row) >= row0 && int(e.Row) < row1 {
+			sub.Add(e.Row-int32(row0), e.Col, e.Val)
+		}
+	}
+	sub.Finalize()
+	return sub
+}

@@ -1,0 +1,369 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"blockspmv/internal/blocks"
+	"blockspmv/internal/csr"
+	"blockspmv/internal/formats"
+	"blockspmv/internal/leakcheck"
+	"blockspmv/internal/mat"
+	"blockspmv/internal/server"
+	"blockspmv/internal/testmat"
+	"blockspmv/internal/vbl"
+)
+
+// startWorker boots a shard-enabled daemon on loopback and returns it
+// with its address; shutdown is a test cleanup (LIFO, so leakcheck —
+// registered first in each test — still sees the drained state).
+func startWorker(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	cfg.EnableShard = true
+	s := server.New(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("worker Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("worker Serve: %v", err)
+		}
+	})
+	return s, l.Addr().String()
+}
+
+// noKeepAlive builds the coordinator transport chaos tests use: each
+// request dials a fresh connection, so the proxy's per-connection fault
+// schedule maps 1:1 onto attempts.
+func noKeepAlive() *http.Transport {
+	return &http.Transport{DisableKeepAlives: true}
+}
+
+func testVec(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i + 1))
+	}
+	return x
+}
+
+// deployInstances splits m across the workers with Plan, pins build as
+// the format on every shard, and returns the specs (one replica each).
+func deployInstances(t *testing.T, m *mat.COO[float64], workers []*server.Server, addrs []string,
+	build func(*mat.COO[float64]) formats.Instance[float64]) []Spec {
+	t.Helper()
+	plan := Plan(m, len(workers))
+	var specs []Spec
+	for i, pr := range plan {
+		if pr[1] <= pr[0] {
+			continue
+		}
+		name := fmt.Sprintf("part%d", i)
+		sub := SliceRows(m, pr[0], pr[1])
+		if _, err := workers[i].Registry().RegisterShardInstance(name, build(sub), pr[0], pr[1]); err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, Spec{Row0: pr[0], Row1: pr[1], Replicas: []Replica{{Addr: addrs[i], Matrix: name}}})
+	}
+	return specs
+}
+
+// TestBitForBitAcrossFormats is the core correctness claim: for several
+// format families, the gathered sharded result equals the same format's
+// whole-matrix single-node result bit for bit — row-local accumulation
+// order makes the split invisible to the floating point.
+func TestBitForBitAcrossFormats(t *testing.T) {
+	leakcheck.Check(t)
+	builds := map[string]func(*mat.COO[float64]) formats.Instance[float64]{
+		"csr": func(m *mat.COO[float64]) formats.Instance[float64] {
+			return csr.FromCOO(m, blocks.Scalar)
+		},
+		"csr-compact": func(m *mat.COO[float64]) formats.Instance[float64] {
+			return csr.NewCompact(m, blocks.Scalar)
+		},
+		"vbl": func(m *mat.COO[float64]) formats.Instance[float64] {
+			return vbl.New(m, blocks.Scalar)
+		},
+	}
+	m := testmat.Random[float64](240, 180, 0.08, 42)
+	m.Finalize()
+	x := testVec(180)
+
+	for fname, build := range builds {
+		t.Run(fname, func(t *testing.T) {
+			var workers []*server.Server
+			var addrs []string
+			for i := 0; i < 3; i++ {
+				s, addr := startWorker(t, server.Config{Workers: 2, BatchMax: 4})
+				workers, addrs = append(workers, s), append(addrs, addr)
+			}
+			c, err := New(180, deployInstances(t, m, workers, addrs, build), Options{Transport: noKeepAlive()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			got, err := c.MulVec(context.Background(), x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]float64, 240)
+			build(m).Mul(x, want)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s: y[%d] = %x, single-node %x", fname, i,
+						math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestPlanAndSlice checks the partition tiles the rows and slicing
+// preserves the product.
+func TestPlanAndSlice(t *testing.T) {
+	m := testmat.Random[float64](101, 64, 0.1, 3)
+	m.Finalize()
+	plan := Plan(m, 4)
+	at := 0
+	for _, pr := range plan {
+		if pr[0] != at {
+			t.Fatalf("plan not contiguous: %v", plan)
+		}
+		at = pr[1]
+	}
+	if at != 101 {
+		t.Fatalf("plan covers %d of 101 rows", at)
+	}
+	x := testVec(64)
+	want := make([]float64, 101)
+	m.MulVec(x, want)
+	for _, pr := range plan {
+		if pr[1] <= pr[0] {
+			continue
+		}
+		sub := SliceRows(m, pr[0], pr[1])
+		got := make([]float64, pr[1]-pr[0])
+		sub.MulVec(x, got)
+		for i := range got {
+			if got[i] != want[pr[0]+i] {
+				t.Fatalf("slice [%d,%d): row %d: %g != %g", pr[0], pr[1], pr[0]+i, got[i], want[pr[0]+i])
+			}
+		}
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	rep := []Replica{{Addr: "127.0.0.1:1", Matrix: "x"}}
+	cases := []struct {
+		name  string
+		cols  int
+		specs []Spec
+	}{
+		{"no shards", 4, nil},
+		{"gap", 4, []Spec{{Row0: 0, Row1: 2, Replicas: rep}, {Row0: 3, Row1: 5, Replicas: rep}}},
+		{"not from zero", 4, []Spec{{Row0: 1, Row1: 3, Replicas: rep}}},
+		{"empty range", 4, []Spec{{Row0: 0, Row1: 0, Replicas: rep}}},
+		{"no replicas", 4, []Spec{{Row0: 0, Row1: 2}}},
+		{"bad cols", 0, []Spec{{Row0: 0, Row1: 2, Replicas: rep}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cols, tc.specs, Options{}); err == nil {
+			t.Errorf("%s: New accepted", tc.name)
+		}
+	}
+}
+
+// TestFailover: the first replica's address answers nothing (closed
+// port); the second serves. The call succeeds without exhausting the
+// budget and the retry counter shows the failover.
+func TestFailover(t *testing.T) {
+	leakcheck.Check(t)
+	m := testmat.Random[float64](60, 40, 0.1, 9)
+	m.Finalize()
+	w, addr := startWorker(t, server.Config{})
+	if _, err := w.Registry().RegisterShardInstance("all", csr.FromCOO(m, blocks.Scalar), 0, 60); err != nil {
+		t.Fatal(err)
+	}
+	// A listener that is closed immediately: connections are refused.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	c, err := New(40, []Spec{{Row0: 0, Row1: 60, Replicas: []Replica{
+		{Addr: deadAddr, Matrix: "all"},
+		{Addr: addr, Matrix: "all"},
+	}}}, Options{Transport: noKeepAlive(), MaxAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	x := testVec(40)
+	got, err := c.MulVec(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 60)
+	csr.FromCOO(m, blocks.Scalar).Mul(x, want)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("y[%d] mismatch after failover", i)
+		}
+	}
+}
+
+// TestOverloadedPassthrough: a worker shedding with 503/overloaded stays
+// errors.Is(err, server.ErrOverloaded) through the wire, the RemoteError
+// and the DownError wrapper.
+func TestOverloadedPassthrough(t *testing.T) {
+	leakcheck.Check(t)
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"kind": "overloaded", "error": "queue full"})
+	}))
+	defer stub.Close()
+
+	c, err := New(8, []Spec{{Row0: 0, Row1: 4, Replicas: []Replica{
+		{Addr: stub.Listener.Addr().String(), Matrix: "m"},
+	}}}, Options{Transport: noKeepAlive(), MaxAttempts: 2, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.MulVec(context.Background(), testVec(8))
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("err = %v, want ErrShardDown", err)
+	}
+	if !errors.Is(err, server.ErrOverloaded) {
+		t.Fatalf("err = %v does not unwrap to ErrOverloaded", err)
+	}
+	var down *DownError
+	if !errors.As(err, &down) || down.Row0 != 0 || down.Row1 != 4 || down.Attempts != 2 {
+		t.Fatalf("DownError = %+v", down)
+	}
+}
+
+// TestDeadlinePropagation: the worker-side handler sees a Spmvd-Timeout
+// no larger than the coordinator's budget.
+func TestDeadlinePropagation(t *testing.T) {
+	leakcheck.Check(t)
+	seen := make(chan string, 1)
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case seen <- r.Header.Get("Spmvd-Timeout"):
+		default:
+		}
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer stub.Close()
+
+	c, err := New(4, []Spec{{Row0: 0, Row1: 2, Replicas: []Replica{
+		{Addr: stub.Listener.Addr().String(), Matrix: "m"},
+	}}}, Options{Transport: noKeepAlive(), Timeout: 2 * time.Second, MaxAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.MulVec(context.Background(), testVec(4))
+	h := <-seen
+	d, err := time.ParseDuration(h)
+	if err != nil || d <= 0 || d > 2*time.Second {
+		t.Fatalf("Spmvd-Timeout = %q (%v)", h, err)
+	}
+}
+
+// TestClosedAndDims: ErrClosed after Close, DimError on a wrong-length
+// x, Close idempotent.
+func TestClosedAndDims(t *testing.T) {
+	leakcheck.Check(t)
+	m := testmat.Random[float64](20, 10, 0.2, 5)
+	m.Finalize()
+	w, addr := startWorker(t, server.Config{})
+	if _, err := w.Registry().RegisterShardInstance("all", csr.FromCOO(m, blocks.Scalar), 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(10, []Spec{{Row0: 0, Row1: 20, Replicas: []Replica{{Addr: addr, Matrix: "all"}}}},
+		Options{Transport: noKeepAlive()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dim *formats.DimError
+	if _, err := c.MulVec(context.Background(), testVec(7)); !errors.As(err, &dim) {
+		t.Fatalf("short x: %v", err)
+	}
+	if _, err := c.MulVec(context.Background(), testVec(10)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close()
+	if _, err := c.MulVec(context.Background(), testVec(10)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("after Close: %v", err)
+	}
+}
+
+// TestRegisterShards drives the HTTP deployment path end to end: plan,
+// slice, upload, then serve through a coordinator built from the
+// returned specs.
+func TestRegisterShards(t *testing.T) {
+	leakcheck.Check(t)
+	m := testmat.Random[float64](90, 70, 0.1, 11)
+	m.Finalize()
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		_, addr := startWorker(t, server.Config{})
+		addrs = append(addrs, addr)
+	}
+	client := &http.Client{Transport: noKeepAlive()}
+	defer client.CloseIdleConnections()
+	specs, err := RegisterShards(client, m, "big", addrs, Plan(m, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("specs = %+v", specs)
+	}
+	c, err := New(70, specs, Options{Transport: noKeepAlive()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	x := testVec(70)
+	got, err := c.MulVec(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The workers autotune each slice independently, so compare against
+	// the COO reference within tolerance rather than bitwise.
+	want := make([]float64, 90)
+	m.MulVec(x, want)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("y[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
