@@ -171,7 +171,9 @@ func driveShards(m *mat.COO[float64], k int, opts options, mach machine.Machine)
 
 	// Registration goes over the direct addresses; only MulVec traffic
 	// pays the chaos schedule.
-	specs, err := shard.RegisterShards(http.DefaultClient, m, opts.matrix, addrs, shard.Plan(m, k))
+	regCtx, regCancel := context.WithTimeout(context.Background(), time.Minute)
+	specs, err := shard.RegisterShards(regCtx, http.DefaultClient, m, opts.matrix, addrs, shard.Plan(m, k))
+	regCancel()
 	if err != nil {
 		return pt, err
 	}

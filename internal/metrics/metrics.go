@@ -82,6 +82,7 @@ type Registry struct {
 	mu      sync.Mutex
 	order   []string
 	entries map[string]*entry
+	kinds   map[string]kind // family name → kind, for the agreement check
 }
 
 // NewRegistry returns an empty registry.
@@ -92,6 +93,7 @@ func (r *Registry) register(name, labels, help string, k kind, mk func() any) an
 	defer r.mu.Unlock()
 	if r.entries == nil {
 		r.entries = make(map[string]*entry)
+		r.kinds = make(map[string]kind)
 	}
 	e := &entry{name: name, labels: labels, help: help, kind: k}
 	id := e.id()
@@ -103,13 +105,12 @@ func (r *Registry) register(name, labels, help string, k kind, mk func() any) an
 	}
 	// All series of one family must agree on kind, or the grouped
 	// exposition would lie about the family type.
-	for _, old := range r.entries {
-		if old.name == name && old.kind != k {
-			panic(fmt.Sprintf("metrics: %q re-registered with a different kind", name))
-		}
+	if fk, ok := r.kinds[name]; ok && fk != k {
+		panic(fmt.Sprintf("metrics: %q re-registered with a different kind", name))
 	}
 	e.m = mk()
 	r.entries[id] = e
+	r.kinds[name] = k
 	r.order = append(r.order, id)
 	return e.m
 }

@@ -190,6 +190,11 @@ func EncodePartial(row0, row1 int, y []float64) ([]byte, error) {
 	return AppendPartial(make([]byte, 0, partialHeaderLen+8*len(y)), row0, row1, y)
 }
 
+// PartialFrameLen returns the exact encoded length of a partial-result
+// frame carrying rows elements, so receivers can bound how many body
+// bytes they are willing to buffer before decoding.
+func PartialFrameLen(rows int) int { return partialHeaderLen + 8*rows }
+
 // DecodePartialInto parses a partial-result frame, reusing dst for the
 // y slice. maxRows caps the declared row count (forged-range allocation
 // guard). Returns the declared global row range and the row values.

@@ -49,6 +49,22 @@ func (b *breaker) success() {
 	b.mu.Unlock()
 }
 
+// abandon records a request that was canceled before completing — a
+// hedge loser, or a sibling shard's failure canceling the whole call.
+// It says nothing about the replica's health, so the failure run is
+// untouched; but if the abandoned request held the half-open probe slot
+// the slot must be re-armed, or allow would refuse the replica forever.
+// Resetting openAt makes the next probe wait a fresh cooldown rather
+// than firing immediately into whatever canceled this one.
+func (b *breaker) abandon() {
+	b.mu.Lock()
+	if b.open && b.probing {
+		b.probing = false
+		b.openAt = time.Now()
+	}
+	b.mu.Unlock()
+}
+
 // failure records a failed request, opening the breaker after the
 // configured run — immediately when it was a half-open probe. It
 // reports whether this call opened the breaker (for the metrics).

@@ -329,9 +329,10 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // attempt runs one (possibly hedged) try against the shard's replicas.
 // The first success wins; the loser is canceled and its late result
 // discarded. Breaker bookkeeping happens in the request goroutine so it
-// is recorded even for losers nobody waits for — with cancellation
-// exempted, because a request abandoned by the hedger says nothing
-// about the replica's health.
+// is recorded even for losers nobody waits for. A canceled request says
+// nothing about the replica's health, so it only re-arms an abandoned
+// half-open probe; a terminal 4xx is the request's fault, not the
+// replica's, and counts as contact with a healthy replica.
 func (c *Coordinator) attempt(ctx context.Context, i int, sh *shardState, frame []byte) ([]float64, error) {
 	actx, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
 	defer cancel()
@@ -350,7 +351,14 @@ func (c *Coordinator) attempt(ctx context.Context, i int, sh *shardState, frame 
 			case err == nil:
 				rs.br.success()
 			case errors.Is(err, context.Canceled):
-				// abandoned, not failed: no breaker movement
+				// Abandoned, not failed — but re-arm the probe slot if
+				// this request held it, or the breaker would refuse the
+				// replica forever.
+				rs.br.abandon()
+			case terminal(err):
+				// The remote judged the request itself bad; the replica
+				// answered and is healthy.
+				rs.br.success()
 			default:
 				if rs.br.failure() {
 					c.in.breakers[i].Inc()
@@ -415,10 +423,22 @@ func (c *Coordinator) do(ctx context.Context, rep Replica, sh *shardState, frame
 	if err != nil {
 		return nil, err
 	}
-	data, err := io.ReadAll(resp.Body)
+	// Cap the buffered body at the exact partial-frame size (with a floor
+	// for error JSON bodies): the decoders guard allocation against forged
+	// counts, but without this a misbehaving worker could still make the
+	// coordinator buffer an arbitrarily large reply before decode rejects
+	// it.
+	limit := int64(server.PartialFrameLen(sh.row1 - sh.row0))
+	if limit < 4096 {
+		limit = 4096
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	resp.Body.Close()
 	if err != nil {
 		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("%w: reply body exceeds %d bytes", server.ErrWireTooLarge, limit)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, remoteErr(resp.StatusCode, data)
@@ -451,7 +471,9 @@ func remoteErr(status int, body []byte) *RemoteError {
 // RegisterShards slices m along plan and uploads each non-empty slice to
 // the matching worker under name, returning the Specs for New. Worker i
 // receives plan[i]; empty ranges (more workers than rows) are skipped.
-func RegisterShards(client *http.Client, m *mat.COO[float64], name string, workers []string, plan [][2]int) ([]Spec, error) {
+// ctx bounds the whole deployment — pass a deadline (or a client with a
+// Timeout) so a hung worker cannot block registration indefinitely.
+func RegisterShards(ctx context.Context, client *http.Client, m *mat.COO[float64], name string, workers []string, plan [][2]int) ([]Spec, error) {
 	if len(plan) != len(workers) {
 		return nil, fmt.Errorf("shard: %d ranges for %d workers", len(plan), len(workers))
 	}
@@ -469,7 +491,7 @@ func RegisterShards(client *http.Client, m *mat.COO[float64], name string, worke
 			return nil, err
 		}
 		url := fmt.Sprintf("http://%s/v1/shard/%s?row0=%d&row1=%d", workers[i], name, row0, row1)
-		req, err := http.NewRequest(http.MethodPut, url, &body)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, &body)
 		if err != nil {
 			return nil, err
 		}

@@ -339,7 +339,9 @@ func TestRegisterShards(t *testing.T) {
 	}
 	client := &http.Client{Transport: noKeepAlive()}
 	defer client.CloseIdleConnections()
-	specs, err := RegisterShards(client, m, "big", addrs, Plan(m, 2))
+	regCtx, regCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer regCancel()
+	specs, err := RegisterShards(regCtx, client, m, "big", addrs, Plan(m, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
