@@ -51,6 +51,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeVector$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzShardFrame$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzShardPanelFrame$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzVBRPartition$$' -fuzztime $(FUZZTIME) ./internal/partition
 	$(GO) test -run '^$$' -fuzz '^FuzzVBLRowBlocks$$' -fuzztime $(FUZZTIME) ./internal/partition
 	$(GO) test -run '^$$' -fuzz '^FuzzSELLConstruction$$' -fuzztime $(FUZZTIME) ./internal/sell
@@ -73,7 +74,9 @@ bench:
 # throughput/latency batched vs unbatched) and BENCH_shard.json (the
 # row-shard coordinator swept over shard counts behind chaos proxies:
 # throughput that survives wire faults, retry counts, fan-out cost vs
-# one shard).
+# one shard, and per shard count the coordinator's gather-window
+# batcher coalescing callers into multi-RHS panels vs per-call
+# scatter, with the mean panel width).
 bench-json:
 	$(GO) run ./cmd/spmvbench -experiment compress -scale small \
 	    -iterations 20 -json BENCH_compress.json
@@ -87,4 +90,5 @@ bench-json:
 	    -n 16384 -density 0.008 -workers 1 -window 3ms -detect=false \
 	    -json BENCH_serve.json
 	$(GO) run ./cmd/spmvload -shards 1,2,4 -chaos -clients 8 -duration 2s \
-	    -n 8192 -density 0.008 -detect=false -json BENCH_shard.json
+	    -n 8192 -density 0.008 -batch 8 -window 1ms -detect=false \
+	    -json BENCH_shard.json

@@ -12,9 +12,12 @@
 //
 // With -shards it instead sweeps the row-shard coordinator: per shard
 // count it self-hosts that many shard workers, scatters the matrix with
-// the balanced row plan, and drives Coordinator.MulVec closed-loop;
-// -chaos injects wire faults through proxies and -node-cap caps each
-// worker's matrix cache to demonstrate the capacity motive.
+// the balanced row plan, and drives Coordinator.MulVec closed-loop in
+// two phases — per-call scatter, then (with -batch > 1) the same load
+// through the coordinator's gather-window batcher, which coalesces
+// concurrent callers into multi-RHS SpS2 panels; -chaos injects wire
+// faults through proxies and -node-cap caps each worker's matrix cache
+// to demonstrate the capacity motive.
 //
 // Usage:
 //
@@ -81,9 +84,9 @@ func main() {
 	flag.IntVar(&opts.clients, "clients", 8, "concurrent closed-loop clients")
 	flag.DurationVar(&opts.duration, "duration", 2*time.Second, "measured time per phase")
 	flag.DurationVar(&opts.warmup, "warmup", 250*time.Millisecond, "untimed warmup per phase")
-	flag.IntVar(&opts.batch, "batch", 8, "server panel width k for the batched phase (1 disables batching)")
+	flag.IntVar(&opts.batch, "batch", 8, "max coalesced panel width k for the batched phase, server or shard coordinator (1 disables batching)")
 	flag.IntVar(&opts.workers, "workers", runtime.GOMAXPROCS(0), "self-hosted server worker-pool width")
-	flag.DurationVar(&opts.window, "window", 200*time.Microsecond, "self-hosted server batch gather window")
+	flag.DurationVar(&opts.window, "window", 200*time.Microsecond, "batch gather window, server or shard coordinator")
 	flag.IntVar(&opts.n, "n", 4096, "self-hosted matrix dimension")
 	flag.Float64Var(&opts.density, "density", 0.008, "self-hosted matrix density")
 	flag.Int64Var(&opts.seed, "seed", 1, "self-hosted matrix seed")

@@ -18,6 +18,7 @@ import (
 	"blockspmv/internal/faultcheck"
 	"blockspmv/internal/machine"
 	"blockspmv/internal/mat"
+	"blockspmv/internal/metrics"
 	"blockspmv/internal/server"
 	"blockspmv/internal/shard"
 	"blockspmv/internal/testmat"
@@ -51,7 +52,7 @@ func runShardSweep(opts options) (bench.ShardResult, machine.Machine, error) {
 		}
 	}
 	for _, k := range counts {
-		pt, err := driveShards(m, k, opts, mach)
+		pts, err := driveShards(m, k, opts, mach)
 		if errors.Is(err, server.ErrCacheFull) {
 			// The honest capacity outcome: this few workers cannot hold
 			// their slices under -node-cap. Skip the point, keep sweeping.
@@ -62,12 +63,27 @@ func runShardSweep(opts options) (bench.ShardResult, machine.Machine, error) {
 		if err != nil {
 			return res, mach, fmt.Errorf("shards=%d: %w", k, err)
 		}
-		res.Points = append(res.Points, pt)
-		printShardPoint(opts.log, pt)
+		for _, pt := range pts {
+			res.Points = append(res.Points, pt)
+			printShardPoint(opts.log, pt)
+		}
+		if len(pts) == 2 && pts[0].QPS > 0 {
+			fmt.Fprintf(opts.log, "shards=%-2d batched vs unbatched: %.2fx throughput (mean panel k %.2f)\n",
+				k, pts[1].QPS/pts[0].QPS, pts[1].MeanK)
+		}
 	}
-	if len(res.Points) > 1 && res.Points[0].Shards == 1 && res.Points[0].QPS > 0 {
-		for _, p := range res.Points[1:] {
-			fmt.Fprintf(opts.log, "shards=%d vs 1: %.2fx throughput\n", p.Shards, p.QPS/res.Points[0].QPS)
+	var oneShard float64
+	for _, p := range res.Points {
+		if p.Shards == 1 && !p.Batched {
+			oneShard = p.QPS
+			break
+		}
+	}
+	if oneShard > 0 {
+		for _, p := range res.Points {
+			if p.Shards != 1 && !p.Batched {
+				fmt.Fprintf(opts.log, "shards=%d vs 1: %.2fx throughput\n", p.Shards, p.QPS/oneShard)
+			}
 		}
 	}
 	return res, mach, nil
@@ -127,11 +143,11 @@ func chaosSchedule() []faultcheck.Plan {
 	return plans
 }
 
-// driveShards runs one point of the sweep: k workers, one coordinator,
-// opts.clients closed-loop callers of Coordinator.MulVec.
-func driveShards(m *mat.COO[float64], k int, opts options, mach machine.Machine) (bench.ShardPoint, error) {
-	pt := bench.ShardPoint{Shards: k, Chaos: opts.chaos, Clients: opts.clients}
-
+// driveShards runs one shard count of the sweep: k workers shared by up
+// to two phases — the per-call scatter path, then (with -batch > 1) the
+// same load through the coordinator's gather-window batcher, so the
+// printed speedup isolates what panel coalescing buys on the same wire.
+func driveShards(m *mat.COO[float64], k int, opts options, mach machine.Machine) ([]bench.ShardPoint, error) {
 	// Workers: single-threaded, unbatched, shard endpoints on. The
 	// per-worker cache cap (if any) is the point of -node-cap: each
 	// worker holds only its row slice.
@@ -160,7 +176,7 @@ func driveShards(m *mat.COO[float64], k int, opts options, mach machine.Machine)
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			s.Close()
-			return pt, err
+			return nil, err
 		}
 		done := make(chan error, 1)
 		go func() { done <- s.Serve(l) }()
@@ -175,14 +191,14 @@ func driveShards(m *mat.COO[float64], k int, opts options, mach machine.Machine)
 	specs, err := shard.RegisterShards(regCtx, http.DefaultClient, m, opts.matrix, addrs, shard.Plan(m, k))
 	regCancel()
 	if err != nil {
-		return pt, err
+		return nil, err
 	}
 	if opts.chaos {
 		for i := range specs {
 			for j, rep := range specs[i].Replicas {
 				p, err := faultcheck.NewProxy(rep.Addr, chaosSchedule()...)
 				if err != nil {
-					return pt, err
+					return nil, err
 				}
 				proxies = append(proxies, p)
 				specs[i].Replicas[j].Addr = p.Addr()
@@ -190,19 +206,52 @@ func driveShards(m *mat.COO[float64], k int, opts options, mach machine.Machine)
 		}
 	}
 
-	copts := shard.Options{
-		Timeout:        10 * time.Second,
-		AttemptTimeout: time.Second,
-		MaxAttempts:    4,
-		RetryBase:      time.Millisecond,
-		RetryMax:       20 * time.Millisecond,
+	phases := []bool{false}
+	if opts.batch > 1 {
+		phases = append(phases, true)
 	}
-	if opts.chaos {
-		// Without keep-alives every request opens a fresh connection, so
-		// the per-connection fault schedule translates into a per-request
-		// fault rate.
-		copts.Transport = &http.Transport{DisableKeepAlives: true}
+	var pts []bench.ShardPoint
+	for _, batched := range phases {
+		copts := shard.Options{
+			Timeout:        10 * time.Second,
+			AttemptTimeout: time.Second,
+			MaxAttempts:    4,
+			RetryBase:      time.Millisecond,
+			RetryMax:       20 * time.Millisecond,
+		}
+		tr := &http.Transport{MaxIdleConnsPerHost: 8}
+		if batched {
+			copts.BatchMax = opts.batch
+			copts.BatchWindow = opts.window
+			copts.QueueDepth = opts.clients * 4
+			// Panel frames are k x larger than per-call frames; bigger
+			// transport buffers cut the syscall count per frame so the
+			// single-core host spends its cycles computing, not switching.
+			tr.WriteBufferSize = 256 << 10
+			tr.ReadBufferSize = 256 << 10
+		}
+		if opts.chaos {
+			// Without keep-alives every request opens a fresh connection, so
+			// the per-connection fault schedule translates into a per-request
+			// fault rate.
+			tr.DisableKeepAlives = true
+		}
+		copts.Transport = tr
+		pt, err := driveShardPhase(m, k, specs, copts, batched, opts)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
 	}
+	return pts, nil
+}
+
+// driveShardPhase measures one coordinator configuration closed-loop:
+// opts.clients callers of Coordinator.MulVec for opts.duration, with
+// the coordinator's own panel-width histogram providing the mean
+// coalesced k over the measured window.
+func driveShardPhase(m *mat.COO[float64], k int, specs []shard.Spec, copts shard.Options, batched bool, opts options) (bench.ShardPoint, error) {
+	pt := bench.ShardPoint{Shards: k, Chaos: opts.chaos, Batched: batched, Clients: opts.clients}
 	coord, err := shard.New(m.Cols(), specs, copts)
 	if err != nil {
 		return pt, err
@@ -228,6 +277,7 @@ func driveShards(m *mat.COO[float64], k int, opts options, mach machine.Machine)
 	wg.Wait()
 
 	retries0, hedges0 := recoveryCounters(coord)
+	kSum0, kCnt0 := batchKStats(coord)
 	type clientStats struct {
 		lats []time.Duration
 		err  error
@@ -252,6 +302,7 @@ func driveShards(m *mat.COO[float64], k int, opts options, mach machine.Machine)
 	wg.Wait()
 	elapsed := time.Since(start)
 	retries1, hedges1 := recoveryCounters(coord)
+	kSum1, kCnt1 := batchKStats(coord)
 
 	var lats []time.Duration
 	for _, cs := range stats {
@@ -272,7 +323,21 @@ func driveShards(m *mat.COO[float64], k int, opts options, mach machine.Machine)
 	pt.P99 = quantile(lats, 0.99) * 1e3
 	pt.Retries = retries1 - retries0
 	pt.Hedges = hedges1 - hedges0
+	if kCnt1 > kCnt0 {
+		pt.MeanK = (kSum1 - kSum0) / float64(kCnt1-kCnt0)
+	}
 	return pt, nil
+}
+
+// batchKStats reads the coordinator's panel-width histogram totals, so
+// the measured window's mean coalesced k is (Δsum / Δcount).
+func batchKStats(c *shard.Coordinator) (sum float64, count uint64) {
+	if v, ok := c.Metrics().Snapshot()["spmv_shard_batch_k"]; ok {
+		if h, ok := v.(metrics.HistogramSnapshot); ok {
+			return h.Sum, h.Count
+		}
+	}
+	return 0, 0
 }
 
 // recoveryCounters sums the coordinator's per-shard retry and hedge
@@ -294,6 +359,10 @@ func recoveryCounters(c *shard.Coordinator) (retries, hedges uint64) {
 }
 
 func printShardPoint(w io.Writer, pt bench.ShardPoint) {
-	fmt.Fprintf(w, "shards=%-2d  %d clients: %7.0f req/s  p50 %6.3f ms  p95 %6.3f ms  p99 %6.3f ms  retries %d  hedges %d\n",
-		pt.Shards, pt.Clients, pt.QPS, pt.P50, pt.P95, pt.P99, pt.Retries, pt.Hedges)
+	mode := "unbatched"
+	if pt.Batched {
+		mode = "batched"
+	}
+	fmt.Fprintf(w, "shards=%-2d %-9s %d clients: %7.0f req/s  p50 %6.3f ms  p95 %6.3f ms  p99 %6.3f ms  mean k %.2f  retries %d  hedges %d\n",
+		pt.Shards, mode, pt.Clients, pt.QPS, pt.P50, pt.P95, pt.P99, pt.MeanK, pt.Retries, pt.Hedges)
 }

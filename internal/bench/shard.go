@@ -9,6 +9,12 @@ type ShardPoint struct {
 	// Chaos records whether the workers sat behind fault-injecting
 	// proxies for this point.
 	Chaos bool `json:"chaos,omitempty"`
+	// Batched records whether the coordinator's gather-window batcher
+	// coalesced concurrent callers into multi-RHS panels for this point.
+	Batched bool `json:"batched,omitempty"`
+	// MeanK is the mean right-hand sides per scattered panel over the
+	// measured window (1.0 when every call scattered alone).
+	MeanK float64 `json:"mean_k,omitempty"`
 	// Clients is the closed-loop client count.
 	Clients int `json:"clients"`
 	// Requests is the number of completed calls in the measured window.
@@ -37,19 +43,34 @@ type ShardResult struct {
 
 // AddShard appends the shard experiment's measurements. Each point's
 // throughput is compared against the single-shard point measured under
-// the same chaos setting, so SpeedupVsOneShard isolates the cost of
-// the scatter/gather fan-out from the cost of the fault schedule.
+// the same chaos and batching settings, so SpeedupVsOneShard isolates
+// the cost of the scatter/gather fan-out from the cost of the fault
+// schedule; batched points additionally carry SpeedupVsUnbatched
+// against the unbatched point at the same shard count, with MeanBatch
+// recording the coalesced panel width that bought it.
 func (r *Report) AddShard(res ShardResult) {
-	base := map[bool]float64{}
+	type ubKey struct {
+		chaos  bool
+		shards int
+	}
+	base := map[[2]bool]float64{} // {chaos, batched} -> one-shard QPS
+	unbatched := map[ubKey]float64{}
 	for _, p := range res.Points {
-		if p.Shards == 1 && base[p.Chaos] == 0 {
-			base[p.Chaos] = p.QPS
+		key := [2]bool{p.Chaos, p.Batched}
+		if p.Shards == 1 && base[key] == 0 {
+			base[key] = p.QPS
+		}
+		if !p.Batched {
+			unbatched[ubKey{p.Chaos, p.Shards}] = p.QPS
 		}
 	}
 	for _, p := range res.Points {
 		mode := "sharded"
+		if p.Batched {
+			mode += "-batched"
+		}
 		if p.Chaos {
-			mode = "sharded-chaos"
+			mode += "-chaos"
 		}
 		rec := ReportRecord{
 			Experiment: "shard",
@@ -62,11 +83,17 @@ func (r *Report) AddShard(res ShardResult) {
 			P50Ms:      p.P50,
 			P95Ms:      p.P95,
 			P99Ms:      p.P99,
+			MeanBatch:  p.MeanK,
 			Retries:    p.Retries,
 			Hedges:     p.Hedges,
 		}
-		if b := base[p.Chaos]; b > 0 && p.Shards != 1 {
+		if b := base[[2]bool{p.Chaos, p.Batched}]; b > 0 && p.Shards != 1 {
 			rec.SpeedupVsOneShard = p.QPS / b
+		}
+		if p.Batched {
+			if u := unbatched[ubKey{p.Chaos, p.Shards}]; u > 0 {
+				rec.SpeedupVsUnbatched = p.QPS / u
+			}
 		}
 		r.Records = append(r.Records, rec)
 	}

@@ -9,15 +9,28 @@ import (
 	"blockspmv/internal/parallel"
 )
 
-// request is one admitted MulVec request travelling through a batcher.
+// request is one admitted MulVec or MulVecs request travelling through
+// a batcher: either a single x/y vector pair, or a k-wide panel in
+// xs/ys (xs non-nil marks the panel form).
 type request struct {
 	ctx context.Context
 	x   []float64
 	y   []float64 // result, written by the batch loop before done is signalled
+	xs  [][]float64
+	ys  [][]float64
 	enq time.Time
 	// done carries the request's outcome. Buffered so the batch loop
 	// never blocks on a caller that gave up (cancellation mid-batch).
 	done chan error
+}
+
+// width is the number of right-hand sides the request contributes to a
+// panel.
+func (r *request) width() int {
+	if r.xs != nil {
+		return len(r.xs)
+	}
+	return 1
 }
 
 // batcher coalesces concurrent single-vector MulVec requests against one
@@ -86,13 +99,41 @@ func newBatcher(pool *parallel.Mul[float64], max int, window time.Duration, dept
 // race with subsequent batches otherwise). Shedding — queue full or
 // batcher draining — fails fast with ErrOverloaded.
 func (b *batcher) submit(ctx context.Context, x []float64) ([]float64, error) {
+	r := &request{ctx: ctx, x: x, y: make([]float64, b.rows)}
+	if err := b.admit(ctx, r); err != nil {
+		return nil, err
+	}
+	return r.y, nil
+}
+
+// submitPanel is the multi-RHS form of submit: one admitted request
+// carrying a whole k-wide panel, so a coordinator-coalesced batch enters
+// the queue — and the kernel — as a unit. A panel wider than the
+// configured cap is still served in one dispatch (it is one request; the
+// cap bounds coalescing of additional requests, not callers' panels).
+func (b *batcher) submitPanel(ctx context.Context, xs [][]float64) ([][]float64, error) {
+	ys := make([][]float64, len(xs))
+	flat := make([]float64, len(xs)*b.rows)
+	for l := range ys {
+		ys[l] = flat[l*b.rows : (l+1)*b.rows]
+	}
+	r := &request{ctx: ctx, xs: xs, ys: ys}
+	if err := b.admit(ctx, r); err != nil {
+		return nil, err
+	}
+	return r.ys, nil
+}
+
+// admit enqueues r and blocks until it is answered or ctx is done.
+func (b *batcher) admit(ctx context.Context, r *request) error {
 	b.in.reqTotal.Inc()
-	r := &request{ctx: ctx, x: x, y: make([]float64, b.rows), enq: time.Now(), done: make(chan error, 1)}
+	r.enq = time.Now()
+	r.done = make(chan error, 1)
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
 		b.in.reqShed.Inc()
-		return nil, ErrOverloaded
+		return ErrOverloaded
 	}
 	select {
 	case b.ch <- r:
@@ -101,18 +142,15 @@ func (b *batcher) submit(ctx context.Context, x []float64) ([]float64, error) {
 	default:
 		b.mu.RUnlock()
 		b.in.reqShed.Inc()
-		return nil, ErrOverloaded
+		return ErrOverloaded
 	}
 	select {
 	case err := <-r.done:
 		b.observeReply(r, err)
-		if err != nil {
-			return nil, err
-		}
-		return r.y, nil
+		return err
 	case <-ctx.Done():
 		b.in.reqCanceled.Inc()
-		return nil, ctx.Err()
+		return ctx.Err()
 	}
 }
 
@@ -161,12 +199,14 @@ func (b *batcher) loop() {
 }
 
 // gather fills b.batch with the first request plus whatever else arrives
-// within the window, up to max. A stop signal ends gathering early but
-// the gathered batch still executes (those requests are in flight, and
-// the drain contract completes in-flight work).
+// within the window, until the summed panel width reaches max. A stop
+// signal ends gathering early but the gathered batch still executes
+// (those requests are in flight, and the drain contract completes
+// in-flight work).
 func (b *batcher) gather(first *request, timer *time.Timer) {
 	b.batch = append(b.batch[:0], first)
-	if b.max <= 1 || b.window <= 0 {
+	w := first.width()
+	if b.max <= 1 || b.window <= 0 || w >= b.max {
 		return
 	}
 	timer.Reset(b.window)
@@ -178,11 +218,12 @@ func (b *batcher) gather(first *request, timer *time.Timer) {
 			}
 		}
 	}()
-	for len(b.batch) < b.max {
+	for w < b.max {
 		select {
 		case r := <-b.ch:
 			b.in.queueDepth.Add(-1)
 			b.batch = append(b.batch, r)
+			w += r.width()
 		case <-timer.C:
 			return
 		case <-b.stop:
@@ -210,17 +251,22 @@ func (b *batcher) execute() {
 	if len(live) == 0 {
 		return
 	}
-	b.in.batchSize.Observe(float64(len(live)))
-	var err error
-	start := time.Now()
-	if len(live) == 1 {
-		err = b.pool.MulVec(live[0].x, live[0].y)
-	} else {
-		b.xs, b.ys = b.xs[:0], b.ys[:0]
-		for _, r := range live {
+	b.xs, b.ys = b.xs[:0], b.ys[:0]
+	for _, r := range live {
+		if r.xs != nil {
+			b.xs = append(b.xs, r.xs...)
+			b.ys = append(b.ys, r.ys...)
+		} else {
 			b.xs = append(b.xs, r.x)
 			b.ys = append(b.ys, r.y)
 		}
+	}
+	b.in.batchSize.Observe(float64(len(b.xs)))
+	var err error
+	start := time.Now()
+	if len(b.xs) == 1 {
+		err = b.pool.MulVec(b.xs[0], b.ys[0])
+	} else {
 		err = b.pool.MulVecs(b.xs, b.ys)
 	}
 	b.in.execTime.Observe(time.Since(start).Seconds())

@@ -91,6 +91,103 @@ func TestBatcherCoalesces(t *testing.T) {
 // TestBatcherSingleUnderLowLoad checks the low-load fallback: strictly
 // sequential requests never wait out a full window with company, and
 // every dispatch is a single-vector multiply.
+// TestBatcherPanelRequests drives the multi-RHS submit path: panel
+// requests mix with single-vector requests in one batch, a panel wider
+// than BatchMax is still served as one dispatch, every result is exact,
+// and an empty panel is rejected before admission.
+func TestBatcherPanelRequests(t *testing.T) {
+	leakcheck.Check(t)
+	g := NewRegistry(Config{
+		Workers:     2,
+		BatchMax:    4,
+		BatchWindow: 5 * time.Millisecond,
+		QueueDepth:  64,
+	}, nil)
+	defer g.Close()
+	m := testmat.Random[float64](80, 60, 0.15, 7)
+	if _, err := g.RegisterMatrix("m", m); err != nil {
+		t.Fatal(err)
+	}
+
+	mkPanel := func(k, salt int) [][]float64 {
+		xs := make([][]float64, k)
+		for l := range xs {
+			xs[l] = testVec(60)
+			xs[l][0] = float64(salt + l + 1)
+		}
+		return xs
+	}
+	check := func(xs, ys [][]float64) {
+		t.Helper()
+		if len(ys) != len(xs) {
+			t.Fatalf("got %d result vectors for %d inputs", len(ys), len(xs))
+		}
+		for l := range xs {
+			want := refMul(m, xs[l])
+			for i := range want {
+				if math.Abs(ys[l][i]-want[i]) > 1e-12 {
+					t.Fatalf("panel vector %d: y[%d] = %g, want %g", l, i, ys[l][i], want[i])
+				}
+			}
+		}
+	}
+
+	// Concurrent mix: two panels and two singles race into the window.
+	var wg sync.WaitGroup
+	panels := [][][]float64{mkPanel(2, 100), mkPanel(3, 200)}
+	panelYs := make([][][]float64, len(panels))
+	panelErrs := make([]error, len(panels))
+	singles := [][]float64{testVec(60), testVec(60)}
+	singleYs := make([][]float64, len(singles))
+	singleErrs := make([]error, len(singles))
+	for i := range panels {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			panelYs[i], panelErrs[i] = g.MulVecs(context.Background(), "m", panels[i])
+		}(i)
+	}
+	for i := range singles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			singleYs[i], singleErrs[i] = g.MulVec(context.Background(), "m", singles[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range panelErrs {
+		if err != nil {
+			t.Fatalf("panel %d: %v", i, err)
+		}
+		check(panels[i], panelYs[i])
+	}
+	for i, err := range singleErrs {
+		if err != nil {
+			t.Fatalf("single %d: %v", i, err)
+		}
+		check([][]float64{singles[i]}, [][]float64{singleYs[i]})
+	}
+
+	// A panel wider than BatchMax is one request and must be served whole.
+	wide := mkPanel(7, 300)
+	ys, err := g.MulVecs(context.Background(), "m", wide)
+	if err != nil {
+		t.Fatalf("wide panel: %v", err)
+	}
+	check(wide, ys)
+
+	// An empty panel has no well-formed reply.
+	var pe *formats.PanelError
+	if _, err := g.MulVecs(context.Background(), "m", nil); !errors.As(err, &pe) {
+		t.Fatalf("empty panel: err = %v, want *formats.PanelError", err)
+	}
+	// A misshapen member is a DimError.
+	var de *formats.DimError
+	if _, err := g.MulVecs(context.Background(), "m", [][]float64{testVec(60), testVec(59)}); !errors.As(err, &de) {
+		t.Fatalf("ragged panel: err = %v, want *formats.DimError", err)
+	}
+}
+
 func TestBatcherSingleUnderLowLoad(t *testing.T) {
 	leakcheck.Check(t)
 	g := NewRegistry(Config{Workers: 2, BatchMax: 8, BatchWindow: time.Millisecond}, nil)

@@ -73,6 +73,47 @@ func FuzzShardFrame(f *testing.F) {
 	})
 }
 
+// FuzzShardPanelFrame drives both panel-frame decoders with arbitrary
+// bytes: neither may panic, allocation is bounded by the real body
+// length, and any accepted frame must be canonical — re-encoding the
+// decoded range and de-interleaved panel reproduces the input bit for
+// bit (which also proves the stored CRC is the one the encoder would
+// compute).
+func FuzzShardPanelFrame(f *testing.F) {
+	f.Add(mustEncodePanelReq(f, 0, 4, [][]float64{{1, 2, 3}, {4, 5, 6}}))
+	f.Add(mustEncodePanelReq(f, 9, 9, [][]float64{{}}))
+	f.Add(mustEncodePanelPart(f, 3, 6, [][]float64{{math.NaN(), math.Inf(-1), -0.0}}))
+	f.Add(mustEncodePanelPart(f, 0, 0, [][]float64{{}, {}}))
+	f.Add([]byte("SpS2 not a real payload, far too short"))
+	f.Add([]byte("SpP2 not a real payload, far too short"))
+	hole := mustEncodePanelReq(f, 1, 5, [][]float64{{4, 5}, {6, 7}})
+	f.Add(hole[:len(hole)-3])
+	bad := mustEncodePanelPart(f, 0, 2, [][]float64{{6, 7}})
+	bad[panelPartHeaderLen] ^= 0x01 // CRC now stale
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r0, r1, n, k, flat, err := DecodePanelInto(nil, data, 1<<16, 64); err == nil {
+			re, err := EncodeShardPanel(r0, r1, PanelVecs(nil, flat, n, k))
+			if err != nil {
+				t.Fatalf("re-encode accepted panel request: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("panel request not canonical:\n in %x\nout %x", data, re)
+			}
+		}
+		if r0, r1, k, flat, err := DecodePartialPanelInto(nil, data, 1<<16, 64); err == nil {
+			re, err := EncodePartialPanel(r0, r1, PanelVecs(nil, flat, r1-r0, k))
+			if err != nil {
+				t.Fatalf("re-encode accepted partial panel: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("partial panel not canonical:\n in %x\nout %x", data, re)
+			}
+		}
+	})
+}
+
 // FuzzWireRoundTrip generates vectors from fuzz bytes and asserts the
 // encode/decode round trip is bit-exact, including NaN payloads and
 // negative zero.

@@ -62,10 +62,17 @@ type Config struct {
 	Metrics *metrics.Registry
 
 	// EnableShard exposes the row-shard endpoints (PUT /v1/shard/{name},
-	// POST /v1/shard/{name}/mulvec), turning this node into a shard worker
-	// a coordinator can scatter to. Off by default: a standalone daemon
-	// has no business accepting partial-matrix registrations.
+	// POST /v1/shard/{name}/mulvec and /mulvecs), turning this node into a
+	// shard worker a coordinator can scatter to. Off by default: a
+	// standalone daemon has no business accepting partial-matrix
+	// registrations.
 	EnableShard bool
+	// MaxPanelK caps the panel width a shard panel frame may declare;
+	// <= 0 selects 1024. It bounds the worker's per-request allocation
+	// the same way Limits bounds registrations: a forged k cannot force
+	// a huge decode, and an honest coordinator never exceeds its own
+	// BatchMax, which sits far below this.
+	MaxPanelK int
 }
 
 // DefaultLimits bounds uploaded matrices when Config.Limits is zero:
@@ -94,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxPanelK <= 0 {
+		c.MaxPanelK = 1024
 	}
 	if c.Model == nil {
 		if c.Prof != nil {
@@ -441,6 +451,32 @@ func (g *Registry) MulVec(ctx context.Context, name string, x []float64) ([]floa
 		}
 	}
 	return e.bat.submit(ctx, x)
+}
+
+// MulVecs runs a k-wide panel against the named matrix as one batcher
+// request: the whole panel is dispatched in a single MulVecs kernel
+// invocation (possibly coalesced with other concurrent requests), so the
+// matrix stream is paid once for all k vectors. Every xs[l] must have
+// Cols elements; an empty panel is a *formats.PanelError — a request
+// carrying nothing has no well-formed reply.
+func (g *Registry) MulVecs(ctx context.Context, name string, xs [][]float64) ([][]float64, error) {
+	e, err := g.acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	defer g.release(e)
+	if len(xs) == 0 {
+		return nil, &formats.PanelError{Format: e.info.Format, NX: 0, NY: 0}
+	}
+	for _, x := range xs {
+		if len(x) != e.info.Cols {
+			return nil, &formats.DimError{
+				Format: e.info.Format, Rows: e.info.Rows, Cols: e.info.Cols,
+				LenX: len(x), LenY: e.info.Rows,
+			}
+		}
+	}
+	return e.bat.submitPanel(ctx, xs)
 }
 
 // Close drains every batcher — in-flight batches complete, queued

@@ -69,6 +69,7 @@ func New(cfg Config) *Server {
 	if cfg.EnableShard {
 		s.mux.HandleFunc("PUT /v1/shard/{name}", s.handleShardRegister)
 		s.mux.HandleFunc("POST /v1/shard/{name}/mulvec", s.handleShardMulVec)
+		s.mux.HandleFunc("POST /v1/shard/{name}/mulvecs", s.handleShardMulVecs)
 	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -136,6 +137,7 @@ type apiError struct {
 func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	status, kind := http.StatusInternalServerError, "internal"
 	var dim *formats.DimError
+	var pnl *formats.PanelError
 	var pan *workpool.PanicError
 	var poi *workpool.PoisonedError
 	var maxBytes *http.MaxBytesError
@@ -157,7 +159,7 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 		status, kind = http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):
 		status, kind = statusClientClosedRequest, "canceled"
-	case errors.As(err, &dim), errors.Is(err, errBadRequest), isShardWireErr(err):
+	case errors.As(err, &dim), errors.As(err, &pnl), errors.Is(err, errBadRequest), isShardWireErr(err):
 		status, kind = http.StatusBadRequest, "bad_request"
 	case errors.As(err, &pan), errors.As(err, &poi):
 		status, kind = http.StatusInternalServerError, "kernel_panic"

@@ -112,3 +112,71 @@ func (s *Server) handleShardMulVec(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", ContentTypePartial)
 	w.Write(out)
 }
+
+// handleShardMulVecs is the panel data plane: decode the SpS2 frame
+// into pooled scratch, check its row range against the registered shard,
+// run the k-wide panel through the batcher as one MulVecs dispatch —
+// paying the row block's matrix stream once for all k vectors — and
+// answer with the SpP2 panel partial. At k=1 the semantics are exactly
+// handleShardMulVec's; the coordinator sends SpS1 then, but a k=1 SpS2
+// is accepted.
+func (s *Server) handleShardMulVecs(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, err := s.reg.Lookup(name)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.in.reqBad.Inc()
+		s.writeErr(w, err)
+		return
+	}
+	scratch := vecScratch.Get().(*[]float64)
+	row0, row1, n, k, flat, err := DecodePanelInto((*scratch)[:0], data, info.Cols, s.cfg.MaxPanelK)
+	if err != nil {
+		vecScratch.Put(scratch)
+		s.in.reqBad.Inc()
+		s.writeErr(w, err)
+		return
+	}
+	if !info.Sharded || row0 != info.ShardRow0 || row1 != info.ShardRow1 {
+		vecScratch.Put(scratch)
+		s.in.reqBad.Inc()
+		s.writeErr(w, fmt.Errorf("%w: frame [%d, %d) against shard [%d, %d)",
+			ErrWireRange, row0, row1, info.ShardRow0, info.ShardRow1))
+		return
+	}
+	xs := PanelVecs(make([][]float64, 0, k), flat, n, k)
+
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		vecScratch.Put(scratch)
+		s.in.reqBad.Inc()
+		s.writeErr(w, err)
+		return
+	}
+	defer cancel()
+
+	ys, err := s.reg.MulVecs(ctx, name, xs)
+	// Same repool rule as the single-vector handler: on a context outcome
+	// the batch loop may still hold the panel, so the scratch is forfeit.
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		if cap(flat) > cap(*scratch) {
+			*scratch = flat[:0]
+		}
+		vecScratch.Put(scratch)
+	}
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	out, err := EncodePartialPanel(row0, row1, ys)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypePanelPartial)
+	w.Write(out)
+}

@@ -137,6 +137,140 @@ func TestShardEndpointErrors(t *testing.T) {
 	}
 }
 
+// TestShardPanelEndpoint walks the multi-RHS worker face: register a
+// row block, scatter a k-wide SpS2 panel at the mulvecs endpoint, and
+// confirm every vector of the SpP2 partial equals the matching slice of
+// the per-vector single-node reference bit for bit.
+func TestShardPanelEndpoint(t *testing.T) {
+	leakcheck.Check(t)
+	_, base, client, stop := startServer(t, Config{Workers: 2, EnableShard: true})
+	defer stop()
+
+	m := testmat.Random[float64](60, 40, 0.15, 7)
+	m.Finalize()
+	const row0, row1 = 20, 50
+	sub := sliceRows(m, row0, row1)
+
+	if status, body := doJSON(t, client, http.MethodPut,
+		base+"/v1/shard/demo?row0=20&row1=50", mmBody(t, sub), nil); status != http.StatusCreated {
+		t.Fatalf("shard register: %d %s", status, body)
+	}
+
+	const k = 3
+	xs := make([][]float64, k)
+	for l := range xs {
+		xs[l] = make([]float64, 40)
+		for j := range xs[l] {
+			xs[l][j] = math.Sin(float64(l*41 + j + 1))
+		}
+	}
+	frame := mustEncodePanelReq(t, row0, row1, xs)
+	resp, err := client.Post(base+"/v1/shard/demo/mulvecs", ContentTypePanelRequest, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard mulvecs: %d %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypePanelPartial {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	r0, r1, gk, flat, err := DecodePartialPanelInto(nil, data, row1-row0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != row0 || r1 != row1 || gk != k {
+		t.Fatalf("panel partial [%d, %d) k=%d", r0, r1, gk)
+	}
+	ys := PanelVecs(nil, flat, row1-row0, k)
+	for l := range xs {
+		want := refMul(sub, xs[l])
+		for i := range want {
+			if math.Float64bits(ys[l][i]) != math.Float64bits(want[i]) {
+				t.Fatalf("y[%d][%d] = %g, want %g (bit-level)", l, i, ys[l][i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardPanelEndpointErrors covers the panel rejection paths: range
+// mismatch, corruption (ErrWireChecksum → 400), an over-cap width, and
+// a k=0 frame forged onto the wire.
+func TestShardPanelEndpointErrors(t *testing.T) {
+	leakcheck.Check(t)
+	_, base, client, stop := startServer(t, Config{EnableShard: true, MaxPanelK: 4})
+	defer stop()
+
+	m := testmat.Random[float64](30, 20, 0.2, 8)
+	m.Finalize()
+	sub := sliceRows(m, 10, 30)
+	if status, body := doJSON(t, client, http.MethodPut,
+		base+"/v1/shard/ok?row0=10&row1=30", mmBody(t, sub), nil); status != http.StatusCreated {
+		t.Fatalf("register: %d %s", status, body)
+	}
+
+	x := testVec(20)
+	post := func(frame []byte) (int, []byte) {
+		t.Helper()
+		resp, err := client.Post(base+"/v1/shard/ok/mulvecs", ContentTypePanelRequest, bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, readAll(t, resp)
+	}
+
+	// A panel claiming a different row range than the resident shard.
+	if status, body := post(mustEncodePanelReq(t, 0, 20, [][]float64{x})); status != http.StatusBadRequest {
+		t.Fatalf("range mismatch: %d %s", status, body)
+	}
+	// One corrupted element byte: checksum rejection.
+	frame := mustEncodePanelReq(t, 10, 30, [][]float64{x, x})
+	frame[panelReqHeaderLen+3] ^= 0x10
+	if status, body := post(frame); status != http.StatusBadRequest {
+		t.Fatalf("corrupted panel: %d %s", status, body)
+	}
+	// Width above the worker's cap.
+	wide := [][]float64{x, x, x, x, x}
+	if status, body := post(mustEncodePanelReq(t, 10, 30, wide)); status != http.StatusBadRequest {
+		t.Fatalf("over-cap panel: %d %s", status, body)
+	}
+	// A forged k=0 frame (the encoder refuses to build one).
+	forged := mustEncodePanelReq(t, 10, 30, [][]float64{x})
+	forged[20], forged[21], forged[22], forged[23] = 0, 0, 0, 0
+	if status, body := post(forged); status != http.StatusBadRequest {
+		t.Fatalf("forged k=0 panel: %d %s", status, body)
+	}
+	// A valid panel still succeeds after the rejections, and a k=1 panel
+	// matches the single-vector endpoint bit for bit.
+	status, body := post(mustEncodePanelReq(t, 10, 30, [][]float64{x}))
+	if status != http.StatusOK {
+		t.Fatalf("valid panel: %d %s", status, body)
+	}
+	_, _, _, flat, err := DecodePartialPanelInto(nil, body, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(base+"/v1/shard/ok/mulvec", ContentTypeShardRequest,
+		bytes.NewReader(mustEncodeShardReq(t, 10, 30, x)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single mulvec: %d %s", resp.StatusCode, single)
+	}
+	_, _, y, err := DecodePartialInto(nil, single, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if math.Float64bits(flat[i]) != math.Float64bits(y[i]) {
+			t.Fatalf("k=1 panel y[%d] = %g, single %g (bit-level)", i, flat[i], y[i])
+		}
+	}
+}
+
 func readAll(t *testing.T, resp *http.Response) []byte {
 	t.Helper()
 	defer resp.Body.Close()

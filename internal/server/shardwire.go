@@ -238,7 +238,8 @@ func DecodePartialInto(dst []float64, data []byte, maxRows int) (row0, row1 int,
 	return int(r0), int(r1), y, nil
 }
 
-// isWireErr widens the SpV1 helper to the shard frames.
+// isWireErr widens the SpV1 helper to the shard and panel frames.
 func isShardWireErr(err error) bool {
-	return isWireErr(err) || errors.Is(err, ErrWireRange) || errors.Is(err, ErrWireChecksum)
+	return isWireErr(err) || errors.Is(err, ErrWireRange) ||
+		errors.Is(err, ErrWireChecksum) || errors.Is(err, ErrWirePanel)
 }

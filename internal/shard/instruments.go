@@ -6,18 +6,29 @@ import (
 	"blockspmv/internal/metrics"
 )
 
+// batchKBuckets bound the panel-width histogram: the interesting region
+// is small k, where each extra vector amortizes another share of the
+// per-shard matrix stream.
+var batchKBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16}
+
 // instruments is the coordinator's metric set. The per-shard families
 // are labeled series (one per shard index), so a dashboard can tell
 // which row range is retrying or tripping its breaker.
 type instruments struct {
 	reg *metrics.Registry
 
-	calls  *metrics.Counter // MulVec calls
+	calls  *metrics.Counter // MulVec/MulVecs calls
 	ok     *metrics.Counter // fully gathered results
 	failed *metrics.Counter // calls returning an error
 
+	panels  *metrics.Counter   // panel scatters executed (any width)
+	shed    *metrics.Counter   // callers shed by the gather-window batcher
+	batchK  *metrics.Histogram // width of each scattered panel
+	panelTx *metrics.Counter   // request-frame bytes posted to workers
+	panelRx *metrics.Counter   // reply bytes received from workers
+
 	retries  []*metrics.Counter // per shard: attempts after the first
-	hedges   []*metrics.Counter // per shard: hedge requests launched
+	hedges   []*metrics.Counter // per shard: hedge pairs launched
 	breakers []*metrics.Counter // per shard: breaker open transitions
 }
 
@@ -30,6 +41,13 @@ func newInstruments(reg *metrics.Registry, shards int) *instruments {
 		calls:  reg.Counter("spmv_shard_mulvec_total", "sharded MulVec calls"),
 		ok:     reg.Counter("spmv_shard_mulvec_ok_total", "sharded MulVec calls fully gathered"),
 		failed: reg.Counter("spmv_shard_mulvec_failed_total", "sharded MulVec calls returning an error"),
+		panels: reg.Counter("spmv_shard_panels_total", "panel scatters executed"),
+		shed:   reg.Counter("spmv_shard_batch_shed_total", "callers shed by the coordinator batcher"),
+		batchK: reg.Histogram("spmv_shard_batch_k", "right-hand sides per scattered panel", batchKBuckets),
+		panelTx: reg.Counter("spmv_shard_panel_tx_bytes_total",
+			"request-frame bytes posted to shard workers"),
+		panelRx: reg.Counter("spmv_shard_panel_rx_bytes_total",
+			"reply bytes received from shard workers"),
 	}
 	for i := 0; i < shards; i++ {
 		l := fmt.Sprintf("shard=%q", fmt.Sprint(i))

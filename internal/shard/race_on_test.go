@@ -1,0 +1,7 @@
+//go:build race
+
+package shard
+
+// raceEnabled lets alloc-count pins skip under the race detector, whose
+// instrumented sync.Pool deliberately drops items to widen coverage.
+const raceEnabled = true

@@ -62,6 +62,19 @@ type Options struct {
 	// before a half-open probe. <= 0 select 5 and 500ms.
 	BreakerAfter    int
 	BreakerCooldown time.Duration
+	// BatchMax enables the coordinator-side gather-window batcher:
+	// concurrent MulVec callers are coalesced into panels of up to this
+	// many right-hand sides before scattering, so each shard receives one
+	// SpS2 frame per panel — and streams its row block once per panel —
+	// instead of one SpS1 frame per call. <= 1 disables batching (the
+	// default): every call scatters immediately.
+	BatchMax int
+	// BatchWindow is how long the batcher holds a panel's first caller
+	// while gathering more; <= 0 with BatchMax > 1 selects 200us.
+	BatchWindow time.Duration
+	// QueueDepth bounds the batcher's admission queue; <= 0 selects 256.
+	// A full queue sheds new callers with server.ErrOverloaded.
+	QueueDepth int
 	// Transport overrides the HTTP transport; nil builds a private one.
 	// Close calls CloseIdleConnections on whichever is used.
 	Transport *http.Transport
@@ -91,6 +104,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = 500 * time.Millisecond
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 200 * time.Microsecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
 	}
 	return o
 }
@@ -142,6 +161,7 @@ type Coordinator struct {
 	client     *http.Client
 	tr         *http.Transport
 	in         *instruments
+	bat        *batcher // nil when BatchMax <= 1
 
 	mu     sync.Mutex
 	closed bool
@@ -183,6 +203,9 @@ func New(cols int, specs []Spec, opts Options) (*Coordinator, error) {
 		c.tr = &http.Transport{MaxIdleConnsPerHost: 8}
 	}
 	c.client = &http.Client{Transport: c.tr}
+	if opts.BatchMax > 1 {
+		c.bat = newBatcher(c, opts.BatchMax, opts.BatchWindow, opts.QueueDepth)
+	}
 	return c, nil
 }
 
@@ -197,8 +220,14 @@ func (c *Coordinator) Metrics() *metrics.Registry { return c.in.reg }
 // complete — bit-for-bit what a single node serving the whole matrix in
 // the same formats would produce, because each row's accumulation stays
 // on one shard — or a typed error: a DownError naming the rows that
-// failed, the propagated context error, or ErrClosed. Partial results
-// are never returned.
+// failed, the propagated context error, server.ErrOverloaded when the
+// batcher's queue is full, or ErrClosed. Partial results are never
+// returned.
+//
+// With Options.BatchMax > 1 the call travels through the gather-window
+// batcher: it may be coalesced with concurrent callers into one panel
+// sharing a single set of wire frames. The result contract is unchanged
+// — coalescing affects which frame carried the rows, never their values.
 func (c *Coordinator) MulVec(ctx context.Context, x []float64) ([]float64, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -214,10 +243,72 @@ func (c *Coordinator) MulVec(ctx context.Context, x []float64) ([]float64, error
 		c.in.failed.Inc()
 		return nil, &formats.DimError{Format: "sharded", Rows: c.rows, Cols: c.cols, LenX: len(x), LenY: c.rows}
 	}
+	var y []float64
+	var err error
+	if c.bat != nil {
+		y, err = c.bat.submit(ctx, x)
+	} else {
+		y = make([]float64, c.rows)
+		err = c.scatter(ctx, [][]float64{x}, [][]float64{y})
+	}
+	if err != nil {
+		c.in.failed.Inc()
+		return nil, err
+	}
+	c.in.ok.Inc()
+	return y, nil
+}
+
+// MulVecs scatters a caller-provided k-wide panel: every shard receives
+// one SpS2 frame carrying all k vectors and streams its row block once
+// for the whole panel. The result is all-or-nothing like MulVec's —
+// either every returned vector is bit-for-bit the single-node product,
+// or a typed error and no vectors at all. The panel bypasses the
+// gather-window batcher: the caller has already done the coalescing.
+func (c *Coordinator) MulVecs(ctx context.Context, xs [][]float64) ([][]float64, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	defer c.wg.Done()
+
+	c.in.calls.Inc()
+	if len(xs) == 0 {
+		c.in.failed.Inc()
+		return nil, &formats.PanelError{Format: "sharded", NX: 0, NY: 0}
+	}
+	for _, x := range xs {
+		if len(x) != c.cols {
+			c.in.failed.Inc()
+			return nil, &formats.DimError{Format: "sharded", Rows: c.rows, Cols: c.cols, LenX: len(x), LenY: c.rows}
+		}
+	}
+	flat := make([]float64, len(xs)*c.rows)
+	ys := make([][]float64, len(xs))
+	for l := range ys {
+		ys[l] = flat[l*c.rows : (l+1)*c.rows]
+	}
+	if err := c.scatter(ctx, xs, ys); err != nil {
+		c.in.failed.Inc()
+		return nil, err
+	}
+	c.in.ok.Inc()
+	return ys, nil
+}
+
+// scatter runs one k-wide panel across every shard and gathers the
+// partials into ys[l][row0:row1]. Each shard goroutine writes a disjoint
+// row range of every output vector, so the gather is race-free without
+// locks. The first shard failure wins and cancels the siblings.
+func (c *Coordinator) scatter(ctx context.Context, xs, ys [][]float64) error {
 	ctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
 	defer cancel()
+	c.in.panels.Inc()
+	c.in.batchK.Observe(float64(len(xs)))
 
-	y := make([]float64, c.rows)
 	var (
 		wg       sync.WaitGroup
 		once     sync.Once
@@ -227,27 +318,26 @@ func (c *Coordinator) MulVec(ctx context.Context, x []float64) ([]float64, error
 		wg.Add(1)
 		go func(i int, sh *shardState) {
 			defer wg.Done()
-			part, err := c.runShard(ctx, i, sh, x)
+			flat, err := c.runShard(ctx, i, sh, xs)
 			if err != nil {
 				// First failure wins and cancels the siblings: their rows
 				// are useless once any range is missing.
 				once.Do(func() { firstErr = err; cancel() })
 				return
 			}
-			copy(y[sh.row0:sh.row1], part)
+			rows := sh.row1 - sh.row0
+			for l := range ys {
+				copy(ys[l][sh.row0:sh.row1], flat[l*rows:(l+1)*rows])
+			}
 		}(i, sh)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		c.in.failed.Inc()
-		return nil, firstErr
-	}
-	c.in.ok.Inc()
-	return y, nil
+	return firstErr
 }
 
-// Close drains the coordinator: in-flight MulVecs (and their hedge
-// stragglers) finish, later calls fail with ErrClosed, idle connections
+// Close drains the coordinator: the batcher (if any) finishes its
+// in-flight panel and sheds its queue, in-flight calls and their hedge
+// stragglers finish, later calls fail with ErrClosed, idle connections
 // are torn down. Idempotent.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
@@ -257,15 +347,90 @@ func (c *Coordinator) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	// Order matters: the batcher must drain before wg.Wait, because
+	// batched callers hold the wait group while they wait for the loop's
+	// reply.
+	if c.bat != nil {
+		c.bat.close()
+	}
 	c.wg.Wait()
 	c.tr.CloseIdleConnections()
 }
 
+// frameBuf is a pooled, reference-counted encode buffer for scatter
+// frames. The owner (runShard) holds one reference; every launched
+// request goroutine holds another, and each HTTP request body holds one
+// more until the transport closes it. A hedge loser can still be
+// streaming the frame after its attempt has returned a winner, so the
+// buffer goes back to the pool only when the last reference drops —
+// a plain "repool after the retry loop" would hand a recycled buffer to
+// an in-flight request.
+type frameBuf struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+func getFrame() *frameBuf {
+	fb := framePool.Get().(*frameBuf)
+	fb.refs.Store(1)
+	return fb
+}
+
+func (fb *frameBuf) retain() { fb.refs.Add(1) }
+
+func (fb *frameBuf) release() {
+	if fb.refs.Add(-1) == 0 {
+		framePool.Put(fb)
+	}
+}
+
+// frameReader streams a pooled frame as an HTTP request body, dropping
+// its buffer reference when the transport closes it (the transport
+// closes every request body exactly once, success or failure).
+type frameReader struct {
+	bytes.Reader
+	fb   *frameBuf
+	once sync.Once
+}
+
+// reader takes a buffer reference and returns a body over the frame;
+// the reference drops when the body is closed.
+func (fb *frameBuf) reader() *frameReader {
+	fb.retain()
+	r := &frameReader{fb: fb}
+	r.Reset(fb.buf)
+	return r
+}
+
+func (r *frameReader) Close() error {
+	r.once.Do(r.fb.release)
+	return nil
+}
+
+// encodeFrame encodes the scatter frame for one shard into the pooled
+// buffer: SpS1 for a single vector (byte-compatible with a panel-unaware
+// fleet), SpS2 for a panel. With a warm buffer the encode allocates
+// nothing.
+func encodeFrame(fb *frameBuf, row0, row1 int, xs [][]float64) error {
+	var err error
+	if len(xs) == 1 {
+		fb.buf, err = server.AppendShardRequest(fb.buf[:0], row0, row1, xs[0])
+	} else {
+		fb.buf, err = server.AppendShardPanel(fb.buf[:0], row0, row1, xs)
+	}
+	return err
+}
+
 // runShard drives one shard's retry loop: attempt, classify, back off,
 // fail over — until success, a terminal error, or the budget runs out.
-func (c *Coordinator) runShard(ctx context.Context, i int, sh *shardState, x []float64) ([]float64, error) {
-	frame, err := server.EncodeShardRequest(sh.row0, sh.row1, x)
-	if err != nil {
+// The returned flat slice holds the k partial vectors concatenated,
+// vector l at flat[l*rows : (l+1)*rows].
+func (c *Coordinator) runShard(ctx context.Context, i int, sh *shardState, xs [][]float64) ([]float64, error) {
+	fb := getFrame()
+	defer fb.release()
+	if err := encodeFrame(fb, sh.row0, sh.row1, xs); err != nil {
 		return nil, err
 	}
 	var last error
@@ -278,15 +443,17 @@ func (c *Coordinator) runShard(ctx context.Context, i int, sh *shardState, x []f
 			break
 		}
 		if attempts > 0 {
-			c.in.retries[i].Inc()
 			if err := sleepCtx(ctx, c.backoff(attempts)); err != nil {
 				break
 			}
+			// Counted after the backoff, not before: a retry whose sleep
+			// was canceled never launched and must not inflate the counter.
+			c.in.retries[i].Inc()
 		}
 		attempts++
-		y, err := c.attempt(ctx, i, sh, frame)
+		flat, err := c.attempt(ctx, i, sh, fb, len(xs))
 		if err == nil {
-			return y, nil
+			return flat, nil
 		}
 		last = err
 		if terminal(err) {
@@ -332,21 +499,26 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // is recorded even for losers nobody waits for. A canceled request says
 // nothing about the replica's health, so it only re-arms an abandoned
 // half-open probe; a terminal 4xx is the request's fault, not the
-// replica's, and counts as contact with a healthy replica.
-func (c *Coordinator) attempt(ctx context.Context, i int, sh *shardState, frame []byte) ([]float64, error) {
+// replica's, and counts as contact with a healthy replica. The hedge
+// counter increments exactly once per hedge pair — one primary plus one
+// hedge — regardless of panel width or replica count, so BENCH_shard
+// retry deltas stay comparable across k.
+func (c *Coordinator) attempt(ctx context.Context, i int, sh *shardState, fb *frameBuf, k int) ([]float64, error) {
 	actx, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
 	defer cancel()
 
 	type result struct {
-		y   []float64
-		err error
+		flat []float64
+		err  error
 	}
 	res := make(chan result, 2) // buffered: a loser's send never blocks
 	launch := func(rs *replicaState) {
 		c.wg.Add(1) // Close waits for stragglers, not just MulVec bodies
+		fb.retain() // the goroutine may outlive runShard's owner reference
 		go func() {
 			defer c.wg.Done()
-			y, err := c.do(actx, rs.rep, sh, frame)
+			defer fb.release()
+			flat, err := c.do(actx, rs.rep, sh, fb, k)
 			switch {
 			case err == nil:
 				rs.br.success()
@@ -364,7 +536,7 @@ func (c *Coordinator) attempt(ctx context.Context, i int, sh *shardState, frame 
 					c.in.breakers[i].Inc()
 				}
 			}
-			res <- result{y, err}
+			res <- result{flat, err}
 		}()
 	}
 
@@ -388,7 +560,7 @@ func (c *Coordinator) attempt(ctx context.Context, i int, sh *shardState, frame 
 		case r := <-res:
 			inflight--
 			if r.err == nil {
-				return r.y, nil
+				return r.flat, nil
 			}
 			last = r.err
 		case <-hedge:
@@ -405,13 +577,26 @@ func (c *Coordinator) attempt(ctx context.Context, i int, sh *shardState, frame 
 
 // do performs one HTTP request against one replica: propagate the
 // remaining budget, post the frame, decode and validate the partial.
-func (c *Coordinator) do(ctx context.Context, rep Replica, sh *shardState, frame []byte) ([]float64, error) {
+// k = 1 speaks SpS1/SpP1 at the mulvec endpoint; k > 1 speaks SpS2/SpP2
+// at mulvecs. The returned flat slice holds the k partial vectors
+// concatenated.
+func (c *Coordinator) do(ctx context.Context, rep Replica, sh *shardState, fb *frameBuf, k int) ([]float64, error) {
+	path, ct := "/mulvec", server.ContentTypeShardRequest
+	if k > 1 {
+		path, ct = "/mulvecs", server.ContentTypePanelRequest
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		"http://"+rep.Addr+"/v1/shard/"+rep.Matrix+"/mulvec", bytes.NewReader(frame))
+		"http://"+rep.Addr+"/v1/shard/"+rep.Matrix+path, nil)
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", server.ContentTypeShardRequest)
+	// The body streams the pooled frame; the transport's body Close drops
+	// its buffer reference. GetBody re-retains so a transparent replay
+	// (HTTP/2 retry, 307) keeps the buffer alive too.
+	req.Body = fb.reader()
+	req.ContentLength = int64(len(fb.buf))
+	req.GetBody = func() (io.ReadCloser, error) { return fb.reader(), nil }
+	req.Header.Set("Content-Type", ct)
 	if dl, ok := ctx.Deadline(); ok {
 		budget := time.Until(dl)
 		if budget <= 0 {
@@ -419,6 +604,7 @@ func (c *Coordinator) do(ctx context.Context, rep Replica, sh *shardState, frame
 		}
 		req.Header.Set("Spmvd-Timeout", budget.String())
 	}
+	c.in.panelTx.Add(uint64(len(fb.buf)))
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -428,7 +614,11 @@ func (c *Coordinator) do(ctx context.Context, rep Replica, sh *shardState, frame
 	// counts, but without this a misbehaving worker could still make the
 	// coordinator buffer an arbitrarily large reply before decode rejects
 	// it.
-	limit := int64(server.PartialFrameLen(sh.row1 - sh.row0))
+	rows := sh.row1 - sh.row0
+	limit := int64(server.PartialFrameLen(rows))
+	if k > 1 {
+		limit = int64(server.PartialPanelLen(rows, k))
+	}
 	if limit < 4096 {
 		limit = 4096
 	}
@@ -437,13 +627,25 @@ func (c *Coordinator) do(ctx context.Context, rep Replica, sh *shardState, frame
 	if err != nil {
 		return nil, err
 	}
+	c.in.panelRx.Add(uint64(len(data)))
 	if int64(len(data)) > limit {
 		return nil, fmt.Errorf("%w: reply body exceeds %d bytes", server.ErrWireTooLarge, limit)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, remoteErr(resp.StatusCode, data)
 	}
-	r0, r1, y, err := server.DecodePartialInto(nil, data, sh.row1-sh.row0)
+	if k == 1 {
+		r0, r1, y, err := server.DecodePartialInto(nil, data, rows)
+		if err != nil {
+			return nil, err
+		}
+		if r0 != sh.row0 || r1 != sh.row1 {
+			return nil, fmt.Errorf("%w: partial [%d, %d) for shard [%d, %d)",
+				server.ErrWireRange, r0, r1, sh.row0, sh.row1)
+		}
+		return y, nil
+	}
+	r0, r1, gk, flat, err := server.DecodePartialPanelInto(nil, data, rows, k)
 	if err != nil {
 		return nil, err
 	}
@@ -451,7 +653,11 @@ func (c *Coordinator) do(ctx context.Context, rep Replica, sh *shardState, frame
 		return nil, fmt.Errorf("%w: partial [%d, %d) for shard [%d, %d)",
 			server.ErrWireRange, r0, r1, sh.row0, sh.row1)
 	}
-	return y, nil
+	if gk != k {
+		return nil, fmt.Errorf("%w: partial carries %d vectors for a %d-wide panel",
+			server.ErrWirePanel, gk, k)
+	}
+	return flat, nil
 }
 
 // remoteErr turns a worker's non-success reply into a RemoteError,
