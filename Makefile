@@ -10,7 +10,8 @@ GO ?= go
 
 RACE_PKGS = ./internal/workpool ./internal/parallel ./internal/vecops ./internal/solver \
     ./internal/conformance ./internal/csrdu ./internal/faultcheck \
-    ./internal/server ./internal/metrics ./internal/sell ./internal/shard
+    ./internal/server ./internal/metrics ./internal/sell ./internal/shard \
+    ./internal/overlay
 
 FUZZTIME ?= 5s
 
@@ -52,6 +53,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzShardFrame$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzShardPanelFrame$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzUpdateFrame$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzVBRPartition$$' -fuzztime $(FUZZTIME) ./internal/partition
 	$(GO) test -run '^$$' -fuzz '^FuzzVBLRowBlocks$$' -fuzztime $(FUZZTIME) ./internal/partition
 	$(GO) test -run '^$$' -fuzz '^FuzzSELLConstruction$$' -fuzztime $(FUZZTIME) ./internal/sell
@@ -76,7 +78,10 @@ bench:
 # throughput that survives wire faults, retry counts, fan-out cost vs
 # one shard, and per shard count the coordinator's gather-window
 # batcher coalescing callers into multi-RHS panels vs per-call
-# scatter, with the mean panel width).
+# scatter, with the mean panel width), and BENCH_overlay.json (mutable
+# matrices: read throughput before/during/after update churn through
+# background recompaction, with the post-recompaction recovery ratio
+# against the construct-once baseline).
 bench-json:
 	$(GO) run ./cmd/spmvbench -experiment compress -scale small \
 	    -iterations 20 -json BENCH_compress.json
@@ -92,3 +97,6 @@ bench-json:
 	$(GO) run ./cmd/spmvload -shards 1,2,4 -chaos -clients 8 -duration 2s \
 	    -n 8192 -density 0.008 -batch 8 -window 1ms -detect=false \
 	    -json BENCH_shard.json
+	$(GO) run ./cmd/spmvload -updates -clients 8 -duration 2s -batch 8 \
+	    -n 8192 -density 0.008 -workers 1 -window 3ms -detect=false \
+	    -update-batch 64 -recompact-after 512 -json BENCH_overlay.json

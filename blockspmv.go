@@ -56,6 +56,7 @@ import (
 	"blockspmv/internal/machine"
 	"blockspmv/internal/mat"
 	"blockspmv/internal/multidec"
+	"blockspmv/internal/overlay"
 	"blockspmv/internal/parallel"
 	"blockspmv/internal/profile"
 	"blockspmv/internal/reorder"
@@ -257,6 +258,36 @@ func NewMultiDec[T Float](m *Matrix[T], r, c, b int, impl Impl) Format[T] {
 // 255), the index-compression branch of the working-set-reduction
 // optimizations (Willcock & Lumsdaine; Kourtis et al.).
 func NewDCSR[T Float](m *Matrix[T]) Format[T] { return dcsr.New(m) }
+
+// MutableFormat is a delta overlay over a multiply-ready format: it
+// implements Format and additionally accepts point updates — Set, Add,
+// Delete, or atomic batches via Apply — whose effects every subsequent
+// multiply observes without rebuilding the base. Pending updates cost
+// extra streamed bytes per multiply (ExtraBytes); merge them into a
+// freshly constructed base with MergedCOO when the overlay grows, or
+// let the serving registry's background recompaction do it.
+type MutableFormat[T Float] = overlay.Overlay[T]
+
+// UpdateOp is the operation of one point update.
+type UpdateOp = overlay.Op
+
+// Update operations: set a cell to a value, add to it, or delete it.
+const (
+	OpSet    = overlay.OpSet
+	OpAdd    = overlay.OpAdd
+	OpDelete = overlay.OpDelete
+)
+
+// Update is one point update for MutableFormat.Apply.
+type Update[T Float] = overlay.Update[T]
+
+// NewOverlay wraps a format and the finalized matrix it was constructed
+// from in a mutable delta overlay. The matrix is retained as ground
+// truth and must not be mutated afterwards; it panics when f was not
+// constructed from m (dimension or nonzero-count mismatch).
+func NewOverlay[T Float](f Format[T], m *Matrix[T]) *MutableFormat[T] {
+	return overlay.Wrap(f, m)
+}
 
 // Machine describes the host parameters the models consume: cache sizes
 // and the effective streaming bandwidth.

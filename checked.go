@@ -13,6 +13,7 @@ import (
 	"blockspmv/internal/formats"
 	"blockspmv/internal/mat"
 	"blockspmv/internal/multidec"
+	"blockspmv/internal/overlay"
 	"blockspmv/internal/parallel"
 	"blockspmv/internal/sell"
 	"blockspmv/internal/ubcsr"
@@ -323,6 +324,23 @@ func NewDCSRChecked[T Float](m *Matrix[T]) (Format[T], error) {
 		return nil, err
 	}
 	return construct("DCSR", func() Format[T] { return dcsr.New(m) })
+}
+
+// NewOverlayChecked is NewOverlay over validated input: a nil or
+// corrupt matrix, or a base that was not constructed from m, comes back
+// as a typed error instead of a panic.
+func NewOverlayChecked[T Float](f Format[T], m *Matrix[T]) (*MutableFormat[T], error) {
+	if f == nil {
+		return nil, fmt.Errorf("blockspmv: nil format")
+	}
+	if err := checkedInput(m); err != nil {
+		return nil, err
+	}
+	if f.Rows() != m.Rows() || f.Cols() != m.Cols() || f.NNZ() != int64(m.NNZ()) {
+		return nil, fmt.Errorf("blockspmv: overlay base %s (%dx%d, nnz %d) does not match ground truth (%dx%d, nnz %d)",
+			f.Name(), f.Rows(), f.Cols(), f.NNZ(), m.Rows(), m.Cols(), m.NNZ())
+	}
+	return overlay.Wrap(f, m), nil
 }
 
 // InstantiateChecked is Instantiate over validated input: the matrix is

@@ -16,7 +16,10 @@
 //
 // Endpoints: PUT/GET/DELETE /v1/matrix/{name}, GET /v1/matrices,
 // POST /v1/matrix/{name}/mulvec (JSON {"x":[...]} or the binary vector
-// codec under Content-Type application/x-spmv-vector), GET /metrics
+// codec under Content-Type application/x-spmv-vector),
+// POST /v1/matrix/{name}/update (JSON {"updates":[{"op","i","j","v"}]}
+// or the binary SpU1 frame under application/x-spmv-update; see
+// -mutable, -recompact-after, -recompact-interval), GET /metrics
 // (Prometheus text), GET /debug/vars (expvar), GET /healthz.
 package main
 
@@ -53,18 +56,27 @@ func main() {
 		panelMax   = flag.Int("shard-panel-max", 0, "max right-hand sides accepted per shard panel frame (0 = default 1024)")
 		detect     = flag.Bool("detect", true, "run STREAM machine detection at startup (false degrades selection to scalar CSR)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+
+		mutable        = flag.Bool("mutable", true, "wrap registered matrices in a delta overlay accepting POST /v1/matrix/{name}/update")
+		recompactAfter = flag.Int64("recompact-after", 4096, "pending-scalar threshold that triggers background recompaction (negative disables)")
+		recompactEvery = flag.Duration("recompact-interval", 0, "also recompact any matrix with pending updates this often (0 disables)")
+		maxUpdateBatch = flag.Int("max-update-batch", 0, "max updates accepted per request (0 = default 65536)")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		Workers:        *workers,
-		BatchMax:       *batch,
-		BatchWindow:    *window,
-		QueueDepth:     *queue,
-		MaxCacheBytes:  *cacheBytes,
-		RequestTimeout: *timeout,
-		EnableShard:    *shardMode,
-		MaxPanelK:      *panelMax,
+		Workers:           *workers,
+		BatchMax:          *batch,
+		BatchWindow:       *window,
+		QueueDepth:        *queue,
+		MaxCacheBytes:     *cacheBytes,
+		RequestTimeout:    *timeout,
+		EnableShard:       *shardMode,
+		MaxPanelK:         *panelMax,
+		Mutable:           *mutable,
+		RecompactAfter:    *recompactAfter,
+		RecompactInterval: *recompactEvery,
+		MaxUpdateBatch:    *maxUpdateBatch,
 	}
 	if *detect {
 		log.Printf("characterising machine (STREAM triad)...")

@@ -74,7 +74,12 @@ type options struct {
 	shards   string
 	chaos    bool
 	nodeCap  int64
-	log      io.Writer
+
+	updates        bool
+	updateBatch    int
+	recompactAfter int64
+
+	log io.Writer
 }
 
 func main() {
@@ -95,11 +100,21 @@ func main() {
 	flag.StringVar(&opts.shards, "shards", "", "comma-separated shard counts (e.g. 1,2,4): run the row-shard coordinator sweep instead of the serve phases")
 	flag.BoolVar(&opts.chaos, "chaos", false, "front every shard worker with a fault-injecting proxy (drops, truncation, corruption)")
 	flag.Int64Var(&opts.nodeCap, "node-cap", 0, "per-worker matrix cache cap in bytes for the shard sweep (>0 also probes that one node rejects the full matrix)")
+	flag.BoolVar(&opts.updates, "updates", false, "run the mutable-matrix churn phases (read throughput before/during/after background recompaction) instead of the batching phases")
+	flag.IntVar(&opts.updateBatch, "update-batch", 64, "point updates per POST in the churn phase")
+	flag.Int64Var(&opts.recompactAfter, "recompact-after", 2048, "pending-scalar threshold of the churn phase's server")
 	flag.Parse()
 	opts.log = os.Stdout
 
 	rep := &bench.Report{Scale: "serve"}
-	if opts.shards != "" {
+	if opts.updates {
+		res, mach, err := runOverlayChurn(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Machine, rep.Scale = mach, "overlay"
+		rep.AddOverlay(res)
+	} else if opts.shards != "" {
 		res, mach, err := runShardSweep(opts)
 		if err != nil {
 			log.Fatal(err)

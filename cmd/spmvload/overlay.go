@@ -1,0 +1,273 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"blockspmv/internal/bench"
+	"blockspmv/internal/machine"
+	"blockspmv/internal/overlay"
+	"blockspmv/internal/server"
+	"blockspmv/internal/testmat"
+)
+
+// runOverlayChurn measures what mutable matrices cost and what
+// recompaction recovers, in three phases over one self-hosted mutable
+// server:
+//
+//	before  read-only load on the freshly registered matrix — the
+//	        construct-once baseline (the overlay is resident but empty,
+//	        so multiplies pay no per-row fix-up).
+//	during  the same read load while an updater churns point updates
+//	        through the overlay; the pending set saw-tooths against the
+//	        recompaction threshold, so this phase averages overlay hit
+//	        cost, recompaction CPU, and hot-swap churn.
+//	after   updates stopped, the interval ticker has merged the last
+//	        pending cells, and the read load runs against the freshly
+//	        re-tuned base. Recovery = after/before throughput.
+func runOverlayChurn(opts options) (bench.OverlayResult, machine.Machine, error) {
+	var mach machine.Machine
+	if opts.detect {
+		fmt.Fprintln(opts.log, "characterising machine (STREAM triad)...")
+		mach = machine.Detect()
+	}
+	m := testmat.Random[float64](opts.n, opts.n, opts.density, opts.seed)
+	res := bench.OverlayResult{Matrix: fmt.Sprintf("random-%d", opts.n), Rows: opts.n, NNZ: int64(m.NNZ())}
+	fmt.Fprintf(opts.log, "matrix: %dx%d nnz=%d, %d clients, %v per phase, update batch %d, recompact after %d\n",
+		opts.n, opts.n, m.NNZ(), opts.clients, opts.duration, opts.updateBatch, opts.recompactAfter)
+
+	cfg := server.Config{
+		Mach: mach, Workers: opts.workers,
+		BatchMax: opts.batch, BatchWindow: opts.window,
+		Mutable:        true,
+		RecompactAfter: opts.recompactAfter,
+		// The ticker drains the sub-threshold tail once the churn stops,
+		// so the "after" phase deterministically starts merged.
+		RecompactInterval: 100 * time.Millisecond,
+	}
+	s := server.New(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, mach, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	shutdown := func() error {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(sctx); err != nil {
+			return err
+		}
+		return <-serveDone
+	}
+	fail := func(err error) (bench.OverlayResult, machine.Machine, error) {
+		shutdown()
+		return res, mach, err
+	}
+
+	info, err := s.Registry().RegisterMatrix(res.Matrix, m)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(opts.log, "selected format: %s (%d bytes resident incl. ground truth)\n", info.Format, info.Bytes)
+	base := "http://" + l.Addr().String()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opts.clients * 2,
+		MaxIdleConnsPerHost: opts.clients * 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	phase := func(mode string, updates *atomic.Int64) (bench.OverlayPoint, error) {
+		rc0, err := scrapeCounter(client, base, "spmv_overlay_recompactions_total")
+		if err != nil {
+			return bench.OverlayPoint{}, err
+		}
+		var u0 int64
+		if updates != nil {
+			u0 = updates.Load()
+		}
+		pt, err := drive(base, res.Matrix, mode, info.Cols, opts)
+		if err != nil {
+			return bench.OverlayPoint{}, err
+		}
+		rc1, err := scrapeCounter(client, base, "spmv_overlay_recompactions_total")
+		if err != nil {
+			return bench.OverlayPoint{}, err
+		}
+		op := bench.OverlayPoint{ServePoint: pt, Recompactions: uint64(rc1 - rc0)}
+		if updates != nil && pt.Seconds > 0 {
+			op.UpdatesPerSec = float64(updates.Load()-u0) / pt.Seconds
+		}
+		if op.PendingEnd, err = lookupPending(client, base, res.Matrix); err != nil {
+			return bench.OverlayPoint{}, err
+		}
+		return op, nil
+	}
+
+	before, err := phase("before", nil)
+	if err != nil {
+		return fail(err)
+	}
+	res.Points = append(res.Points, before)
+	printOverlayPoint(opts.log, before)
+
+	// Churn: one updater cycles point updates over a pool of cells large
+	// enough that pending keeps crossing the recompaction threshold.
+	var applied atomic.Int64
+	updaterStop := make(chan struct{})
+	updaterDone := make(chan error, 1)
+	go func() { updaterDone <- updater(client, base, res.Matrix, opts, updaterStop, &applied) }()
+
+	during, err := phase("during", &applied)
+	if err != nil {
+		close(updaterStop)
+		<-updaterDone
+		return fail(err)
+	}
+	close(updaterStop)
+	if err := <-updaterDone; err != nil {
+		return fail(err)
+	}
+	res.Points = append(res.Points, during)
+	printOverlayPoint(opts.log, during)
+
+	// Let the last recompaction drain the pending tail before measuring
+	// the recovered baseline.
+	drainUntil := time.Now().Add(30 * time.Second)
+	for {
+		p, err := lookupPending(client, base, res.Matrix)
+		if err != nil {
+			return fail(err)
+		}
+		if p == 0 {
+			break
+		}
+		if time.Now().After(drainUntil) {
+			return fail(fmt.Errorf("pending never drained (still %d)", p))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	after, err := phase("after", nil)
+	if err != nil {
+		return fail(err)
+	}
+	res.Points = append(res.Points, after)
+	printOverlayPoint(opts.log, after)
+
+	if before.QPS > 0 {
+		res.Recovery = after.QPS / before.QPS
+		fmt.Fprintf(opts.log, "read throughput: %.0f -> %.0f -> %.0f req/s (recovery %.2fx of baseline)\n",
+			before.QPS, during.QPS, after.QPS, res.Recovery)
+	}
+	return res, mach, shutdown()
+}
+
+// updater POSTs SpU1 frames of opts.updateBatch point updates each
+// until stopped, cycling values over a fixed cell pool so every batch
+// leaves its cells pending (a repeated value would normalize away).
+func updater(client *http.Client, base, name string, opts options, stop chan struct{}, applied *atomic.Int64) error {
+	url := base + "/v1/matrix/" + name + "/update"
+	// Walk a pool of 4x the recompaction threshold so churn keeps
+	// crossing it; a prime stride spreads the cells over the rows.
+	pool := 4 * opts.recompactAfter
+	if pool < int64(opts.updateBatch) {
+		pool = int64(opts.updateBatch)
+	}
+	var k int64
+	ups := make([]overlay.Update[float64], opts.updateBatch)
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		for i := range ups {
+			cell := k % pool
+			ups[i] = overlay.Update[float64]{
+				Op:  overlay.OpSet,
+				Row: int32((cell * 7919) % int64(opts.n)),
+				Col: int32((cell * 104729) % int64(opts.n)),
+				Val: 1 + float64(k)*1e-9,
+			}
+			k++
+		}
+		frame, err := server.EncodeUpdateFrame(ups)
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(frame))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", server.ContentTypeUpdate)
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			applied.Add(int64(len(ups)))
+		case http.StatusServiceUnavailable:
+			// Shed by admission control mid-swap: back off and go on.
+			time.Sleep(200 * time.Microsecond)
+		default:
+			return fmt.Errorf("update: %s: %s", resp.Status, body)
+		}
+	}
+}
+
+// lookupPending reads the matrix's live pending-cell count.
+func lookupPending(client *http.Client, base, name string) (int64, error) {
+	resp, err := client.Get(base + "/v1/matrix/" + name)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("lookup %s: %s", name, resp.Status)
+	}
+	var info struct {
+		Pending int64 `json:"pending"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return 0, err
+	}
+	return info.Pending, nil
+}
+
+// scrapeCounter reads one plain "name value" metric from /metrics.
+func scrapeCounter(client *http.Client, base, name string) (float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if v, ok := strings.CutPrefix(sc.Text(), name+" "); ok {
+			return strconv.ParseFloat(strings.TrimSpace(v), 64)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+func printOverlayPoint(w io.Writer, pt bench.OverlayPoint) {
+	fmt.Fprintf(w, "%-8s %d clients: %7.0f req/s  p50 %6.3f ms  p99 %6.3f ms  updates/s %7.0f  recompactions %d  pending at end %d\n",
+		pt.Mode, pt.Clients, pt.QPS, pt.P50*1e3, pt.P99*1e3, pt.UpdatesPerSec, pt.Recompactions, pt.PendingEnd)
+}

@@ -1,0 +1,65 @@
+package bench
+
+// OverlayPoint is one phase of the mutable-matrix churn experiment: a
+// closed-loop read load measured before updates arrive ("before"),
+// while update batches churn the overlay through threshold-triggered
+// recompactions ("during"), and after the last recompaction has merged
+// every pending cell back into a freshly tuned base ("after").
+type OverlayPoint struct {
+	ServePoint
+	// UpdatesPerSec is the applied update throughput of the phase (0 for
+	// the read-only phases).
+	UpdatesPerSec float64
+	// PendingEnd is the pending-scalar gauge when the phase ended.
+	PendingEnd int64
+	// Recompactions counts background merges completed during the phase.
+	Recompactions uint64
+}
+
+// OverlayResult is one spmvload -updates run over a mutable matrix.
+type OverlayResult struct {
+	Matrix string
+	Rows   int
+	NNZ    int64
+	Points []OverlayPoint
+	// Recovery is the after/before read-throughput ratio: how much of
+	// the construct-once baseline the recompacted entry serves.
+	Recovery float64
+}
+
+// AddOverlay appends the mutable-matrix experiment's measurements: one
+// record per phase, with the post-recompaction record carrying the
+// recovery ratio against the pre-update baseline.
+func (r *Report) AddOverlay(res OverlayResult) {
+	for _, p := range res.Points {
+		shedRate := 0.0
+		if total := p.Requests + p.Shed; total > 0 {
+			shedRate = float64(p.Shed) / float64(total)
+		}
+		rec := ReportRecord{
+			Experiment:    "overlay",
+			Matrix:        res.Matrix,
+			Precision:     "dp",
+			Format:        p.Mode,
+			NNZ:           res.NNZ,
+			Clients:       p.Clients,
+			QPS:           p.QPS,
+			P50Ms:         p.P50 * 1e3,
+			P95Ms:         p.P95 * 1e3,
+			P99Ms:         p.P99 * 1e3,
+			MeanBatch:     p.MeanBatch,
+			ShedRate:      shedRate,
+			UpdatesPerSec: p.UpdatesPerSec,
+			PendingEnd:    p.PendingEnd,
+			Recompactions: p.Recompactions,
+			GFlops:        2 * float64(res.NNZ) * p.QPS / 1e9,
+		}
+		if p.QPS > 0 {
+			rec.MsPerSpMV = 1e3 / p.QPS
+		}
+		if p.Mode == "after" {
+			rec.RecoveryVsBaseline = res.Recovery
+		}
+		r.Records = append(r.Records, rec)
+	}
+}

@@ -63,6 +63,20 @@ type ReportRecord struct {
 	// same run (below 1.0 means sharding cost throughput — expected on a
 	// single-core host, where sharding buys capacity, not speed).
 	SpeedupVsOneShard float64 `json:"speedup_vs_one_shard,omitempty"`
+	// The overlay experiment (cmd/spmvload -updates, mutable-matrix
+	// update churn through background recompaction) fills the fields
+	// below.
+	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
+	// PendingEnd is the overlay's pending-scalar count when the phase
+	// ended (nonzero only for the churn phase, before the merge).
+	PendingEnd int64 `json:"pending_end,omitempty"`
+	// Recompactions counts the background merges completed during the
+	// phase.
+	Recompactions uint64 `json:"recompactions,omitempty"`
+	// RecoveryVsBaseline compares the post-recompaction read throughput
+	// against the pre-update baseline of the same run (the acceptance
+	// target is ~0.9 or better).
+	RecoveryVsBaseline float64 `json:"recovery_vs_baseline,omitempty"`
 }
 
 // Report is the serializable result set of a benchmark run.

@@ -9,24 +9,32 @@ import (
 	"blockspmv/internal/parallel"
 )
 
-// request is one admitted MulVec or MulVecs request travelling through
-// a batcher: either a single x/y vector pair, or a k-wide panel in
-// xs/ys (xs non-nil marks the panel form).
+// request is one admitted MulVec, MulVecs or update request travelling
+// through a batcher: a single x/y vector pair, a k-wide panel in xs/ys
+// (xs non-nil marks the panel form), or a mutation closure in apply.
+// Updates ride the same queue as multiplies so the loop goroutine — the
+// single owner of the pool — serializes them against whole panels: a
+// multiply never observes a half-applied batch, and every multiply
+// queued after an update sees it.
 type request struct {
-	ctx context.Context
-	x   []float64
-	y   []float64 // result, written by the batch loop before done is signalled
-	xs  [][]float64
-	ys  [][]float64
-	enq time.Time
+	ctx   context.Context
+	x     []float64
+	y     []float64 // result, written by the batch loop before done is signalled
+	xs    [][]float64
+	ys    [][]float64
+	apply func() error // overlay mutation, run on the loop between panels
+	enq   time.Time
 	// done carries the request's outcome. Buffered so the batch loop
 	// never blocks on a caller that gave up (cancellation mid-batch).
 	done chan error
 }
 
 // width is the number of right-hand sides the request contributes to a
-// panel.
+// panel; updates contribute none.
 func (r *request) width() int {
+	if r.apply != nil {
+		return 0
+	}
 	if r.xs != nil {
 		return len(r.xs)
 	}
@@ -124,6 +132,15 @@ func (b *batcher) submitPanel(ctx context.Context, xs [][]float64) ([][]float64,
 	return r.ys, nil
 }
 
+// submitUpdate admits a mutation closure and blocks until the loop has
+// run it (or ctx is done). The closure executes on the loop goroutine
+// after the panel it was gathered behind, so its effects order cleanly
+// between whole multiplies.
+func (b *batcher) submitUpdate(ctx context.Context, apply func() error) error {
+	r := &request{ctx: ctx, apply: apply}
+	return b.admit(ctx, r)
+}
+
 // admit enqueues r and blocks until it is answered or ctx is done.
 func (b *batcher) admit(ctx context.Context, r *request) error {
 	b.in.reqTotal.Inc()
@@ -206,7 +223,9 @@ func (b *batcher) loop() {
 func (b *batcher) gather(first *request, timer *time.Timer) {
 	b.batch = append(b.batch[:0], first)
 	w := first.width()
-	if b.max <= 1 || b.window <= 0 || w >= b.max {
+	// An update closes the batch immediately: requests behind it must
+	// observe its effect, so they wait for the next dispatch.
+	if first.apply != nil || b.max <= 1 || b.window <= 0 || w >= b.max {
 		return
 	}
 	timer.Reset(b.window)
@@ -223,6 +242,9 @@ func (b *batcher) gather(first *request, timer *time.Timer) {
 		case r := <-b.ch:
 			b.in.queueDepth.Add(-1)
 			b.batch = append(b.batch, r)
+			if r.apply != nil {
+				return // see above: the update ends this batch
+			}
 			w += r.width()
 		case <-timer.C:
 			return
@@ -234,44 +256,54 @@ func (b *batcher) gather(first *request, timer *time.Timer) {
 
 // execute dispatches the gathered batch: canceled requests are dropped
 // (their submit already returned), one live request goes through the
-// single-vector path, several go through one MulVecs panel. Every live
-// request receives the dispatch error — nil, or the typed pool error.
+// single-vector path, several go through one MulVecs panel, and a
+// trailing update (gather closes the batch on one) runs after the panel
+// so the multiplies gathered before it still see the pre-update matrix.
+// Every live request receives its own outcome — nil, the typed pool
+// error, or the update's error.
 func (b *batcher) execute() {
 	now := time.Now()
 	live := b.batch[:0]
+	var update *request
 	for _, r := range b.batch {
 		if r.ctx.Err() != nil {
 			r.done <- r.ctx.Err() // nobody may be listening; buffered
 			continue
 		}
 		b.in.queueWait.Observe(now.Sub(r.enq).Seconds())
+		if r.apply != nil {
+			update = r // at most one: gather stops at the first
+			continue
+		}
 		live = append(live, r)
 	}
 	b.batch = live
-	if len(live) == 0 {
-		return
-	}
-	b.xs, b.ys = b.xs[:0], b.ys[:0]
-	for _, r := range live {
-		if r.xs != nil {
-			b.xs = append(b.xs, r.xs...)
-			b.ys = append(b.ys, r.ys...)
+	if len(live) > 0 {
+		b.xs, b.ys = b.xs[:0], b.ys[:0]
+		for _, r := range live {
+			if r.xs != nil {
+				b.xs = append(b.xs, r.xs...)
+				b.ys = append(b.ys, r.ys...)
+			} else {
+				b.xs = append(b.xs, r.x)
+				b.ys = append(b.ys, r.y)
+			}
+		}
+		b.in.batchSize.Observe(float64(len(b.xs)))
+		var err error
+		start := time.Now()
+		if len(b.xs) == 1 {
+			err = b.pool.MulVec(b.xs[0], b.ys[0])
 		} else {
-			b.xs = append(b.xs, r.x)
-			b.ys = append(b.ys, r.y)
+			err = b.pool.MulVecs(b.xs, b.ys)
+		}
+		b.in.execTime.Observe(time.Since(start).Seconds())
+		for _, r := range live {
+			r.done <- err
 		}
 	}
-	b.in.batchSize.Observe(float64(len(b.xs)))
-	var err error
-	start := time.Now()
-	if len(b.xs) == 1 {
-		err = b.pool.MulVec(b.xs[0], b.ys[0])
-	} else {
-		err = b.pool.MulVecs(b.xs, b.ys)
-	}
-	b.in.execTime.Observe(time.Since(start).Seconds())
-	for _, r := range live {
-		r.done <- err
+	if update != nil {
+		update.done <- update.apply()
 	}
 }
 

@@ -20,6 +20,19 @@ var ErrCacheFull = errors.New("server: matrix cache full")
 // ErrClosed marks an operation on a registry that has been shut down.
 var ErrClosed = errors.New("server: registry closed")
 
+// ErrImmutable marks an update against a matrix registered without the
+// mutable overlay (Config.Mutable off, or a prebuilt instance whose
+// ground truth the registry does not hold). The HTTP layer maps it to
+// 409: re-register the matrix on a mutable server to update it.
+var ErrImmutable = errors.New("server: matrix is immutable")
+
+// ErrShardedUpdate marks an update against a row-shard registration.
+// Shard slices are owned by the coordinator's scatter plan; updating one
+// slice behind its back would fork the effective matrix across the
+// fleet, so the worker refuses until the coordinator grows an
+// update-scatter path.
+var ErrShardedUpdate = errors.New("server: sharded matrices do not accept updates")
+
 // errBadRequest wraps client mistakes the wire/JSON/header parsers
 // surface, so the HTTP layer can map them all to 400.
 var errBadRequest = errors.New("server: bad request")

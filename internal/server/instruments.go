@@ -30,6 +30,18 @@ type instruments struct {
 	cacheBytes    *metrics.Gauge
 	registrations *metrics.Counter
 	evictions     *metrics.Counter
+
+	// Overlay (mutable-matrix) metrics. The gauges aggregate over every
+	// resident mutable entry; the histograms time the recompaction
+	// pipeline and the registry hot-swap inside it.
+	ovPending       *metrics.Gauge     // pending scalars awaiting recompaction
+	ovExtraBytes    *metrics.Gauge     // extra bytes each multiply streams (overlay hit cost)
+	ovUpdates       *metrics.Counter   // scalar updates applied
+	ovRecompactions *metrics.Counter   // completed recompactions
+	ovAbandoned     *metrics.Counter   // recompactions abandoned (entry replaced/removed mid-flight)
+	ovFormatChanged *metrics.Counter   // recompactions where SelectSafe changed the winner
+	ovRecompactTime *metrics.Histogram // seconds per recompaction (merge + tune + build + replay + swap)
+	ovSwapTime      *metrics.Histogram // seconds the final registry swap took
 }
 
 func newInstruments(reg *metrics.Registry) *instruments {
@@ -57,6 +69,22 @@ func newInstruments(reg *metrics.Registry) *instruments {
 		cacheBytes:    reg.Gauge("spmvd_cache_bytes", "matrix bytes resident in the registry"),
 		registrations: reg.Counter("spmvd_registrations_total", "matrices registered"),
 		evictions:     reg.Counter("spmvd_evictions_total", "matrices evicted or removed"),
+		ovPending: reg.Gauge("spmv_overlay_pending_scalars",
+			"pending update cells across every mutable matrix, awaiting recompaction"),
+		ovExtraBytes: reg.Gauge("spmv_overlay_extra_bytes",
+			"extra bytes each multiply streams because of pending overlays (overlay hit cost)"),
+		ovUpdates: reg.Counter("spmv_overlay_updates_total",
+			"scalar updates applied to mutable matrices"),
+		ovRecompactions: reg.Counter("spmv_overlay_recompactions_total",
+			"background recompactions that merged an overlay and hot-swapped the entry"),
+		ovAbandoned: reg.Counter("spmv_overlay_recompactions_abandoned_total",
+			"recompactions abandoned because the entry was replaced or removed mid-flight"),
+		ovFormatChanged: reg.Counter("spmv_overlay_format_changed_total",
+			"recompactions where re-running selection changed the winning format"),
+		ovRecompactTime: reg.Histogram("spmv_overlay_recompact_seconds",
+			"seconds per recompaction: merge, re-tune, rebuild, replay and swap", nil),
+		ovSwapTime: reg.Histogram("spmv_overlay_swap_seconds",
+			"seconds the registry hot-swap at the end of a recompaction took", nil),
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"blockspmv/internal/machine"
 	"blockspmv/internal/mat"
 	"blockspmv/internal/metrics"
+	"blockspmv/internal/overlay"
 	"blockspmv/internal/profile"
 )
 
@@ -73,6 +74,28 @@ type Config struct {
 	// a huge decode, and an honest coordinator never exceeds its own
 	// BatchMax, which sits far below this.
 	MaxPanelK int
+
+	// Mutable wraps every full-matrix registration in a delta overlay so
+	// it accepts point updates (POST /v1/matrix/{name}/update, or
+	// Registry.Update). The COO ground truth is retained beside the tuned
+	// instance — Info.Bytes grows accordingly — and a background
+	// recompaction merges pending updates into a freshly re-tuned base.
+	// Shard registrations and prebuilt instances are never mutable. Off
+	// by default: construct-once serving pays no overlay cost.
+	Mutable bool
+	// RecompactAfter is the pending-scalar threshold: an update that
+	// leaves at least this many pending cells on a matrix triggers its
+	// background recompaction. 0 selects 4096; negative disables
+	// threshold-triggered recompaction (the interval ticker, if any,
+	// still runs).
+	RecompactAfter int64
+	// RecompactInterval periodically recompacts every mutable matrix
+	// holding pending updates, regardless of how few; 0 disables the
+	// ticker.
+	RecompactInterval time.Duration
+	// MaxUpdateBatch caps the updates accepted per request, bounding the
+	// SpU1 decoder's allocation; <= 0 selects 65536.
+	MaxUpdateBatch int
 }
 
 // DefaultLimits bounds uploaded matrices when Config.Limits is zero:
@@ -104,6 +127,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPanelK <= 0 {
 		c.MaxPanelK = 1024
+	}
+	if c.RecompactAfter == 0 {
+		c.RecompactAfter = 4096
+	}
+	if c.MaxUpdateBatch <= 0 {
+		c.MaxUpdateBatch = 65536
 	}
 	if c.Model == nil {
 		if c.Prof != nil {
@@ -137,17 +166,28 @@ type Info struct {
 	Sharded   bool `json:"sharded,omitempty"`
 	ShardRow0 int  `json:"shard_row0,omitempty"`
 	ShardRow1 int  `json:"shard_row1,omitempty"`
+	// Mutable marks an overlay-wrapped registration that accepts updates;
+	// Pending is its live count of pending update cells (Lookup and List
+	// read it fresh). For mutable entries NNZ and Bytes are live too:
+	// NNZ is the effective count including pending inserts and deletes,
+	// Bytes the resident cost including the retained ground truth.
+	Mutable bool  `json:"mutable,omitempty"`
+	Pending int64 `json:"pending,omitempty"`
 }
 
 // mentry is one resident matrix: the autotuned instance, its pooled
 // batcher, and the ref-count that defers teardown past in-flight use.
+// Mutable registrations also carry their overlay (the batcher's pool
+// runs over it), which keeps the COO ground truth recompaction needs.
 type mentry struct {
 	info Info
 	bat  *batcher
+	ov   *overlay.Overlay[float64] // nil for immutable entries
 
-	refs int   // in-flight requests holding the entry
-	dead bool  // evicted: free the batcher when refs drains to zero
-	use  int64 // registry sequence number of the last acquire (LRU key)
+	refs         int   // in-flight requests holding the entry
+	dead         bool  // evicted: free the batcher when refs drains to zero
+	use          int64 // registry sequence number of the last acquire (LRU key)
+	recompacting bool  // a background recompaction of this entry is in flight
 }
 
 // Registry resolves matrix names to autotuned, pooled, batched SpMV
@@ -167,6 +207,11 @@ type Registry struct {
 	total   int64 // summed MatrixBytes of resident (non-dead) entries
 	seq     int64
 	closed  bool
+
+	// Background recompaction machinery: Close signals stopc and waits on
+	// wg so no recompactor or ticker goroutine outlives the registry.
+	wg    sync.WaitGroup
+	stopc chan struct{}
 }
 
 // NewRegistry builds a registry; cfg is taken by value after default
@@ -175,7 +220,16 @@ func NewRegistry(cfg Config, in *instruments) *Registry {
 	if in == nil {
 		in = newInstruments(cfg.Metrics)
 	}
-	return &Registry{cfg: cfg.withDefaults(), in: in, entries: make(map[string]*mentry)}
+	g := &Registry{
+		cfg: cfg.withDefaults(), in: in,
+		entries: make(map[string]*mentry),
+		stopc:   make(chan struct{}),
+	}
+	if every := g.cfg.RecompactInterval; every > 0 {
+		g.wg.Add(1)
+		go g.recompactTicker(every)
+	}
+	return g
 }
 
 // Register parses a MatrixMarket stream under the configured limits,
@@ -189,13 +243,22 @@ func (g *Registry) Register(name string, r io.Reader) (Info, error) {
 	return g.RegisterMatrix(name, m)
 }
 
-// RegisterMatrix autotunes and installs an assembled matrix.
+// RegisterMatrix autotunes and installs an assembled matrix. Under
+// Config.Mutable the tuned instance is wrapped in a delta overlay and m
+// is retained as its ground truth — the caller must not mutate m
+// afterwards.
 func (g *Registry) RegisterMatrix(name string, m *mat.COO[float64]) (Info, error) {
 	info, inst, err := g.tune(name, m)
 	if err != nil {
 		return Info{}, err
 	}
-	return info, g.install(name, info, inst)
+	if !g.cfg.Mutable {
+		return info, g.install(name, info, inst, nil)
+	}
+	ov := overlay.Wrap(inst, m)
+	info.Mutable = true
+	info.Bytes = ov.ResidentBytes()
+	return info, g.install(name, info, ov, ov)
 }
 
 // tune runs format selection for one matrix and instantiates the winner
@@ -258,7 +321,7 @@ func (g *Registry) RegisterShardMatrix(name string, m *mat.COO[float64], row0, r
 		return Info{}, err
 	}
 	info.Sharded, info.ShardRow0, info.ShardRow1 = true, row0, row1
-	return info, g.install(name, info, inst)
+	return info, g.install(name, info, inst, nil)
 }
 
 // RegisterShardInstance installs a prebuilt format instance as a row
@@ -274,7 +337,7 @@ func (g *Registry) RegisterShardInstance(name string, inst formats.Instance[floa
 		Format: inst.Name(), Bytes: inst.MatrixBytes(),
 		Sharded: true, ShardRow0: row0, ShardRow1: row1,
 	}
-	return info, g.install(name, info, inst)
+	return info, g.install(name, info, inst, nil)
 }
 
 // RegisterInstance installs a prebuilt format instance under name,
@@ -286,14 +349,16 @@ func (g *Registry) RegisterInstance(name string, inst formats.Instance[float64])
 		Name: name, Rows: inst.Rows(), Cols: inst.Cols(), NNZ: inst.NNZ(),
 		Format: inst.Name(), Bytes: inst.MatrixBytes(),
 	}
-	return info, g.install(name, info, inst)
+	return info, g.install(name, info, inst, nil)
 }
 
 // install builds the entry's pool and batcher, then links it into the
-// table under the size cap, evicting idle LRU entries as needed.
-func (g *Registry) install(name string, info Info, inst formats.Instance[float64]) error {
+// table under the size cap, evicting idle LRU entries as needed. ov is
+// the instance's overlay for mutable registrations (inst and ov are the
+// same object then), nil otherwise.
+func (g *Registry) install(name string, info Info, inst formats.Instance[float64], ov *overlay.Overlay[float64]) error {
 	bat := newBatcher(poolFor(inst, g.cfg.Workers), g.cfg.BatchMax, g.cfg.BatchWindow, g.cfg.QueueDepth, g.in)
-	e := &mentry{info: info, bat: bat}
+	e := &mentry{info: info, bat: bat, ov: ov}
 
 	g.mu.Lock()
 	if g.closed {
@@ -324,6 +389,7 @@ func (g *Registry) install(name string, info Info, inst formats.Instance[float64
 	g.in.registrations.Inc()
 	g.in.matrices.Set(int64(len(g.entries)))
 	g.in.cacheBytes.Set(g.total)
+	g.refreshOverlayGaugesLocked()
 	g.mu.Unlock()
 
 	for _, b := range freed {
@@ -402,12 +468,25 @@ func (g *Registry) Remove(name string) bool {
 	var freed []*batcher
 	if ok {
 		freed = g.evictLocked(name, e)
+		g.refreshOverlayGaugesLocked()
 	}
 	g.mu.Unlock()
 	for _, b := range freed {
 		b.close()
 	}
 	return ok
+}
+
+// liveInfo returns the entry's description; for mutable entries the
+// overlay-dependent fields (Pending, NNZ, Bytes) are read fresh.
+func (e *mentry) liveInfo() Info {
+	info := e.info
+	if e.ov != nil {
+		info.Pending = e.ov.Pending()
+		info.NNZ = e.ov.NNZ()
+		info.Bytes = e.ov.ResidentBytes()
+	}
+	return info
 }
 
 // Lookup returns the named matrix's description.
@@ -418,7 +497,7 @@ func (g *Registry) Lookup(name string) (Info, error) {
 	if !ok {
 		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	return e.info, nil
+	return e.liveInfo(), nil
 }
 
 // List returns every resident matrix, sorted by name.
@@ -426,11 +505,26 @@ func (g *Registry) List() []Info {
 	g.mu.Lock()
 	infos := make([]Info, 0, len(g.entries))
 	for _, e := range g.entries {
-		infos = append(infos, e.info)
+		infos = append(infos, e.liveInfo())
 	}
 	g.mu.Unlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	return infos
+}
+
+// refreshOverlayGaugesLocked re-sums the overlay gauges over the
+// resident mutable entries. Callers hold g.mu; the overlay locks nest
+// inside it (the overlay never takes registry locks).
+func (g *Registry) refreshOverlayGaugesLocked() {
+	var pending, extra int64
+	for _, e := range g.entries {
+		if e.ov != nil {
+			pending += e.ov.Pending()
+			extra += e.ov.ExtraBytes()
+		}
+	}
+	g.in.ovPending.Set(pending)
+	g.in.ovExtraBytes.Set(extra)
 }
 
 // MulVec runs one request against the named matrix through its batcher:
@@ -480,8 +574,9 @@ func (g *Registry) MulVecs(ctx context.Context, name string, xs [][]float64) ([]
 }
 
 // Close drains every batcher — in-flight batches complete, queued
-// requests shed with ErrOverloaded — and retires every pool. Further
-// operations fail with ErrClosed. Idempotent.
+// requests shed with ErrOverloaded — and retires every pool, then waits
+// for the recompaction ticker and any in-flight recompactors to exit.
+// Further operations fail with ErrClosed. Idempotent.
 func (g *Registry) Close() {
 	g.mu.Lock()
 	if g.closed {
@@ -489,6 +584,7 @@ func (g *Registry) Close() {
 		return
 	}
 	g.closed = true
+	close(g.stopc)
 	bats := make([]*batcher, 0, len(g.entries))
 	for name, e := range g.entries {
 		delete(g.entries, name)
@@ -498,10 +594,13 @@ func (g *Registry) Close() {
 	g.total = 0
 	g.in.matrices.Set(0)
 	g.in.cacheBytes.Set(0)
+	g.in.ovPending.Set(0)
+	g.in.ovExtraBytes.Set(0)
 	g.mu.Unlock()
 	for _, b := range bats {
 		b.close()
 	}
+	g.wg.Wait()
 }
 
 // safeStats enumerates candidate statistics under a recover backstop,

@@ -39,6 +39,7 @@ import (
 	"blockspmv/internal/formats"
 	"blockspmv/internal/mat"
 	"blockspmv/internal/metrics"
+	"blockspmv/internal/overlay"
 	"blockspmv/internal/workpool"
 )
 
@@ -66,6 +67,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/matrix/{name}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/matrices", s.handleList)
 	s.mux.HandleFunc("POST /v1/matrix/{name}/mulvec", s.handleMulVec)
+	s.mux.HandleFunc("POST /v1/matrix/{name}/update", s.handleUpdate)
 	if cfg.EnableShard {
 		s.mux.HandleFunc("PUT /v1/shard/{name}", s.handleShardRegister)
 		s.mux.HandleFunc("POST /v1/shard/{name}/mulvec", s.handleShardMulVec)
@@ -141,7 +143,15 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	var pan *workpool.PanicError
 	var poi *workpool.PoisonedError
 	var maxBytes *http.MaxBytesError
+	var urange *overlay.RangeError
+	var uop *overlay.OpRangeError
 	switch {
+	case errors.Is(err, ErrImmutable):
+		status, kind = http.StatusConflict, "immutable"
+	case errors.Is(err, ErrShardedUpdate):
+		status, kind = http.StatusConflict, "sharded"
+	case errors.As(err, &urange), errors.As(err, &uop):
+		status, kind = http.StatusBadRequest, "update_range"
 	case errors.Is(err, ErrOverloaded):
 		status, kind = http.StatusServiceUnavailable, "overloaded"
 		w.Header().Set("Retry-After", "1")
@@ -159,7 +169,8 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 		status, kind = http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):
 		status, kind = statusClientClosedRequest, "canceled"
-	case errors.As(err, &dim), errors.As(err, &pnl), errors.Is(err, errBadRequest), isShardWireErr(err):
+	case errors.As(err, &dim), errors.As(err, &pnl), errors.Is(err, errBadRequest),
+		isShardWireErr(err), isUpdateWireErr(err):
 		status, kind = http.StatusBadRequest, "bad_request"
 	case errors.As(err, &pan), errors.As(err, &poi):
 		status, kind = http.StatusInternalServerError, "kernel_panic"

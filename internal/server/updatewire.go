@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"blockspmv/internal/overlay"
+)
+
+// The update frame is the binary form of POST /v1/matrix/{name}/update:
+// a batch of coordinate mutations against a mutable matrix. Like the
+// shard frames it carries a CRC-32C of the record bytes so a corrupted
+// batch is rejected instead of silently mutating the wrong cells — an
+// update that lands is irreversible in a way a corrupted read never is.
+//
+// Update request, magic "SpU1":
+//
+//	offset  size   field
+//	0       4      magic "SpU1"
+//	4       2      element kind, little-endian (1 = float64)
+//	6       2      reserved, must be zero
+//	8       4      record count n, little-endian
+//	12      4      CRC-32C (Castagnoli) of the record bytes
+//	16      17*n   records
+//
+// Each record is 17 bytes:
+//
+//	offset  size   field
+//	0       1      op: 0 = set, 1 = add, 2 = delete
+//	1       4      row i, little-endian (must fit int32)
+//	5       4      col j, little-endian (must fit int32)
+//	9       8      value, little-endian IEEE-754 bits
+//
+// The encoding is canonical: ops above 2 are invalid, coordinates
+// must fit int32 (the registry still range-checks them against the
+// matrix), and a delete record's value bits must be zero. Decoding is
+// strict — wrong magic, unknown kind, reserved bytes, counts above the
+// caller's cap (checked before any allocation), truncation, trailing
+// bytes, checksum mismatches and non-canonical records all fail with
+// typed errors — so any accepted frame re-encodes byte-identically,
+// the property FuzzUpdateFrame drives.
+
+var updateMagic = [4]byte{'S', 'p', 'U', '1'}
+
+const (
+	updateHeaderLen = 16
+	updateRecordLen = 17
+	// ContentTypeUpdate is the MIME type of the binary update frame.
+	ContentTypeUpdate = "application/x-spmv-update"
+)
+
+// ErrWireUpdate marks a non-canonical update record: an op outside
+// {set, add, delete}, a coordinate that does not fit int32, or a delete
+// carrying value bits.
+var ErrWireUpdate = errors.New("server: wire: bad update record")
+
+// checkUpdateCount guards the encoder side: the record count must fit
+// the 32-bit count field.
+func checkUpdateCount(n int) error {
+	if uint64(n) > maxWireCount {
+		return fmt.Errorf("%w: %d updates", ErrWireTooLarge, n)
+	}
+	return nil
+}
+
+// AppendUpdateFrame appends the binary update frame for ups, returning
+// the extended slice. Non-canonical updates fail with typed errors
+// before any bytes are written.
+func AppendUpdateFrame(dst []byte, ups []overlay.Update[float64]) ([]byte, error) {
+	if err := checkUpdateCount(len(ups)); err != nil {
+		return nil, err
+	}
+	for _, u := range ups {
+		if u.Op > overlay.OpDelete {
+			return nil, fmt.Errorf("%w: op %d", ErrWireUpdate, u.Op)
+		}
+		if u.Row < 0 || u.Col < 0 {
+			return nil, fmt.Errorf("%w: coordinate (%d,%d)", ErrWireUpdate, u.Row, u.Col)
+		}
+	}
+	dst = append(dst, updateMagic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, wireKindF64)
+	dst = binary.LittleEndian.AppendUint16(dst, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ups)))
+	crcAt := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	start := len(dst)
+	for _, u := range ups {
+		dst = append(dst, byte(u.Op))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(u.Row))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(u.Col))
+		bits := math.Float64bits(u.Val)
+		if u.Op == overlay.OpDelete {
+			bits = 0 // canonical: deletes carry no value
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, bits)
+	}
+	binary.LittleEndian.PutUint32(dst[crcAt:], crc32.Checksum(dst[start:], castagnoli))
+	return dst, nil
+}
+
+// EncodeUpdateFrame returns the binary update frame for ups.
+func EncodeUpdateFrame(ups []overlay.Update[float64]) ([]byte, error) {
+	return AppendUpdateFrame(make([]byte, 0, updateHeaderLen+updateRecordLen*len(ups)), ups)
+}
+
+// DecodeUpdateFrame parses an update frame. maxN caps the declared
+// record count and is enforced before any allocation, so a forged count
+// cannot balloon memory. Every accepted frame is canonical: re-encoding
+// the result reproduces the input bytes exactly.
+func DecodeUpdateFrame(data []byte, maxN int) ([]overlay.Update[float64], error) {
+	if len(data) < updateHeaderLen {
+		return nil, fmt.Errorf("%w: %d header bytes of %d", ErrWireTruncated, len(data), updateHeaderLen)
+	}
+	if [4]byte(data[:4]) != updateMagic {
+		return nil, fmt.Errorf("%w: % x", ErrWireMagic, data[:4])
+	}
+	if kind := binary.LittleEndian.Uint16(data[4:6]); kind != wireKindF64 {
+		return nil, fmt.Errorf("%w: kind %d", ErrWireKind, kind)
+	}
+	if rsv := binary.LittleEndian.Uint16(data[6:8]); rsv != 0 {
+		return nil, fmt.Errorf("%w: %#04x", ErrWireReserved, rsv)
+	}
+	n := binary.LittleEndian.Uint32(data[8:12])
+	if int64(n) > int64(maxN) {
+		return nil, fmt.Errorf("%w: %d updates > %d", ErrWireTooLarge, n, max(maxN, 0))
+	}
+	want := binary.LittleEndian.Uint32(data[12:16])
+	body := data[updateHeaderLen:]
+	if int64(len(body)) < updateRecordLen*int64(n) {
+		return nil, fmt.Errorf("%w: %d body bytes for %d updates", ErrWireTruncated, len(body), n)
+	}
+	if int64(len(body)) > updateRecordLen*int64(n) {
+		return nil, fmt.Errorf("%w: %d extra", ErrWireTrailing, int64(len(body))-updateRecordLen*int64(n))
+	}
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: %08x != %08x", ErrWireChecksum, got, want)
+	}
+	ups := make([]overlay.Update[float64], n)
+	for i := range ups {
+		rec := body[updateRecordLen*i:]
+		op := overlay.Op(rec[0])
+		if op > overlay.OpDelete {
+			return nil, fmt.Errorf("%w: op %d at record %d", ErrWireUpdate, rec[0], i)
+		}
+		row := binary.LittleEndian.Uint32(rec[1:5])
+		col := binary.LittleEndian.Uint32(rec[5:9])
+		if row > math.MaxInt32 || col > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: coordinate (%d,%d) at record %d", ErrWireUpdate, row, col, i)
+		}
+		bits := binary.LittleEndian.Uint64(rec[9:17])
+		if op == overlay.OpDelete && bits != 0 {
+			return nil, fmt.Errorf("%w: delete with value bits %#x at record %d", ErrWireUpdate, bits, i)
+		}
+		ups[i] = overlay.Update[float64]{
+			Op: op, Row: int32(row), Col: int32(col),
+			Val: math.Float64frombits(bits),
+		}
+	}
+	return ups, nil
+}
+
+// isUpdateWireErr reports whether err is one of the typed SpU1 decode
+// errors, widening the shard-wire helper.
+func isUpdateWireErr(err error) bool {
+	return isShardWireErr(err) || errors.Is(err, ErrWireUpdate)
+}

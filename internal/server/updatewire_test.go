@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"blockspmv/internal/overlay"
+)
+
+func mustEncodeUpdates(tb testing.TB, ups []overlay.Update[float64]) []byte {
+	tb.Helper()
+	b, err := EncodeUpdateFrame(ups)
+	if err != nil {
+		tb.Fatalf("EncodeUpdateFrame: %v", err)
+	}
+	return b
+}
+
+// TestUpdateFrameRoundTrip checks the SpU1 encode/decode round trip is
+// exact, including NaN payloads on set/add records.
+func TestUpdateFrameRoundTrip(t *testing.T) {
+	ups := []overlay.Update[float64]{
+		{Op: overlay.OpSet, Row: 0, Col: 0, Val: 1.5},
+		{Op: overlay.OpAdd, Row: 3, Col: 7, Val: math.NaN()},
+		{Op: overlay.OpDelete, Row: math.MaxInt32, Col: 2},
+		{Op: overlay.OpSet, Row: 9, Col: 9, Val: math.Inf(-1)},
+		{Op: overlay.OpAdd, Row: 1, Col: 1, Val: -0.0},
+	}
+	got, err := DecodeUpdateFrame(mustEncodeUpdates(t, ups), len(ups))
+	if err != nil {
+		t.Fatalf("DecodeUpdateFrame: %v", err)
+	}
+	if len(got) != len(ups) {
+		t.Fatalf("decoded %d updates, want %d", len(got), len(ups))
+	}
+	for i := range ups {
+		if got[i].Op != ups[i].Op || got[i].Row != ups[i].Row || got[i].Col != ups[i].Col {
+			t.Fatalf("update %d = %+v, want %+v", i, got[i], ups[i])
+		}
+		want := math.Float64bits(ups[i].Val)
+		if ups[i].Op == overlay.OpDelete {
+			want = 0
+		}
+		if math.Float64bits(got[i].Val) != want {
+			t.Fatalf("update %d value bits %x, want %x", i, math.Float64bits(got[i].Val), want)
+		}
+	}
+	if _, err := DecodeUpdateFrame(mustEncodeUpdates(t, nil), 0); err != nil {
+		t.Fatalf("empty frame: %v", err)
+	}
+}
+
+// TestUpdateFrameStrictDecode walks every malformation through its
+// typed error.
+func TestUpdateFrameStrictDecode(t *testing.T) {
+	good := mustEncodeUpdates(t, []overlay.Update[float64]{{Op: overlay.OpSet, Row: 1, Col: 2, Val: 3}})
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:updateHeaderLen-1] }, ErrWireTruncated},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrWireMagic},
+		{"bad kind", func(b []byte) []byte { b[4] = 9; return b }, ErrWireKind},
+		{"reserved", func(b []byte) []byte { b[6] = 1; return b }, ErrWireReserved},
+		{"count over cap", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 255) // decode cap below is 16
+			return b
+		}, ErrWireTooLarge},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-1] }, ErrWireTruncated},
+		{"trailing", func(b []byte) []byte { return append(b, 0) }, ErrWireTrailing},
+		{"stale crc", func(b []byte) []byte { b[updateHeaderLen] ^= 1; return b }, ErrWireChecksum},
+		{"bad op", func(b []byte) []byte {
+			b[updateHeaderLen] = 3
+			fixUpdateCRC(b)
+			return b
+		}, ErrWireUpdate},
+		{"row overflows int32", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[updateHeaderLen+1:], 1<<31)
+			fixUpdateCRC(b)
+			return b
+		}, ErrWireUpdate},
+		{"delete with value bits", func(b []byte) []byte {
+			b[updateHeaderLen] = byte(overlay.OpDelete)
+			fixUpdateCRC(b)
+			return b
+		}, ErrWireUpdate},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mut(append([]byte(nil), good...))
+			if _, err := DecodeUpdateFrame(data, 16); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if !isUpdateWireErr(mustErr(t, data)) {
+				t.Fatalf("error not recognised as a wire error")
+			}
+		})
+	}
+}
+
+func mustErr(t *testing.T, data []byte) error {
+	t.Helper()
+	_, err := DecodeUpdateFrame(data, 16)
+	if err == nil {
+		t.Fatal("decode unexpectedly succeeded")
+	}
+	return err
+}
+
+// fixUpdateCRC recomputes the record checksum after a test mutates the
+// body, so the mutation under test is the one that fails.
+func fixUpdateCRC(b []byte) {
+	binary.LittleEndian.PutUint32(b[12:16], crc32.Checksum(b[updateHeaderLen:], castagnoli))
+}
+
+// TestUpdateFrameCapsBeforeAllocation forges a huge declared count on a
+// tiny body: the decoder must fail on the cap before allocating.
+func TestUpdateFrameCapsBeforeAllocation(t *testing.T) {
+	b := mustEncodeUpdates(t, nil)
+	binary.LittleEndian.PutUint32(b[8:12], math.MaxUint32)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := DecodeUpdateFrame(b, 1<<20); !errors.Is(err, ErrWireTooLarge) {
+			t.Fatalf("err = %v, want ErrWireTooLarge", err)
+		}
+	})
+	// Formatting the typed error costs a handful of fixed allocations;
+	// what must not happen is an allocation proportional to the forged
+	// four-billion-record count.
+	if allocs > 8 {
+		t.Fatalf("decode of forged count allocated %v times", allocs)
+	}
+}
+
+// TestEncodeUpdateFrameRejectsNonCanonical checks the encoder refuses
+// what the decoder would: unknown ops and negative coordinates.
+func TestEncodeUpdateFrameRejectsNonCanonical(t *testing.T) {
+	if _, err := EncodeUpdateFrame([]overlay.Update[float64]{{Op: overlay.Op(7)}}); !errors.Is(err, ErrWireUpdate) {
+		t.Fatalf("bad op: %v", err)
+	}
+	if _, err := EncodeUpdateFrame([]overlay.Update[float64]{{Op: overlay.OpSet, Row: -1}}); !errors.Is(err, ErrWireUpdate) {
+		t.Fatalf("negative row: %v", err)
+	}
+}
+
+// FuzzUpdateFrame drives the SpU1 decoder with arbitrary bytes: it must
+// never panic, must bound allocation by the caller's cap before
+// reading records, and any accepted frame must be canonical —
+// re-encoding the decoded updates reproduces the input bit for bit
+// (which also proves the stored CRC is the one the encoder computes and
+// that deletes carry zero value bits).
+func FuzzUpdateFrame(f *testing.F) {
+	f.Add(mustEncodeUpdates(f, nil))
+	f.Add(mustEncodeUpdates(f, []overlay.Update[float64]{
+		{Op: overlay.OpSet, Row: 0, Col: 0, Val: 1},
+		{Op: overlay.OpAdd, Row: 5, Col: 6, Val: math.NaN()},
+		{Op: overlay.OpDelete, Row: 2, Col: 3},
+	}))
+	f.Add([]byte("SpU1 not a real payload"))
+	short := mustEncodeUpdates(f, []overlay.Update[float64]{{Op: overlay.OpSet, Row: 1, Col: 1, Val: 2}})
+	f.Add(short[:len(short)-3])
+	stale := mustEncodeUpdates(f, []overlay.Update[float64]{{Op: overlay.OpDelete, Row: 4, Col: 4}})
+	stale[updateHeaderLen] ^= 0x01
+	f.Add(stale)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ups, err := DecodeUpdateFrame(data, 1<<16)
+		if err != nil {
+			return
+		}
+		re, err := EncodeUpdateFrame(ups)
+		if err != nil {
+			t.Fatalf("re-encode accepted frame: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("update frame not canonical:\n in %x\nout %x", data, re)
+		}
+	})
+}

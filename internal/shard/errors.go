@@ -14,6 +14,15 @@ var ErrShardDown = errors.New("shard: shard unavailable")
 // ErrClosed marks a MulVec against a coordinator after Close.
 var ErrClosed = errors.New("shard: coordinator closed")
 
+// ErrUpdatesUnsupported marks a point update against a sharded matrix.
+// Shard slices are owned by the coordinator's scatter plan; updating one
+// worker behind its back would fork the effective matrix across the
+// fleet (each worker's slice was tuned and is recompacted independently,
+// and replicas of the same rows would diverge). Until the coordinator
+// grows a consistent update-scatter protocol, updates are refused here
+// and at each worker (server.ErrShardedUpdate).
+var ErrUpdatesUnsupported = errors.New("shard: sharded matrices do not accept updates")
+
 // errBreakersOpen marks an attempt refused because every replica's
 // circuit breaker was open — no network traffic was generated.
 var errBreakersOpen = errors.New("shard: every replica's breaker is open")

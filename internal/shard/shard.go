@@ -17,6 +17,7 @@ import (
 	"blockspmv/internal/formats"
 	"blockspmv/internal/mat"
 	"blockspmv/internal/metrics"
+	"blockspmv/internal/overlay"
 	"blockspmv/internal/server"
 )
 
@@ -297,6 +298,15 @@ func (c *Coordinator) MulVecs(ctx context.Context, xs [][]float64) ([][]float64,
 	}
 	c.in.ok.Inc()
 	return ys, nil
+}
+
+// Update refuses point updates with ErrUpdatesUnsupported: a sharded
+// matrix has no consistent single-writer path yet (see the error's
+// documentation). Matching the Registry's Update shape keeps callers
+// that hold either behind one interface and makes the refusal a typed,
+// testable part of the API rather than a missing method.
+func (c *Coordinator) Update(ctx context.Context, ups []overlay.Update[float64]) (server.UpdateResult, error) {
+	return server.UpdateResult{}, ErrUpdatesUnsupported
 }
 
 // scatter runs one k-wide panel across every shard and gathers the
